@@ -1,0 +1,43 @@
+//! Intent-translation benchmarks: utterance → service calls latency for
+//! the offline rule engine (an LLM backend would add network time on top).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::broker::intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+use surfos::broker::translate::required_link_snr_db;
+
+fn context() -> IntentContext {
+    IntentContext {
+        room: "bedroom".into(),
+        devices: vec!["VR_headset".into(), "laptop".into(), "phone".into()],
+        bandwidth_hz: 400e6,
+    }
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let translator = RuleBasedTranslator;
+    let ctx = context();
+    let mut group = c.benchmark_group("intent/translate");
+    for (name, utterance) in [
+        ("vr", "I want to start VR gaming in this room."),
+        (
+            "meeting+charge",
+            "I want to have an online meeting while charging my phone.",
+        ),
+        ("miss", "colorless green ideas sleep furiously"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(translator.translate(black_box(utterance), &ctx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snr_mapping(c: &mut Criterion) {
+    c.bench_function("intent/required_snr_mapping", |b| {
+        b.iter(|| black_box(required_link_snr_db(black_box(800.0), 400e6, 10.0)))
+    });
+}
+
+criterion_group!(benches, bench_translate, bench_snr_mapping);
+criterion_main!(benches);

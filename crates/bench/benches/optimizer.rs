@@ -1,0 +1,119 @@
+//! Configuration-optimizer benchmarks: the per-iteration cost of the
+//! analytic-gradient path versus the baselines, across surface sizes —
+//! the numbers that justify gradient descent as the paper's workhorse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use surfos::orchestrator::objective::{CoverageObjective, Objective};
+use surfos::orchestrator::optimizer::{adam, greedy_quantized, random_search, AdamOptions, Tying};
+use surfos_bench::ApartmentLab;
+
+fn coverage_objective(n: usize) -> CoverageObjective {
+    let mut lab = ApartmentLab::new("bedroom-north");
+    lab.deploy("s", "bedroom-north", n);
+    CoverageObjective::new(&lab.sim, &lab.ap, &lab.grid, &lab.probe)
+}
+
+fn bench_loss_and_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/loss_grad");
+    for n in [8usize, 16, 32] {
+        let obj = coverage_objective(n);
+        let responses: Vec<Vec<surfos::em::complex::Complex>> =
+            vec![vec![surfos::em::complex::Complex::ONE; n * n]];
+        group.bench_function(format!("loss_{n}x{n}"), |b| {
+            b.iter(|| black_box(obj.loss(black_box(&responses))))
+        });
+        group.bench_function(format!("grad_{n}x{n}"), |b| {
+            b.iter(|| black_box(obj.grad_phase(black_box(&responses))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adam_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/adam_10iters");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let obj = coverage_objective(n);
+        group.bench_function(format!("{n}x{n}"), |b| {
+            b.iter(|| {
+                black_box(adam(
+                    &obj,
+                    &[vec![0.0; n * n]],
+                    &Tying::element_wise(1),
+                    AdamOptions {
+                        iters: 10,
+                        lr: 0.15,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/baselines");
+    group.sample_size(10);
+    let n = 16usize;
+    let obj = coverage_objective(n);
+    group.bench_function("random_search_100", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            black_box(random_search(&obj, &[n * n], 100, &mut rng))
+        })
+    });
+    group.bench_function("greedy_2bit_1pass", |b| {
+        b.iter(|| {
+            black_box(greedy_quantized(
+                &obj,
+                &[n * n],
+                &Tying::element_wise(1),
+                2,
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_column_tying(c: &mut Criterion) {
+    // Column tying shrinks the parameter count; the per-iteration cost
+    // should shrink accordingly.
+    let mut group = c.benchmark_group("optimizer/tying");
+    group.sample_size(10);
+    let n = 32usize;
+    let obj = coverage_objective(n);
+    let opts = AdamOptions {
+        iters: 10,
+        lr: 0.15,
+        ..Default::default()
+    };
+    group.bench_function("element_wise_10iters", |b| {
+        b.iter(|| {
+            black_box(adam(
+                &obj,
+                &[vec![0.0; n * n]],
+                &Tying::element_wise(1),
+                opts,
+            ))
+        })
+    });
+    group.bench_function("column_wise_10iters", |b| {
+        let mut tying = Tying::element_wise(1);
+        tying.tie_columns(0, n, n);
+        b.iter(|| black_box(adam(&obj, &[vec![0.0; n * n]], &tying, opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_loss_and_gradient,
+    bench_adam_iterations,
+    bench_baselines,
+    bench_column_tying
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Scheduler throughput: frames scheduled per second as the task set and
+//! resource grid grow — the control-plane scalability number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::orchestrator::scheduler::{Requirement, ResourceModel, Scheduler};
+
+fn requirements(n: usize, surfaces: usize) -> Vec<Requirement> {
+    (0..n as u64)
+        .map(|task| Requirement {
+            task,
+            priority: (task % 10) as u8,
+            band: (task % 2) as usize,
+            surfaces: vec![(task as usize) % surfaces],
+            min_slots: 1 + (task as usize) % 3,
+            shareable: task % 3 != 0,
+        })
+        .collect()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler/frame");
+    for (tasks, surfaces, slots) in [(10usize, 4usize, 8usize), (50, 8, 16), (200, 16, 32)] {
+        let model = ResourceModel {
+            slots_per_frame: slots,
+            bands: 2,
+            surfaces,
+        };
+        let reqs = requirements(tasks, surfaces);
+        group.bench_function(format!("{tasks}tasks_{surfaces}surf_{slots}slots"), |b| {
+            b.iter(|| black_box(Scheduler::schedule(black_box(&reqs), &model)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_slice_release(c: &mut Criterion) {
+    let model = ResourceModel {
+        slots_per_frame: 16,
+        bands: 2,
+        surfaces: 8,
+    };
+    let reqs = requirements(100, 8);
+    let outcome = Scheduler::schedule(&reqs, &model);
+    c.bench_function("scheduler/release_task", |b| {
+        b.iter(|| {
+            let mut map = outcome.map.clone();
+            black_box(map.release_task(black_box(42)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_slice_release);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wire-format benchmarks: configuration encode/decode throughput at
+//! realistic surface sizes — the control channel's data-plane cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::hw::wire::{decode, encode, ConfigFrame};
+use surfos::hw::SurfaceConfig;
+
+fn frame(n: usize) -> ConfigFrame {
+    let phases: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61) % std::f64::consts::TAU).collect();
+    ConfigFrame {
+        slot: 1,
+        config: SurfaceConfig::from_phases(&phases),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/encode");
+    for (n, bits) in [(1024usize, 2u8), (4096, 2), (4096, 3)] {
+        let f = frame(n);
+        group.bench_function(format!("{n}elem_{bits}bit"), |b| {
+            b.iter(|| black_box(encode(black_box(&f), bits, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire/decode");
+    for (n, bits) in [(1024usize, 2u8), (4096, 2)] {
+        let bytes = encode(&frame(n), bits, 0);
+        group.bench_function(format!("{n}elem_{bits}bit"), |b| {
+            b.iter(|| black_box(decode(black_box(bytes.clone())).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_with_amplitude(c: &mut Criterion) {
+    let mut f = frame(1024);
+    for (i, e) in f.config.elements.iter_mut().enumerate() {
+        e.amplitude = (i % 8) as f64 / 7.0;
+    }
+    c.bench_function("wire/roundtrip_1024_phase+amp", |b| {
+        b.iter(|| {
+            let bytes = encode(black_box(&f), 2, 8);
+            black_box(decode(bytes).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip_with_amplitude);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates Figure 6: translating user demands into SurfOS service
+//! calls.
+//!
+//! The paper shows GPT-4o doing this; SurfOS ships a deterministic rule
+//! engine behind the same [`IntentTranslator`] trait (see DESIGN.md for
+//! the substitution rationale), so the figure regenerates offline.
+//!
+//! ```text
+//! cargo run -p surfos-bench --release --bin fig6
+//! ```
+//!
+//! [`IntentTranslator`]: surfos::broker::intent::IntentTranslator
+
+use surfos::broker::intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+
+fn show(translator: &dyn IntentTranslator, utterance: &str, ctx: &IntentContext) {
+    println!("User Input: {utterance}");
+    let requests = translator.translate(utterance, ctx);
+    if requests.is_empty() {
+        println!("  (no service invoked)");
+    }
+    for r in requests {
+        println!("  {r}");
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 6: LLM-style translation of user demands to service calls.");
+    println!("Context: you are a translator that invokes SurfOS service");
+    println!("functions to meet user demands.\n");
+
+    let translator = RuleBasedTranslator;
+
+    let ctx = IntentContext {
+        room: "room_id".into(),
+        devices: vec!["VR_headset".into(), "laptop".into(), "phone".into()],
+        bandwidth_hz: 400e6,
+    };
+    show(&translator, "I want to start VR gaming in this room.", &ctx);
+
+    let meeting_ctx = IntentContext {
+        room: "meeting_room".into(),
+        ..ctx.clone()
+    };
+    show(
+        &translator,
+        "I want to have an online meeting while charging my phone.",
+        &meeting_ctx,
+    );
+
+    // Beyond the paper's two examples:
+    show(
+        &translator,
+        "I need to send a confidential report from my laptop.",
+        &ctx,
+    );
+    show(
+        &translator,
+        "Please monitor the room for motion while I'm away.",
+        &ctx,
+    );
+    show(&translator, "mumble mumble quantum blockchain", &ctx);
+}

@@ -1,0 +1,149 @@
+//! The common laboratory: the paper's two-room apartment with
+//! configurable surface deployments at 28 GHz.
+
+use surfos::channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
+use surfos::em::array::ArrayGeometry;
+use surfos::em::band::NamedBand;
+use surfos::geometry::scenario::{two_room_apartment, Scenario};
+use surfos::geometry::{Pose, Vec3};
+use surfos::hw::granularity::Reconfigurability;
+use surfos::hw::spec::{ControlCapability, HardwareSpec, SurfaceMode};
+
+/// The experiment environment: apartment + simulator + AP + probe grid.
+pub struct ApartmentLab {
+    /// The scenario (plan + anchors).
+    pub scenario: Scenario,
+    /// The channel simulator (surfaces deployed by the experiment).
+    pub sim: ChannelSim,
+    /// The serving AP (aim set per experiment).
+    pub ap: Endpoint,
+    /// Evaluation grid over the target bedroom.
+    pub grid: Vec<Vec3>,
+    /// The probe/client template used on the grid.
+    pub probe: Endpoint,
+}
+
+impl ApartmentLab {
+    /// Builds the lab with the AP aimed at `aim_anchor`.
+    pub fn new(aim_anchor: &str) -> Self {
+        let scenario = two_room_apartment();
+        let band = NamedBand::MmWave28GHz.band();
+        let sim = ChannelSim::new(scenario.plan.clone(), band);
+        let aim = scenario
+            .anchor(aim_anchor)
+            .unwrap_or_else(|| panic!("unknown anchor {aim_anchor:?}"))
+            .position;
+        let ap = Endpoint::access_point(
+            "ap0",
+            Pose::wall_mounted(scenario.ap_pose.position, aim - scenario.ap_pose.position),
+        );
+        let grid = scenario.target().sample_grid(6, 6, 1.2, 0.4);
+        let probe = Endpoint::client("probe", grid[0]);
+        ApartmentLab {
+            scenario,
+            sim,
+            ap,
+            grid,
+            probe,
+        }
+    }
+
+    /// Deploys an `n × n` surface at a named anchor; returns its index.
+    pub fn deploy(&mut self, id: &str, anchor: &str, n: usize) -> usize {
+        let pose = *self
+            .scenario
+            .anchor(anchor)
+            .unwrap_or_else(|| panic!("unknown anchor {anchor:?}"));
+        let geom = ArrayGeometry::half_wavelength(n, n, self.sim.band.wavelength_m());
+        self.sim.add_surface(
+            SurfaceInstance::new(id, pose, geom, OperationMode::Reflective)
+                .with_efficiency(0.8),
+        )
+    }
+
+    /// A denser grid for heatmaps (Figure 2).
+    pub fn heatmap_grid(&self, nx: usize, ny: usize) -> Vec<Vec3> {
+        self.scenario.target().sample_grid(nx, ny, 1.2, 0.25)
+    }
+}
+
+/// The passive 28 GHz design used by the Figure 4 economics (AutoMS-style
+/// printed reflectarray re-targeted to 28 GHz): near-free per element,
+/// zero power, fabrication-time configuration.
+pub fn passive28(n: usize) -> HardwareSpec {
+    HardwareSpec {
+        model: "Passive28".into(),
+        band: NamedBand::MmWave28GHz.band(),
+        mode: SurfaceMode::Reflective,
+        capabilities: vec![ControlCapability::Phase { bits: 3 }],
+        reconfigurability: Reconfigurability::Passive,
+        rows: n,
+        cols: n,
+        pitch_m: NamedBand::MmWave28GHz.band().wavelength_m() / 2.0,
+        efficiency: 0.8,
+        control_delay_us: None,
+        config_slots: 1,
+        cost_per_element_usd: 0.002,
+        base_cost_usd: 2.0,
+        power_mw: 0.0,
+    }
+}
+
+/// The programmable 28 GHz design for Figure 4 (ScatterMIMO-class
+/// economics): $2.5 per element plus a $90 controller.
+pub fn programmable28(n: usize) -> HardwareSpec {
+    HardwareSpec {
+        model: "Prog28".into(),
+        band: NamedBand::MmWave28GHz.band(),
+        mode: SurfaceMode::Reflective,
+        capabilities: vec![ControlCapability::Phase { bits: 2 }],
+        reconfigurability: Reconfigurability::ElementWise,
+        rows: n,
+        cols: n,
+        pitch_m: NamedBand::MmWave28GHz.band().wavelength_m() / 2.0,
+        efficiency: 0.8,
+        control_delay_us: Some(1_000),
+        config_slots: 8,
+        cost_per_element_usd: 2.5,
+        base_cost_usd: 90.0,
+        power_mw: 500.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_with_grid_inside_bedroom() {
+        let lab = ApartmentLab::new("bedroom-north");
+        assert_eq!(lab.grid.len(), 36);
+        let room = lab.scenario.target();
+        assert!(lab.grid.iter().all(|p| room.contains(*p)));
+    }
+
+    #[test]
+    fn deploy_places_surface_at_anchor() {
+        let mut lab = ApartmentLab::new("bedroom-north");
+        let idx = lab.deploy("s", "bedroom-north", 8);
+        let surf = &lab.sim.surfaces()[idx];
+        assert_eq!(surf.len(), 64);
+        assert_eq!(
+            surf.pose.position,
+            lab.scenario.anchor("bedroom-north").unwrap().position
+        );
+    }
+
+    #[test]
+    fn fig4_specs_validate_and_price_correctly() {
+        let p = passive28(64);
+        let r = programmable28(16);
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(r.validate(), Ok(()));
+        // Passive: thousands of elements for a few dollars.
+        assert!(p.total_cost_usd() < 15.0);
+        // Programmable: hundreds of dollars for a fraction of the area.
+        assert!(r.total_cost_usd() > 500.0);
+        assert!(r.area_m2() < p.area_m2());
+    }
+}

@@ -1,0 +1,232 @@
+//! Figure 4: leveraging hardware heterogeneity.
+//!
+//! The paper's deployment (Fig 4a) is anchor-constrained: the only
+//! feasible mounting spots are `living-wall` (sees the AP, but sees the
+//! bedroom only through the doorway cone) and `bedroom-wall` (covers the
+//! whole bedroom, but is hidden from the AP behind the concrete
+//! partition). No single spot is good at both — that is the premise.
+//!
+//! - **passive-only / programmable-only** — one surface at whichever of
+//!   the two anchors serves it best. The passive surface carries one
+//!   static fabricated pattern; the programmable surface re-steers per
+//!   client location (dynamic steering).
+//! - **hybrid** — a passive backhaul at `living-wall` phase-conjugates the
+//!   AP beam onto a small programmable surface at `bedroom-wall`, which
+//!   steers to clients: aperture bought at passive prices, agility at a
+//!   small programmable size.
+//!
+//! Output: the cost (Fig 4b) and size (Fig 4c) each arm needs to reach a
+//! target median SNR over the bedroom.
+
+use crate::experiments::{passive28, programmable28, ApartmentLab};
+use surfos::em::complex::Complex;
+use surfos::em::phase::quantize_phase;
+use surfos::hw::cost::DeploymentCost;
+use surfos::orchestrator::objective::CoverageObjective;
+use surfos::orchestrator::optimizer::{adam, AdamOptions, Tying};
+
+/// One evaluated deployment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmPoint {
+    /// Human-readable configuration, e.g. `"passive 64×64"`.
+    pub label: String,
+    /// Total hardware cost in USD.
+    pub cost_usd: f64,
+    /// Total aperture area in m².
+    pub area_m2: f64,
+    /// Median SNR over the bedroom grid, dB.
+    pub median_snr_db: f64,
+}
+
+/// The two mounting spots the Figure 4 deployment allows.
+pub const ANCHORS: [&str; 2] = ["living-wall", "bedroom-wall"];
+
+fn adam_opts(iters: usize) -> AdamOptions {
+    AdamOptions {
+        iters,
+        lr: 0.15,
+        ..Default::default()
+    }
+}
+
+/// Median over the grid of a static (single-config) surface optimized for
+/// room coverage at one anchor.
+fn static_median_at(anchor: &str, n: usize, iters: usize, bits: u8) -> f64 {
+    let mut lab = ApartmentLab::new(anchor);
+    let idx = lab.deploy("s", anchor, n);
+    let objective = CoverageObjective::new(&lab.sim, &lab.ap, &lab.grid, &lab.probe);
+    let initial = vec![vec![0.0; n * n]];
+    let result = adam(&objective, &initial, &Tying::element_wise(1), adam_opts(iters));
+    let phases: Vec<f64> = result.phases[0]
+        .iter()
+        .map(|&p| quantize_phase(p, bits))
+        .collect();
+    lab.sim.surface_mut(idx).set_phases(&phases);
+    let responses: Vec<Vec<Complex>> = vec![lab.sim.surfaces()[idx].response().to_vec()];
+    objective.median_snr_db(&responses)
+}
+
+/// Median over the grid of a per-location re-steered (dynamic)
+/// programmable surface at one anchor, `bits`-bit quantized.
+fn steered_median_at(anchor: &str, n: usize, bits: u8) -> f64 {
+    let mut lab = ApartmentLab::new(anchor);
+    let idx = lab.deploy("s", anchor, n);
+    let mut snrs: Vec<f64> = Vec::with_capacity(lab.grid.len());
+    for p in lab.grid.clone() {
+        let mut rx = lab.probe.clone();
+        rx.pose.position = p;
+        let lin = lab.sim.linearize(&lab.ap, &rx);
+        let phases: Vec<f64> = match lin.linear.iter().find(|t| t.surface == idx) {
+            Some(term) => term
+                .coeffs
+                .iter()
+                .map(|c| quantize_phase(-c.arg(), bits))
+                .collect(),
+            None => vec![0.0; n * n],
+        };
+        lab.sim.surface_mut(idx).set_phases(&phases);
+        snrs.push(lab.sim.link_budget(&lab.ap, &rx).snr_db);
+    }
+    snrs.sort_by(f64::total_cmp);
+    snrs[snrs.len() / 2]
+}
+
+/// Passive-only arm: the better of the two anchors.
+pub fn passive_only(n: usize, iters: usize) -> ArmPoint {
+    let median = ANCHORS
+        .iter()
+        .map(|a| static_median_at(a, n, iters, 3))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let spec = passive28(n);
+    let cost = DeploymentCost::of(std::slice::from_ref(&spec));
+    ArmPoint {
+        label: format!("passive {n}×{n}"),
+        cost_usd: cost.hardware_usd,
+        area_m2: cost.area_m2,
+        median_snr_db: median,
+    }
+}
+
+/// Programmable-only arm: dynamic steering at the better anchor.
+pub fn programmable_only(n: usize) -> ArmPoint {
+    let median = ANCHORS
+        .iter()
+        .map(|a| steered_median_at(a, n, 2))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let spec = programmable28(n);
+    let cost = DeploymentCost::of(std::slice::from_ref(&spec));
+    ArmPoint {
+        label: format!("programmable {n}×{n}"),
+        cost_usd: cost.hardware_usd,
+        area_m2: cost.area_m2,
+        median_snr_db: median,
+    }
+}
+
+/// Hybrid arm: passive backhaul (living-wall) + programmable steering
+/// surface (bedroom-wall). The passive pattern phase-conjugates the
+/// AP → passive → programmable cascade α (client-independent); the
+/// programmable surface re-focuses per location from the cascade β.
+pub fn hybrid(n_passive: usize, n_prog: usize) -> ArmPoint {
+    let mut lab = ApartmentLab::new("living-wall");
+    let passive_idx = lab.deploy("backhaul", "living-wall", n_passive);
+    let prog_idx = lab.deploy("steer", "bedroom-wall", n_prog);
+
+    // Configure the backhaul once (α is receiver-independent).
+    let mut rx0 = lab.probe.clone();
+    rx0.pose.position = lab.grid[lab.grid.len() / 2];
+    let lin0 = lab.sim.linearize(&lab.ap, &rx0);
+    let cascade = lin0
+        .bilinear
+        .iter()
+        .find(|b| b.first == passive_idx && b.second == prog_idx)
+        .expect("backhaul cascade must exist");
+    let passive_phases: Vec<f64> = cascade
+        .alpha
+        .iter()
+        .map(|a| quantize_phase(-a.arg(), 3))
+        .collect();
+    lab.sim.surface_mut(passive_idx).set_phases(&passive_phases);
+
+    // Per-location programmable steering from the cascade β.
+    let mut snrs: Vec<f64> = Vec::with_capacity(lab.grid.len());
+    for p in lab.grid.clone() {
+        let mut rx = lab.probe.clone();
+        rx.pose.position = p;
+        let lin = lab.sim.linearize(&lab.ap, &rx);
+        let phases: Vec<f64> = match lin
+            .bilinear
+            .iter()
+            .find(|b| b.first == passive_idx && b.second == prog_idx)
+        {
+            Some(b) => b
+                .beta
+                .iter()
+                .map(|c| quantize_phase(-c.arg(), 2))
+                .collect(),
+            None => vec![0.0; n_prog * n_prog],
+        };
+        lab.sim.surface_mut(prog_idx).set_phases(&phases);
+        snrs.push(lab.sim.link_budget(&lab.ap, &rx).snr_db);
+    }
+    snrs.sort_by(f64::total_cmp);
+    let median = snrs[snrs.len() / 2];
+
+    let specs = [passive28(n_passive), programmable28(n_prog)];
+    let cost = DeploymentCost::of(&specs);
+    ArmPoint {
+        label: format!("hybrid {n_passive}×{n_passive}P + {n_prog}×{n_prog}R"),
+        cost_usd: cost.hardware_usd,
+        area_m2: cost.area_m2,
+        median_snr_db: median,
+    }
+}
+
+/// The full sweep: every arm at several sizes.
+pub fn sweep() -> Vec<ArmPoint> {
+    let mut points = Vec::new();
+    for n in [32, 64, 96, 128, 192, 256] {
+        points.push(passive_only(n, 80));
+    }
+    for n in [16, 32, 48, 64, 96, 128] {
+        points.push(programmable_only(n));
+    }
+    for (ns, np) in [
+        (32, 8),
+        (48, 8),
+        (48, 12),
+        (64, 12),
+        (64, 16),
+        (96, 16),
+        (96, 24),
+        (128, 24),
+    ] {
+        points.push(hybrid(ns, np));
+    }
+    points
+}
+
+/// For each SNR target, the cheapest configuration of each arm that
+/// reaches it (`None` when the sweep never got there).
+pub fn cheapest_per_target<'a>(
+    points: &'a [ArmPoint],
+    prefix: &str,
+    target_snr_db: f64,
+) -> Option<&'a ArmPoint> {
+    points
+        .iter()
+        .filter(|p| p.label.starts_with(prefix) && p.median_snr_db >= target_snr_db)
+        .min_by(|a, b| a.cost_usd.total_cmp(&b.cost_usd))
+}
+
+/// Same, by smallest aperture area.
+pub fn smallest_per_target<'a>(
+    points: &'a [ArmPoint],
+    prefix: &str,
+    target_snr_db: f64,
+) -> Option<&'a ArmPoint> {
+    points
+        .iter()
+        .filter(|p| p.label.starts_with(prefix) && p.median_snr_db >= target_snr_db)
+        .min_by(|a, b| a.area_m2.total_cmp(&b.area_m2))
+}

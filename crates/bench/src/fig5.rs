@@ -1,0 +1,125 @@
+//! Figure 5: multitasking for joint localization and coverage.
+//!
+//! One surface, three configurations — coverage-optimized, localization-
+//! optimized, and jointly optimized — evaluated on both metrics across
+//! bedroom locations. The paper's claim: a *single* shared configuration
+//! multitasks with little loss on either metric.
+
+use crate::experiments::ApartmentLab;
+use rand::SeedableRng;
+use surfos::channel::Heatmap;
+use surfos::orchestrator::objective::{
+    CoverageObjective, LocalizationObjective, MultiObjective, Objective,
+};
+use surfos::orchestrator::optimizer::{adam, AdamOptions, Tying};
+use surfos::sensing::aoa::AngleGrid;
+use surfos::sensing::eval::evaluate_localization;
+
+/// One configuration's evaluation: SNR and localization error across
+/// locations.
+pub struct ConfigEval {
+    /// Configuration name (paper legend).
+    pub label: &'static str,
+    /// SNR (dB) across locations.
+    pub snr_db: Heatmap,
+    /// Localization error (m) across locations.
+    pub loc_error_m: Heatmap,
+}
+
+/// The Figure 5 outputs, in the paper's legend order.
+pub struct Fig5 {
+    /// Multi-tasking / Localization-Opt / Coverage-Opt.
+    pub configs: Vec<ConfigEval>,
+}
+
+/// Weight on the localization loss in the joint objective (the coverage
+/// loss over 36 locations is numerically much larger than a mean
+/// cross-entropy in nats, so the sensing term needs this factor to
+/// matter — the paper's "minimize the sum" with balanced scales).
+pub const JOINT_LOCALIZATION_WEIGHT: f64 = 60.0;
+
+fn optimize(objective: &dyn Objective, n: usize, iters: usize) -> Vec<f64> {
+    let initial = vec![vec![0.0; n * n]];
+    adam(
+        objective,
+        &initial,
+        &Tying::element_wise(1),
+        AdamOptions {
+            iters,
+            lr: 0.15,
+            ..Default::default()
+        },
+    )
+    .phases[0]
+        .clone()
+}
+
+/// Runs the experiment with an `n × n` surface and `iters` optimizer
+/// steps per configuration.
+pub fn run(n: usize, iters: usize) -> Fig5 {
+    let mut lab = ApartmentLab::new("bedroom-north");
+    let idx = lab.deploy("shared", "bedroom-north", n);
+    let eval_grid = lab.heatmap_grid(8, 6);
+    let angle_grid = AngleGrid::uniform(81, 1.3);
+    let noise = crate::fig2::sounding_noise_std(&lab, idx);
+
+    let coverage = CoverageObjective::new(&lab.sim, &lab.ap, &lab.grid, &lab.probe);
+    let localization = LocalizationObjective::new(
+        &lab.sim,
+        idx,
+        &lab.ap,
+        &lab.probe,
+        &lab.grid,
+        AngleGrid::uniform(41, 1.3),
+    );
+
+    let cov_phases = optimize(&coverage, n, iters);
+    let loc_phases = optimize(&localization, n, iters);
+    let joint = MultiObjective::new()
+        .with(
+            Box::new(CoverageObjective::new(
+                &lab.sim, &lab.ap, &lab.grid, &lab.probe,
+            )),
+            1.0,
+        )
+        .with(
+            Box::new(LocalizationObjective::new(
+                &lab.sim,
+                idx,
+                &lab.ap,
+                &lab.probe,
+                &lab.grid,
+                AngleGrid::uniform(41, 1.3),
+            )),
+            JOINT_LOCALIZATION_WEIGHT,
+        );
+    let joint_phases = optimize(&joint, n, iters);
+
+    let mut configs = Vec::new();
+    for (label, phases) in [
+        ("Multi-tasking", &joint_phases),
+        ("Localization Opt", &loc_phases),
+        ("Coverage Opt", &cov_phases),
+    ] {
+        lab.sim.surface_mut(idx).set_phases(phases);
+        let snr_db = lab.sim.snr_heatmap(&lab.ap, &eval_grid, &lab.probe);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let errs = evaluate_localization(
+            &lab.sim,
+            idx,
+            &lab.ap,
+            &lab.probe,
+            &eval_grid,
+            angle_grid.clone(),
+            noise,
+            &mut rng,
+        );
+        let errs = errs.into_iter().map(|e| e.min(5.0)).collect();
+        configs.push(ConfigEval {
+            label,
+            snr_db,
+            loc_error_m: Heatmap::new(eval_grid.clone(), errs),
+        });
+    }
+    Fig5 { configs }
+}

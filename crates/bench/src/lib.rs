@@ -1,0 +1,14 @@
+//! Shared experiment scaffolding for the SurfOS reproduction.
+//!
+//! Each paper artefact (Table 1, Figures 2/4/5/6) has a binary under
+//! `src/bin/`; the experiment logic lives here so binaries stay thin and
+//! integration tests can assert the experiments' *shapes* (who wins, by
+//! roughly how much) without scraping stdout.
+
+pub mod experiments;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod report;
+
+pub use experiments::ApartmentLab;

@@ -1,0 +1,87 @@
+//! Terminal reporting helpers for the experiment binaries.
+
+use std::io::Write;
+use std::path::Path;
+use surfos::channel::Heatmap;
+
+/// The output directory requested with `--csv <dir>`, if any.
+pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+/// Writes CSV rows to `<dir>/<name>.csv`, creating the directory. Panics
+/// on I/O failure (an experiment run with an unwritable output directory
+/// should fail loudly, not silently drop data).
+pub fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path).expect("create csv file");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        writeln!(f, "{row}").expect("write row");
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Serializes a heatmap as `x,y,value` rows.
+pub fn heatmap_rows(map: &Heatmap) -> Vec<String> {
+    map.points
+        .iter()
+        .zip(&map.values)
+        .map(|(p, v)| format!("{},{},{}", p.x, p.y, v))
+        .collect()
+}
+
+/// Serializes a CDF as `value,fraction` rows.
+pub fn cdf_rows(map: &Heatmap) -> Vec<String> {
+    map.cdf()
+        .into_iter()
+        .map(|(v, f)| format!("{v},{f}"))
+        .collect()
+}
+
+/// Prints a titled heatmap: ASCII art plus order statistics.
+pub fn print_heatmap(title: &str, map: &Heatmap, unit: &str) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    print!("{}", map.ascii(36, 12));
+    println!(
+        "min {:.2} | p25 {:.2} | median {:.2} | p75 {:.2} | max {:.2} ({unit})",
+        map.min(),
+        map.quantile(0.25),
+        map.median(),
+        map.quantile(0.75),
+        map.max()
+    );
+}
+
+/// Prints a CDF as decile rows (the series a plotting tool would consume).
+pub fn print_cdf(label: &str, map: &Heatmap, unit: &str) {
+    print!("{label:>18} ({unit}): ");
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        print!("p{:<3} {:>7.2}  ", (q * 100.0) as u32, map.quantile(q));
+    }
+    println!();
+}
+
+/// Prints a markdown-ish table row with fixed column widths.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::from("|");
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!(" {cell:<w$} |"));
+    }
+    println!("{line}");
+}
+
+/// Prints a rule matching [`print_row`] widths.
+pub fn print_rule(widths: &[usize]) {
+    let mut line = String::from("|");
+    for w in widths {
+        line.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{line}");
+}

@@ -1,0 +1,84 @@
+//! Shape guards for the paper reproductions: scaled-down versions of the
+//! figure experiments asserting the *orderings* the paper reports, so a
+//! physics or optimizer regression cannot silently invert a result.
+
+use surfos_bench::{fig2, fig4, fig5};
+
+#[test]
+fn fig2_shape_coverage_config_disrupts_localization() {
+    let out = fig2::run(24, 120);
+    // The coverage config must localize far worse than the specular
+    // baseline (the paper's Figure 2 contrast).
+    assert!(
+        out.localization_m.median() > 3.0 * out.baseline_localization_m.median(),
+        "coverage {:.2} m vs baseline {:.2} m",
+        out.localization_m.median(),
+        out.baseline_localization_m.median()
+    );
+    // While coverage itself is healthy: the room's upper quartile is lit.
+    assert!(
+        out.coverage_dbm.quantile(0.75) > -60.0,
+        "coverage map should be lit: p75 {:.1} dBm",
+        out.coverage_dbm.quantile(0.75)
+    );
+}
+
+#[test]
+fn fig5_shape_joint_config_multitasks() {
+    let out = fig5::run(24, 120);
+    let joint = &out.configs[0];
+    let loc_opt = &out.configs[1];
+    let cov_opt = &out.configs[2];
+
+    // Joint ≈ loc-opt on error, ≈ cov-opt on SNR.
+    assert!(joint.loc_error_m.median() < 2.0 * loc_opt.loc_error_m.median() + 0.1);
+    assert!(joint.snr_db.median() > cov_opt.snr_db.median() - 6.0);
+    // Single-task configs collapse on the other task.
+    assert!(cov_opt.loc_error_m.median() > 3.0 * loc_opt.loc_error_m.median());
+    assert!(loc_opt.snr_db.median() < cov_opt.snr_db.median() - 5.0);
+}
+
+#[test]
+fn fig4_shape_arm_characters() {
+    // Minimal sweep: one representative point per arm.
+    let passive = fig4::passive_only(96, 60);
+    let programmable = fig4::programmable_only(48);
+    let hybrid = fig4::hybrid(64, 12);
+
+    // Character: passive is nearly free but big; programmable is small
+    // but expensive; hybrid reaches comparable SNR at a fraction of the
+    // programmable cost and of the passive size.
+    assert!(passive.cost_usd < 50.0, "passive cheap: ${:.0}", passive.cost_usd);
+    assert!(
+        programmable.cost_usd > 10.0 * hybrid.cost_usd / 2.0,
+        "programmable dear: ${:.0} vs hybrid ${:.0}",
+        programmable.cost_usd,
+        hybrid.cost_usd
+    );
+    assert!(
+        hybrid.median_snr_db > passive.median_snr_db + 5.0,
+        "hybrid outperforms same-order passive: {:.1} vs {:.1} dB",
+        hybrid.median_snr_db,
+        passive.median_snr_db
+    );
+    assert!(
+        hybrid.median_snr_db > programmable.median_snr_db + 5.0,
+        "hybrid outperforms similar-cost programmable: {:.1} vs {:.1} dB",
+        hybrid.median_snr_db,
+        programmable.median_snr_db
+    );
+    assert!(
+        hybrid.area_m2 < 2.0 * passive.area_m2,
+        "hybrid aperture stays deployable"
+    );
+}
+
+#[test]
+fn fig4_hybrid_scales_with_both_parts() {
+    // Growing either part of the hybrid helps — the trade-off is real.
+    let small = fig4::hybrid(32, 8);
+    let more_passive = fig4::hybrid(64, 8);
+    let more_prog = fig4::hybrid(32, 12);
+    assert!(more_passive.median_snr_db > small.median_snr_db + 2.0);
+    assert!(more_prog.median_snr_db > small.median_snr_db + 2.0);
+}

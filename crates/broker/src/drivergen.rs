@@ -1,0 +1,386 @@
+//! Driver generation from textual datasheets (paper §3.4).
+//!
+//! The paper proposes LLMs that "parse and summarize long text, such as
+//! datasheets or research papers, to generate surface hardware
+//! specifications … then synthesize the driver code". SurfOS reproduces
+//! the pipeline deterministically: a forgiving `key: value` datasheet
+//! format (the artefact an LLM extraction pass would emit) is parsed into
+//! a validated [`HardwareSpec`], from which a working driver is
+//! instantiated. The parser is the contract; an LLM front-end would
+//! produce the same intermediate text.
+//!
+//! Datasheet example:
+//!
+//! ```text
+//! model: LabSurface-1
+//! band: 28 GHz
+//! bandwidth: 400 MHz
+//! mode: reflective
+//! control: phase 2bit
+//! granularity: element
+//! elements: 16 x 32
+//! pitch: 5.3 mm
+//! efficiency: 0.8
+//! control-delay: 150 us
+//! slots: 8
+//! cost-per-element: 2.1 USD
+//! base-cost: 120 USD
+//! power: 400 mW
+//! ```
+
+use surfos_em::band::Band;
+use surfos_hw::driver::{PassiveDriver, ProgrammableDriver};
+use surfos_hw::granularity::Reconfigurability;
+use surfos_hw::spec::{ControlCapability, HardwareSpec, SurfaceMode};
+use surfos_hw::SurfaceDriver;
+
+/// A datasheet parsing failure: which line and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for document-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "datasheet line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, what: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        what: what.into(),
+    }
+}
+
+/// Parses a quantity with a unit suffix into a base value
+/// (`"28 GHz"` → 28e9, `"5.3 mm"` → 0.0053, `"150 us"` → 150e-6 s…).
+fn parse_quantity(s: &str, line: usize) -> Result<f64, ParseError> {
+    let s = s.trim();
+    let split = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .unwrap_or(s.len());
+    let (num, unit) = s.split_at(split);
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| err(line, format!("bad number {num:?}")))?;
+    let scale = match unit.trim().to_ascii_lowercase().as_str() {
+        "" => 1.0,
+        "ghz" => 1e9,
+        "mhz" => 1e6,
+        "khz" => 1e3,
+        "hz" => 1.0,
+        "m" => 1.0,
+        "cm" => 1e-2,
+        "mm" => 1e-3,
+        "s" => 1.0,
+        "ms" => 1e-3,
+        "us" => 1e-6,
+        "w" => 1e3, // power is stored in mW
+        "mw" => 1.0,
+        "uw" => 1e-3,
+        "usd" | "$" => 1.0,
+        other => return Err(err(line, format!("unknown unit {other:?}"))),
+    };
+    Ok(value * scale)
+}
+
+/// Parses a datasheet into a validated hardware specification.
+pub fn parse_datasheet(text: &str) -> Result<HardwareSpec, ParseError> {
+    let mut model = None;
+    let mut band_center = None;
+    let mut bandwidth = None;
+    let mut mode = None;
+    let mut capabilities: Vec<ControlCapability> = Vec::new();
+    let mut granularity = None;
+    let mut rows_cols = None;
+    let mut pitch = None;
+    let mut efficiency = 0.8;
+    let mut control_delay_us: Option<u64> = None;
+    let mut passive = false;
+    let mut slots = 1usize;
+    let mut cost_per_element = 0.0;
+    let mut base_cost = 0.0;
+    let mut power_mw = 0.0;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| err(line_no, "expected `key: value`"))?;
+        let key = key.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match key.as_str() {
+            "model" => model = Some(value.to_string()),
+            "band" => band_center = Some(parse_quantity(value, line_no)?),
+            "bandwidth" => bandwidth = Some(parse_quantity(value, line_no)?),
+            "mode" => {
+                mode = Some(match value.to_ascii_lowercase().as_str() {
+                    "reflective" | "r" => SurfaceMode::Reflective,
+                    "transmissive" | "t" => SurfaceMode::Transmissive,
+                    "transflective" | "t&r" | "tr" => SurfaceMode::Transflective,
+                    other => return Err(err(line_no, format!("unknown mode {other:?}"))),
+                })
+            }
+            "control" => {
+                let v = value.to_ascii_lowercase();
+                if let Some(rest) = v.strip_prefix("phase") {
+                    let bits = rest
+                        .trim()
+                        .trim_end_matches("bit")
+                        .trim()
+                        .parse::<u8>()
+                        .map_err(|_| err(line_no, "phase control needs e.g. `phase 2bit`"))?;
+                    capabilities.push(ControlCapability::Phase { bits });
+                } else if let Some(rest) = v.strip_prefix("amplitude") {
+                    let levels = rest
+                        .trim()
+                        .trim_end_matches("levels")
+                        .trim()
+                        .parse::<u8>()
+                        .unwrap_or(2);
+                    capabilities.push(ControlCapability::Amplitude { levels });
+                } else if v.starts_with("polarization") {
+                    capabilities.push(ControlCapability::Polarization);
+                } else if let Some(rest) = v.strip_prefix("frequency") {
+                    let range = parse_quantity(rest, line_no)?;
+                    capabilities.push(ControlCapability::Frequency {
+                        tunable_range_hz: range,
+                    });
+                } else {
+                    return Err(err(line_no, format!("unknown control {value:?}")));
+                }
+            }
+            "granularity" => {
+                granularity = Some(match value.to_ascii_lowercase().as_str() {
+                    "element" | "element-wise" => Reconfigurability::ElementWise,
+                    "column" | "column-wise" => Reconfigurability::ColumnWise,
+                    "row" | "row-wise" => Reconfigurability::RowWise,
+                    "passive" | "fixed" => Reconfigurability::Passive,
+                    other => return Err(err(line_no, format!("unknown granularity {other:?}"))),
+                })
+            }
+            "elements" => {
+                let (r, c) = value
+                    .split_once(['x', 'X', '×'])
+                    .ok_or_else(|| err(line_no, "elements needs `ROWS x COLS`"))?;
+                let rows = r.trim().parse::<usize>().map_err(|_| err(line_no, "bad rows"))?;
+                let cols = c.trim().parse::<usize>().map_err(|_| err(line_no, "bad cols"))?;
+                rows_cols = Some((rows, cols));
+            }
+            "pitch" => pitch = Some(parse_quantity(value, line_no)?),
+            "efficiency" => {
+                efficiency = value
+                    .parse()
+                    .map_err(|_| err(line_no, "bad efficiency"))?
+            }
+            "control-delay" => {
+                if value.eq_ignore_ascii_case("none")
+                    || value.eq_ignore_ascii_case("infinite")
+                {
+                    passive = true;
+                } else {
+                    let seconds = parse_quantity(value, line_no)?;
+                    control_delay_us = Some((seconds * 1e6).round() as u64);
+                }
+            }
+            "slots" => {
+                slots = value.parse().map_err(|_| err(line_no, "bad slot count"))?
+            }
+            "cost-per-element" => cost_per_element = parse_quantity(value, line_no)?,
+            "base-cost" => base_cost = parse_quantity(value, line_no)?,
+            "power" => power_mw = parse_quantity(value, line_no)?,
+            other => return Err(err(line_no, format!("unknown key {other:?}"))),
+        }
+    }
+
+    let model = model.ok_or_else(|| err(0, "missing `model`"))?;
+    let band_center = band_center.ok_or_else(|| err(0, "missing `band`"))?;
+    let bandwidth = bandwidth.unwrap_or(band_center * 0.02);
+    let (rows, cols) = rows_cols.ok_or_else(|| err(0, "missing `elements`"))?;
+    let pitch_m = pitch.ok_or_else(|| err(0, "missing `pitch`"))?;
+    let mode = mode.ok_or_else(|| err(0, "missing `mode`"))?;
+    let granularity = granularity.unwrap_or(if passive {
+        Reconfigurability::Passive
+    } else {
+        Reconfigurability::ElementWise
+    });
+    let passive = passive || granularity == Reconfigurability::Passive;
+
+    let spec = HardwareSpec {
+        model,
+        band: Band::new(band_center, bandwidth),
+        mode,
+        capabilities,
+        reconfigurability: granularity,
+        rows,
+        cols,
+        pitch_m,
+        efficiency,
+        control_delay_us: if passive { None } else { control_delay_us.or(Some(1000)) },
+        config_slots: if passive { 1 } else { slots },
+        cost_per_element_usd: cost_per_element,
+        base_cost_usd: base_cost,
+        power_mw: if passive { 0.0 } else { power_mw },
+    };
+    spec.validate().map_err(|what| err(0, what))?;
+    Ok(spec)
+}
+
+/// Generates a ready-to-register driver from a datasheet — the full
+/// "datasheet in, driver out" pipeline.
+pub fn generate_driver(datasheet: &str) -> Result<Box<dyn SurfaceDriver>, ParseError> {
+    let spec = parse_datasheet(datasheet)?;
+    Ok(if spec.is_passive() {
+        Box::new(PassiveDriver::new(spec))
+    } else {
+        Box::new(ProgrammableDriver::new(spec))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHEET: &str = "
+# Example extracted by an upstream summarization pass
+model: LabSurface-1
+band: 28 GHz
+bandwidth: 400 MHz
+mode: reflective
+control: phase 2bit
+granularity: element
+elements: 16 x 32
+pitch: 5.3 mm
+efficiency: 0.8
+control-delay: 150 us
+slots: 8
+cost-per-element: 2.1 USD
+base-cost: 120 USD
+power: 400 mW
+";
+
+    #[test]
+    fn full_datasheet_parses() {
+        let spec = parse_datasheet(SHEET).expect("parse");
+        assert_eq!(spec.model, "LabSurface-1");
+        assert!((spec.band.center_hz - 28e9).abs() < 1.0);
+        assert!((spec.band.bandwidth_hz - 400e6).abs() < 1.0);
+        assert_eq!(spec.rows, 16);
+        assert_eq!(spec.cols, 32);
+        assert!((spec.pitch_m - 0.0053).abs() < 1e-9);
+        assert_eq!(spec.phase_bits(), Some(2));
+        assert_eq!(spec.control_delay_us, Some(150));
+        assert_eq!(spec.config_slots, 8);
+        assert!((spec.total_cost_usd() - (120.0 + 512.0 * 2.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generated_driver_works_end_to_end() {
+        let mut driver = generate_driver(SHEET).expect("driver");
+        let n = driver.spec().element_count();
+        driver.shift_phase(0, &vec![1.0; n], 0).unwrap();
+        assert_eq!(driver.tick(1), 1); // 150 us rounds up to 1 ms
+        assert_eq!(driver.realized_response().len(), n);
+    }
+
+    #[test]
+    fn passive_datasheet_yields_passive_driver() {
+        let sheet = "
+model: CheapMirror
+band: 60 GHz
+mode: reflective
+control: phase 2bit
+granularity: passive
+elements: 100 x 100
+pitch: 1.25 mm
+cost-per-element: 0.0001 USD
+base-cost: 1 USD
+";
+        let mut driver = generate_driver(sheet).expect("driver");
+        assert!(driver.spec().is_passive());
+        let n = driver.spec().element_count();
+        driver.shift_phase(0, &vec![0.5; n], 0).unwrap();
+        // Passive: commits immediately, no pending writes.
+        assert_eq!(driver.tick(1_000_000), 0);
+        assert!(driver.stored_config(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(parse_quantity("2.4 GHz", 1).unwrap(), 2.4e9);
+        assert_eq!(parse_quantity("80 MHz", 1).unwrap(), 80e6);
+        assert_eq!(parse_quantity("5.3 mm", 1).unwrap(), 0.0053);
+        assert_eq!(parse_quantity("2 cm", 1).unwrap(), 0.02);
+        assert_eq!(parse_quantity("150 us", 1).unwrap(), 150e-6);
+        assert_eq!(parse_quantity("2 ms", 1).unwrap(), 2e-3);
+        assert_eq!(parse_quantity("1.5 W", 1).unwrap(), 1500.0); // mW
+        assert_eq!(parse_quantity("42", 1).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let sheet = "model: X\nband: twenty GHz\n";
+        let e = parse_datasheet(sheet).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let e = parse_datasheet("model: X\nwarp-factor: 9\n").unwrap_err();
+        assert!(e.what.contains("warp-factor"));
+    }
+
+    #[test]
+    fn missing_required_fields_rejected() {
+        let e = parse_datasheet("band: 28 GHz\n").unwrap_err();
+        assert!(e.what.contains("model"));
+        let e = parse_datasheet("model: X\nband: 28 GHz\nmode: reflective\n").unwrap_err();
+        assert!(e.what.contains("elements"));
+    }
+
+    #[test]
+    fn invalid_spec_rejected_at_validation() {
+        // Element-wise "passive" contradiction: efficiency out of range.
+        let sheet = "
+model: Bad
+band: 28 GHz
+mode: reflective
+control: phase 2bit
+elements: 4 x 4
+pitch: 5 mm
+efficiency: 1.7
+";
+        let e = parse_datasheet(sheet).unwrap_err();
+        assert!(e.what.contains("efficiency"));
+    }
+
+    #[test]
+    fn frequency_and_polarization_controls_parse() {
+        let sheet = "
+model: Poly
+band: 2.4 GHz
+mode: transflective
+control: polarization
+control: frequency 5 GHz
+elements: 8 x 8
+pitch: 55 mm
+control-delay: 2 ms
+slots: 4
+";
+        let spec = parse_datasheet(sheet).unwrap();
+        assert!(spec.supports("polarization"));
+        assert!(spec.supports("frequency"));
+    }
+}

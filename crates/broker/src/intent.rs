@@ -1,0 +1,245 @@
+//! Natural-language intent translation (paper §3.4, Figure 6).
+//!
+//! The paper prompts GPT-4o with "You are a programmer who writes code to
+//! control metasurfaces to meet user demands… You can call the following
+//! python functions…" and shows the calls it emits. SurfOS keeps that
+//! architecture but makes the backend pluggable: [`IntentTranslator`] is
+//! the seam an LLM client implements; [`RuleBasedTranslator`] is the
+//! bundled deterministic engine (lexicon + demand presets) that reproduces
+//! the Figure 6 examples offline. Swapping in a real LLM changes no
+//! caller.
+
+use crate::demand::{AppClass, AppDemand};
+use crate::translate::translate_demand;
+use surfos_orchestrator::service::ServiceRequest;
+
+/// The situational context the translator grounds references in ("this
+/// room", "my phone").
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntentContext {
+    /// The room the user is in.
+    pub room: String,
+    /// Device ids known to belong to the user, e.g.
+    /// `["VR_headset", "laptop", "phone"]`.
+    pub devices: Vec<String>,
+    /// The serving band's width in Hz (for the SNR mapping).
+    pub bandwidth_hz: f64,
+}
+
+impl IntentContext {
+    /// Finds a known device whose id contains `needle` (case-insensitive).
+    fn device_like(&self, needle: &str) -> Option<String> {
+        let needle = needle.to_ascii_lowercase();
+        self.devices
+            .iter()
+            .find(|d| d.to_ascii_lowercase().contains(&needle))
+            .cloned()
+    }
+}
+
+/// Something that turns an utterance into service calls.
+pub trait IntentTranslator {
+    /// Translates `utterance` into service requests under `context`.
+    /// An empty vector means the intent was not understood.
+    fn translate(&self, utterance: &str, context: &IntentContext) -> Vec<ServiceRequest>;
+}
+
+/// The bundled deterministic translator: keyword lexicon → application
+/// demands → service requests. Not a language model — a reproducible
+/// stand-in that exercises the same interface and covers the paper's
+/// demonstrated intents.
+/// ```
+/// use surfos_broker::intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+///
+/// let ctx = IntentContext {
+///     room: "den".into(),
+///     devices: vec!["laptop".into()],
+///     bandwidth_hz: 400e6,
+/// };
+/// let calls = RuleBasedTranslator.translate("let's watch a movie", &ctx);
+/// assert!(!calls.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleBasedTranslator;
+
+/// An activity the lexicon can spot, with its trigger words.
+struct Activity {
+    keywords: &'static [&'static str],
+    class: AppClass,
+    device_hint: &'static [&'static str],
+}
+
+const ACTIVITIES: &[Activity] = &[
+    Activity {
+        keywords: &["vr", "virtual reality", "ar ", "augmented"],
+        class: AppClass::VrGaming,
+        device_hint: &["headset", "vr"],
+    },
+    Activity {
+        keywords: &["meeting", "call", "conference", "zoom"],
+        class: AppClass::OnlineMeeting,
+        device_hint: &["laptop"],
+    },
+    Activity {
+        keywords: &["stream", "movie", "video", "watch"],
+        class: AppClass::VideoStreaming,
+        device_hint: &["tv", "laptop"],
+    },
+    Activity {
+        keywords: &["download", "upload", "transfer", "backup"],
+        class: AppClass::FileTransfer,
+        device_hint: &["laptop"],
+    },
+    Activity {
+        keywords: &["secure", "sensitive", "confidential", "private"],
+        class: AppClass::SensitiveTransfer,
+        device_hint: &["laptop"],
+    },
+    Activity {
+        keywords: &["track", "motion", "presence", "monitor the room", "sensing"],
+        class: AppClass::SmartHome,
+        device_hint: &["hub", "sensor"],
+    },
+];
+
+const CHARGE_WORDS: &[&str] = &["charge", "charging", "power my", "powering"];
+
+impl IntentTranslator for RuleBasedTranslator {
+    fn translate(&self, utterance: &str, context: &IntentContext) -> Vec<ServiceRequest> {
+        let text = utterance.to_ascii_lowercase();
+        let mut requests = Vec::new();
+
+        for activity in ACTIVITIES {
+            if activity.keywords.iter().any(|k| text.contains(k)) {
+                let device = activity
+                    .device_hint
+                    .iter()
+                    .find_map(|h| context.device_like(h))
+                    .or_else(|| context.devices.first().cloned())
+                    .unwrap_or_else(|| "device".to_string());
+                let demand = AppDemand::preset(activity.class, device, context.room.clone());
+                requests.extend(translate_demand(&demand, context.bandwidth_hz));
+                break; // one primary activity per utterance
+            }
+        }
+
+        if CHARGE_WORDS.iter().any(|k| text.contains(k)) {
+            let device = context
+                .device_like("phone")
+                .or_else(|| context.devices.first().cloned())
+                .unwrap_or_else(|| "device".to_string());
+            requests.push(ServiceRequest::init_powering(device, 3600.0));
+        }
+
+        // Coverage intent, either explicit ("coverage", "signal") or
+        // implied by a demanding activity.
+        if text.contains("coverage") || text.contains("signal") || text.contains("vr") {
+            requests.push(ServiceRequest::optimize_coverage(
+                context.room.clone(),
+                25.0,
+            ));
+        }
+
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfos_orchestrator::service::ServiceKind;
+
+    fn context() -> IntentContext {
+        IntentContext {
+            room: "room_id".into(),
+            devices: vec!["VR_headset".into(), "laptop".into(), "phone".into()],
+            bandwidth_hz: 400e6,
+        }
+    }
+
+    #[test]
+    fn figure6_vr_example() {
+        // "I want to start VR gaming in this room." →
+        // enhance_link("VR_headset", …) + enable_sensing(room, tracking) +
+        // optimize_coverage(room, 25) — the paper's first example.
+        let reqs = RuleBasedTranslator
+            .translate("I want to start VR gaming in this room.", &context());
+        let kinds: Vec<ServiceKind> = reqs.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&ServiceKind::Connectivity));
+        assert!(kinds.contains(&ServiceKind::Sensing));
+        assert!(kinds.contains(&ServiceKind::Coverage));
+        let link = reqs.iter().find(|r| r.kind == ServiceKind::Connectivity).unwrap();
+        assert_eq!(link.subject, "VR_headset");
+        let cov = reqs.iter().find(|r| r.kind == ServiceKind::Coverage).unwrap();
+        assert_eq!(cov.subject, "room_id");
+    }
+
+    #[test]
+    fn figure6_meeting_example() {
+        // "I want to have an online meeting while charging my phone." →
+        // enhance_link("laptop", …) + init_powering("phone", 3600) — the
+        // paper's second example (its sensing line comes from the meeting
+        // room preset; we emit link + powering).
+        let mut ctx = context();
+        ctx.room = "meeting_room".into();
+        let reqs = RuleBasedTranslator.translate(
+            "I want to have an online meeting while charging my phone.",
+            &ctx,
+        );
+        let link = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Connectivity)
+            .expect("link request");
+        assert_eq!(link.subject, "laptop");
+        let power = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Powering)
+            .expect("powering request");
+        assert_eq!(power.subject, "phone");
+        assert_eq!(power.duration_s, Some(3600.0));
+    }
+
+    #[test]
+    fn security_intent() {
+        let reqs = RuleBasedTranslator.translate(
+            "I need to send a confidential report from my laptop.",
+            &context(),
+        );
+        assert!(reqs.iter().any(|r| r.kind == ServiceKind::Security));
+        let link = reqs.iter().find(|r| r.kind == ServiceKind::Connectivity).unwrap();
+        assert_eq!(link.subject, "laptop");
+    }
+
+    #[test]
+    fn tracking_intent() {
+        let reqs = RuleBasedTranslator.translate(
+            "Please monitor the room for motion while I'm away.",
+            &context(),
+        );
+        assert!(reqs.iter().any(|r| r.kind == ServiceKind::Sensing));
+    }
+
+    #[test]
+    fn gibberish_yields_nothing() {
+        let reqs = RuleBasedTranslator.translate("colorless green ideas", &context());
+        assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn unknown_device_falls_back_gracefully() {
+        let ctx = IntentContext {
+            room: "lab".into(),
+            devices: vec![],
+            bandwidth_hz: 400e6,
+        };
+        let reqs = RuleBasedTranslator.translate("start a video call", &ctx);
+        assert!(!reqs.is_empty());
+        assert_eq!(reqs[0].subject, "device");
+    }
+
+    #[test]
+    fn translator_is_object_safe() {
+        let t: Box<dyn IntentTranslator> = Box::new(RuleBasedTranslator);
+        assert!(!t.translate("watch a movie", &context()).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # surfos-broker
+//!
+//! The SurfOS **service broker** (paper §3.3–3.4): the daemon between user
+//! applications and the surface orchestrator.
+//!
+//! Existing applications are not surface-aware; the broker watches their
+//! demands and invokes surface services on their behalf. New, surface-
+//! native applications call the orchestrator directly; the broker coexists
+//! with them.
+//!
+//! - [`demand`]: the application demand model (throughput, latency,
+//!   sensing, security, powering) with presets for the paper's example
+//!   applications (VR gaming, video streaming, smart home, …).
+//! - [`translate`]: demand → service requests, including the non-linear
+//!   throughput→SNR mapping across stack layers the paper calls out.
+//! - [`intent`]: natural-language intent translation. The
+//!   [`intent::IntentTranslator`] trait is the LLM seam; the bundled
+//!   [`intent::RuleBasedTranslator`] is a deterministic, offline engine
+//!   that regenerates the paper's Figure 6 examples. A production
+//!   deployment would drop an LLM client behind the same trait.
+//! - [`drivergen`]: hardware driver generation from textual datasheets —
+//!   the paper's "LLMs parse datasheets into specifications, then
+//!   synthesize driver code", reproduced as a deterministic parser +
+//!   driver factory.
+//! - [`monitor`]: inferring application demands from observed traffic.
+
+pub mod demand;
+pub mod designgen;
+pub mod drivergen;
+pub mod intent;
+pub mod monitor;
+pub mod translate;
+
+pub use demand::{AppClass, AppDemand};
+pub use designgen::{select_design, write_datasheet, DesignRequirements};
+pub use drivergen::generate_driver;
+pub use intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+pub use translate::translate_demand;

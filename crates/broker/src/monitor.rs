@@ -1,0 +1,126 @@
+//! Traffic-based demand inference.
+//!
+//! "We can potentially sense or monitor wireless traffic to understand
+//! user demands" (paper §3.3). This module watches per-flow statistics
+//! and classifies the application class driving them, so the broker can
+//! invoke services for legacy applications that never ask.
+
+use crate::demand::AppClass;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated statistics of one flow over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Mean downlink rate, Mbit/s.
+    pub rate_mbps: f64,
+    /// Ratio of uplink to downlink volume (symmetry).
+    pub ul_dl_ratio: f64,
+    /// Mean packet inter-arrival jitter, milliseconds.
+    pub jitter_ms: f64,
+    /// Fraction of traffic in bursts (vs paced).
+    pub burstiness: f64,
+}
+
+impl FlowStats {
+    /// Validates ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rate_mbps < 0.0 || !self.rate_mbps.is_finite() {
+            return Err("rate must be non-negative".into());
+        }
+        if !(0.0..=10.0).contains(&self.ul_dl_ratio) {
+            return Err("ul/dl ratio implausible".into());
+        }
+        if self.jitter_ms < 0.0 {
+            return Err("jitter must be non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&self.burstiness) {
+            return Err("burstiness is a fraction".into());
+        }
+        Ok(())
+    }
+}
+
+/// Classifies the application class behind a flow, or `None` when the
+/// signature is too ambiguous to act on (acting on a wrong guess costs
+/// hardware, so the classifier abstains rather than stretches).
+pub fn classify(stats: &FlowStats) -> Option<AppClass> {
+    stats.validate().ok()?;
+    let s = stats;
+    // Decision list, most distinctive signatures first.
+    if s.rate_mbps > 300.0 && s.jitter_ms < 5.0 {
+        return Some(AppClass::VrGaming);
+    }
+    if s.rate_mbps > 200.0 && s.burstiness > 0.6 {
+        return Some(AppClass::FileTransfer);
+    }
+    if s.rate_mbps > 10.0 && s.burstiness < 0.4 && s.ul_dl_ratio < 0.2 {
+        return Some(AppClass::VideoStreaming);
+    }
+    if s.rate_mbps > 2.0 && (0.5..=2.0).contains(&s.ul_dl_ratio) && s.jitter_ms < 30.0 {
+        return Some(AppClass::OnlineMeeting);
+    }
+    if s.rate_mbps < 2.0 && s.burstiness > 0.5 {
+        return Some(AppClass::SmartHome);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rate: f64, ratio: f64, jitter: f64, burst: f64) -> FlowStats {
+        FlowStats {
+            rate_mbps: rate,
+            ul_dl_ratio: ratio,
+            jitter_ms: jitter,
+            burstiness: burst,
+        }
+    }
+
+    #[test]
+    fn vr_signature() {
+        assert_eq!(classify(&stats(600.0, 0.1, 2.0, 0.2)), Some(AppClass::VrGaming));
+    }
+
+    #[test]
+    fn streaming_signature() {
+        assert_eq!(
+            classify(&stats(40.0, 0.05, 15.0, 0.2)),
+            Some(AppClass::VideoStreaming)
+        );
+    }
+
+    #[test]
+    fn meeting_signature_is_symmetric() {
+        assert_eq!(
+            classify(&stats(15.0, 1.0, 10.0, 0.3)),
+            Some(AppClass::OnlineMeeting)
+        );
+    }
+
+    #[test]
+    fn bulk_transfer_signature() {
+        assert_eq!(
+            classify(&stats(450.0, 0.05, 40.0, 0.9)),
+            Some(AppClass::FileTransfer)
+        );
+    }
+
+    #[test]
+    fn iot_signature() {
+        assert_eq!(classify(&stats(0.3, 1.0, 100.0, 0.9)), Some(AppClass::SmartHome));
+    }
+
+    #[test]
+    fn ambiguity_yields_none() {
+        // Mid-rate, paced, asymmetric-but-not-very: no confident match.
+        assert_eq!(classify(&stats(5.0, 0.3, 60.0, 0.45)), None);
+    }
+
+    #[test]
+    fn invalid_stats_yield_none() {
+        assert_eq!(classify(&stats(-1.0, 0.1, 1.0, 0.1)), None);
+        assert_eq!(classify(&stats(10.0, 0.1, 1.0, 1.5)), None);
+    }
+}

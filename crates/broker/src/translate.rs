@@ -1,0 +1,166 @@
+//! Demand → service translation.
+//!
+//! "It is challenging to translate user demands or application performance
+//! targets to low-level service targets for surfaces … involving multiple
+//! non-linear mappings across network stack layers" (paper §3.3). This
+//! module implements that mapping chain explicitly:
+//!
+//! 1. application throughput → PHY goodput (protocol efficiency),
+//! 2. goodput → spectral efficiency over the serving band,
+//! 3. spectral efficiency → required SNR (inverse Shannon),
+//! 4. plus a fade margin that *grows* as the latency budget shrinks
+//!    (tighter budgets leave no time for retransmissions).
+
+use crate::demand::AppDemand;
+use surfos_em::noise::required_snr_db;
+use surfos_orchestrator::service::ServiceRequest;
+
+/// Fraction of PHY capacity an application actually sees after MAC and
+/// transport overheads (typical indoor mmWave stacks).
+const PROTOCOL_EFFICIENCY: f64 = 0.65;
+
+/// No link target below this: real links need a minimum SNR to associate
+/// and hold a modulation scheme at all, however small the demand.
+const MIN_LINK_SNR_DB: f64 = 10.0;
+
+/// The SNR margin in dB for a latency budget in milliseconds: 3 dB floor,
+/// growing to 9 dB as budgets tighten below ~10 ms (no retry headroom).
+fn fade_margin_db(latency_ms: f64) -> f64 {
+    assert!(latency_ms > 0.0, "latency budget must be positive");
+    3.0 + 6.0 / (1.0 + latency_ms / 10.0)
+}
+
+/// The minimum SNR (dB) that sustains an application throughput over a
+/// band — the paper's non-linear demand mapping.
+pub fn required_link_snr_db(throughput_mbps: f64, bandwidth_hz: f64, latency_ms: f64) -> f64 {
+    assert!(throughput_mbps >= 0.0, "throughput must be non-negative");
+    let phy_rate_bps = throughput_mbps * 1e6 / PROTOCOL_EFFICIENCY;
+    (required_snr_db(phy_rate_bps, bandwidth_hz) + fade_margin_db(latency_ms))
+        .max(MIN_LINK_SNR_DB)
+}
+
+/// Translates an application demand into surface service requests, for a
+/// serving band of `bandwidth_hz`.
+pub fn translate_demand(demand: &AppDemand, bandwidth_hz: f64) -> Vec<ServiceRequest> {
+    let mut requests = Vec::new();
+
+    let snr = required_link_snr_db(demand.throughput_mbps, bandwidth_hz, demand.latency_ms);
+    requests.push(ServiceRequest::enhance_link(
+        demand.device.clone(),
+        (snr * 10.0).round() / 10.0,
+        demand.latency_ms,
+    ));
+
+    if demand.needs_tracking {
+        requests.push(ServiceRequest::enable_sensing(
+            demand.room.clone(),
+            demand.session_s,
+        ));
+    }
+    if demand.needs_security {
+        requests.push(ServiceRequest::protect_link(demand.room.clone(), -85.0));
+    }
+    if let Some(duration) = demand.needs_powering {
+        requests.push(ServiceRequest::init_powering(demand.device.clone(), duration));
+    }
+    requests
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::AppClass;
+    use proptest::prelude::*;
+    use surfos_orchestrator::service::ServiceKind;
+
+    const BW: f64 = 400e6; // 28 GHz NR channel
+
+    #[test]
+    fn snr_mapping_is_nonlinear_in_throughput() {
+        // Doubling throughput must cost *more* than a fixed SNR increment
+        // at the top of the curve (log2(1+snr) saturation).
+        let s100 = required_link_snr_db(100.0, BW, 100.0);
+        let s800 = required_link_snr_db(800.0, BW, 100.0);
+        let s1600 = required_link_snr_db(1600.0, BW, 100.0);
+        assert!(s800 > s100);
+        assert!(s1600 - s800 > (s800 - s100) / 3.0); // strictly increasing cost
+    }
+
+    #[test]
+    fn tighter_latency_needs_more_margin() {
+        // High enough throughput that the association floor is not binding.
+        let tight = required_link_snr_db(800.0, BW, 5.0);
+        let loose = required_link_snr_db(800.0, BW, 500.0);
+        assert!(tight > loose + 2.0, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn vr_demand_produces_link_and_sensing() {
+        let d = AppDemand::preset(AppClass::VrGaming, "VR_headset", "den");
+        let reqs = translate_demand(&d, BW);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].kind, ServiceKind::Connectivity);
+        assert_eq!(reqs[0].subject, "VR_headset");
+        assert_eq!(reqs[1].kind, ServiceKind::Sensing);
+        assert_eq!(reqs[1].subject, "den");
+        // VR's 800 Mb/s over 400 MHz needs a demanding SNR.
+        if let surfos_orchestrator::service::ServiceGoal::LinkQuality { min_snr_db, .. } =
+            reqs[0].goal
+        {
+            assert!(min_snr_db > 10.0, "snr={min_snr_db}");
+        } else {
+            panic!("wrong goal");
+        }
+    }
+
+    #[test]
+    fn sensitive_transfer_adds_security() {
+        let d = AppDemand::preset(AppClass::SensitiveTransfer, "laptop", "office");
+        let reqs = translate_demand(&d, BW);
+        assert!(reqs.iter().any(|r| r.kind == ServiceKind::Security));
+    }
+
+    #[test]
+    fn powering_request_appended() {
+        let d = AppDemand::preset(AppClass::OnlineMeeting, "phone", "office")
+            .with_powering(3600.0);
+        let reqs = translate_demand(&d, BW);
+        let p = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Powering)
+            .expect("powering present");
+        assert_eq!(p.subject, "phone");
+        assert_eq!(p.duration_s, Some(3600.0));
+    }
+
+    #[test]
+    fn smart_home_is_cheap_in_snr() {
+        let d = AppDemand::preset(AppClass::SmartHome, "hub", "kitchen");
+        let reqs = translate_demand(&d, BW);
+        if let surfos_orchestrator::service::ServiceGoal::LinkQuality { min_snr_db, .. } =
+            reqs[0].goal
+        {
+            // Tiny demands bottom out at the association floor.
+            assert_eq!(min_snr_db, 10.0);
+        } else {
+            panic!("wrong goal");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_snr_monotone_in_throughput(
+            t1 in 1.0..500.0f64, extra in 1.0..500.0f64, lat in 1.0..1000.0f64
+        ) {
+            let lo = required_link_snr_db(t1, BW, lat);
+            let hi = required_link_snr_db(t1 + extra, BW, lat);
+            prop_assert!(hi >= lo, "non-decreasing with the association floor");
+        }
+
+        #[test]
+        fn prop_margin_bounded(lat in 0.1..10_000.0f64) {
+            let m = fade_margin_db(lat);
+            prop_assert!((3.0..=9.0).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Link diagnosis: per-mechanism breakdown of a channel.
+//!
+//! The paper (§5) names network monitoring and diagnosis among the new
+//! services a centralized control plane enables. The primitive they need
+//! is *attribution*: how much of a link's power arrives via the direct
+//! path, via each surface, via each cascade — and what the room would
+//! lose if a given surface went away. The linearization already carries
+//! that decomposition; this module reads it out.
+
+use crate::endpoint::Endpoint;
+use crate::sim::ChannelSim;
+use surfos_em::complex::Complex;
+use surfos_em::units::amplitude_to_db;
+
+/// One mechanism's contribution to a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    /// Which mechanism: `"direct+walls"`, `"surface:<id>"`,
+    /// `"cascade:<id>→<id>"`.
+    pub mechanism: String,
+    /// The mechanism's complex field contribution.
+    pub field: Complex,
+    /// Its share of the total received power if it arrived alone, dB
+    /// relative to the total (can exceed 0 dB under destructive
+    /// interference with other paths).
+    pub solo_rel_db: f64,
+}
+
+/// A diagnosed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDiagnosis {
+    /// Total complex gain.
+    pub total: Complex,
+    /// Total gain in dB (amplitude → power convention).
+    pub total_db: f64,
+    /// Per-mechanism contributions, strongest first.
+    pub contributions: Vec<Contribution>,
+}
+
+impl LinkDiagnosis {
+    /// The dominant mechanism's name.
+    pub fn dominant(&self) -> &str {
+        &self.contributions[0].mechanism
+    }
+
+    /// What the link loses (dB) if `mechanism` is removed — the
+    /// counterfactual a diagnosis tool reports ("surface wall0 carries
+    /// 23 dB of this link").
+    pub fn loss_without(&self, mechanism: &str) -> f64 {
+        let without: Complex = self
+            .contributions
+            .iter()
+            .filter(|c| c.mechanism != mechanism)
+            .map(|c| c.field)
+            .sum();
+        amplitude_to_db(self.total.abs()) - amplitude_to_db(without.abs())
+    }
+}
+
+/// Diagnoses a link under the simulator's current surface responses.
+pub fn diagnose_link(sim: &ChannelSim, tx: &Endpoint, rx: &Endpoint) -> LinkDiagnosis {
+    let lin = sim.linearize(tx, rx);
+    let responses = sim.responses();
+    let mut contributions = Vec::new();
+
+    contributions.push(("direct+walls".to_string(), lin.constant));
+    for term in &lin.linear {
+        let field: Complex = term
+            .coeffs
+            .iter()
+            .zip(responses[term.surface])
+            .map(|(c, r)| *c * *r)
+            .sum();
+        contributions.push((
+            format!("surface:{}", sim.surfaces()[term.surface].id),
+            field,
+        ));
+    }
+    for b in &lin.bilinear {
+        let alpha: Complex = b
+            .alpha
+            .iter()
+            .zip(responses[b.first])
+            .map(|(c, r)| *c * *r)
+            .sum();
+        let beta: Complex = b
+            .beta
+            .iter()
+            .zip(responses[b.second])
+            .map(|(c, r)| *c * *r)
+            .sum();
+        contributions.push((
+            format!(
+                "cascade:{}→{}",
+                sim.surfaces()[b.first].id,
+                sim.surfaces()[b.second].id
+            ),
+            alpha * beta,
+        ));
+    }
+
+    let total: Complex = contributions.iter().map(|(_, f)| *f).sum();
+    let total_db = amplitude_to_db(total.abs());
+    let mut contributions: Vec<Contribution> = contributions
+        .into_iter()
+        .map(|(mechanism, field)| Contribution {
+            mechanism,
+            solo_rel_db: amplitude_to_db(field.abs()) - total_db,
+            field,
+        })
+        .collect();
+    contributions.sort_by(|a, b| b.field.abs().total_cmp(&a.field.abs()));
+
+    LinkDiagnosis {
+        total,
+        total_db,
+        contributions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::{OperationMode, SurfaceInstance};
+    use surfos_em::antenna::ElementPattern;
+    use surfos_em::array::ArrayGeometry;
+    use surfos_em::band::NamedBand;
+    use surfos_geometry::scenario::two_room_apartment;
+    use surfos_geometry::{Pose, Vec3};
+
+    fn setup() -> (ChannelSim, Endpoint, Endpoint, usize) {
+        let scen = two_room_apartment();
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(scen.plan.clone(), band);
+        let pose = *scen.anchor("bedroom-north").unwrap();
+        let idx = sim.add_surface(SurfaceInstance::new(
+            "wall0",
+            pose,
+            ArrayGeometry::half_wavelength(16, 16, band.wavelength_m()),
+            OperationMode::Reflective,
+        ));
+        let ap = Endpoint::access_point(
+            "ap0",
+            Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
+        );
+        let mut rx = Endpoint::client("c", Vec3::new(6.5, 1.5, 1.2));
+        rx.pattern = ElementPattern::Isotropic;
+        (sim, ap, rx, idx)
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let (sim, ap, rx, _) = setup();
+        let d = diagnose_link(&sim, &ap, &rx);
+        let sum: Complex = d.contributions.iter().map(|c| c.field).sum();
+        assert!((sum - d.total).abs() < 1e-15);
+        assert!((sim.gain(&ap, &rx) - d.total).abs() < 1e-15);
+    }
+
+    #[test]
+    fn focused_surface_becomes_dominant() {
+        let (mut sim, ap, rx, idx) = setup();
+        // Unfocused: the doorway leak dominates or ties.
+        let before = diagnose_link(&sim, &ap, &rx);
+        // Focus the surface on the receiver.
+        let lin = sim.linearize(&ap, &rx);
+        let term = lin.linear.iter().find(|t| t.surface == idx).unwrap();
+        let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
+        sim.surface_mut(idx).set_phases(&phases);
+        let after = diagnose_link(&sim, &ap, &rx);
+        assert_eq!(after.dominant(), "surface:wall0");
+        assert!(after.total.abs() > before.total.abs());
+    }
+
+    #[test]
+    fn counterfactual_loss_is_large_for_the_serving_surface() {
+        let (mut sim, ap, rx, idx) = setup();
+        let lin = sim.linearize(&ap, &rx);
+        let term = lin.linear.iter().find(|t| t.surface == idx).unwrap();
+        let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
+        sim.surface_mut(idx).set_phases(&phases);
+        let d = diagnose_link(&sim, &ap, &rx);
+        let loss = d.loss_without("surface:wall0");
+        assert!(loss > 15.0, "serving surface must carry the link: {loss:.1} dB");
+        // Removing a mechanism that doesn't exist changes nothing.
+        assert!(d.loss_without("surface:ghost").abs() < 1e-9);
+    }
+
+    #[test]
+    fn contributions_sorted_strongest_first() {
+        let (sim, ap, rx, _) = setup();
+        let d = diagnose_link(&sim, &ap, &rx);
+        for w in d.contributions.windows(2) {
+            assert!(w[0].field.abs() >= w[1].field.abs());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # surfos-channel
+//!
+//! A deterministic ray-tracing wireless channel simulator — SurfOS's
+//! substitute for the AutoMS simulator the paper builds on.
+//!
+//! The simulator models narrowband complex channel gains between endpoints
+//! in a [`surfos_geometry::FloorPlan`], through four path families:
+//!
+//! 1. the **direct** path (with wall penetration losses),
+//! 2. first-order **specular wall reflections** (image method),
+//! 3. **surface-aided** paths: transmitter → each metasurface element →
+//!    receiver, weighted by the element's programmed complex response,
+//! 4. **two-hop surface cascades** (surface A relays to surface B), under a
+//!    far-field factorization so cost stays `O(N_A + N_B)` per link.
+//!
+//! ## Linearity — the property everything above this crate exploits
+//!
+//! For fixed geometry the total channel gain is *affine in each surface's
+//! element response vector* (and bilinear across cascade pairs). The
+//! simulator therefore exposes a [`linear::Linearization`] per
+//! (transmitter, receiver) pair: a constant term plus per-surface
+//! coefficient vectors. The orchestrator's optimizer evaluates channels and
+//! *analytic gradients* from the linearization without re-tracing rays —
+//! this is what makes joint multi-surface, multi-task configuration search
+//! tractable, and is the computational heart of the reproduction.
+//!
+//! ## Modelling notes (documented approximations)
+//!
+//! - 2.5-D environments: vertical walls, exact 3-D distances.
+//! - First-order wall bounces only; higher orders are below the noise floor
+//!   at the mmWave bands the experiments use.
+//! - Wall penetration for surface legs is evaluated against the surface
+//!   *centre* (elements are within centimetres of it).
+//! - Surface cascades use the standard far-field factorization: per-element
+//!   phases are exact on the outer legs, and the inter-surface hop is taken
+//!   centre-to-centre.
+
+pub mod diagnose;
+pub mod dynamics;
+pub mod endpoint;
+pub mod feedback;
+pub mod heatmap;
+pub mod linear;
+pub mod paths;
+pub mod sim;
+pub mod surface;
+
+pub use diagnose::{diagnose_link, LinkDiagnosis};
+pub use endpoint::{Endpoint, EndpointKind};
+pub use heatmap::Heatmap;
+pub use linear::Linearization;
+pub use sim::{ChannelSim, LinkBudget};
+pub use surface::{OperationMode, SurfaceInstance};

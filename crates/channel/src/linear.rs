@@ -1,0 +1,258 @@
+//! Channel linearization: the affine/bilinear form of a link's gain in the
+//! deployed surfaces' element responses.
+//!
+//! For a fixed environment, the complex channel gain of a link is
+//!
+//! ```text
+//! h(r) = c + Σ_s  a_s · r_s  +  Σ_(s,t)  (α · r_s)(β · r_t)
+//! ```
+//!
+//! where `r_s` is surface `s`'s element-response vector, `c` collects the
+//! surface-independent paths (direct + wall bounces), the linear terms are
+//! single-bounce surface paths and the bilinear terms are two-hop cascades.
+//!
+//! The optimizer needs `h` and `∂h/∂φ` thousands of times per configuration
+//! search; evaluating this form is `O(total elements)` with no ray tracing.
+
+use surfos_em::complex::Complex;
+
+/// A single-surface (linear) contribution: `Σ_e coeffs[e] · r[e]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTerm {
+    /// Index of the surface in the simulator's surface list.
+    pub surface: usize,
+    /// One coefficient per element (row-major, matching the surface).
+    pub coeffs: Vec<Complex>,
+}
+
+/// A cascade (bilinear) contribution:
+/// `(Σ_a alpha[a]·r_first[a]) · (Σ_b beta[b]·r_second[b])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BilinearTerm {
+    /// Index of the first-hop surface.
+    pub first: usize,
+    /// Coefficients over the first surface's elements.
+    pub alpha: Vec<Complex>,
+    /// Index of the second-hop surface.
+    pub second: usize,
+    /// Coefficients over the second surface's elements.
+    pub beta: Vec<Complex>,
+}
+
+/// The full linearized channel of one (transmitter, receiver) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linearization {
+    /// Surface-independent gain (direct path + wall reflections).
+    pub constant: Complex,
+    /// Single-bounce surface contributions.
+    pub linear: Vec<LinearTerm>,
+    /// Two-hop cascade contributions.
+    pub bilinear: Vec<BilinearTerm>,
+}
+
+fn dot(coeffs: &[Complex], response: &[Complex]) -> Complex {
+    debug_assert_eq!(coeffs.len(), response.len());
+    coeffs
+        .iter()
+        .zip(response)
+        .map(|(c, r)| *c * *r)
+        .sum()
+}
+
+impl Linearization {
+    /// A channel with no paths at all.
+    pub fn dead() -> Self {
+        Linearization {
+            constant: Complex::ZERO,
+            linear: Vec::new(),
+            bilinear: Vec::new(),
+        }
+    }
+
+    /// Evaluates the channel gain for the given per-surface responses.
+    /// `responses[s]` must be surface `s`'s element-response slice.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) on length mismatches; the simulator
+    /// constructs both sides so a mismatch is an internal bug.
+    pub fn evaluate(&self, responses: &[&[Complex]]) -> Complex {
+        let mut h = self.constant;
+        for t in &self.linear {
+            h += dot(&t.coeffs, responses[t.surface]);
+        }
+        for b in &self.bilinear {
+            h += dot(&b.alpha, responses[b.first]) * dot(&b.beta, responses[b.second]);
+        }
+        h
+    }
+
+    /// The partial derivatives `∂h/∂r_{surface,e}` for every element of
+    /// `surface`, at the given responses. `h` is holomorphic in each
+    /// response entry, so this is an ordinary complex derivative.
+    pub fn d_dresponse(&self, surface: usize, responses: &[&[Complex]]) -> Vec<Complex> {
+        let n = responses[surface].len();
+        let mut grad = vec![Complex::ZERO; n];
+        for t in &self.linear {
+            if t.surface == surface {
+                for (g, c) in grad.iter_mut().zip(&t.coeffs) {
+                    *g += *c;
+                }
+            }
+        }
+        for b in &self.bilinear {
+            if b.first == surface {
+                let other = dot(&b.beta, responses[b.second]);
+                for (g, a) in grad.iter_mut().zip(&b.alpha) {
+                    *g += *a * other;
+                }
+            }
+            if b.second == surface {
+                let other = dot(&b.alpha, responses[b.first]);
+                for (g, be) in grad.iter_mut().zip(&b.beta) {
+                    *g += *be * other;
+                }
+            }
+        }
+        grad
+    }
+
+    /// Gradient of the received *power* `|h|²` with respect to the phase of
+    /// each element of `surface`, assuming elements keep their current
+    /// magnitude (pure phase control):
+    ///
+    /// `∂|h|²/∂φ_e = 2·Re( conj(h) · j·r_e · ∂h/∂r_e )`
+    pub fn grad_power_wrt_phase(&self, surface: usize, responses: &[&[Complex]]) -> Vec<f64> {
+        let h = self.evaluate(responses);
+        let dh = self.d_dresponse(surface, responses);
+        responses[surface]
+            .iter()
+            .zip(dh)
+            .map(|(r, d)| {
+                let dphi = Complex::J * *r * d; // ∂h/∂φ_e
+                2.0 * (h.conj() * dphi).re
+            })
+            .collect()
+    }
+
+    /// Returns true if no surface influences this link (constant channel).
+    pub fn is_constant(&self) -> bool {
+        self.linear.is_empty() && self.bilinear.is_empty()
+    }
+
+    /// Total number of coefficient entries (memory/diagnostic metric).
+    pub fn coefficient_count(&self) -> usize {
+        self.linear.iter().map(|t| t.coeffs.len()).sum::<usize>()
+            + self
+                .bilinear
+                .iter()
+                .map(|b| b.alpha.len() + b.beta.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases_to_resp(phases: &[f64]) -> Vec<Complex> {
+        phases.iter().map(|&p| Complex::cis(p)).collect()
+    }
+
+    fn example() -> Linearization {
+        Linearization {
+            constant: Complex::new(0.1, -0.2),
+            linear: vec![LinearTerm {
+                surface: 0,
+                coeffs: vec![Complex::new(0.3, 0.1), Complex::new(-0.2, 0.4)],
+            }],
+            bilinear: vec![BilinearTerm {
+                first: 0,
+                alpha: vec![Complex::new(0.05, 0.0), Complex::new(0.0, 0.07)],
+                second: 1,
+                beta: vec![Complex::new(0.1, 0.1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_manual_expansion() {
+        let lin = example();
+        let r0 = phases_to_resp(&[0.5, -1.0]);
+        let r1 = phases_to_resp(&[2.0]);
+        let got = lin.evaluate(&[&r0, &r1]);
+        let want = lin.constant
+            + lin.linear[0].coeffs[0] * r0[0]
+            + lin.linear[0].coeffs[1] * r0[1]
+            + (lin.bilinear[0].alpha[0] * r0[0] + lin.bilinear[0].alpha[1] * r0[1])
+                * (lin.bilinear[0].beta[0] * r1[0]);
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_channel_evaluates_to_zero() {
+        let lin = Linearization::dead();
+        assert_eq!(lin.evaluate(&[]), Complex::ZERO);
+        assert!(lin.is_constant());
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let lin = example();
+        let r0 = phases_to_resp(&[0.5, -1.0]);
+        let r1 = phases_to_resp(&[2.0]);
+        let d = lin.d_dresponse(0, &[&r0, &r1]);
+        let eps = 1e-7;
+        for e in 0..2 {
+            let mut r0p = r0.clone();
+            r0p[e] += Complex::new(eps, 0.0);
+            let hp = lin.evaluate(&[&r0p, &r1]);
+            let h = lin.evaluate(&[&r0, &r1]);
+            let fd = (hp - h) / eps;
+            assert!((fd - d[e]).abs() < 1e-5, "element {e}: fd={fd} d={}", d[e]);
+        }
+    }
+
+    #[test]
+    fn phase_gradient_matches_finite_difference() {
+        let lin = example();
+        let phases0 = [0.5, -1.0];
+        let phases1 = [2.0];
+        let r0 = phases_to_resp(&phases0);
+        let r1 = phases_to_resp(&phases1);
+        let grad = lin.grad_power_wrt_phase(0, &[&r0, &r1]);
+
+        let power = |p0: &[f64]| {
+            let r0 = phases_to_resp(p0);
+            let r1 = phases_to_resp(&phases1);
+            lin.evaluate(&[&r0, &r1]).norm_sqr()
+        };
+        let eps = 1e-7;
+        for e in 0..2 {
+            let mut p = phases0;
+            p[e] += eps;
+            let fd = (power(&p) - power(&phases0)) / eps;
+            assert!(
+                (fd - grad[e]).abs() < 1e-5,
+                "element {e}: fd={fd} grad={}",
+                grad[e]
+            );
+        }
+    }
+
+    #[test]
+    fn second_surface_gradient_via_bilinear() {
+        let lin = example();
+        let r0 = phases_to_resp(&[0.5, -1.0]);
+        let r1 = phases_to_resp(&[2.0]);
+        let d = lin.d_dresponse(1, &[&r0, &r1]);
+        // Only the bilinear term touches surface 1.
+        let want = (lin.bilinear[0].alpha[0] * r0[0] + lin.bilinear[0].alpha[1] * r0[1])
+            * lin.bilinear[0].beta[0];
+        assert!((d[0] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_count() {
+        assert_eq!(example().coefficient_count(), 2 + 2 + 1);
+    }
+}

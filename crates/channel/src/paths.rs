@@ -1,0 +1,570 @@
+//! Path tracing: the complex gain of each propagation mechanism.
+//!
+//! Every function here returns *amplitude* (field) gains including antenna
+//! pattern factors, so `|h|²` is the power ratio between conducted transmit
+//! power and received power.
+
+use crate::dynamics::Blocker;
+use crate::endpoint::Endpoint;
+use crate::linear::{BilinearTerm, LinearTerm};
+use crate::surface::SurfaceInstance;
+use surfos_em::band::Band;
+use surfos_em::complex::Complex;
+use surfos_em::propagation::friis_amplitude;
+use surfos_geometry::reflect::specular_reflection;
+use surfos_geometry::{FloorPlan, Vec3};
+
+/// The propagation medium: static walls plus dynamic blockers, at one band.
+///
+/// Bundles everything path tracing needs to attenuate a ray segment.
+#[derive(Debug, Clone)]
+pub struct Medium<'a> {
+    /// The static environment.
+    pub plan: &'a FloorPlan,
+    /// Dynamic obstructions (people, moved furniture).
+    pub blockers: &'a [Blocker],
+    /// Deployed surfaces, whose apertures may obstruct *other* signals
+    /// crossing them (off-band interaction, §2.1). A surface never blocks
+    /// its own scatter legs: those terminate on its plane.
+    pub obstructions: &'a [SurfaceInstance],
+    /// The carrier band.
+    pub band: Band,
+}
+
+impl<'a> Medium<'a> {
+    /// Amplitude transmission factor along a segment:
+    /// walls × blockers × crossing surfaces.
+    pub fn transmission(&self, from: Vec3, to: Vec3) -> f64 {
+        let walls = self.plan.transmission_amplitude(from, to, &self.band);
+        let blockers: f64 = self
+            .blockers
+            .iter()
+            .map(|b| b.transmission_amplitude(from, to, &self.band))
+            .product();
+        let surfaces: f64 = self
+            .obstructions
+            .iter()
+            .filter(|s| s.obstruction_amplitude < 1.0 && s.intersects_segment(from, to))
+            .map(|s| s.obstruction_amplitude)
+            .product();
+        walls * blockers * surfaces
+    }
+
+    /// Carrier wavelength shorthand.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.band.wavelength_m()
+    }
+}
+
+/// Gain of the direct (possibly wall-penetrating) path.
+pub fn direct_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
+    let d = tx.position().distance(rx.position());
+    if d < 1e-6 {
+        // Co-located endpoints: treat as a dead link rather than a
+        // singularity; the caller decides what zero distance means.
+        return Complex::ZERO;
+    }
+    let g = friis_amplitude(d, medium.lambda());
+    let pat = tx.amplitude_gain_towards(rx.position()) * rx.amplitude_gain_towards(tx.position());
+    let pol = (tx.polarization_rad - rx.polarization_rad).cos();
+    let trans = medium.transmission(tx.position(), rx.position());
+    g * (pat * pol * trans)
+}
+
+/// Summed gain of all first-order specular wall reflections.
+///
+/// Uses the image method: the reflected amplitude decays over the unfolded
+/// path length `d1 + d2`, scaled by the wall material's reflection
+/// coefficient. Each leg is additionally attenuated by any *other* walls it
+/// crosses.
+pub fn wall_bounce_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
+    let mut total = Complex::ZERO;
+    for wall in medium.plan.walls() {
+        let Some(refl) = specular_reflection(tx.position(), rx.position(), wall) else {
+            continue;
+        };
+        let g = friis_amplitude(refl.total_length(), medium.lambda());
+        let rho = wall.material.reflection_amplitude(&medium.band);
+        let pat =
+            tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point);
+        // Leg attenuation; the bounce wall itself is excluded because the
+        // specular point lies on it (segment-endpoint margin).
+        let trans = medium.transmission(tx.position(), refl.point)
+            * medium.transmission(refl.point, rx.position());
+        let pol = (tx.polarization_rad - rx.polarization_rad).cos();
+        total += g * (rho * pat * pol * trans);
+    }
+    total
+}
+
+/// Whether a surface can couple `tx` to `rx` given its operation mode and
+/// which sides of its plane the endpoints sit on.
+pub fn surface_serves(surface: &SurfaceInstance, tx: Vec3, rx: Vec3) -> bool {
+    surface
+        .mode
+        .serves(surface.is_in_front(tx), surface.is_in_front(rx))
+}
+
+/// Per-element coefficients of a single-bounce surface path, or `None` when
+/// the surface cannot serve this link.
+///
+/// The channel contribution of the surface is `Σ_e coeffs[e] · r[e]` where
+/// `r` is the programmed element response. Per-element distances and
+/// incidence/departure angles are exact; wall attenuation is evaluated once
+/// against the surface centre.
+pub fn surface_coeffs(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    surface: &SurfaceInstance,
+) -> Option<LinearTerm> {
+    if !surface_serves(surface, tx.position(), rx.position()) {
+        return None;
+    }
+    let center = surface.pose.position;
+    let trans = medium.transmission(tx.position(), center)
+        * medium.transmission(center, rx.position());
+    if trans < 1e-9 {
+        return None; // buried behind walls; contribution negligible
+    }
+    let ep_gain = tx.amplitude_gain_towards(center) * rx.amplitude_gain_towards(center);
+    // Resonance detuning (frequency control) and polarization rotation
+    // (polarization control) scale every element of this surface alike.
+    let resonance = surface.resonance_factor(medium.band.center_hz);
+    if resonance < 1e-6 {
+        return None; // far out of resonance: the surface is inert here
+    }
+    let pol = (tx.polarization_rad + surface.polarization_rot - rx.polarization_rad).cos();
+    let ep_gain = ep_gain * resonance * pol;
+    let area = surface.element_area_m2();
+    let lambda = medium.lambda();
+    use surfos_em::antenna::Pattern;
+
+    let coeffs = (0..surface.len())
+        .map(|e| {
+            let p = surface.element_world_position(e);
+            let d1 = tx.position().distance(p);
+            let d2 = p.distance(rx.position());
+            let th_in = surface.pose.off_boresight_angle(tx.position());
+            let th_out = surface.pose.off_boresight_angle(rx.position());
+            let elem_pat =
+                surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
+            let scatter = surfos_em::propagation::element_scatter_amplitude(
+                d1,
+                d2,
+                lambda,
+                area,
+                surface.efficiency,
+            );
+            scatter * (elem_pat * ep_gain * trans)
+        })
+        .collect();
+    Some(LinearTerm {
+        surface: usize::MAX, // caller fills in the surface index
+        coeffs,
+    })
+}
+
+/// Coefficients of a two-hop cascade `tx → first → second → rx`, or `None`
+/// when either hop is gated off.
+///
+/// Far-field factorization: the inter-surface hop is taken centre-to-centre
+/// (distance `D`), while the outer legs keep exact per-element distances.
+/// The cascade contribution is `(α·r_first)(β·r_second)` with the shared
+/// `1/(4π·λ·D)` amplitude and `e^{-jkD}` hop phase folded into `α`.
+pub fn cascade_coeffs(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    first: &SurfaceInstance,
+    second: &SurfaceInstance,
+) -> Option<(Vec<Complex>, Vec<Complex>)> {
+    let c1 = first.pose.position;
+    let c2 = second.pose.position;
+    // Hop gating: first must couple tx → second's side, second must couple
+    // first's side → rx.
+    if !surface_serves(first, tx.position(), c2) {
+        return None;
+    }
+    if !surface_serves(second, c1, rx.position()) {
+        return None;
+    }
+    let d_hop = c1.distance(c2);
+    if d_hop < 1e-3 {
+        return None; // overlapping surfaces: not a physical cascade
+    }
+    let trans = medium.transmission(tx.position(), c1)
+        * medium.transmission(c1, c2)
+        * medium.transmission(c2, rx.position());
+    if trans < 1e-9 {
+        return None;
+    }
+    let lambda = medium.lambda();
+    let k = medium.band.wavenumber();
+    use surfos_em::antenna::Pattern;
+
+    // α side: tx → element a → (towards second's centre).
+    let th_in1 = first.pose.off_boresight_angle(tx.position());
+    let th_out1 = first.pose.off_boresight_angle(c2);
+    let pat1 = first.pattern.amplitude_gain(th_in1)
+        * first.pattern.amplitude_gain(th_out1)
+        * first.resonance_factor(medium.band.center_hz);
+    let area1 = first.element_area_m2();
+    let g_tx = tx.amplitude_gain_towards(c1);
+    // Shared factors folded into α: transmission, 1/(4π d1_a D) amplitude
+    // with phase e^{-jk(d_tx,a + d_a,c2 - D)} and the hop phase e^{-jkD}.
+    let alpha: Vec<Complex> = (0..first.len())
+        .map(|a| {
+            let p = first.element_world_position(a);
+            let d1 = tx.position().distance(p);
+            let d_to_c2 = p.distance(c2);
+            let mag = area1 * first.efficiency
+                / (4.0 * std::f64::consts::PI * d1 * d_hop);
+            let phase = -k * (d1 + d_to_c2 - d_hop) - k * d_hop;
+            Complex::from_polar(mag, phase) * (pat1 * g_tx * trans)
+        })
+        .collect();
+
+    // β side: (from first's centre) → element b → rx. The incident field is
+    // already amplitude; the element operator is A·eff/(λ·d2_b).
+    let th_in2 = second.pose.off_boresight_angle(c1);
+    let th_out2 = second.pose.off_boresight_angle(rx.position());
+    let pat2 = second.pattern.amplitude_gain(th_in2)
+        * second.pattern.amplitude_gain(th_out2)
+        * second.resonance_factor(medium.band.center_hz)
+        * (tx.polarization_rad + first.polarization_rot + second.polarization_rot
+            - rx.polarization_rad)
+            .cos();
+    let area2 = second.element_area_m2();
+    let g_rx = rx.amplitude_gain_towards(c2);
+    let beta: Vec<Complex> = (0..second.len())
+        .map(|b| {
+            let p = second.element_world_position(b);
+            let d_from_c1 = c1.distance(p);
+            let d2 = p.distance(rx.position());
+            let mag = area2 * second.efficiency / (lambda * d2);
+            let phase = -k * (d_from_c1 - d_hop + d2);
+            Complex::from_polar(mag, phase) * (pat2 * g_rx)
+        })
+        .collect();
+
+    if alpha.iter().all(|c| c.abs() < 1e-15) || beta.iter().all(|c| c.abs() < 1e-15) {
+        return None; // pattern-gated to nothing (e.g. endpoint behind)
+    }
+    Some((alpha, beta))
+}
+
+/// Builds the bilinear term for an ordered surface pair, with indices.
+pub fn cascade_term(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    surfaces: &[SurfaceInstance],
+    first_idx: usize,
+    second_idx: usize,
+) -> Option<BilinearTerm> {
+    let (alpha, beta) =
+        cascade_coeffs(medium, tx, rx, &surfaces[first_idx], &surfaces[second_idx])?;
+    Some(BilinearTerm {
+        first: first_idx,
+        alpha,
+        second: second_idx,
+        beta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::OperationMode;
+    use surfos_em::array::ArrayGeometry;
+    use surfos_em::band::NamedBand;
+    use surfos_geometry::{Material, Pose, Wall};
+
+    fn medium_free(plan: &FloorPlan) -> Medium<'_> {
+        Medium {
+            plan,
+            blockers: &[],
+            obstructions: &[],
+            band: NamedBand::MmWave28GHz.band(),
+        }
+    }
+
+    fn iso_endpoint(id: &str, pos: Vec3) -> Endpoint {
+        let mut e = Endpoint::client(id, pos);
+        e.pattern = surfos_em::antenna::ElementPattern::Isotropic;
+        e
+    }
+
+    #[test]
+    fn direct_gain_is_friis_in_free_space() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(0.0, 0.0, 1.0));
+        let rx = iso_endpoint("rx", Vec3::new(5.0, 0.0, 1.0));
+        let g = direct_gain(&m, &tx, &rx);
+        let want = friis_amplitude(5.0, m.lambda());
+        assert!((g - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn direct_gain_attenuated_by_wall() {
+        let mut plan = FloorPlan::new();
+        plan.add_wall(Wall::new(
+            Vec3::xy(2.5, -1.0),
+            Vec3::xy(2.5, 1.0),
+            3.0,
+            Material::Concrete,
+        ));
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(0.0, 0.0, 1.0));
+        let rx = iso_endpoint("rx", Vec3::new(5.0, 0.0, 1.0));
+        let g = direct_gain(&m, &tx, &rx).abs();
+        let clear = friis_amplitude(5.0, m.lambda()).abs();
+        let expect = clear
+            * Material::Concrete.transmission_amplitude(&m.band);
+        assert!((g - expect).abs() < 1e-15);
+        assert!(g < clear / 100.0);
+    }
+
+    #[test]
+    fn colocated_endpoints_dead() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(1.0, 1.0, 1.0));
+        let rx = iso_endpoint("rx", Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(direct_gain(&m, &tx, &rx), Complex::ZERO);
+    }
+
+    #[test]
+    fn wall_bounce_exists_and_weaker_than_direct() {
+        let mut plan = FloorPlan::new();
+        plan.add_wall(Wall::new(
+            Vec3::xy(0.0, 3.0),
+            Vec3::xy(10.0, 3.0),
+            3.0,
+            Material::Concrete,
+        ));
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(2.0, 0.0, 1.0));
+        let rx = iso_endpoint("rx", Vec3::new(8.0, 0.0, 1.0));
+        let bounce = wall_bounce_gain(&m, &tx, &rx).abs();
+        let direct = direct_gain(&m, &tx, &rx).abs();
+        assert!(bounce > 0.0);
+        assert!(bounce < direct);
+    }
+
+    #[test]
+    fn no_walls_no_bounce() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(2.0, 0.0, 1.0));
+        let rx = iso_endpoint("rx", Vec3::new(8.0, 0.0, 1.0));
+        assert_eq!(wall_bounce_gain(&m, &tx, &rx), Complex::ZERO);
+    }
+
+    fn test_surface(pos: Vec3, facing: Vec3, n: usize, mode: OperationMode) -> SurfaceInstance {
+        let band = NamedBand::MmWave28GHz.band();
+        let geom = ArrayGeometry::half_wavelength(n, n, band.wavelength_m());
+        SurfaceInstance::new("s", Pose::wall_mounted(pos, facing), geom, mode)
+    }
+
+    #[test]
+    fn reflective_surface_gates_sides() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let front_a = iso_endpoint("a", Vec3::new(3.0, 1.0, 1.5));
+        let front_b = iso_endpoint("b", Vec3::new(3.0, -1.0, 1.5));
+        let behind = iso_endpoint("c", Vec3::new(-3.0, 0.0, 1.5));
+        assert!(surface_coeffs(&m, &front_a, &front_b, &s).is_some());
+        assert!(surface_coeffs(&m, &front_a, &behind, &s).is_none());
+    }
+
+    #[test]
+    fn transmissive_surface_gates_sides() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let s = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Transmissive,
+        );
+        let front = iso_endpoint("a", Vec3::new(3.0, 1.0, 1.5));
+        let back = iso_endpoint("c", Vec3::new(-3.0, 0.0, 1.5));
+        assert!(surface_coeffs(&m, &front, &back, &s).is_some());
+        let front_b = iso_endpoint("b", Vec3::new(3.0, -1.0, 1.5));
+        assert!(surface_coeffs(&m, &front, &front_b, &s).is_none());
+    }
+
+    #[test]
+    fn focused_surface_beats_unfocused() {
+        // Program conjugate phases and check coherent combining.
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let mut s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 16, OperationMode::Reflective);
+        // Receiver far from the specular direction of the transmitter in
+        // both aperture axes (different bearing *and* height), so the
+        // identity (mirror) response cannot combine coherently.
+        let tx = iso_endpoint("tx", Vec3::new(1.0, 2.5, 1.5));
+        let rx = iso_endpoint("rx", Vec3::new(2.0, -0.5, 0.5));
+        let term = surface_coeffs(&m, &tx, &rx, &s).expect("serves");
+
+        // Unfocused: identity response.
+        let ident: Complex = term.coeffs.iter().copied().sum();
+
+        // Focused: cancel each coefficient's phase.
+        let focused: f64 = term.coeffs.iter().map(|c| c.abs()).sum();
+        s.set_phases(
+            &term
+                .coeffs
+                .iter()
+                .map(|c| -c.arg())
+                .collect::<Vec<_>>(),
+        );
+        let check: Complex = term
+            .coeffs
+            .iter()
+            .zip(s.response())
+            .map(|(c, r)| *c * *r)
+            .sum();
+        assert!((check.abs() - focused).abs() < 1e-12);
+        assert!(focused > ident.abs());
+        // With 256 elements the coherent gain must clearly beat the
+        // incoherent identity sum.
+        assert!(
+            focused > 5.0 * ident.abs() || ident.abs() < 1e-12,
+            "focused={focused:.3e} ident={:.3e}",
+            ident.abs()
+        );
+    }
+
+    #[test]
+    fn surface_behind_thick_wall_pruned() {
+        let mut plan = FloorPlan::new();
+        // Two concrete walls between tx and the surface: ~160 dB, pruned.
+        for x in [1.0, 1.5] {
+            plan.add_wall(Wall::new(
+                Vec3::xy(x, -5.0),
+                Vec3::xy(x, 5.0),
+                3.0,
+                Material::Metal,
+            ));
+        }
+        let m = medium_free(&plan);
+        let s = test_surface(Vec3::new(3.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let tx = iso_endpoint("tx", Vec3::new(0.0, 1.0, 1.5));
+        let rx = iso_endpoint("rx", Vec3::new(0.0, -1.0, 1.5));
+        assert!(surface_coeffs(&m, &tx, &rx, &s).is_none());
+    }
+
+    #[test]
+    fn polarization_mismatch_kills_direct_link() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let tx = iso_endpoint("tx", Vec3::new(0.0, 0.0, 1.0));
+        let mut rx = iso_endpoint("rx", Vec3::new(5.0, 0.0, 1.0));
+        let matched = direct_gain(&m, &tx, &rx).abs();
+        rx.polarization_rad = std::f64::consts::FRAC_PI_2; // cross-pol
+        let crossed = direct_gain(&m, &tx, &rx).abs();
+        assert!(crossed < 1e-12 * (1.0 + matched), "cross-pol must null");
+        rx.polarization_rad = std::f64::consts::FRAC_PI_4;
+        let diag = direct_gain(&m, &tx, &rx).abs();
+        assert!((diag / matched - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polarization_rotating_surface_revives_crossed_link() {
+        // The LLAMA use case: a cross-polarized link is dead directly, but
+        // a surface that rotates polarization by 90° restores coupling.
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let mut s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let tx = iso_endpoint("tx", Vec3::new(3.0, 2.0, 1.5));
+        let mut rx = iso_endpoint("rx", Vec3::new(3.0, -2.0, 1.5));
+        rx.polarization_rad = std::f64::consts::FRAC_PI_2;
+
+        // Without rotation, the surface path is cross-polarized too.
+        let dead = surface_coeffs(&m, &tx, &rx, &s)
+            .map(|t| t.coeffs.iter().map(|c| c.abs()).sum::<f64>())
+            .unwrap_or(0.0);
+        assert!(dead < 1e-12, "unrotated surface can't couple: {dead}");
+
+        s.polarization_rot = std::f64::consts::FRAC_PI_2;
+        let revived = surface_coeffs(&m, &tx, &rx, &s)
+            .map(|t| t.coeffs.iter().map(|c| c.abs()).sum::<f64>())
+            .unwrap_or(0.0);
+        assert!(revived > 1e-9, "rotating surface must couple: {revived}");
+    }
+
+    #[test]
+    fn resonance_detuning_weakens_surface() {
+        // A Scrolls-style resonant surface: strong at its centre, weak
+        // detuned, and re-tunable.
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan); // 28 GHz
+        let s_resonant = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective)
+            .with_resonance(28.0e9, 0.1);
+        let s_detuned = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective)
+            .with_resonance(5.25e9, 0.1);
+        let tx = iso_endpoint("tx", Vec3::new(3.0, 2.0, 1.5));
+        let rx = iso_endpoint("rx", Vec3::new(3.0, -2.0, 1.5));
+        let strong: f64 = surface_coeffs(&m, &tx, &rx, &s_resonant)
+            .unwrap()
+            .coeffs
+            .iter()
+            .map(|c| c.abs())
+            .sum();
+        // Far off resonance the surface is pruned entirely or negligible.
+        let weak: f64 = surface_coeffs(&m, &tx, &rx, &s_detuned)
+            .map(|t| t.coeffs.iter().map(|c| c.abs()).sum())
+            .unwrap_or(0.0);
+        assert!(weak < strong / 100.0, "strong={strong:.3e} weak={weak:.3e}");
+    }
+
+    #[test]
+    fn cascade_exists_for_relay_geometry() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        // tx — s1 bounces to s2 — rx, all in front of the right faces.
+        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
+        let rx = iso_endpoint("rx", Vec3::new(4.0, -2.0, 1.5));
+        let (alpha, beta) = cascade_coeffs(&m, &tx, &rx, &s1, &s2).expect("cascade");
+        assert_eq!(alpha.len(), 64);
+        assert_eq!(beta.len(), 64);
+        assert!(alpha.iter().any(|c| c.abs() > 0.0));
+    }
+
+    #[test]
+    fn cascade_gated_when_second_cannot_reach_rx() {
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective);
+        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 4, OperationMode::Reflective);
+        let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
+        let rx_behind_s2 = iso_endpoint("rx", Vec3::new(9.0, 0.0, 1.5));
+        assert!(cascade_coeffs(&m, &tx, &rx_behind_s2, &s1, &s2).is_none());
+    }
+
+    #[test]
+    fn cascade_weaker_than_single_bounce() {
+        // Physical sanity: a two-hop path through two small surfaces is far
+        // weaker (per unit response) than one bounce off the first.
+        let plan = FloorPlan::new();
+        let m = medium_free(&plan);
+        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
+        let rx = iso_endpoint("rx", Vec3::new(4.0, -2.0, 1.5));
+        let single = surface_coeffs(&m, &tx, &rx, &s1).unwrap();
+        let best_single: f64 = single.coeffs.iter().map(|c| c.abs()).sum();
+        let (alpha, beta) = cascade_coeffs(&m, &tx, &rx, &s1, &s2).unwrap();
+        let best_cascade: f64 =
+            alpha.iter().map(|c| c.abs()).sum::<f64>() * beta.iter().map(|c| c.abs()).sum::<f64>();
+        assert!(best_cascade < best_single);
+    }
+}

@@ -1,0 +1,515 @@
+//! The channel simulator facade.
+//!
+//! [`ChannelSim`] owns the environment (plan + blockers), the carrier band
+//! and the deployed surfaces, and answers the questions the upper layers
+//! ask: link gains, link budgets, heatmaps, and — crucially — channel
+//! [`Linearization`]s for the orchestrator's optimizer.
+
+use crate::dynamics::Blocker;
+use crate::endpoint::Endpoint;
+use crate::heatmap::Heatmap;
+use crate::linear::Linearization;
+use crate::paths::{self, Medium};
+use crate::surface::SurfaceInstance;
+use surfos_em::band::Band;
+use surfos_em::complex::Complex;
+use surfos_em::noise;
+use surfos_em::units::amplitude_to_db;
+use surfos_geometry::{FloorPlan, Vec3};
+
+/// Everything a service needs to know about one link's quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Received signal strength in dBm.
+    pub rss_dbm: f64,
+    /// Noise power in dBm at the receiver over the band.
+    pub noise_dbm: f64,
+    /// Signal-to-noise ratio in dB.
+    pub snr_db: f64,
+    /// Shannon capacity in bits/s over the band.
+    pub capacity_bps: f64,
+}
+
+/// The ray-tracing channel simulator.
+#[derive(Debug, Clone)]
+pub struct ChannelSim {
+    /// The static environment.
+    pub plan: FloorPlan,
+    /// Carrier band.
+    pub band: Band,
+    /// Dynamic obstructions.
+    pub blockers: Vec<Blocker>,
+    /// Include first-order wall reflections (default true).
+    pub enable_wall_reflections: bool,
+    /// Include two-hop surface cascades (default true).
+    pub enable_cascades: bool,
+    surfaces: Vec<SurfaceInstance>,
+}
+
+impl ChannelSim {
+    /// Creates a simulator over an environment at a band, with no surfaces.
+    pub fn new(plan: FloorPlan, band: Band) -> Self {
+        ChannelSim {
+            plan,
+            band,
+            blockers: Vec::new(),
+            enable_wall_reflections: true,
+            enable_cascades: true,
+            surfaces: Vec::new(),
+        }
+    }
+
+    /// Deploys a surface; returns its index (used in [`Linearization`]s).
+    ///
+    /// # Panics
+    /// Panics if a surface with the same id is already deployed.
+    pub fn add_surface(&mut self, surface: SurfaceInstance) -> usize {
+        assert!(
+            self.surfaces.iter().all(|s| s.id != surface.id),
+            "duplicate surface id {:?}",
+            surface.id
+        );
+        self.surfaces.push(surface);
+        self.surfaces.len() - 1
+    }
+
+    /// The deployed surfaces.
+    pub fn surfaces(&self) -> &[SurfaceInstance] {
+        &self.surfaces
+    }
+
+    /// Mutable access to a surface by index (to program its response).
+    pub fn surface_mut(&mut self, index: usize) -> &mut SurfaceInstance {
+        &mut self.surfaces[index]
+    }
+
+    /// Finds a surface index by id.
+    pub fn surface_index(&self, id: &str) -> Option<usize> {
+        self.surfaces.iter().position(|s| s.id == id)
+    }
+
+    fn medium(&self) -> Medium<'_> {
+        Medium {
+            plan: &self.plan,
+            blockers: &self.blockers,
+            obstructions: &self.surfaces,
+            band: self.band,
+        }
+    }
+
+    /// Builds the linearized channel for a link. This is the expensive
+    /// (ray-tracing) operation; everything downstream reuses its output.
+    pub fn linearize(&self, tx: &Endpoint, rx: &Endpoint) -> Linearization {
+        let medium = self.medium();
+        let mut constant = paths::direct_gain(&medium, tx, rx);
+        if self.enable_wall_reflections {
+            constant += paths::wall_bounce_gain(&medium, tx, rx);
+        }
+        let mut linear = Vec::new();
+        for (i, s) in self.surfaces.iter().enumerate() {
+            if let Some(mut term) = paths::surface_coeffs(&medium, tx, rx, s) {
+                term.surface = i;
+                linear.push(term);
+            }
+        }
+        let mut bilinear = Vec::new();
+        if self.enable_cascades {
+            for i in 0..self.surfaces.len() {
+                for j in 0..self.surfaces.len() {
+                    if i == j {
+                        continue;
+                    }
+                    if let Some(term) =
+                        paths::cascade_term(&medium, tx, rx, &self.surfaces, i, j)
+                    {
+                        bilinear.push(term);
+                    }
+                }
+            }
+        }
+        Linearization {
+            constant,
+            linear,
+            bilinear,
+        }
+    }
+
+    /// The per-surface response slices, in index order — the shape
+    /// [`Linearization::evaluate`] expects.
+    pub fn responses(&self) -> Vec<&[Complex]> {
+        self.surfaces.iter().map(|s| s.response()).collect()
+    }
+
+    /// The complex channel gain with the surfaces' *current* responses.
+    pub fn gain(&self, tx: &Endpoint, rx: &Endpoint) -> Complex {
+        self.linearize(tx, rx).evaluate(&self.responses())
+    }
+
+    /// Received signal strength in dBm with current responses.
+    pub fn rss_dbm(&self, tx: &Endpoint, rx: &Endpoint) -> f64 {
+        tx.tx_power_dbm + amplitude_to_db(self.gain(tx, rx).abs())
+    }
+
+    /// The full link budget with current responses.
+    pub fn link_budget(&self, tx: &Endpoint, rx: &Endpoint) -> LinkBudget {
+        let rss_dbm = self.rss_dbm(tx, rx);
+        let noise_dbm = noise::noise_power_dbm(self.band.bandwidth_hz, rx.noise_figure_db);
+        let snr_db = noise::snr_db(rss_dbm, noise_dbm);
+        LinkBudget {
+            rss_dbm,
+            noise_dbm,
+            snr_db,
+            capacity_bps: noise::shannon_capacity_bps(snr_db, self.band.bandwidth_hz),
+        }
+    }
+
+    /// RSS heatmap over a set of receive points (a virtual client is placed
+    /// at each point; its antenna/noise follow `rx_template`).
+    pub fn rss_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
+        let values = points
+            .iter()
+            .map(|p| {
+                let mut rx = rx_template.clone();
+                rx.pose.position = *p;
+                self.rss_dbm(tx, &rx)
+            })
+            .collect();
+        Heatmap {
+            points: points.to_vec(),
+            values,
+        }
+    }
+
+    /// The wideband frequency response of a link: the complex gain at
+    /// `n_points` frequencies across the band, with the surfaces' current
+    /// responses. Multipath makes this frequency-selective (notches where
+    /// paths cancel); a single-path link is flat. This is the OFDM
+    /// subcarrier view a wideband PHY would see.
+    ///
+    /// Each sample re-traces the environment at its own wavelength, so the
+    /// cost is `n_points ×` [`linearize`](Self::linearize).
+    ///
+    /// # Panics
+    /// Panics if `n_points < 2`.
+    pub fn frequency_response(
+        &self,
+        tx: &Endpoint,
+        rx: &Endpoint,
+        n_points: usize,
+    ) -> Vec<(f64, Complex)> {
+        assert!(n_points >= 2, "a sweep needs at least two points");
+        let lo = self.band.low_hz();
+        let hi = self.band.high_hz();
+        (0..n_points)
+            .map(|i| {
+                let f = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;
+                // A narrowband probe at this subcarrier: only the centre
+                // frequency matters for path phases.
+                let mut probe = self.clone();
+                probe.band = Band::new(f, self.band.bandwidth_hz.min(f));
+                let gain = probe.linearize(tx, rx).evaluate(&probe.responses());
+                (f, gain)
+            })
+            .collect()
+    }
+
+    /// SNR heatmap over receive points.
+    pub fn snr_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
+        let noise_dbm =
+            noise::noise_power_dbm(self.band.bandwidth_hz, rx_template.noise_figure_db);
+        let mut map = self.rss_heatmap(tx, points, rx_template);
+        for v in &mut map.values {
+            *v -= noise_dbm;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::OperationMode;
+    use surfos_em::antenna::ElementPattern;
+    use surfos_em::array::ArrayGeometry;
+    use surfos_em::band::NamedBand;
+    use surfos_geometry::scenario::two_room_apartment;
+    use surfos_geometry::Pose;
+
+    fn iso_client(id: &str, pos: Vec3) -> Endpoint {
+        let mut e = Endpoint::client(id, pos);
+        e.pattern = ElementPattern::Isotropic;
+        e
+    }
+
+    fn apartment_sim() -> (ChannelSim, Endpoint) {
+        let scen = two_room_apartment();
+        let band = NamedBand::MmWave28GHz.band();
+        let sim = ChannelSim::new(scen.plan.clone(), band);
+        let ap = Endpoint::access_point("ap0", scen.ap_pose);
+        (sim, ap)
+    }
+
+    #[test]
+    fn bedroom_is_dead_without_surfaces() {
+        let (sim, ap) = apartment_sim();
+        // A sliver of energy leaks via the open doorway (real physics), but
+        // the room as a whole must be unusable: median SNR below 0 dB and
+        // even the doorway-leak spots only marginal.
+        let scen = two_room_apartment();
+        let grid = scen.target().sample_grid(8, 8, 1.2, 0.3);
+        let template = iso_client("probe", Vec3::ZERO);
+        let map = sim.snr_heatmap(&ap, &grid, &template);
+        assert!(
+            map.median() < 0.0,
+            "median bedroom SNR should be <0 dB, got {:.1}",
+            map.median()
+        );
+        let deep = iso_client("c", Vec3::new(7.5, 1.0, 1.2));
+        let budget = sim.link_budget(&ap, &deep);
+        assert!(
+            budget.snr_db < 5.0,
+            "deep bedroom should be (near) unusable, got {} dB",
+            budget.snr_db
+        );
+    }
+
+    #[test]
+    fn living_room_is_covered() {
+        let (sim, ap) = apartment_sim();
+        let near = iso_client("c", Vec3::new(3.0, 1.5, 1.2));
+        let budget = sim.link_budget(&ap, &near);
+        assert!(
+            budget.snr_db > 10.0,
+            "living room should be covered, got {} dB",
+            budget.snr_db
+        );
+    }
+
+    #[test]
+    fn surface_focusing_revives_bedroom() {
+        let scen = two_room_apartment();
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(scen.plan.clone(), band);
+
+        // A 32×32 programmable surface on the bedroom's north wall, seen by
+        // the AP through the doorway; the AP aims its beam at it.
+        let pose = *scen.anchor("bedroom-north").unwrap();
+        let ap = Endpoint::access_point(
+            "ap0",
+            Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
+        );
+        let geom = ArrayGeometry::half_wavelength(32, 32, band.wavelength_m());
+        let idx = sim.add_surface(SurfaceInstance::new(
+            "prog0",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+
+        let rx = iso_client("c", Vec3::new(6.0, 1.0, 1.2));
+        let before = sim.link_budget(&ap, &rx).snr_db;
+
+        // Focus: phase-conjugate the surface coefficients for this link.
+        let lin = sim.linearize(&ap, &rx);
+        let term = lin
+            .linear
+            .iter()
+            .find(|t| t.surface == idx)
+            .expect("surface must serve the link");
+        let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
+        sim.surface_mut(idx).set_phases(&phases);
+
+        let after = sim.link_budget(&ap, &rx).snr_db;
+        assert!(
+            after > before + 20.0,
+            "focusing should add tens of dB: before={before:.1} after={after:.1}"
+        );
+        assert!(after > 5.0, "focused bedroom link should be usable: {after:.1}");
+    }
+
+    #[test]
+    fn gain_matches_linearize_evaluate() {
+        let (mut sim, ap) = apartment_sim();
+        let pose = Pose::wall_mounted(Vec3::new(4.9, 3.2, 1.5), Vec3::new(-1.0, 0.2, 0.0));
+        let geom = ArrayGeometry::half_wavelength(8, 8, sim.band.wavelength_m());
+        sim.add_surface(SurfaceInstance::new(
+            "s0",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+        let rx = iso_client("c", Vec3::new(3.0, 2.0, 1.2));
+        let g1 = sim.gain(&ap, &rx);
+        let lin = sim.linearize(&ap, &rx);
+        let g2 = lin.evaluate(&sim.responses());
+        assert!((g1 - g2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_surface_id_rejected() {
+        let (mut sim, _) = apartment_sim();
+        let pose = Pose::wall_mounted(Vec3::new(1.0, 1.0, 1.5), Vec3::X);
+        let geom = ArrayGeometry::new(2, 2, 0.005, 0.005);
+        sim.add_surface(SurfaceInstance::new(
+            "dup",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.add_surface(SurfaceInstance::new(
+                "dup",
+                pose,
+                geom,
+                OperationMode::Reflective,
+            ));
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn blocker_cuts_link() {
+        let (mut sim, ap) = apartment_sim();
+        let rx = iso_client("c", Vec3::new(3.0, 1.1, 1.2));
+        let before = sim.rss_dbm(&ap, &rx);
+        // A person standing at the receiver blocks every incoming path
+        // (direct and wall bounces all converge there).
+        sim.blockers.push(Blocker::person(rx.position()));
+        let after = sim.rss_dbm(&ap, &rx);
+        assert!(
+            before - after > 10.0,
+            "blocker should cost >10 dB: before={before:.1} after={after:.1}"
+        );
+    }
+
+    #[test]
+    fn heatmap_covers_grid() {
+        let (sim, ap) = apartment_sim();
+        let scen = two_room_apartment();
+        let grid = scen
+            .plan
+            .room("living-room")
+            .unwrap()
+            .sample_grid(5, 5, 1.2, 0.5);
+        let template = iso_client("probe", Vec3::ZERO);
+        let map = sim.rss_heatmap(&ap, &grid, &template);
+        assert_eq!(map.values.len(), 25);
+        assert!(map.values.iter().all(|v| v.is_finite()));
+        // SNR map is RSS map shifted by the (constant) noise floor.
+        let snr = sim.snr_heatmap(&ap, &grid, &template);
+        let shift = map.values[0] - snr.values[0];
+        for (r, s) in map.values.iter().zip(&snr.values) {
+            assert!((r - s - shift).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frequency_response_flat_for_single_path() {
+        // Free space, one path: |H(f)| varies only by the slow Friis
+        // factor across the band — no notches.
+        let band = NamedBand::MmWave28GHz.band();
+        let sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), band);
+        let tx = iso_client("tx", Vec3::new(0.0, 0.0, 1.5));
+        let rx = iso_client("rx", Vec3::new(5.0, 0.0, 1.5));
+        let sweep = sim.frequency_response(&tx, &rx, 32);
+        assert_eq!(sweep.len(), 32);
+        let mags: Vec<f64> = sweep.iter().map(|(_, g)| g.abs()).collect();
+        let (lo, hi) = mags
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(l, h), &m| (l.min(m), h.max(m)));
+        assert!(hi / lo < 1.05, "flat channel expected: ripple {}", hi / lo);
+    }
+
+    #[test]
+    fn frequency_response_selective_under_multipath() {
+        // A strong wall reflection alongside the direct path creates
+        // frequency-selective fading: notches well below the peak.
+        let mut plan = surfos_geometry::FloorPlan::new();
+        plan.add_wall(surfos_geometry::Wall::new(
+            Vec3::xy(0.0, 1.5),
+            Vec3::xy(10.0, 1.5),
+            3.0,
+            surfos_geometry::Material::Metal,
+        ));
+        let band = NamedBand::MmWave28GHz.band();
+        let sim = ChannelSim::new(plan, band);
+        let tx = iso_client("tx", Vec3::new(1.0, 0.0, 1.5));
+        let rx = iso_client("rx", Vec3::new(8.0, 0.0, 1.5));
+        let sweep = sim.frequency_response(&tx, &rx, 128);
+        let mags: Vec<f64> = sweep.iter().map(|(_, g)| g.abs()).collect();
+        let (lo, hi) = mags
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(l, h), &m| (l.min(m), h.max(m)));
+        assert!(
+            hi / lo > 2.0,
+            "two comparable paths must produce >6 dB ripple: {}",
+            hi / lo
+        );
+    }
+
+    #[test]
+    fn offband_surface_obstructs_crossing_link() {
+        // A foreign-band surface standing mid-path attenuates the link by
+        // its obstruction factor; a transparent (in-band) one does not.
+        let band = NamedBand::WiFi5GHz.band();
+        let mut sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), band);
+        let tx = iso_client("tx", Vec3::new(0.0, 0.0, 1.5));
+        let rx = iso_client("rx", Vec3::new(6.0, 0.0, 1.5));
+        let clear = sim.rss_dbm(&tx, &rx);
+
+        // A 2.4 GHz surface (large elements) right across the path,
+        // blocking 50 % of the power (amplitude ~0.707).
+        let geom = ArrayGeometry::new(10, 10, 0.06, 0.06);
+        let pose = Pose::wall_mounted(Vec3::new(3.0, 0.0, 1.5), Vec3::X);
+        sim.add_surface(
+            SurfaceInstance::new("foreign", pose, geom, OperationMode::Transmissive)
+                .with_obstruction(0.707),
+        );
+        let obstructed = sim.rss_dbm(&tx, &rx);
+        assert!(
+            (clear - obstructed - 3.0).abs() < 1.5,
+            "expected ~3 dB blocking: clear={clear:.1} obstructed={obstructed:.1}"
+        );
+
+        // Transparent surfaces change nothing.
+        sim.surface_mut(0).obstruction_amplitude = 1.0;
+        let transparent = sim.rss_dbm(&tx, &rx);
+        assert!((transparent - clear).abs() < 0.75, "clear={clear:.1} transparent={transparent:.1}");
+    }
+
+    #[test]
+    fn surface_does_not_obstruct_its_own_paths() {
+        // A reflective surface with a harsh obstruction factor still
+        // serves its own bounce (legs terminate on its plane).
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), band);
+        let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+        let pose = Pose::wall_mounted(Vec3::new(0.0, 0.0, 1.5), Vec3::X);
+        let idx = sim.add_surface(
+            SurfaceInstance::new("s", pose, geom, OperationMode::Reflective)
+                .with_obstruction(0.01),
+        );
+        let tx = iso_client("tx", Vec3::new(3.0, 2.0, 1.5));
+        let rx = iso_client("rx", Vec3::new(3.0, -2.0, 1.5));
+        let lin = sim.linearize(&tx, &rx);
+        assert!(
+            lin.linear.iter().any(|t| t.surface == idx),
+            "surface path must survive its own obstruction factor"
+        );
+    }
+
+    #[test]
+    fn surface_lookup() {
+        let (mut sim, _) = apartment_sim();
+        let pose = Pose::wall_mounted(Vec3::new(1.0, 1.0, 1.5), Vec3::X);
+        let geom = ArrayGeometry::new(2, 2, 0.005, 0.005);
+        let idx = sim.add_surface(SurfaceInstance::new(
+            "findme",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+        assert_eq!(sim.surface_index("findme"), Some(idx));
+        assert_eq!(sim.surface_index("nope"), None);
+    }
+}

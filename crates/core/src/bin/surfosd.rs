@@ -1,0 +1,54 @@
+//! `surfosd` — the SurfOS operator console.
+//!
+//! Runs shell commands from a script file (first argument) or
+//! interactively from stdin. See [`surfos::shell`] for the command set.
+//!
+//! ```text
+//! cargo run --release -p surfos --bin surfosd -- deployment.surfos
+//! echo "help" | cargo run --release -p surfos --bin surfosd
+//! ```
+
+use std::io::{BufRead, Write};
+use surfos::shell::Shell;
+
+fn main() {
+    let mut shell = Shell::new();
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = args.get(1) {
+        let script = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("surfosd: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match shell.run_script(&script) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                eprintln!("surfosd: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Interactive: one command per line.
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    print!("surfosd> ");
+    let _ = stdout.flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        match shell.execute(&line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {}", e.what),
+        }
+        print!("surfosd> ");
+        let _ = stdout.flush();
+    }
+}

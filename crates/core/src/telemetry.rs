@@ -1,0 +1,66 @@
+//! Kernel telemetry: the counters an operator dashboards.
+
+use serde::ser::SerializeStruct;
+
+/// Monotonic counters accumulated by the kernel loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Kernel steps executed.
+    pub steps: u64,
+    /// Schedule frames computed.
+    pub frames_scheduled: u64,
+    /// Joint optimizations run.
+    pub optimizations: u64,
+    /// Configurations pushed to drivers.
+    pub configs_pushed: u64,
+    /// Bytes of configuration traffic on the control channel.
+    pub wire_bytes: u64,
+    /// Driver writes committed after their control delay.
+    pub writes_committed: u64,
+    /// Tasks completed by expiry.
+    pub tasks_reaped: u64,
+}
+
+impl serde::Serialize for Telemetry {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut st = s.serialize_struct("Telemetry", 7)?;
+        st.serialize_field("steps", &self.steps)?;
+        st.serialize_field("frames_scheduled", &self.frames_scheduled)?;
+        st.serialize_field("optimizations", &self.optimizations)?;
+        st.serialize_field("configs_pushed", &self.configs_pushed)?;
+        st.serialize_field("wire_bytes", &self.wire_bytes)?;
+        st.serialize_field("writes_committed", &self.writes_committed)?;
+        st.serialize_field("tasks_reaped", &self.tasks_reaped)?;
+        st.end()
+    }
+}
+
+impl std::fmt::Display for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} frames={} opts={} pushes={} wire={}B commits={} reaped={}",
+            self.steps,
+            self.frames_scheduled,
+            self.optimizations,
+            self.configs_pushed,
+            self.wire_bytes,
+            self.writes_committed,
+            self.tasks_reaped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_displays() {
+        let t = Telemetry::default();
+        assert_eq!(t.steps, 0);
+        let s = t.to_string();
+        assert!(s.contains("steps=0"));
+        assert!(s.contains("wire=0B"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Thermal noise, SNR and link capacity.
+
+use crate::units::{linear_to_db, BOLTZMANN, T0_KELVIN};
+
+/// Thermal noise power in dBm over `bandwidth_hz` with receiver noise figure
+/// `noise_figure_db`: `kT0B` plus the noise figure.
+///
+/// At 290 K this is the familiar `-174 dBm/Hz + 10·log10(B) + NF`.
+pub fn noise_power_dbm(bandwidth_hz: f64, noise_figure_db: f64) -> f64 {
+    assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    let watts = BOLTZMANN * T0_KELVIN * bandwidth_hz;
+    crate::units::watts_to_dbm(watts) + noise_figure_db
+}
+
+/// SNR in dB given a received power and a noise power, both in dBm.
+#[inline]
+pub fn snr_db(rx_power_dbm: f64, noise_dbm: f64) -> f64 {
+    rx_power_dbm - noise_dbm
+}
+
+/// Shannon capacity in bits/s for an SNR given in dB over `bandwidth_hz`.
+///
+/// Negative-infinite SNR (no signal) yields zero capacity.
+pub fn shannon_capacity_bps(snr_db: f64, bandwidth_hz: f64) -> f64 {
+    assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    if snr_db == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let snr = crate::units::db_to_linear(snr_db);
+    bandwidth_hz * (1.0 + snr).log2()
+}
+
+/// Spectral efficiency in bits/s/Hz for an SNR in dB (capacity per hertz).
+pub fn spectral_efficiency(snr_db: f64) -> f64 {
+    shannon_capacity_bps(snr_db, 1.0)
+}
+
+/// Converts a target capacity (bits/s) over a bandwidth to the minimum SNR
+/// in dB that achieves it — the inverse of [`shannon_capacity_bps`].
+pub fn required_snr_db(capacity_bps: f64, bandwidth_hz: f64) -> f64 {
+    assert!(bandwidth_hz > 0.0, "bandwidth must be positive");
+    assert!(capacity_bps >= 0.0, "capacity must be non-negative");
+    let se = capacity_bps / bandwidth_hz;
+    linear_to_db(2f64.powf(se) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn noise_floor_known_value() {
+        // -174 dBm/Hz + 10 log10(20 MHz) ≈ -101 dBm at NF = 0
+        let n = noise_power_dbm(20e6, 0.0);
+        assert!((n - (-100.97)).abs() < 0.1, "n={n}");
+    }
+
+    #[test]
+    fn noise_figure_adds_directly() {
+        let a = noise_power_dbm(1e6, 0.0);
+        let b = noise_power_dbm(1e6, 7.0);
+        assert!((b - a - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_known_points() {
+        // SNR 0 dB => 1 bit/s/Hz
+        assert!((spectral_efficiency(0.0) - 1.0).abs() < 1e-12);
+        // SNR ~ 30 dB => log2(1001) ≈ 9.97 bit/s/Hz
+        assert!((spectral_efficiency(30.0) - 9.97).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_signal_zero_capacity() {
+        assert_eq!(shannon_capacity_bps(f64::NEG_INFINITY, 1e6), 0.0);
+    }
+
+    #[test]
+    fn required_snr_inverts_capacity() {
+        let bw = 100e6;
+        for snr in [-10.0, 0.0, 10.0, 25.0] {
+            let cap = shannon_capacity_bps(snr, bw);
+            let back = required_snr_db(cap, bw);
+            assert!((back - snr).abs() < 1e-6, "snr={snr} back={back}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capacity_monotone_in_snr(a in -30.0..50.0f64, delta in 0.1..30.0f64) {
+            prop_assert!(spectral_efficiency(a + delta) > spectral_efficiency(a));
+        }
+
+        #[test]
+        fn prop_capacity_scales_with_bandwidth(snr in -20.0..40.0f64, bw in 1e3..1e9f64) {
+            let c1 = shannon_capacity_bps(snr, bw);
+            let c2 = shannon_capacity_bps(snr, 2.0 * bw);
+            prop_assert!((c2 / c1 - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Phase wrapping and quantization.
+//!
+//! Programmable metasurfaces implement phase shifts with a small number of
+//! discrete states (1-bit: {0, π}; 2-bit: {0, π/2, π, 3π/2}; …). The
+//! hardware manager quantizes the continuous phases the optimizer produces
+//! down to what each design can actually realize, so quantization is a
+//! first-class, well-tested operation here.
+
+use std::f64::consts::{PI, TAU};
+
+/// Wraps a phase in radians into `[0, 2π)`.
+#[inline]
+pub fn wrap_phase(phi: f64) -> f64 {
+    let r = phi.rem_euclid(TAU);
+    // rem_euclid can return TAU itself for tiny negative inputs due to
+    // rounding; fold that back to 0.
+    if r >= TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Wraps a phase in radians into `(-π, π]`.
+#[inline]
+pub fn wrap_phase_signed(phi: f64) -> f64 {
+    let w = wrap_phase(phi);
+    if w > PI {
+        w - TAU
+    } else {
+        w
+    }
+}
+
+/// Quantizes `phi` to the nearest of `2^bits` uniformly spaced phase states
+/// in `[0, 2π)`, returning the quantized phase.
+///
+/// ```
+/// use surfos_em::phase::quantize_phase;
+/// use std::f64::consts::PI;
+///
+/// // 1-bit hardware only knows 0 and π:
+/// assert_eq!(quantize_phase(0.3, 1), 0.0);
+/// assert!((quantize_phase(2.8, 1) - PI).abs() < 1e-12);
+/// ```
+///
+/// `bits == 0` models a surface with no phase control (always 0).
+///
+/// # Panics
+/// Panics if `bits > 16` (no real hardware exceeds a few bits; a huge value
+/// indicates a unit error upstream).
+pub fn quantize_phase(phi: f64, bits: u8) -> f64 {
+    assert!(bits <= 16, "phase control beyond 16 bits is not physical");
+    if bits == 0 {
+        return 0.0;
+    }
+    let levels = (1u32 << bits) as f64;
+    let step = TAU / levels;
+    let idx = (wrap_phase(phi) / step).round() % levels;
+    wrap_phase(idx * step)
+}
+
+/// Returns the index (0-based) of the quantized state `phi` maps to, for
+/// `2^bits` states. Companion to [`quantize_phase`] for driver encodings.
+pub fn phase_state_index(phi: f64, bits: u8) -> u32 {
+    assert!(bits <= 16, "phase control beyond 16 bits is not physical");
+    if bits == 0 {
+        return 0;
+    }
+    let levels = 1u32 << bits;
+    let step = TAU / levels as f64;
+    ((wrap_phase(phi) / step).round() as u32) % levels
+}
+
+/// Reconstructs the phase value of a driver state index produced by
+/// [`phase_state_index`].
+pub fn phase_from_state_index(index: u32, bits: u8) -> f64 {
+    assert!(bits <= 16, "phase control beyond 16 bits is not physical");
+    if bits == 0 {
+        return 0.0;
+    }
+    let levels = 1u32 << bits;
+    let step = TAU / levels as f64;
+    wrap_phase((index % levels) as f64 * step)
+}
+
+/// The worst-case beamforming power loss factor (linear, ≤ 1) caused by
+/// `bits`-bit phase quantization, from the classic sinc² bound:
+/// `loss = sinc²(π / 2^bits)` where `sinc(x) = sin(x)/x`.
+///
+/// 1-bit ≈ 0.405 (-3.9 dB), 2-bit ≈ 0.81 (-0.9 dB), 3-bit ≈ 0.95 (-0.2 dB).
+pub fn quantization_loss(bits: u8) -> f64 {
+    if bits == 0 {
+        return 0.0;
+    }
+    let x = PI / (1u64 << bits) as f64;
+    let sinc = x.sin() / x;
+    sinc * sinc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wrap_basics() {
+        assert!((wrap_phase(0.0) - 0.0).abs() < 1e-12);
+        assert!((wrap_phase(TAU) - 0.0).abs() < 1e-12);
+        assert!((wrap_phase(-PI) - PI).abs() < 1e-12);
+        assert!((wrap_phase(3.0 * PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_signed_basics() {
+        assert!((wrap_phase_signed(PI) - PI).abs() < 1e-12);
+        assert!((wrap_phase_signed(PI + 0.1) - (-PI + 0.1)).abs() < 1e-9);
+        assert!((wrap_phase_signed(-0.1) - (-0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bit_quantization() {
+        assert_eq!(quantize_phase(0.3, 1), 0.0);
+        assert!((quantize_phase(PI - 0.3, 1) - PI).abs() < 1e-12);
+        // exactly half-way rounds away from zero state
+        assert!((quantize_phase(PI / 2.0, 1) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_bit_states() {
+        for (phi, want) in [
+            (0.1, 0.0),
+            (PI / 2.0 + 0.05, PI / 2.0),
+            (PI + 0.2, PI),
+            (3.0 * PI / 2.0 - 0.1, 3.0 * PI / 2.0),
+        ] {
+            assert!(
+                (quantize_phase(phi, 2) - want).abs() < 1e-12,
+                "phi={phi} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_bits_means_no_control() {
+        assert_eq!(quantize_phase(1.234, 0), 0.0);
+        assert_eq!(phase_state_index(1.234, 0), 0);
+        assert_eq!(phase_from_state_index(7, 0), 0.0);
+    }
+
+    #[test]
+    fn state_index_roundtrip() {
+        for bits in 1..=4u8 {
+            let levels = 1u32 << bits;
+            for idx in 0..levels {
+                let phi = phase_from_state_index(idx, bits);
+                assert_eq!(phase_state_index(phi, bits), idx, "bits={bits} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_loss_known_values() {
+        assert!((quantization_loss(1) - 0.405).abs() < 0.005);
+        assert!((quantization_loss(2) - 0.81).abs() < 0.01);
+        assert!(quantization_loss(3) > 0.94);
+        assert_eq!(quantization_loss(0), 0.0);
+    }
+
+    #[test]
+    fn loss_monotone_in_bits() {
+        let mut last = 0.0;
+        for bits in 1..=8u8 {
+            let l = quantization_loss(bits);
+            assert!(l > last);
+            last = l;
+        }
+        assert!(last < 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_in_range(phi in -1e6..1e6f64) {
+            let w = wrap_phase(phi);
+            prop_assert!((0.0..TAU).contains(&w), "w={w}");
+        }
+
+        #[test]
+        fn prop_wrap_preserves_phasor(phi in -1e3..1e3f64) {
+            let a = crate::complex::Complex::cis(phi);
+            let b = crate::complex::Complex::cis(wrap_phase(phi));
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_quantize_error_bounded(phi in -100.0..100.0f64, bits in 1u8..8) {
+            let q = quantize_phase(phi, bits);
+            let step = TAU / (1u64 << bits) as f64;
+            // distance on the circle
+            let d = wrap_phase_signed(q - phi).abs();
+            prop_assert!(d <= step / 2.0 + 1e-9, "d={d} step={step}");
+        }
+
+        #[test]
+        fn prop_quantize_idempotent(phi in -100.0..100.0f64, bits in 1u8..8) {
+            let q = quantize_phase(phi, bits);
+            prop_assert!((quantize_phase(q, bits) - q).abs() < 1e-9);
+        }
+    }
+}

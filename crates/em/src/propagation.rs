@@ -1,0 +1,169 @@
+//! Free-space propagation and surface scattering link budgets.
+//!
+//! SurfOS computes narrowband complex channel gains path-by-path. The two
+//! primitives are:
+//!
+//! - [`friis_amplitude`]: the complex gain of a free-space segment, and
+//! - [`element_scatter_amplitude`]: the gain of a Tx → surface-element → Rx
+//!   bounce, which is the building block of every surface-aided path.
+//!
+//! Both return *amplitude* (field) gains; power is the squared magnitude.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+
+/// The complex amplitude gain of a free-space segment of length `dist_m`
+/// at wavelength `lambda_m`, including the propagation phase `e^{-jkd}`:
+///
+/// `g = (λ / 4πd) · e^{-j 2πd/λ}`
+///
+/// The magnitude squared is the familiar Friis free-space power loss for
+/// isotropic ends; antenna gains are applied by callers via patterns.
+///
+/// # Panics
+/// Panics if `dist_m` or `lambda_m` is not strictly positive.
+pub fn friis_amplitude(dist_m: f64, lambda_m: f64) -> Complex {
+    assert!(dist_m > 0.0, "distance must be positive");
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    let mag = lambda_m / (4.0 * PI * dist_m);
+    let phase = -2.0 * PI * dist_m / lambda_m;
+    Complex::from_polar(mag, phase)
+}
+
+/// The complex amplitude gain of a single surface-element bounce:
+/// transmitter at distance `d1`, receiver at distance `d2`, element
+/// effective aperture `element_area_m2`, element amplitude efficiency
+/// `efficiency` (0..=1), and incident/departure pattern gains already
+/// folded in by the caller.
+///
+/// Physics: an element of area `A` intercepts power density `Pt/(4π d1²)`
+/// and re-radiates it with aperture gain `4πA/λ²`. The resulting two-hop
+/// amplitude gain is
+///
+/// `g = (A · efficiency) / (4π · d1 · d2) · e^{-jk(d1+d2)}`
+///
+/// which reproduces the classic RIS "multiplicative path loss" — and why
+/// many elements are needed to compete with a direct link.
+///
+/// # Panics
+/// Panics if distances/area are not positive or efficiency outside `[0, 1]`.
+pub fn element_scatter_amplitude(
+    d1_m: f64,
+    d2_m: f64,
+    lambda_m: f64,
+    element_area_m2: f64,
+    efficiency: f64,
+) -> Complex {
+    assert!(d1_m > 0.0 && d2_m > 0.0, "distances must be positive");
+    assert!(lambda_m > 0.0, "wavelength must be positive");
+    assert!(element_area_m2 > 0.0, "element area must be positive");
+    assert!(
+        (0.0..=1.0).contains(&efficiency),
+        "efficiency must be within [0, 1]"
+    );
+    let mag = element_area_m2 * efficiency / (4.0 * PI * d1_m * d2_m);
+    let phase = -2.0 * PI * (d1_m + d2_m) / lambda_m;
+    Complex::from_polar(mag, phase)
+}
+
+/// Free-space path loss in dB (positive number) over `dist_m` at `lambda_m`.
+pub fn fspl_db(dist_m: f64, lambda_m: f64) -> f64 {
+    -crate::units::amplitude_to_db(friis_amplitude(dist_m, lambda_m).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn friis_known_value() {
+        // 2.4 GHz (λ=0.125 m), 1 m: FSPL ≈ 40.05 dB
+        let lambda = 0.125;
+        let loss = fspl_db(1.0, lambda);
+        assert!((loss - 40.05).abs() < 0.2, "loss={loss}");
+    }
+
+    #[test]
+    fn friis_inverse_square() {
+        let g1 = friis_amplitude(1.0, 0.01).abs();
+        let g2 = friis_amplitude(2.0, 0.01).abs();
+        assert!((g1 / g2 - 2.0).abs() < 1e-9); // amplitude halves => power quarters
+    }
+
+    #[test]
+    fn friis_phase_matches_distance() {
+        let lambda = 0.01;
+        // one full wavelength further => same phase
+        let a = friis_amplitude(1.0, lambda);
+        let b = friis_amplitude(1.0 + lambda, lambda);
+        assert!((a.arg() - b.arg()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scatter_multiplicative_pathloss() {
+        // doubling either hop distance halves the amplitude
+        let base = element_scatter_amplitude(2.0, 3.0, 0.01, 1e-4, 1.0).abs();
+        let far1 = element_scatter_amplitude(4.0, 3.0, 0.01, 1e-4, 1.0).abs();
+        let far2 = element_scatter_amplitude(2.0, 6.0, 0.01, 1e-4, 1.0).abs();
+        assert!((base / far1 - 2.0).abs() < 1e-9);
+        assert!((base / far2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_phase_is_total_path() {
+        let lambda = 0.005;
+        let a = element_scatter_amplitude(1.0, 2.0, lambda, 1e-5, 0.8);
+        let want = crate::phase::wrap_phase_signed(-2.0 * PI * 3.0 / lambda);
+        assert!((crate::phase::wrap_phase_signed(a.arg()) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_efficiency_kills_path() {
+        let a = element_scatter_amplitude(1.0, 1.0, 0.01, 1e-4, 0.0);
+        assert_eq!(a.abs(), 0.0);
+    }
+
+    #[test]
+    fn surface_beats_nothing_but_not_direct_per_element() {
+        // A single λ/2-pitch element at 60 GHz cannot outgain the direct
+        // path of the same total length (the classic RIS result).
+        let lambda = 0.005;
+        let area = (lambda / 2.0) * (lambda / 2.0);
+        let direct = friis_amplitude(5.0, lambda).abs();
+        let bounced = element_scatter_amplitude(2.5, 2.5, lambda, area, 1.0).abs();
+        assert!(bounced < direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn negative_distance_rejected() {
+        let _ = friis_amplitude(-1.0, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be within")]
+    fn efficiency_out_of_range_rejected() {
+        let _ = element_scatter_amplitude(1.0, 1.0, 0.01, 1e-4, 1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_friis_monotone_in_distance(
+            d1 in 0.1..100.0f64, scale in 1.01..10.0f64, lambda in 0.001..0.3f64
+        ) {
+            let near = friis_amplitude(d1, lambda).abs();
+            let far = friis_amplitude(d1 * scale, lambda).abs();
+            prop_assert!(far < near);
+        }
+
+        #[test]
+        fn prop_scatter_symmetric_in_hops(
+            d1 in 0.1..50.0f64, d2 in 0.1..50.0f64, lambda in 0.001..0.3f64
+        ) {
+            let a = element_scatter_amplitude(d1, d2, lambda, 1e-4, 0.9);
+            let b = element_scatter_amplitude(d2, d1, lambda, 1e-4, 0.9);
+            prop_assert!((a - b).abs() < 1e-15 + 1e-9 * a.abs());
+        }
+    }
+}

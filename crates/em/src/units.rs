@@ -1,0 +1,118 @@
+//! Physical constants and power / decibel unit conversions.
+//!
+//! SurfOS follows RF convention: link budgets are computed in dB, physics in
+//! linear units. These helpers are the single place the conversions live so
+//! a factor-of-10 bug cannot hide in two different call sites.
+
+/// Speed of light in vacuum, metres per second.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Boltzmann constant, joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Standard noise reference temperature, kelvin.
+pub const T0_KELVIN: f64 = 290.0;
+
+/// Converts a decibel value to a linear power ratio.
+///
+/// `db_to_linear(3.0)` is approximately `2.0`.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to decibels.
+///
+/// Ratios that are zero or negative map to `f64::NEG_INFINITY`, matching RF
+/// convention (no power, no signal).
+#[inline]
+pub fn linear_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Converts a power in dBm to watts.
+#[inline]
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    db_to_linear(dbm) * 1e-3
+}
+
+/// Converts a power in watts to dBm.
+#[inline]
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    linear_to_db(watts / 1e-3)
+}
+
+/// Converts a field *amplitude* ratio to decibels (20·log10).
+#[inline]
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * ratio.log10()
+    }
+}
+
+/// Converts decibels to a field *amplitude* ratio (inverse of 20·log10).
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn db_linear_known_points() {
+        assert!((db_to_linear(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-9);
+        assert!((db_to_linear(3.0) - 1.995).abs() < 0.01);
+        assert!((linear_to_db(100.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_watts_known_points() {
+        assert!((dbm_to_watts(0.0) - 1e-3).abs() < 1e-15);
+        assert!((dbm_to_watts(30.0) - 1.0).abs() < 1e-9);
+        assert!((watts_to_dbm(1e-3) - 0.0).abs() < 1e-9);
+        assert!((watts_to_dbm(2.0) - 33.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_power_is_neg_infinity() {
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(linear_to_db(-1.0), f64::NEG_INFINITY);
+        assert_eq!(amplitude_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn amplitude_db_is_twice_power_db() {
+        let r = 3.7;
+        assert!((amplitude_to_db(r) - 2.0 * linear_to_db(r)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_db_roundtrip(db in -200.0..200.0f64) {
+            let back = linear_to_db(db_to_linear(db));
+            prop_assert!((back - db).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_dbm_roundtrip(dbm in -200.0..60.0f64) {
+            let back = watts_to_dbm(dbm_to_watts(dbm));
+            prop_assert!((back - dbm).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_amplitude_roundtrip(db in -100.0..100.0f64) {
+            let back = amplitude_to_db(db_to_amplitude(db));
+            prop_assert!((back - db).abs() < 1e-9);
+        }
+    }
+}

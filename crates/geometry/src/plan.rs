@@ -1,0 +1,288 @@
+//! Floor plans: walls plus named room regions, and propagation queries.
+//!
+//! The [`FloorPlan`] is the environment model the channel simulator takes as
+//! input (the paper's "3D environment model"). It answers the two queries
+//! ray tracing needs:
+//!
+//! - which walls does a segment cross (→ penetration loss), and
+//! - is there line of sight between two points.
+
+use crate::material::Material;
+use crate::vec3::Vec3;
+use crate::wall::Wall;
+use serde::{Deserialize, Serialize};
+use surfos_em::band::Band;
+
+/// A named rectangular room region (plan view), used for "optimize coverage
+/// in the bedroom"-style service goals and for sampling evaluation grids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Room {
+    /// Human-readable name, e.g. `"bedroom"`.
+    pub name: String,
+    /// Minimum corner (plan view).
+    pub min: Vec3,
+    /// Maximum corner (plan view).
+    pub max: Vec3,
+}
+
+impl Room {
+    /// Creates a room from a name and two opposite corners.
+    ///
+    /// # Panics
+    /// Panics if the region is degenerate.
+    pub fn new(name: impl Into<String>, min: Vec3, max: Vec3) -> Self {
+        let (min, max) = (min.min(max), min.max(max));
+        assert!(
+            max.x - min.x > 1e-9 && max.y - min.y > 1e-9,
+            "room region is degenerate"
+        );
+        Room {
+            name: name.into(),
+            min: min.flat(),
+            max: max.flat(),
+        }
+    }
+
+    /// Plan-view area in square metres.
+    pub fn area_m2(&self) -> f64 {
+        (self.max.x - self.min.x) * (self.max.y - self.min.y)
+    }
+
+    /// Returns `true` if a point lies inside the room (plan view, edges
+    /// inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The room centre at a given height.
+    pub fn center(&self, z: f64) -> Vec3 {
+        Vec3::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+            z,
+        )
+    }
+
+    /// A uniform `nx × ny` grid of sample points at height `z`, inset from
+    /// the walls by `margin` metres. This is the evaluation grid the
+    /// paper's heatmaps and CDFs are computed over.
+    pub fn sample_grid(&self, nx: usize, ny: usize, z: f64, margin: f64) -> Vec<Vec3> {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        let x0 = self.min.x + margin;
+        let x1 = self.max.x - margin;
+        let y0 = self.min.y + margin;
+        let y1 = self.max.y - margin;
+        assert!(x1 > x0 && y1 > y0, "margin leaves no room interior");
+        let mut pts = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let fx = if nx == 1 { 0.5 } else { ix as f64 / (nx - 1) as f64 };
+                let fy = if ny == 1 { 0.5 } else { iy as f64 / (ny - 1) as f64 };
+                pts.push(Vec3::new(x0 + fx * (x1 - x0), y0 + fy * (y1 - y0), z));
+            }
+        }
+        pts
+    }
+}
+
+/// The environment model: a set of walls and named rooms.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FloorPlan {
+    walls: Vec<Wall>,
+    rooms: Vec<Room>,
+}
+
+impl FloorPlan {
+    /// Creates an empty plan (free space).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a wall and returns its index.
+    pub fn add_wall(&mut self, wall: Wall) -> usize {
+        self.walls.push(wall);
+        self.walls.len() - 1
+    }
+
+    /// Adds a room region and returns its index.
+    pub fn add_room(&mut self, room: Room) -> usize {
+        self.rooms.push(room);
+        self.rooms.len() - 1
+    }
+
+    /// All walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// All rooms.
+    pub fn rooms(&self) -> &[Room] {
+        &self.rooms
+    }
+
+    /// Looks a room up by name.
+    pub fn room(&self, name: &str) -> Option<&Room> {
+        self.rooms.iter().find(|r| r.name == name)
+    }
+
+    /// All wall crossings of the segment `from → to`, sorted by distance
+    /// along the segment.
+    pub fn crossings(&self, from: Vec3, to: Vec3) -> Vec<(usize, Material)> {
+        let mut hits: Vec<(f64, usize, Material)> = self
+            .walls
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| {
+                w.intersect_segment(from, to)
+                    .map(|h| (h.t, i, w.material))
+            })
+            .collect();
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0));
+        hits.into_iter().map(|(_, i, m)| (i, m)).collect()
+    }
+
+    /// Total one-way penetration loss in dB along the segment at `band`.
+    /// Zero when the path is clear.
+    pub fn penetration_loss_db(&self, from: Vec3, to: Vec3, band: &Band) -> f64 {
+        self.crossings(from, to)
+            .iter()
+            .map(|(_, m)| m.penetration_loss_db(band))
+            .sum()
+    }
+
+    /// The linear amplitude factor surviving the walls along the segment.
+    pub fn transmission_amplitude(&self, from: Vec3, to: Vec3, band: &Band) -> f64 {
+        surfos_em::units::db_to_amplitude(-self.penetration_loss_db(from, to, band))
+    }
+
+    /// Returns `true` if no wall crosses the segment.
+    pub fn has_los(&self, from: Vec3, to: Vec3) -> bool {
+        self.walls
+            .iter()
+            .all(|w| w.intersect_segment(from, to).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfos_em::band::NamedBand;
+
+    /// Two 4×4 m rooms split by a drywall partition along x = 4.
+    fn two_rooms() -> FloorPlan {
+        let mut plan = FloorPlan::new();
+        plan.add_wall(Wall::new(
+            Vec3::xy(4.0, 0.0),
+            Vec3::xy(4.0, 4.0),
+            3.0,
+            Material::Drywall,
+        ));
+        plan.add_room(Room::new("left", Vec3::xy(0.0, 0.0), Vec3::xy(4.0, 4.0)));
+        plan.add_room(Room::new("right", Vec3::xy(4.0, 0.0), Vec3::xy(8.0, 4.0)));
+        plan
+    }
+
+    #[test]
+    fn los_within_room_blocked_across() {
+        let plan = two_rooms();
+        let a = Vec3::new(1.0, 2.0, 1.5);
+        let b = Vec3::new(3.0, 2.0, 1.5);
+        let c = Vec3::new(6.0, 2.0, 1.5);
+        assert!(plan.has_los(a, b));
+        assert!(!plan.has_los(a, c));
+    }
+
+    #[test]
+    fn penetration_loss_accumulates() {
+        let mut plan = two_rooms();
+        plan.add_wall(Wall::new(
+            Vec3::xy(6.0, 0.0),
+            Vec3::xy(6.0, 4.0),
+            3.0,
+            Material::Concrete,
+        ));
+        let band = NamedBand::MmWave28GHz.band();
+        let loss = plan.penetration_loss_db(Vec3::new(1.0, 2.0, 1.5), Vec3::new(7.0, 2.0, 1.5), &band);
+        let want = Material::Drywall.penetration_loss_db(&band)
+            + Material::Concrete.penetration_loss_db(&band);
+        assert!((loss - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossings_sorted_by_distance() {
+        let mut plan = FloorPlan::new();
+        let w_far = plan.add_wall(Wall::new(
+            Vec3::xy(6.0, 0.0),
+            Vec3::xy(6.0, 4.0),
+            3.0,
+            Material::Concrete,
+        ));
+        let w_near = plan.add_wall(Wall::new(
+            Vec3::xy(4.0, 0.0),
+            Vec3::xy(4.0, 4.0),
+            3.0,
+            Material::Drywall,
+        ));
+        let hits = plan.crossings(Vec3::new(1.0, 2.0, 1.0), Vec3::new(7.0, 2.0, 1.0));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, w_near);
+        assert_eq!(hits[1].0, w_far);
+    }
+
+    #[test]
+    fn clear_path_no_loss() {
+        let plan = two_rooms();
+        let band = NamedBand::WiFi5GHz.band();
+        let loss =
+            plan.penetration_loss_db(Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 3.0, 1.0), &band);
+        assert_eq!(loss, 0.0);
+        assert_eq!(
+            plan.transmission_amplitude(Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 3.0, 1.0), &band),
+            1.0
+        );
+    }
+
+    #[test]
+    fn room_lookup_and_contains() {
+        let plan = two_rooms();
+        let left = plan.room("left").expect("room exists");
+        assert!(left.contains(Vec3::xy(1.0, 1.0)));
+        assert!(!left.contains(Vec3::xy(5.0, 1.0)));
+        assert!(plan.room("kitchen").is_none());
+    }
+
+    #[test]
+    fn sample_grid_inside_room() {
+        let plan = two_rooms();
+        let room = plan.room("right").unwrap();
+        let grid = room.sample_grid(5, 4, 1.2, 0.3);
+        assert_eq!(grid.len(), 20);
+        for p in &grid {
+            assert!(room.contains(*p), "{p} outside room");
+            assert_eq!(p.z, 1.2);
+            assert!(p.x >= room.min.x + 0.3 - 1e-9 && p.x <= room.max.x - 0.3 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point_grid_is_center() {
+        let room = Room::new("r", Vec3::xy(0.0, 0.0), Vec3::xy(2.0, 2.0));
+        let grid = room.sample_grid(1, 1, 1.0, 0.1);
+        assert_eq!(grid.len(), 1);
+        assert!((grid[0] - Vec3::new(1.0, 1.0, 1.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn room_corners_normalized() {
+        let r = Room::new("r", Vec3::xy(3.0, 5.0), Vec3::xy(1.0, 2.0));
+        assert_eq!(r.min, Vec3::xy(1.0, 2.0));
+        assert_eq!(r.max, Vec3::xy(3.0, 5.0));
+        assert!((r.area_m2() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_room_rejected() {
+        let _ = Room::new("r", Vec3::xy(1.0, 1.0), Vec3::xy(1.0, 5.0));
+    }
+}

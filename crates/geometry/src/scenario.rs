@@ -1,0 +1,375 @@
+//! Ready-made deployment scenarios.
+//!
+//! The paper's exploratory studies run in "two rooms of a furnished
+//! apartment" (Figure 4a): an AP near the living-room wall, and an adjacent
+//! target room (bedroom) that mmWave cannot reach through the concrete
+//! partition — only through the open doorway, and then only a sliver.
+//! Surfaces mounted at pre-determined anchors re-route energy into the
+//! bedroom. [`two_room_apartment`] reconstructs that environment; the other
+//! builders provide additional test environments.
+
+use crate::material::Material;
+use crate::plan::{FloorPlan, Room};
+use crate::pose::Pose;
+use crate::vec3::Vec3;
+use crate::wall::Wall;
+
+/// A deployment scenario: the environment plus the placement anchors the
+/// paper treats as pre-determined.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The environment model.
+    pub plan: FloorPlan,
+    /// Access-point pose (position + facing).
+    pub ap_pose: Pose,
+    /// Named mounting anchors for surfaces (position + facing).
+    pub anchors: Vec<(String, Pose)>,
+    /// The name of the room coverage/sensing services target.
+    pub target_room: String,
+}
+
+impl Scenario {
+    /// Looks up an anchor pose by name.
+    pub fn anchor(&self, name: &str) -> Option<&Pose> {
+        self.anchors
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
+    }
+
+    /// The target [`Room`].
+    ///
+    /// # Panics
+    /// Panics if the scenario was built with a dangling room name (builder
+    /// bug, not user error).
+    pub fn target(&self) -> &Room {
+        self.plan
+            .room(&self.target_room)
+            .expect("scenario target room must exist")
+    }
+}
+
+/// Ceiling height used by all builders (metres).
+pub const CEILING_M: f64 = 3.0;
+
+/// The two-room apartment of Figure 4a.
+///
+/// Layout (plan view, metres):
+///
+/// ```text
+/// y=4  +--------------------+---------------+
+///      |   living room      D   bedroom     |
+///      |  AP                D  (target)     |
+/// y=0  +--------------------+---------------+
+///      x=0                 x=5             x=9
+/// ```
+///
+/// - Exterior walls: concrete.
+/// - Partition at `x = 5`: concrete, with an open doorway `D` at
+///   `y ∈ [3.0, 3.8]` (no door leaf).
+/// - AP: near the west living-room wall at `(0.3, 0.5, 2.0)`, facing +x by
+///   default; experiments re-aim the boresight at the serving surface.
+/// - Anchor `"living-wall"`: north living-room wall at `(2.5, 3.95, 1.5)`
+///   facing −y (the paper's passive backhaul surface goes here; it sees
+///   the AP and, through the doorway, the `"bedroom-wall"` anchor).
+/// - Anchor `"bedroom-north"`: north bedroom wall at `(5.8, 3.95, 1.5)`
+///   facing −y — visible from the AP through the doorway, covering the
+///   whole bedroom (single-surface deployments mount here).
+/// - Anchor `"bedroom-wall"`: east bedroom wall at `(8.95, 2.0, 1.5)`
+///   facing −x (the paper's programmable steering surface goes here; it is
+///   hidden from the AP but reachable from `"living-wall"`).
+pub fn two_room_apartment() -> Scenario {
+    let mut plan = FloorPlan::new();
+    let h = CEILING_M;
+    let conc = Material::Concrete;
+
+    // Exterior shell.
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(9.0, 0.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(9.0, 0.0), Vec3::xy(9.0, 4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(9.0, 4.0), Vec3::xy(0.0, 4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 4.0), Vec3::xy(0.0, 0.0), h, conc));
+
+    // Partition with open doorway at y in [3.0, 3.8].
+    plan.add_wall(Wall::new(Vec3::xy(5.0, 0.0), Vec3::xy(5.0, 3.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(5.0, 3.8), Vec3::xy(5.0, 4.0), h, conc));
+
+    plan.add_room(Room::new(
+        "living-room",
+        Vec3::xy(0.0, 0.0),
+        Vec3::xy(5.0, 4.0),
+    ));
+    plan.add_room(Room::new("bedroom", Vec3::xy(5.0, 0.0), Vec3::xy(9.0, 4.0)));
+
+    let ap_pose = Pose::wall_mounted(Vec3::new(0.3, 0.5, 2.0), Vec3::X);
+    let anchors = vec![
+        (
+            "living-wall".to_string(),
+            Pose::wall_mounted(Vec3::new(2.5, 3.95, 1.5), Vec3::new(0.0, -1.0, 0.0)),
+        ),
+        (
+            "bedroom-north".to_string(),
+            Pose::wall_mounted(Vec3::new(5.8, 3.95, 1.5), Vec3::new(0.0, -1.0, 0.0)),
+        ),
+        (
+            "bedroom-wall".to_string(),
+            Pose::wall_mounted(Vec3::new(8.95, 2.0, 1.5), Vec3::new(-1.0, 0.0, 0.0)),
+        ),
+    ];
+
+    Scenario {
+        plan,
+        ap_pose,
+        anchors,
+        target_room: "bedroom".to_string(),
+    }
+}
+
+/// A three-room house: living room flanked by a bedroom (east, as in the
+/// apartment) and an office (south), each behind a concrete wall with its
+/// own doorway. Anchors: `"bedroom-north"` and `"office-east"` (each
+/// doorway-visible from the AP and covering its room), plus
+/// `"living-wall"`. Exercises multi-surface, multi-room deployments.
+///
+/// ```text
+/// y=4  +--------------------+---------------+
+///      |   living room      D1  bedroom     |
+///      |  AP                D1              |
+/// y=0  +------D2------------+---------------+
+///      |   office           |   x=5..9
+/// y=-4 +--------------------+
+///      x=0                 x=5
+/// ```
+pub fn three_room_house() -> Scenario {
+    let mut scen = two_room_apartment();
+    let h = CEILING_M;
+    let conc = Material::Concrete;
+
+    // Carve a doorway D2 into the south wall of the living room and add
+    // the office below it. The original south wall ran (0,0)→(9,0); keep
+    // the bedroom's stretch and split the living-room stretch around
+    // x ∈ [1.0, 1.8].
+    // (Walls are append-only; the original south wall is replaced by
+    // rebuilding the plan.)
+    let mut plan = FloorPlan::new();
+    // South wall: living-room part with doorway, then bedroom part.
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(1.0, 0.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(1.8, 0.0), Vec3::xy(9.0, 0.0), h, conc));
+    // East, north, west exterior walls (as in the apartment).
+    plan.add_wall(Wall::new(Vec3::xy(9.0, 0.0), Vec3::xy(9.0, 4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(9.0, 4.0), Vec3::xy(0.0, 4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 4.0), Vec3::xy(0.0, 0.0), h, conc));
+    // Partition with doorway D1 (as in the apartment).
+    plan.add_wall(Wall::new(Vec3::xy(5.0, 0.0), Vec3::xy(5.0, 3.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(5.0, 3.8), Vec3::xy(5.0, 4.0), h, conc));
+    // Office shell below the living room.
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(0.0, -4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, -4.0), Vec3::xy(5.0, -4.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(5.0, -4.0), Vec3::xy(5.0, 0.0), h, conc));
+
+    plan.add_room(Room::new(
+        "living-room",
+        Vec3::xy(0.0, 0.0),
+        Vec3::xy(5.0, 4.0),
+    ));
+    plan.add_room(Room::new("bedroom", Vec3::xy(5.0, 0.0), Vec3::xy(9.0, 4.0)));
+    plan.add_room(Room::new("office", Vec3::xy(0.0, -4.0), Vec3::xy(5.0, 0.0)));
+
+    scen.plan = plan;
+    // The office anchor: east office wall, facing west into the room,
+    // visible from the AP through doorway D2 (AP at (0.3, 0.5) sees
+    // through x ∈ [1.0, 1.8] at y=0 into the office).
+    scen.anchors.push((
+        "office-east".to_string(),
+        Pose::wall_mounted(Vec3::new(4.95, -2.0, 1.5), Vec3::new(-1.0, 0.0, 0.0)),
+    ));
+    scen
+}
+
+/// A single open-plan office, 10 × 6 m, with a metal cabinet creating an
+/// NLoS pocket. Anchor `"side-wall"` faces the pocket. Used by examples and
+/// tests that need LOS plus one strong reflector.
+pub fn open_office() -> Scenario {
+    let mut plan = FloorPlan::new();
+    let h = CEILING_M;
+    let conc = Material::Concrete;
+
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(10.0, 0.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(10.0, 0.0), Vec3::xy(10.0, 6.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(10.0, 6.0), Vec3::xy(0.0, 6.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 6.0), Vec3::xy(0.0, 0.0), h, conc));
+    // A 2 m metal cabinet in the middle of the room.
+    plan.add_wall(Wall::new(
+        Vec3::xy(5.0, 2.0),
+        Vec3::xy(5.0, 4.0),
+        2.0,
+        Material::Metal,
+    ));
+
+    plan.add_room(Room::new("office", Vec3::xy(0.0, 0.0), Vec3::xy(10.0, 6.0)));
+
+    let ap_pose = Pose::wall_mounted(Vec3::new(0.3, 3.0, 2.2), Vec3::X);
+    let anchors = vec![(
+        "side-wall".to_string(),
+        Pose::wall_mounted(Vec3::new(5.0, 5.95, 2.0), Vec3::new(0.0, -1.0, 0.0)),
+    )];
+
+    Scenario {
+        plan,
+        ap_pose,
+        anchors,
+        target_room: "office".to_string(),
+    }
+}
+
+/// An L-shaped corridor: the AP sees down one leg, the anchor
+/// `"corner-wall"` sits at the corner and can bend coverage into the other
+/// leg — the classic mmWave corner-reflector deployment.
+pub fn corridor() -> Scenario {
+    let mut plan = FloorPlan::new();
+    let h = CEILING_M;
+    let conc = Material::Concrete;
+
+    // Leg A: x from 0..12, y from 0..2. Leg B: x from 10..12, y from 0..10.
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(12.0, 0.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 2.0), Vec3::xy(10.0, 2.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(0.0, 2.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(12.0, 0.0), Vec3::xy(12.0, 10.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(10.0, 2.0), Vec3::xy(10.0, 10.0), h, conc));
+    plan.add_wall(Wall::new(Vec3::xy(10.0, 10.0), Vec3::xy(12.0, 10.0), h, conc));
+
+    plan.add_room(Room::new("leg-a", Vec3::xy(0.0, 0.0), Vec3::xy(10.0, 2.0)));
+    plan.add_room(Room::new("leg-b", Vec3::xy(10.0, 2.0), Vec3::xy(12.0, 10.0)));
+
+    let ap_pose = Pose::wall_mounted(Vec3::new(0.3, 1.0, 2.2), Vec3::X);
+    let anchors = vec![(
+        "corner-wall".to_string(),
+        Pose::wall_mounted(Vec3::new(11.9, 1.0, 1.8), Vec3::new(-1.0, 0.0, 0.0)),
+    )];
+
+    Scenario {
+        plan,
+        ap_pose,
+        anchors,
+        target_room: "leg-b".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfos_em::band::NamedBand;
+
+    #[test]
+    fn apartment_rooms_exist() {
+        let s = two_room_apartment();
+        assert!(s.plan.room("living-room").is_some());
+        assert!(s.plan.room("bedroom").is_some());
+        assert_eq!(s.target().name, "bedroom");
+    }
+
+    #[test]
+    fn ap_cannot_see_deep_bedroom() {
+        let s = two_room_apartment();
+        let deep = Vec3::new(7.0, 1.0, 1.2);
+        assert!(!s.plan.has_los(s.ap_pose.position, deep));
+        // Through concrete the mmWave loss is fatal.
+        let band = NamedBand::MmWave28GHz.band();
+        assert!(s.plan.penetration_loss_db(s.ap_pose.position, deep, &band) > 40.0);
+    }
+
+    #[test]
+    fn doorway_admits_some_los() {
+        let s = two_room_apartment();
+        // The living-wall anchor sees into the bedroom through the doorway.
+        let anchor = s.anchor("living-wall").expect("anchor exists");
+        let through = Vec3::new(8.95, 2.0, 1.5); // the bedroom-wall anchor
+        assert!(
+            s.plan.has_los(anchor.position, through),
+            "living-wall anchor must see bedroom-wall anchor through the doorway"
+        );
+    }
+
+    #[test]
+    fn ap_sees_living_wall_anchor() {
+        let s = two_room_apartment();
+        let anchor = s.anchor("living-wall").unwrap();
+        assert!(s.plan.has_los(s.ap_pose.position, anchor.position));
+        // And the anchor faces the AP (AP is in front of the surface).
+        assert!(anchor.is_in_front(s.ap_pose.position));
+    }
+
+    #[test]
+    fn bedroom_anchors_cover_room() {
+        let s = two_room_apartment();
+        for name in ["bedroom-wall", "bedroom-north"] {
+            let anchor = s.anchor(name).unwrap();
+            let grid = s.target().sample_grid(4, 4, 1.2, 0.4);
+            for p in grid {
+                assert!(s.plan.has_los(anchor.position, p), "{name} blocked to {p}");
+                assert!(anchor.is_in_front(p), "{name}: behind surface: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn ap_sees_bedroom_north_anchor_through_doorway() {
+        let s = two_room_apartment();
+        let anchor = s.anchor("bedroom-north").unwrap();
+        assert!(s.plan.has_los(s.ap_pose.position, anchor.position));
+        assert!(anchor.is_in_front(s.ap_pose.position));
+    }
+
+    #[test]
+    fn ap_cannot_see_bedroom_wall_anchor() {
+        let s = two_room_apartment();
+        let anchor = s.anchor("bedroom-wall").unwrap();
+        assert!(!s.plan.has_los(s.ap_pose.position, anchor.position));
+    }
+
+    #[test]
+    fn unknown_anchor_is_none() {
+        let s = two_room_apartment();
+        assert!(s.anchor("garage").is_none());
+    }
+
+    #[test]
+    fn house_office_anchor_geometry() {
+        let s = three_room_house();
+        let office = s.plan.room("office").expect("office exists");
+        let anchor = s.anchor("office-east").expect("anchor exists");
+        // The AP sees the anchor through the south doorway.
+        assert!(
+            s.plan.has_los(s.ap_pose.position, anchor.position),
+            "AP must see office-east through D2"
+        );
+        // And the anchor covers the office.
+        for p in office.sample_grid(3, 3, 1.2, 0.5) {
+            assert!(s.plan.has_los(anchor.position, p), "blocked to {p}");
+            assert!(anchor.is_in_front(p));
+        }
+        // Deep office is dead to the AP directly.
+        assert!(!s.plan.has_los(s.ap_pose.position, Vec3::new(3.5, -3.0, 1.2)));
+        // The apartment anchors are still present and correct.
+        assert!(s.anchor("bedroom-north").is_some());
+        assert!(s.anchor("living-wall").is_some());
+    }
+
+    #[test]
+    fn office_cabinet_blocks() {
+        let s = open_office();
+        let behind = Vec3::new(7.0, 3.0, 1.0);
+        assert!(!s.plan.has_los(s.ap_pose.position, behind));
+        let clear = Vec3::new(7.0, 5.5, 1.0);
+        assert!(s.plan.has_los(s.ap_pose.position, clear));
+    }
+
+    #[test]
+    fn corridor_corner_blocks() {
+        let s = corridor();
+        let around = Vec3::new(11.0, 8.0, 1.5);
+        assert!(!s.plan.has_los(s.ap_pose.position, around));
+        let anchor = s.anchor("corner-wall").unwrap();
+        assert!(s.plan.has_los(s.ap_pose.position, anchor.position));
+        assert!(s.plan.has_los(anchor.position, around));
+    }
+}

@@ -1,0 +1,441 @@
+//! The published-design database: Table 1 of the paper as loadable specs.
+//!
+//! Thirteen surface systems spanning 0.9–60 GHz, four control modalities,
+//! transmissive/reflective/transflective operation, and passive to
+//! element-wise reconfigurability. Costs follow the table where reported;
+//! element counts, pitches, efficiencies and unreported costs are
+//! representative values taken from the cited papers (rounded), chosen so
+//! the *relative* design-space structure — the thing the hardware manager
+//! must handle — is faithful.
+
+use crate::granularity::Reconfigurability;
+use crate::spec::{ControlCapability, HardwareSpec, SurfaceMode};
+use surfos_em::band::{Band, NamedBand};
+
+#[allow(clippy::too_many_arguments)] // a spec constructor mirrors the spec
+fn base(
+    model: &str,
+    band: Band,
+    mode: SurfaceMode,
+    capabilities: Vec<ControlCapability>,
+    reconfigurability: Reconfigurability,
+    rows: usize,
+    cols: usize,
+    pitch_m: f64,
+    control_delay_us: Option<u64>,
+    config_slots: usize,
+    cost_per_element_usd: f64,
+    base_cost_usd: f64,
+    power_mw: f64,
+) -> HardwareSpec {
+    let spec = HardwareSpec {
+        model: model.into(),
+        band,
+        mode,
+        capabilities,
+        reconfigurability,
+        rows,
+        cols,
+        pitch_m,
+        efficiency: 0.8,
+        control_delay_us,
+        config_slots,
+        cost_per_element_usd,
+        base_cost_usd,
+        power_mw,
+    };
+    debug_assert_eq!(spec.validate(), Ok(()));
+    spec
+}
+
+/// LAIA (NSDI'19): 2.4 GHz transmissive phase control, element-wise.
+pub fn laia() -> HardwareSpec {
+    base(
+        "LAIA",
+        NamedBand::Ism2_4GHz.band(),
+        SurfaceMode::Transmissive,
+        vec![ControlCapability::Phase { bits: 1 }],
+        Reconfigurability::ElementWise,
+        6,
+        6,
+        0.06,
+        Some(5_000),
+        4,
+        8.0,
+        60.0,
+        800.0,
+    )
+}
+
+/// RFocus (NSDI'20): 2.4 GHz transflective on/off amplitude, 3200 elements.
+pub fn rfocus() -> HardwareSpec {
+    base(
+        "RFocus",
+        NamedBand::Ism2_4GHz.band(),
+        SurfaceMode::Transflective,
+        vec![ControlCapability::Amplitude { levels: 2 }],
+        Reconfigurability::ElementWise,
+        40,
+        80,
+        0.05,
+        Some(10_000),
+        4,
+        1.5,
+        200.0,
+        2_000.0,
+    )
+}
+
+/// LLAMA (NSDI'21): 2.4 GHz transflective polarization control, $900.
+pub fn llama() -> HardwareSpec {
+    base(
+        "LLAMA",
+        NamedBand::Ism2_4GHz.band(),
+        SurfaceMode::Transflective,
+        vec![ControlCapability::Polarization],
+        Reconfigurability::ElementWise,
+        8,
+        6,
+        0.055,
+        Some(2_000),
+        4,
+        17.0,
+        84.0,
+        600.0,
+    )
+}
+
+/// LAVA (SIGCOMM'21): 2.4 GHz transmissive amplitude (on/off links).
+pub fn lava() -> HardwareSpec {
+    base(
+        "LAVA",
+        NamedBand::Ism2_4GHz.band(),
+        SurfaceMode::Transmissive,
+        vec![ControlCapability::Amplitude { levels: 2 }],
+        Reconfigurability::ElementWise,
+        14,
+        16,
+        0.055,
+        Some(5_000),
+        4,
+        2.0,
+        150.0,
+        1_000.0,
+    )
+}
+
+/// ScatterMIMO (MobiCom'20): 5 GHz reflective phase, $450.
+pub fn scatter_mimo() -> HardwareSpec {
+    base(
+        "ScatterMIMO",
+        NamedBand::WiFi5GHz.band(),
+        SurfaceMode::Reflective,
+        vec![ControlCapability::Phase { bits: 2 }],
+        Reconfigurability::ElementWise,
+        12,
+        12,
+        0.028,
+        Some(1_000),
+        8,
+        2.5,
+        90.0,
+        500.0,
+    )
+}
+
+/// RFlens (MobiCom'21): 5 GHz transmissive phase lens, $246.
+pub fn rflens() -> HardwareSpec {
+    base(
+        "RFlens",
+        NamedBand::WiFi5GHz.band(),
+        SurfaceMode::Transmissive,
+        vec![ControlCapability::Phase { bits: 1 }],
+        Reconfigurability::ElementWise,
+        16,
+        16,
+        0.028,
+        Some(1_000),
+        8,
+        0.8,
+        41.2,
+        400.0,
+    )
+}
+
+/// Diffract (MobiCom'23): 5 GHz passive diffraction gratings, $33.
+/// Encoded as a fabrication-time binary phase pattern (the grating's
+/// edge/slot structure behaves as fixed 1-bit phase plates).
+pub fn diffract() -> HardwareSpec {
+    base(
+        "Diffract",
+        NamedBand::WiFi5GHz.band(),
+        SurfaceMode::Transmissive,
+        vec![ControlCapability::Phase { bits: 1 }],
+        Reconfigurability::Passive,
+        20,
+        20,
+        0.028,
+        None,
+        1,
+        0.08,
+        1.0,
+        0.0,
+    )
+}
+
+/// Scrolls (MobiCom'23): 0.9–6 GHz wideband, frequency-selective rolling
+/// surfaces with row-wise reconfiguration, $156.
+pub fn scrolls() -> HardwareSpec {
+    base(
+        "Scrolls",
+        Band::new(3.45e9, 5.1e9), // 0.9–6 GHz span
+        SurfaceMode::Reflective,
+        vec![
+            ControlCapability::Frequency {
+                tunable_range_hz: 5.1e9,
+            },
+            ControlCapability::Phase { bits: 1 },
+        ],
+        Reconfigurability::RowWise,
+        24,
+        12,
+        0.05,
+        Some(200_000), // mechanical rolling is slow
+        4,
+        0.5,
+        12.0,
+        300.0,
+    )
+}
+
+/// mmWall (NSDI'23): 24 GHz transflective phase, column-wise, ~$10K.
+pub fn mmwall() -> HardwareSpec {
+    base(
+        "mmWall",
+        NamedBand::MmWave24GHz.band(),
+        SurfaceMode::Transflective,
+        vec![ControlCapability::Phase { bits: 3 }],
+        Reconfigurability::ColumnWise,
+        76,
+        28,
+        0.0062,
+        Some(100),
+        16,
+        4.5,
+        424.0,
+        3_000.0,
+    )
+}
+
+/// NR-Surface (NSDI'24): 24 GHz reflective phase, column-wise, $600,
+/// microwatt-class standby (NR-sync wakeups).
+pub fn nr_surface() -> HardwareSpec {
+    base(
+        "NR-Surface",
+        NamedBand::MmWave24GHz.band(),
+        SurfaceMode::Reflective,
+        vec![ControlCapability::Phase { bits: 2 }],
+        Reconfigurability::ColumnWise,
+        16,
+        16,
+        0.0062,
+        Some(1_000),
+        8,
+        2.2,
+        36.8,
+        0.4,
+    )
+}
+
+/// PMSat (MobiCom'23): 20/30 GHz passive transmissive phase plates for
+/// LEO satellite links, $30.
+pub fn pmsat() -> HardwareSpec {
+    base(
+        "PMSat",
+        NamedBand::Ka30GHz.band(),
+        SurfaceMode::Transmissive,
+        vec![ControlCapability::Phase { bits: 2 }],
+        Reconfigurability::Passive,
+        40,
+        40,
+        0.005,
+        None,
+        1,
+        0.018,
+        1.2,
+        0.0,
+    )
+}
+
+/// MilliMirror (MobiCom'22): 60 GHz 3-D-printed passive reflectarray, $15.
+pub fn milli_mirror() -> HardwareSpec {
+    base(
+        "MilliMirror",
+        NamedBand::MmWave60GHz.band(),
+        SurfaceMode::Reflective,
+        vec![ControlCapability::Phase { bits: 2 }],
+        Reconfigurability::Passive,
+        100,
+        100,
+        0.0025,
+        None,
+        1,
+        0.0014,
+        1.0,
+        0.0,
+    )
+}
+
+/// AutoMS (MobiCom'24): 60 GHz passive reflective metasurface, under $2
+/// for tens of thousands of elements ($1 per 60k elements plus substrate).
+pub fn autos_ms() -> HardwareSpec {
+    base(
+        "AutoMS",
+        NamedBand::MmWave60GHz.band(),
+        SurfaceMode::Reflective,
+        vec![ControlCapability::Phase { bits: 2 }],
+        Reconfigurability::Passive,
+        245,
+        245,
+        0.00125,
+        None,
+        1,
+        1.67e-5,
+        0.9,
+        0.0,
+    )
+}
+
+/// Every design in Table 1, in the table's order.
+pub fn all_designs() -> Vec<HardwareSpec> {
+    vec![
+        laia(),
+        rfocus(),
+        llama(),
+        lava(),
+        scatter_mimo(),
+        rflens(),
+        diffract(),
+        scrolls(),
+        mmwall(),
+        nr_surface(),
+        pmsat(),
+        milli_mirror(),
+        autos_ms(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_valid() {
+        for s in all_designs() {
+            assert_eq!(s.validate(), Ok(()), "{} invalid", s.model);
+        }
+    }
+
+    #[test]
+    fn thirteen_designs() {
+        assert_eq!(all_designs().len(), 13);
+        let mut names: Vec<String> = all_designs().into_iter().map(|s| s.model).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13, "duplicate model names");
+    }
+
+    #[test]
+    fn passive_designs_are_zero_power_single_slot() {
+        for s in all_designs() {
+            if s.is_passive() {
+                assert_eq!(s.power_mw, 0.0, "{}", s.model);
+                assert_eq!(s.config_slots, 1, "{}", s.model);
+                assert_eq!(s.reconfigurability, Reconfigurability::Passive, "{}", s.model);
+            }
+        }
+    }
+
+    #[test]
+    fn table_costs_match_published() {
+        let close = |got: f64, want: f64, tol: f64| (got - want).abs() <= tol;
+        assert!(close(llama().total_cost_usd(), 900.0, 20.0));
+        assert!(close(scatter_mimo().total_cost_usd(), 450.0, 10.0));
+        assert!(close(rflens().total_cost_usd(), 246.0, 5.0));
+        assert!(close(diffract().total_cost_usd(), 33.0, 2.0));
+        assert!(close(scrolls().total_cost_usd(), 156.0, 5.0));
+        assert!(close(mmwall().total_cost_usd(), 10_000.0, 500.0));
+        assert!(close(nr_surface().total_cost_usd(), 600.0, 15.0));
+        assert!(close(pmsat().total_cost_usd(), 30.0, 2.0));
+        assert!(close(milli_mirror().total_cost_usd(), 15.0, 1.0));
+        assert!(autos_ms().total_cost_usd() < 2.0, "AutoMS under $2");
+    }
+
+    #[test]
+    fn paper_cost_claims_hold() {
+        // §2.1: programmable mmWave surfaces cost over $2 per element...
+        for s in [mmwall(), nr_surface()] {
+            assert!(s.cost_per_element_usd > 2.0, "{}", s.model);
+        }
+        // ...while fully passive surfaces are orders of magnitude cheaper.
+        for s in [pmsat(), milli_mirror(), autos_ms()] {
+            assert!(s.cost_per_element_usd < 0.02, "{}", s.model);
+        }
+    }
+
+    #[test]
+    fn mmwave_programmables_are_not_elementwise() {
+        // §2.1: high-frequency programmable surfaces often support only
+        // column-wise reconfiguration.
+        for s in [mmwall(), nr_surface()] {
+            assert_eq!(s.reconfigurability, Reconfigurability::ColumnWise, "{}", s.model);
+        }
+    }
+
+    #[test]
+    fn control_modality_coverage() {
+        let designs = all_designs();
+        for p in ["phase", "amplitude", "frequency", "polarization"] {
+            assert!(
+                designs.iter().any(|s| s.supports(p)),
+                "no design supports {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn operation_mode_coverage() {
+        let designs = all_designs();
+        for mode in [
+            SurfaceMode::Reflective,
+            SurfaceMode::Transmissive,
+            SurfaceMode::Transflective,
+        ] {
+            assert!(designs.iter().any(|s| s.mode == mode), "{mode:?} missing");
+        }
+    }
+
+    #[test]
+    fn a_2_4ghz_design_blocks_5ghz_somewhat() {
+        // The §2.1 interference warning: LAIA's structure is not
+        // transparent at 5 GHz.
+        let t = laia().offband_transmission(5.25e9);
+        assert!(t < 1.0);
+        // But far bands are almost untouched.
+        assert!(laia().offband_transmission(60e9) > 0.95);
+    }
+
+    #[test]
+    fn element_pitch_scales_with_band() {
+        // Sub-wavelength elements: pitch below λ at the design band.
+        for s in all_designs() {
+            assert!(
+                s.pitch_m < s.band.wavelength_m(),
+                "{}: pitch {} ≥ λ {}",
+                s.model,
+                s.pitch_m,
+                s.band.wavelength_m()
+            );
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! The unified surface driver interface.
+//!
+//! Drivers mask hardware details behind the paper's file-system-like
+//! primitives — `shift_phase()`, `set_amplitude()`, … — and implement the
+//! decoupled control/data plane: configurations are *loaded* into local
+//! slots (control plane, subject to the hardware's control delay) and a
+//! slot is *activated* locally (data plane, e.g. from endpoint feedback).
+//!
+//! Two implementations cover the design space of Table 1:
+//! [`ProgrammableDriver`] for runtime-reconfigurable designs and
+//! [`PassiveDriver`] for fabrication-time-configured designs.
+
+use crate::config::SurfaceConfig;
+use crate::error::DriverError;
+use crate::spec::HardwareSpec;
+use surfos_em::complex::Complex;
+
+/// Milliseconds of simulation time. The kernel owns the clock; drivers
+/// only compare instants.
+pub type TimeMs = u64;
+
+/// The unified driver interface every surface exposes, regardless of
+/// design (paper §3.1).
+pub trait SurfaceDriver: Send {
+    /// The hardware specification this driver manages.
+    fn spec(&self) -> &HardwareSpec;
+
+    /// Loads a full configuration into a local slot. The write lands after
+    /// the hardware's control delay (see [`tick`](Self::tick)); for
+    /// passive hardware this is only possible before fabrication.
+    fn load_config(
+        &mut self,
+        slot: usize,
+        config: SurfaceConfig,
+        now: TimeMs,
+    ) -> Result<(), DriverError>;
+
+    /// Convenience primitive: loads a pure phase configuration
+    /// (`shift_phase()` in the paper's API sketch).
+    fn shift_phase(&mut self, slot: usize, phases: &[f64], now: TimeMs) -> Result<(), DriverError> {
+        if !self.spec().supports("phase") {
+            return Err(DriverError::UnsupportedControl {
+                primitive: "shift_phase",
+            });
+        }
+        if phases.len() != self.spec().element_count() {
+            return Err(DriverError::LengthMismatch {
+                expected: self.spec().element_count(),
+                got: phases.len(),
+            });
+        }
+        self.load_config(slot, SurfaceConfig::from_phases(phases), now)
+    }
+
+    /// Convenience primitive: per-element amplitude control
+    /// (`set_amplitude()`), keeping phases from the slot's current config.
+    fn set_amplitude(
+        &mut self,
+        slot: usize,
+        amplitudes: &[f64],
+        now: TimeMs,
+    ) -> Result<(), DriverError> {
+        if !self.spec().supports("amplitude") {
+            return Err(DriverError::UnsupportedControl {
+                primitive: "set_amplitude",
+            });
+        }
+        if amplitudes.len() != self.spec().element_count() {
+            return Err(DriverError::LengthMismatch {
+                expected: self.spec().element_count(),
+                got: amplitudes.len(),
+            });
+        }
+        if amplitudes.iter().any(|a| !(0.0..=1.0).contains(a)) {
+            return Err(DriverError::OutOfRange {
+                what: "amplitude outside [0, 1]".into(),
+            });
+        }
+        let mut config = self
+            .stored_config(slot)?
+            .unwrap_or_else(|| SurfaceConfig::identity(self.spec().element_count()));
+        for (e, &a) in config.elements.iter_mut().zip(amplitudes) {
+            e.amplitude = a;
+        }
+        self.load_config(slot, config, now)
+    }
+
+    /// Surface-wide resonance shift (`set_frequency()`), for designs with
+    /// frequency control (Scrolls).
+    fn set_frequency(
+        &mut self,
+        slot: usize,
+        shift_hz: f64,
+        now: TimeMs,
+    ) -> Result<(), DriverError>;
+
+    /// Surface-wide polarization rotation (`set_polarization()`).
+    fn set_polarization(
+        &mut self,
+        slot: usize,
+        rotation_rad: f64,
+        now: TimeMs,
+    ) -> Result<(), DriverError>;
+
+    /// Activates a stored configuration slot (the surface's local,
+    /// real-time action — no control delay).
+    fn activate_slot(&mut self, slot: usize) -> Result<(), DriverError>;
+
+    /// The currently active slot.
+    fn active_slot(&self) -> usize;
+
+    /// The configuration stored in a slot, if any has been committed.
+    fn stored_config(&self, slot: usize) -> Result<Option<SurfaceConfig>, DriverError>;
+
+    /// Advances driver time: commits pending (delayed) writes whose control
+    /// delay has elapsed. Returns the number of writes committed.
+    fn tick(&mut self, now: TimeMs) -> usize;
+
+    /// The element responses the hardware is *actually realizing* right
+    /// now: active slot's configuration, projected to the design's
+    /// granularity and quantization. This is what the channel simulator
+    /// consumes.
+    fn realized_response(&self) -> Vec<Complex>;
+
+    /// The surface-wide polarization rotation (radians) the active slot
+    /// realizes, for designs with polarization control. Zero otherwise.
+    fn realized_polarization(&self) -> f64 {
+        if !self.spec().supports("polarization") {
+            return 0.0;
+        }
+        self.stored_config(self.active_slot())
+            .ok()
+            .flatten()
+            .and_then(|c| c.polarization_rot)
+            .unwrap_or(0.0)
+    }
+
+    /// The surface-wide resonance shift (Hz) the active slot realizes,
+    /// for designs with frequency control. Zero otherwise.
+    fn realized_frequency_shift(&self) -> f64 {
+        if !self.spec().supports("frequency") {
+            return 0.0;
+        }
+        self.stored_config(self.active_slot())
+            .ok()
+            .flatten()
+            .and_then(|c| c.frequency_shift_hz)
+            .unwrap_or(0.0)
+    }
+
+    /// Downcast hook for driver-specific operations (e.g.
+    /// [`PassiveDriver::fabricate`]) on a registered trait object.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+fn check_slot(spec: &HardwareSpec, slot: usize) -> Result<(), DriverError> {
+    if slot >= spec.config_slots {
+        Err(DriverError::InvalidSlot {
+            slot,
+            slots: spec.config_slots,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Projects a configuration to hardware granularity + quantization.
+///
+/// The realized response reports the *programmed* state (amplitude and
+/// quantized phase). Physical element losses (efficiency) are the channel
+/// model's job — applying them here too would double-count them.
+fn realize(spec: &HardwareSpec, config: &SurfaceConfig) -> Vec<Complex> {
+    let bits = spec.phase_bits().unwrap_or(0);
+    let phases = config.phases();
+    let projected =
+        spec.reconfigurability
+            .project_phases(&phases, spec.rows, spec.cols, bits.max(1));
+    projected
+        .iter()
+        .zip(&config.elements)
+        .map(|(&p, e)| Complex::from_polar(e.amplitude.min(1.0), p))
+        .collect()
+}
+
+/// A pending, control-delayed configuration write.
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    commit_at: TimeMs,
+    slot: usize,
+    config: SurfaceConfig,
+}
+
+/// Driver for runtime-reconfigurable surfaces.
+#[derive(Debug)]
+pub struct ProgrammableDriver {
+    spec: HardwareSpec,
+    slots: Vec<Option<SurfaceConfig>>,
+    active: usize,
+    pending: Vec<PendingWrite>,
+}
+
+impl ProgrammableDriver {
+    /// Creates a driver for a programmable spec.
+    ///
+    /// # Panics
+    /// Panics if the spec is passive or fails validation — constructing a
+    /// driver for an invalid spec is a programming error, not a runtime
+    /// condition.
+    pub fn new(spec: HardwareSpec) -> Self {
+        spec.validate().expect("invalid hardware spec");
+        assert!(
+            !spec.is_passive(),
+            "use PassiveDriver for passive designs"
+        );
+        let slots = vec![None; spec.config_slots];
+        ProgrammableDriver {
+            spec,
+            slots,
+            active: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of writes still waiting on the control delay.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl SurfaceDriver for ProgrammableDriver {
+    fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    fn load_config(
+        &mut self,
+        slot: usize,
+        config: SurfaceConfig,
+        now: TimeMs,
+    ) -> Result<(), DriverError> {
+        check_slot(&self.spec, slot)?;
+        if config.len() != self.spec.element_count() {
+            return Err(DriverError::LengthMismatch {
+                expected: self.spec.element_count(),
+                got: config.len(),
+            });
+        }
+        config
+            .validate()
+            .map_err(|what| DriverError::OutOfRange { what })?;
+        let delay_us = self.spec.control_delay_us.expect("programmable spec");
+        let commit_at = now + delay_us.div_ceil(1000);
+        // A newer write to the same slot supersedes an older pending one.
+        self.pending.retain(|p| p.slot != slot);
+        self.pending.push(PendingWrite {
+            commit_at,
+            slot,
+            config,
+        });
+        Ok(())
+    }
+
+    fn set_frequency(
+        &mut self,
+        slot: usize,
+        shift_hz: f64,
+        now: TimeMs,
+    ) -> Result<(), DriverError> {
+        if !self.spec.supports("frequency") {
+            return Err(DriverError::UnsupportedControl {
+                primitive: "set_frequency",
+            });
+        }
+        check_slot(&self.spec, slot)?;
+        let range = self
+            .spec
+            .capabilities
+            .iter()
+            .find_map(|c| match c {
+                crate::spec::ControlCapability::Frequency { tunable_range_hz } => {
+                    Some(*tunable_range_hz)
+                }
+                _ => None,
+            })
+            .expect("frequency capability present");
+        if shift_hz.abs() > range / 2.0 {
+            return Err(DriverError::OutOfRange {
+                what: format!("frequency shift {shift_hz} Hz beyond ±{} Hz", range / 2.0),
+            });
+        }
+        let mut config = self
+            .stored_config(slot)?
+            .unwrap_or_else(|| SurfaceConfig::identity(self.spec.element_count()));
+        config.frequency_shift_hz = Some(shift_hz);
+        self.load_config(slot, config, now)
+    }
+
+    fn set_polarization(
+        &mut self,
+        slot: usize,
+        rotation_rad: f64,
+        now: TimeMs,
+    ) -> Result<(), DriverError> {
+        if !self.spec.supports("polarization") {
+            return Err(DriverError::UnsupportedControl {
+                primitive: "set_polarization",
+            });
+        }
+        check_slot(&self.spec, slot)?;
+        let mut config = self
+            .stored_config(slot)?
+            .unwrap_or_else(|| SurfaceConfig::identity(self.spec.element_count()));
+        config.polarization_rot = Some(rotation_rad);
+        self.load_config(slot, config, now)
+    }
+
+    fn activate_slot(&mut self, slot: usize) -> Result<(), DriverError> {
+        check_slot(&self.spec, slot)?;
+        self.active = slot;
+        Ok(())
+    }
+
+    fn active_slot(&self) -> usize {
+        self.active
+    }
+
+    fn stored_config(&self, slot: usize) -> Result<Option<SurfaceConfig>, DriverError> {
+        check_slot(&self.spec, slot)?;
+        Ok(self.slots[slot].clone())
+    }
+
+    fn tick(&mut self, now: TimeMs) -> usize {
+        let mut committed = 0;
+        let mut remaining = Vec::with_capacity(self.pending.len());
+        for w in self.pending.drain(..) {
+            if w.commit_at <= now {
+                self.slots[w.slot] = Some(w.config);
+                committed += 1;
+            } else {
+                remaining.push(w);
+            }
+        }
+        self.pending = remaining;
+        committed
+    }
+
+    fn realized_response(&self) -> Vec<Complex> {
+        match &self.slots[self.active] {
+            Some(cfg) => realize(&self.spec, cfg),
+            // No configuration committed yet: hardware powers up in its
+            // identity (specular) state.
+            None => vec![Complex::ONE; self.spec.element_count()],
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Driver for passive (fabrication-time configured) surfaces.
+///
+/// The configuration may be written freely until [`fabricate`] is called;
+/// afterwards every write fails with [`DriverError::AlreadyFabricated`] —
+/// the paper's "infinite control delay", ROM versus RAM.
+///
+/// [`fabricate`]: PassiveDriver::fabricate
+#[derive(Debug)]
+pub struct PassiveDriver {
+    spec: HardwareSpec,
+    config: Option<SurfaceConfig>,
+    fabricated: bool,
+}
+
+impl PassiveDriver {
+    /// Creates a driver for a passive spec (not yet fabricated).
+    ///
+    /// # Panics
+    /// Panics if the spec is programmable or invalid.
+    pub fn new(spec: HardwareSpec) -> Self {
+        spec.validate().expect("invalid hardware spec");
+        assert!(spec.is_passive(), "use ProgrammableDriver for programmable designs");
+        PassiveDriver {
+            spec,
+            config: None,
+            fabricated: false,
+        }
+    }
+
+    /// Freezes the current configuration into the physical pattern.
+    ///
+    /// # Errors
+    /// Fails if no configuration has been loaded or if already fabricated.
+    pub fn fabricate(&mut self) -> Result<(), DriverError> {
+        if self.fabricated {
+            return Err(DriverError::AlreadyFabricated);
+        }
+        if self.config.is_none() {
+            return Err(DriverError::NotFabricated);
+        }
+        self.fabricated = true;
+        Ok(())
+    }
+
+    /// Whether the surface has been fabricated.
+    pub fn is_fabricated(&self) -> bool {
+        self.fabricated
+    }
+}
+
+impl SurfaceDriver for PassiveDriver {
+    fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    fn load_config(
+        &mut self,
+        slot: usize,
+        config: SurfaceConfig,
+        _now: TimeMs,
+    ) -> Result<(), DriverError> {
+        check_slot(&self.spec, slot)?;
+        if self.fabricated {
+            return Err(DriverError::AlreadyFabricated);
+        }
+        if config.len() != self.spec.element_count() {
+            return Err(DriverError::LengthMismatch {
+                expected: self.spec.element_count(),
+                got: config.len(),
+            });
+        }
+        config
+            .validate()
+            .map_err(|what| DriverError::OutOfRange { what })?;
+        self.config = Some(config);
+        Ok(())
+    }
+
+    fn set_frequency(&mut self, _: usize, _: f64, _: TimeMs) -> Result<(), DriverError> {
+        Err(DriverError::UnsupportedControl {
+            primitive: "set_frequency",
+        })
+    }
+
+    fn set_polarization(&mut self, _: usize, _: f64, _: TimeMs) -> Result<(), DriverError> {
+        Err(DriverError::UnsupportedControl {
+            primitive: "set_polarization",
+        })
+    }
+
+    fn activate_slot(&mut self, slot: usize) -> Result<(), DriverError> {
+        check_slot(&self.spec, slot) // slot 0 is the only one; always active
+    }
+
+    fn active_slot(&self) -> usize {
+        0
+    }
+
+    fn stored_config(&self, slot: usize) -> Result<Option<SurfaceConfig>, DriverError> {
+        check_slot(&self.spec, slot)?;
+        Ok(self.config.clone())
+    }
+
+    fn tick(&mut self, _now: TimeMs) -> usize {
+        0 // nothing is ever pending
+    }
+
+    fn realized_response(&self) -> Vec<Complex> {
+        match &self.config {
+            Some(cfg) => realize(&self.spec, cfg),
+            None => vec![Complex::ONE; self.spec.element_count()],
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::granularity::Reconfigurability;
+    use crate::spec::{ControlCapability, SurfaceMode};
+    use std::f64::consts::PI;
+    use surfos_em::band::NamedBand;
+
+    fn prog_spec() -> HardwareSpec {
+        HardwareSpec {
+            model: "prog-test".into(),
+            band: NamedBand::MmWave28GHz.band(),
+            mode: SurfaceMode::Reflective,
+            capabilities: vec![
+                ControlCapability::Phase { bits: 2 },
+                ControlCapability::Amplitude { levels: 8 },
+            ],
+            reconfigurability: Reconfigurability::ElementWise,
+            rows: 2,
+            cols: 2,
+            pitch_m: 0.005,
+            efficiency: 0.8,
+            control_delay_us: Some(2000), // 2 ms
+            config_slots: 4,
+            cost_per_element_usd: 2.0,
+            base_cost_usd: 100.0,
+            power_mw: 300.0,
+        }
+    }
+
+    fn passive_spec() -> HardwareSpec {
+        HardwareSpec {
+            model: "passive-test".into(),
+            band: NamedBand::MmWave60GHz.band(),
+            mode: SurfaceMode::Reflective,
+            capabilities: vec![ControlCapability::Phase { bits: 2 }],
+            reconfigurability: Reconfigurability::Passive,
+            rows: 2,
+            cols: 2,
+            pitch_m: 0.0025,
+            efficiency: 0.9,
+            control_delay_us: None,
+            config_slots: 1,
+            cost_per_element_usd: 0.001,
+            base_cost_usd: 5.0,
+            power_mw: 0.0,
+        }
+    }
+
+    #[test]
+    fn control_delay_gates_commit() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        d.shift_phase(0, &[0.0, PI, 0.0, PI], 1000).unwrap();
+        assert_eq!(d.pending_writes(), 1);
+        // Before the delay elapses the slot is still empty.
+        assert_eq!(d.tick(1001), 0);
+        assert!(d.stored_config(0).unwrap().is_none());
+        // After 2 ms it lands.
+        assert_eq!(d.tick(1002), 1);
+        let cfg = d.stored_config(0).unwrap().expect("committed");
+        assert!((cfg.elements[1].phase - PI).abs() < 1e-12);
+        assert_eq!(d.pending_writes(), 0);
+    }
+
+    #[test]
+    fn newer_write_supersedes_pending() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        d.shift_phase(0, &[0.0; 4], 0).unwrap();
+        d.shift_phase(0, &[PI; 4], 1).unwrap();
+        assert_eq!(d.pending_writes(), 1);
+        d.tick(100);
+        let cfg = d.stored_config(0).unwrap().unwrap();
+        assert!((cfg.elements[0].phase - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_to_different_slots_coexist() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        d.shift_phase(0, &[0.0; 4], 0).unwrap();
+        d.shift_phase(1, &[PI; 4], 0).unwrap();
+        assert_eq!(d.pending_writes(), 2);
+        assert_eq!(d.tick(100), 2);
+    }
+
+    #[test]
+    fn activation_is_immediate() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        d.shift_phase(2, &[PI; 4], 0).unwrap();
+        d.tick(100);
+        assert_eq!(d.active_slot(), 0);
+        d.activate_slot(2).unwrap();
+        assert_eq!(d.active_slot(), 2);
+        let resp = d.realized_response();
+        // 2-bit quantized π stays π; unit programmed magnitude.
+        for r in resp {
+            assert!((r.abs() - 1.0).abs() < 1e-12);
+            assert!((surfos_em::phase::wrap_phase(r.arg()) - PI).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn realized_response_quantizes() {
+        let mut d = ProgrammableDriver::new(prog_spec()); // 2-bit
+        d.shift_phase(0, &[0.3, 1.7, 3.3, 4.9], 0).unwrap();
+        d.tick(100);
+        let resp = d.realized_response();
+        for r in &resp {
+            let phase = surfos_em::phase::wrap_phase(r.arg());
+            let q = surfos_em::phase::quantize_phase(phase, 2);
+            assert!((phase - q).abs() < 1e-9, "phase {phase} not on 2-bit lattice");
+        }
+    }
+
+    #[test]
+    fn unconfigured_hardware_is_specular() {
+        let d = ProgrammableDriver::new(prog_spec());
+        for r in d.realized_response() {
+            assert!((r - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_slot_rejected() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        let err = d.shift_phase(9, &[0.0; 4], 0).unwrap_err();
+        assert!(matches!(err, DriverError::InvalidSlot { slot: 9, slots: 4 }));
+        assert!(matches!(
+            d.activate_slot(4).unwrap_err(),
+            DriverError::InvalidSlot { .. }
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        let err = d.shift_phase(0, &[0.0; 3], 0).unwrap_err();
+        assert!(matches!(
+            err,
+            DriverError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn amplitude_preserves_phase() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        d.shift_phase(0, &[PI; 4], 0).unwrap();
+        d.tick(100);
+        d.set_amplitude(0, &[0.5, 1.0, 0.0, 0.25], 100).unwrap();
+        d.tick(200);
+        let cfg = d.stored_config(0).unwrap().unwrap();
+        assert!((cfg.elements[0].amplitude - 0.5).abs() < 1e-12);
+        assert!((cfg.elements[0].phase - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_out_of_range_rejected() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        assert!(matches!(
+            d.set_amplitude(0, &[1.5, 0.0, 0.0, 0.0], 0).unwrap_err(),
+            DriverError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn unsupported_primitives_rejected() {
+        let mut d = ProgrammableDriver::new(prog_spec());
+        assert!(matches!(
+            d.set_frequency(0, 1e6, 0).unwrap_err(),
+            DriverError::UnsupportedControl { .. }
+        ));
+        assert!(matches!(
+            d.set_polarization(0, 0.1, 0).unwrap_err(),
+            DriverError::UnsupportedControl { .. }
+        ));
+    }
+
+    #[test]
+    fn frequency_control_when_supported() {
+        let mut spec = prog_spec();
+        spec.capabilities.push(ControlCapability::Frequency {
+            tunable_range_hz: 2e9,
+        });
+        let mut d = ProgrammableDriver::new(spec);
+        d.set_frequency(0, 0.5e9, 0).unwrap();
+        d.tick(100);
+        assert_eq!(
+            d.stored_config(0).unwrap().unwrap().frequency_shift_hz,
+            Some(0.5e9)
+        );
+        assert!(matches!(
+            d.set_frequency(0, 1.5e9, 100).unwrap_err(),
+            DriverError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn passive_lifecycle() {
+        let mut d = PassiveDriver::new(passive_spec());
+        // Cannot fabricate before a pattern is loaded.
+        assert!(matches!(d.fabricate().unwrap_err(), DriverError::NotFabricated));
+        d.load_config(0, SurfaceConfig::from_phases(&[0.0, PI, 0.0, PI]), 0)
+            .unwrap();
+        // Design iteration: overwrite before fabrication is fine.
+        d.load_config(0, SurfaceConfig::from_phases(&[PI; 4]), 0)
+            .unwrap();
+        d.fabricate().unwrap();
+        assert!(d.is_fabricated());
+        // Frozen afterwards.
+        assert!(matches!(
+            d.load_config(0, SurfaceConfig::identity(4), 0).unwrap_err(),
+            DriverError::AlreadyFabricated
+        ));
+        assert!(matches!(d.fabricate().unwrap_err(), DriverError::AlreadyFabricated));
+        // But it actuates what was frozen.
+        let resp = d.realized_response();
+        assert!((surfos_em::phase::wrap_phase(resp[0].arg()) - PI).abs() < 1e-9);
+        assert_eq!(d.tick(12345), 0);
+    }
+
+    #[test]
+    fn passive_rejects_dynamic_primitives() {
+        let mut d = PassiveDriver::new(passive_spec());
+        assert!(d.set_frequency(0, 1.0, 0).is_err());
+        assert!(d.set_polarization(0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut drivers: Vec<Box<dyn SurfaceDriver>> = vec![
+            Box::new(ProgrammableDriver::new(prog_spec())),
+            Box::new(PassiveDriver::new(passive_spec())),
+        ];
+        for d in &mut drivers {
+            let n = d.spec().element_count();
+            d.shift_phase(0, &vec![0.0; n], 0).unwrap();
+            d.tick(1_000_000);
+            assert_eq!(d.realized_response().len(), n);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Driver error type.
+
+/// Errors returned by the unified driver primitives.
+///
+/// These are *recoverable, expected* conditions — a caller asking hardware
+/// for something it cannot do — so they are values, not panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The design does not support this control primitive (e.g.
+    /// `set_amplitude` on a phase-only surface).
+    UnsupportedControl {
+        /// The primitive that was requested.
+        primitive: &'static str,
+    },
+    /// The supplied configuration has the wrong element count.
+    LengthMismatch {
+        /// Element count the hardware has.
+        expected: usize,
+        /// Element count supplied.
+        got: usize,
+    },
+    /// The configuration slot index is out of range for this hardware.
+    InvalidSlot {
+        /// The requested slot.
+        slot: usize,
+        /// Number of slots the hardware stores.
+        slots: usize,
+    },
+    /// A passive surface has already been fabricated; its configuration is
+    /// frozen ("infinite control delay").
+    AlreadyFabricated,
+    /// A passive surface must be fabricated before it can actuate.
+    NotFabricated,
+    /// A supplied value is outside the hardware's range.
+    OutOfRange {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// A wire-format message could not be decoded.
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::UnsupportedControl { primitive } => {
+                write!(f, "hardware does not support {primitive}")
+            }
+            DriverError::LengthMismatch { expected, got } => {
+                write!(f, "configuration has {got} elements, hardware has {expected}")
+            }
+            DriverError::InvalidSlot { slot, slots } => {
+                write!(f, "slot {slot} out of range (hardware stores {slots})")
+            }
+            DriverError::AlreadyFabricated => {
+                write!(f, "passive surface already fabricated; configuration frozen")
+            }
+            DriverError::NotFabricated => {
+                write!(f, "passive surface not fabricated yet")
+            }
+            DriverError::OutOfRange { what } => write!(f, "value out of range: {what}"),
+            DriverError::Malformed { what } => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DriverError::LengthMismatch {
+            expected: 64,
+            got: 16,
+        };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("64"));
+        assert!(DriverError::AlreadyFabricated.to_string().contains("frozen"));
+        assert!(DriverError::UnsupportedControl {
+            primitive: "set_amplitude"
+        }
+        .to_string()
+        .contains("set_amplitude"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DriverError::NotFabricated);
+    }
+}

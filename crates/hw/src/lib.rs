@@ -1,0 +1,43 @@
+//! # surfos-hw
+//!
+//! The SurfOS **hardware manager** (paper §3.1): the layer that masks
+//! heterogeneous metasurface hardware behind unified programming
+//! interfaces, the way device drivers mask disks behind `read()`/`write()`.
+//!
+//! - [`spec`]: hardware specifications — what a design *can* do (bands,
+//!   control primitives, granularity, control delay, cost), explicitly
+//!   exposed so the orchestrator can model behaviour correctly.
+//! - [`config`]: surface configurations — arrays of per-element signal
+//!   property alterations, the input to every driver primitive.
+//! - [`granularity`]: reconfigurability models (element-/column-/row-wise,
+//!   passive) and the projection of ideal configs onto what hardware can
+//!   realize, including phase quantization.
+//! - [`driver`]: the unified [`driver::SurfaceDriver`] trait —
+//!   `shift_phase()`, `set_amplitude()`, … — with programmable and passive
+//!   implementations, local configuration slots and control-delay
+//!   modelling (the paper's decoupled control/data plane).
+//! - [`wire`]: the binary format configurations travel in between the
+//!   control plane and a surface's local controller.
+//! - [`registry`]: the device registry for surface and non-surface
+//!   hardware (APs, sensors, base stations).
+//! - [`designs`]: the Table-1 database — all 13 published surface designs
+//!   as loadable specs.
+//! - [`cost`]: the cost/size model behind the paper's Figure 4 trade-offs.
+
+pub mod config;
+pub mod cost;
+pub mod designs;
+pub mod driver;
+pub mod error;
+pub mod granularity;
+pub mod nonsurface;
+pub mod registry;
+pub mod spec;
+pub mod wire;
+
+pub use config::{ElementState, SurfaceConfig};
+pub use driver::{PassiveDriver, ProgrammableDriver, SurfaceDriver};
+pub use error::DriverError;
+pub use granularity::Reconfigurability;
+pub use registry::DeviceRegistry;
+pub use spec::{ControlCapability, HardwareSpec};

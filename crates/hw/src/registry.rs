@@ -1,0 +1,204 @@
+//! The device registry: every surface driver and non-surface device SurfOS
+//! manages, addressable by id and discoverable by capability.
+
+use crate::driver::SurfaceDriver;
+use crate::nonsurface::NonSurfaceDevice;
+use std::collections::BTreeMap;
+
+/// The hardware manager's device table.
+///
+/// Surfaces are keyed by id and owned as boxed [`SurfaceDriver`] trait
+/// objects — the registry neither knows nor cares which design is behind
+/// each driver, which is the point of the unified interface.
+#[derive(Default)]
+pub struct DeviceRegistry {
+    surfaces: BTreeMap<String, Box<dyn SurfaceDriver>>,
+    others: BTreeMap<String, NonSurfaceDevice>,
+}
+
+impl DeviceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a surface driver under an id.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids — device naming is the operator's
+    /// responsibility and a collision is a deployment bug.
+    pub fn register_surface(&mut self, id: impl Into<String>, driver: Box<dyn SurfaceDriver>) {
+        let id = id.into();
+        assert!(
+            !self.surfaces.contains_key(&id),
+            "duplicate surface id {id:?}"
+        );
+        self.surfaces.insert(id, driver);
+    }
+
+    /// Registers a non-surface device.
+    ///
+    /// # Panics
+    /// Panics on duplicate ids.
+    pub fn register_device(&mut self, device: NonSurfaceDevice) {
+        assert!(
+            !self.others.contains_key(&device.id),
+            "duplicate device id {:?}",
+            device.id
+        );
+        self.others.insert(device.id.clone(), device);
+    }
+
+    /// Removes a surface, returning its driver (e.g. for redeployment).
+    pub fn unregister_surface(&mut self, id: &str) -> Option<Box<dyn SurfaceDriver>> {
+        self.surfaces.remove(id)
+    }
+
+    /// Looks up a surface driver.
+    pub fn surface(&self, id: &str) -> Option<&dyn SurfaceDriver> {
+        self.surfaces.get(id).map(|b| b.as_ref())
+    }
+
+    /// Looks up a surface driver mutably.
+    pub fn surface_mut(&mut self, id: &str) -> Option<&mut Box<dyn SurfaceDriver>> {
+        self.surfaces.get_mut(id)
+    }
+
+    /// Looks up a non-surface device.
+    pub fn device(&self, id: &str) -> Option<&NonSurfaceDevice> {
+        self.others.get(id)
+    }
+
+    /// Iterates over surface ids (sorted).
+    pub fn surface_ids(&self) -> impl Iterator<Item = &str> {
+        self.surfaces.keys().map(String::as_str)
+    }
+
+    /// Iterates over surface drivers with their ids.
+    pub fn surfaces(&self) -> impl Iterator<Item = (&str, &dyn SurfaceDriver)> {
+        self.surfaces.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
+    }
+
+    /// Iterates mutably over surface drivers with their ids.
+    pub fn surfaces_mut(&mut self) -> impl Iterator<Item = (&str, &mut Box<dyn SurfaceDriver>)> {
+        self.surfaces.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered surfaces.
+    pub fn surface_count(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Number of registered non-surface devices.
+    pub fn device_count(&self) -> usize {
+        self.others.len()
+    }
+
+    /// Surfaces whose design band contains `freq_hz` — the set a service
+    /// on that spectrum can recruit.
+    pub fn surfaces_serving(&self, freq_hz: f64) -> Vec<&str> {
+        self.surfaces
+            .iter()
+            .filter(|(_, d)| d.spec().band.contains(freq_hz))
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Advances all drivers' clocks; returns total committed writes.
+    pub fn tick_all(&mut self, now: crate::driver::TimeMs) -> usize {
+        self.surfaces.values_mut().map(|d| d.tick(now)).sum()
+    }
+}
+
+impl std::fmt::Debug for DeviceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceRegistry")
+            .field("surfaces", &self.surfaces.keys().collect::<Vec<_>>())
+            .field("devices", &self.others.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs;
+    use crate::driver::{PassiveDriver, ProgrammableDriver};
+
+    fn registry() -> DeviceRegistry {
+        let mut r = DeviceRegistry::new();
+        r.register_surface(
+            "wall-a",
+            Box::new(ProgrammableDriver::new(designs::scatter_mimo())),
+        );
+        r.register_surface(
+            "wall-b",
+            Box::new(PassiveDriver::new(designs::milli_mirror())),
+        );
+        r.register_device(NonSurfaceDevice::ap("ap0"));
+        r
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let r = registry();
+        assert_eq!(r.surface_count(), 2);
+        assert_eq!(r.device_count(), 1);
+        assert!(r.surface("wall-a").is_some());
+        assert!(r.surface("nope").is_none());
+        assert!(r.device("ap0").is_some());
+        let ids: Vec<_> = r.surface_ids().collect();
+        assert_eq!(ids, vec!["wall-a", "wall-b"]);
+    }
+
+    #[test]
+    fn capability_discovery_by_band() {
+        let r = registry();
+        // ScatterMIMO is a 5 GHz design; MilliMirror is 60 GHz.
+        let at_5ghz = r.surfaces_serving(5.25e9);
+        assert_eq!(at_5ghz, vec!["wall-a"]);
+        let at_60ghz = r.surfaces_serving(60.48e9);
+        assert_eq!(at_60ghz, vec!["wall-b"]);
+        assert!(r.surfaces_serving(1e9).is_empty());
+    }
+
+    #[test]
+    fn unregister_returns_driver() {
+        let mut r = registry();
+        let d = r.unregister_surface("wall-a").expect("present");
+        assert_eq!(d.spec().model, "ScatterMIMO");
+        assert_eq!(r.surface_count(), 1);
+        assert!(r.unregister_surface("wall-a").is_none());
+    }
+
+    #[test]
+    fn tick_all_commits_pending() {
+        let mut r = registry();
+        let n = {
+            let d = r.surface_mut("wall-a").unwrap();
+            let n = d.spec().element_count();
+            d.shift_phase(0, &vec![1.0; n], 0).unwrap();
+            n
+        };
+        assert_eq!(r.tick_all(1_000_000), 1);
+        let d = r.surface("wall-a").unwrap();
+        assert_eq!(d.stored_config(0).unwrap().unwrap().len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate surface id")]
+    fn duplicate_surface_rejected() {
+        let mut r = registry();
+        r.register_surface(
+            "wall-a",
+            Box::new(ProgrammableDriver::new(designs::scatter_mimo())),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device id")]
+    fn duplicate_device_rejected() {
+        let mut r = registry();
+        r.register_device(NonSurfaceDevice::ap("ap0"));
+    }
+}

@@ -1,0 +1,393 @@
+//! The configuration wire format.
+//!
+//! The control plane may live at the edge or in the cloud; surfaces have
+//! tiny local controllers. Configurations therefore travel as compact
+//! binary messages: quantized state indices packed at the design's native
+//! bit depth, framed with a versioned header and a checksum. An element-
+//! wise 2-bit config for a 4096-element surface is 1 KiB + 16 bytes —
+//! small enough for a low-rate control channel.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! magic  u32  = 0x53554646 ("SUFF")
+//! ver    u8   = 1
+//! flags  u8   (bit 0: has frequency shift; bit 1: has polarization)
+//! slot   u16
+//! count  u32  element count
+//! bits   u8   phase bits (1..=16)
+//! amp    u8   amplitude levels (0 = amplitude not encoded, all 1.0)
+//! [freq f64]  present when flag bit 0
+//! [pol  f64]  present when flag bit 1
+//! payload     packed phase indices, then packed amplitude indices
+//! crc    u32  FNV-1a over everything before it
+//! ```
+
+use crate::config::{ElementState, SurfaceConfig};
+use crate::error::DriverError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use surfos_em::phase::{phase_from_state_index, phase_state_index};
+
+const MAGIC: u32 = 0x5355_4646;
+const VERSION: u8 = 1;
+
+/// A decoded configuration message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFrame {
+    /// Destination slot.
+    pub slot: u16,
+    /// The configuration.
+    pub config: SurfaceConfig,
+}
+
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in data {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Packs `values` (each < 2^bits) at `bits` per value into bytes.
+fn pack_bits(values: &[u32], bits: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity((values.len() * bits as usize).div_ceil(8));
+    let mut acc: u64 = 0;
+    let mut nbits = 0u32;
+    for &v in values {
+        acc = (acc << bits) | (v as u64 & ((1u64 << bits) - 1));
+        nbits += bits as u32;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push(((acc >> nbits) & 0xff) as u8);
+        }
+    }
+    if nbits > 0 {
+        out.push(((acc << (8 - nbits)) & 0xff) as u8);
+    }
+    out
+}
+
+/// Unpacks `count` values at `bits` per value.
+fn unpack_bits(data: &[u8], count: usize, bits: u8) -> Option<Vec<u32>> {
+    let needed = (count * bits as usize).div_ceil(8);
+    if data.len() < needed {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut acc: u64 = 0;
+    let mut nbits = 0u32;
+    let mut iter = data.iter();
+    for _ in 0..count {
+        while nbits < bits as u32 {
+            acc = (acc << 8) | (*iter.next()? as u64);
+            nbits += 8;
+        }
+        nbits -= bits as u32;
+        out.push(((acc >> nbits) & ((1u64 << bits) - 1)) as u32);
+    }
+    Some(out)
+}
+
+/// Encodes a configuration for transmission to a surface controller.
+///
+/// `phase_bits` is the design's quantization depth; `amp_levels` the
+/// number of amplitude levels (0 or 1 to skip amplitude encoding).
+///
+/// ```
+/// use surfos_hw::wire::{encode, decode, ConfigFrame};
+/// use surfos_hw::SurfaceConfig;
+///
+/// let frame = ConfigFrame { slot: 2, config: SurfaceConfig::from_phases(&[0.0, 3.14]) };
+/// let bytes = encode(&frame, 2, 0);
+/// let (decoded, bits, _) = decode(bytes).unwrap();
+/// assert_eq!(decoded.slot, 2);
+/// assert_eq!(bits, 2);
+/// ```
+///
+/// # Panics
+/// Panics if `phase_bits` is 0 or above 16 (spec validation catches this
+/// earlier; reaching here is a bug).
+pub fn encode(frame: &ConfigFrame, phase_bits: u8, amp_levels: u8) -> Bytes {
+    assert!((1..=16).contains(&phase_bits), "phase bits out of range");
+    let cfg = &frame.config;
+    let mut buf = BytesMut::with_capacity(64 + cfg.len());
+    buf.put_u32(MAGIC);
+    buf.put_u8(VERSION);
+    let mut flags = 0u8;
+    if cfg.frequency_shift_hz.is_some() {
+        flags |= 1;
+    }
+    if cfg.polarization_rot.is_some() {
+        flags |= 2;
+    }
+    buf.put_u8(flags);
+    buf.put_u16(frame.slot);
+    buf.put_u32(cfg.len() as u32);
+    buf.put_u8(phase_bits);
+    let encode_amp = amp_levels >= 2;
+    buf.put_u8(if encode_amp { amp_levels } else { 0 });
+    if let Some(f) = cfg.frequency_shift_hz {
+        buf.put_f64(f);
+    }
+    if let Some(p) = cfg.polarization_rot {
+        buf.put_f64(p);
+    }
+    let phase_idx: Vec<u32> = cfg
+        .elements
+        .iter()
+        .map(|e| phase_state_index(e.phase, phase_bits))
+        .collect();
+    buf.put_slice(&pack_bits(&phase_idx, phase_bits));
+    if encode_amp {
+        let max = (amp_levels - 1) as f64;
+        let amp_bits = (32 - (amp_levels as u32 - 1).leading_zeros()) as u8;
+        let amp_idx: Vec<u32> = cfg
+            .elements
+            .iter()
+            .map(|e| (e.amplitude * max).round() as u32)
+            .collect();
+        buf.put_slice(&pack_bits(&amp_idx, amp_bits));
+    }
+    let crc = fnv1a(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Decodes a configuration message. Returns the frame and the quantization
+/// parameters it carried.
+pub fn decode(mut data: Bytes) -> Result<(ConfigFrame, u8, u8), DriverError> {
+    let malformed = |what: &str| DriverError::Malformed { what: what.into() };
+    let total = data.len();
+    if total < 18 {
+        return Err(malformed("too short"));
+    }
+    // Verify checksum first.
+    let body = &data[..total - 4];
+    let want_crc = u32::from_be_bytes(data[total - 4..].try_into().expect("4 bytes"));
+    if fnv1a(body) != want_crc {
+        return Err(malformed("checksum mismatch"));
+    }
+    if data.get_u32() != MAGIC {
+        return Err(malformed("bad magic"));
+    }
+    if data.get_u8() != VERSION {
+        return Err(malformed("unsupported version"));
+    }
+    let flags = data.get_u8();
+    let slot = data.get_u16();
+    let count = data.get_u32() as usize;
+    if count == 0 || count > 1_000_000 {
+        return Err(malformed("implausible element count"));
+    }
+    let phase_bits = data.get_u8();
+    if !(1..=16).contains(&phase_bits) {
+        return Err(malformed("phase bits out of range"));
+    }
+    let amp_levels = data.get_u8();
+    let freq = if flags & 1 != 0 {
+        if data.remaining() < 8 {
+            return Err(malformed("truncated frequency field"));
+        }
+        Some(data.get_f64())
+    } else {
+        None
+    };
+    let pol = if flags & 2 != 0 {
+        if data.remaining() < 8 {
+            return Err(malformed("truncated polarization field"));
+        }
+        Some(data.get_f64())
+    } else {
+        None
+    };
+    let payload = &data[..data.len() - 4]; // exclude crc
+    let phase_bytes = (count * phase_bits as usize).div_ceil(8);
+    let phase_idx = unpack_bits(payload, count, phase_bits)
+        .ok_or_else(|| malformed("truncated phase payload"))?;
+    let amplitudes: Vec<f64> = if amp_levels >= 2 {
+        let amp_bits = (32 - (amp_levels as u32 - 1).leading_zeros()) as u8;
+        let rest = payload
+            .get(phase_bytes..)
+            .ok_or_else(|| malformed("truncated amplitude payload"))?;
+        let idx = unpack_bits(rest, count, amp_bits)
+            .ok_or_else(|| malformed("truncated amplitude payload"))?;
+        let max = (amp_levels - 1) as f64;
+        idx.into_iter().map(|i| (i as f64 / max).min(1.0)).collect()
+    } else {
+        vec![1.0; count]
+    };
+    let elements = phase_idx
+        .into_iter()
+        .zip(amplitudes)
+        .map(|(pi, amplitude)| ElementState {
+            phase: phase_from_state_index(pi, phase_bits),
+            amplitude,
+        })
+        .collect();
+    Ok((
+        ConfigFrame {
+            slot,
+            config: SurfaceConfig {
+                elements,
+                frequency_shift_hz: freq,
+                polarization_rot: pol,
+            },
+        },
+        phase_bits,
+        amp_levels,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::TAU;
+    use surfos_em::phase::quantize_phase;
+
+    fn frame(n: usize) -> ConfigFrame {
+        let phases: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % TAU).collect();
+        ConfigFrame {
+            slot: 3,
+            config: SurfaceConfig::from_phases(&phases),
+        }
+    }
+
+    #[test]
+    fn roundtrip_phase_only() {
+        let f = frame(64);
+        let bytes = encode(&f, 3, 0);
+        let (decoded, bits, amp) = decode(bytes).unwrap();
+        assert_eq!(bits, 3);
+        assert_eq!(amp, 0);
+        assert_eq!(decoded.slot, 3);
+        assert_eq!(decoded.config.len(), 64);
+        for (d, o) in decoded.config.elements.iter().zip(&f.config.elements) {
+            assert!((d.phase - quantize_phase(o.phase, 3)).abs() < 1e-9);
+            assert_eq!(d.amplitude, 1.0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_amplitude_and_extras() {
+        let mut f = frame(10);
+        for (i, e) in f.config.elements.iter_mut().enumerate() {
+            e.amplitude = i as f64 / 9.0;
+        }
+        f.config.frequency_shift_hz = Some(1.5e8);
+        f.config.polarization_rot = Some(0.7);
+        let bytes = encode(&f, 2, 8);
+        let (decoded, _, amp) = decode(bytes).unwrap();
+        assert_eq!(amp, 8);
+        assert_eq!(decoded.config.frequency_shift_hz, Some(1.5e8));
+        assert_eq!(decoded.config.polarization_rot, Some(0.7));
+        for (d, o) in decoded.config.elements.iter().zip(&f.config.elements) {
+            assert!((d.amplitude - o.amplitude).abs() <= 0.5 / 7.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        // 4096 elements at 2 bits: 1024 payload bytes + small framing.
+        let f = frame(4096);
+        let bytes = encode(&f, 2, 0);
+        assert!(bytes.len() < 1024 + 32, "len={}", bytes.len());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let f = frame(16);
+        let bytes = encode(&f, 2, 0);
+        let mut raw = bytes.to_vec();
+        raw[10] ^= 0xff;
+        let err = decode(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, DriverError::Malformed { .. }));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let f = frame(16);
+        let bytes = encode(&f, 2, 0);
+        let raw = bytes.slice(..bytes.len() - 6);
+        assert!(decode(raw).is_err());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let f = frame(4);
+        let bytes = encode(&f, 1, 0);
+        let mut raw = bytes.to_vec();
+        raw[0] = 0x00;
+        // fix the crc so only the magic is wrong
+        let n = raw.len();
+        let crc = super::fnv1a(&raw[..n - 4]);
+        raw[n - 4..].copy_from_slice(&crc.to_be_bytes());
+        let err = decode(Bytes::from(raw)).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::Malformed {
+                what: "bad magic".into()
+            }
+        );
+    }
+
+    #[test]
+    fn pack_unpack_exact() {
+        let values = vec![0u32, 1, 2, 3, 3, 2, 1, 0, 1];
+        for bits in [2u8, 3, 5, 8] {
+            let packed = pack_bits(&values, bits);
+            let un = unpack_bits(&packed, values.len(), bits).unwrap();
+            assert_eq!(un, values, "bits={bits}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_config(
+            phases in prop::collection::vec(0.0..6.2f64, 1..200),
+            bits in 1u8..9,
+            slot in 0u16..16,
+        ) {
+            let f = ConfigFrame { slot, config: SurfaceConfig::from_phases(&phases) };
+            let bytes = encode(&f, bits, 0);
+            let (decoded, got_bits, _) = decode(bytes).unwrap();
+            prop_assert_eq!(got_bits, bits);
+            prop_assert_eq!(decoded.slot, slot);
+            prop_assert_eq!(decoded.config.len(), phases.len());
+            for (d, p) in decoded.config.elements.iter().zip(&phases) {
+                let q = quantize_phase(*p, bits);
+                prop_assert!((d.phase - q).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_decode_never_panics_on_garbage(
+            bytes in prop::collection::vec(prop::num::u8::ANY, 0..512)
+        ) {
+            // Arbitrary input must be rejected gracefully, never panic.
+            let _ = decode(Bytes::from(bytes));
+        }
+
+        #[test]
+        fn prop_truncations_never_panic(
+            phases in prop::collection::vec(0.0..6.2f64, 1..64),
+            cut in 0usize..100,
+        ) {
+            let f = ConfigFrame { slot: 0, config: SurfaceConfig::from_phases(&phases) };
+            let bytes = encode(&f, 2, 0);
+            let cut = cut.min(bytes.len());
+            let _ = decode(bytes.slice(..cut));
+        }
+
+        #[test]
+        fn prop_pack_roundtrip(
+            values in prop::collection::vec(0u32..256, 0..64),
+            bits in 8u8..=8,
+        ) {
+            let packed = pack_bits(&values, bits);
+            let un = unpack_bits(&packed, values.len(), bits).unwrap();
+            prop_assert_eq!(un, values);
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! Differentiable service objectives over surface configurations.
+//!
+//! Each objective scores a full multi-surface configuration (one complex
+//! response vector per deployed surface) and provides the analytic
+//! gradient of its loss with respect to every element phase. The paper's
+//! joint multitasking (§3.2, Figure 5) is a weighted sum of these
+//! ([`MultiObjective`]), minimized by [`crate::optimizer`].
+//!
+//! Loss conventions (matching §4):
+//! - coverage: the negative sum of link capacity across locations,
+//! - localization: cross-entropy between estimated and true AoA,
+//! - powering: negative log delivered power,
+//! - suppression (security): positive log leaked power.
+
+use surfos_channel::linear::Linearization;
+use surfos_channel::{ChannelSim, Endpoint};
+use surfos_em::complex::Complex;
+use surfos_em::units::{db_to_linear, dbm_to_watts};
+use surfos_geometry::Vec3;
+use surfos_sensing::aoa::{AngleGrid, AoaEstimator, AoaLinearization};
+use surfos_sensing::sounding::ap_calibration;
+
+/// A differentiable loss over multi-surface configurations.
+pub trait Objective: Send {
+    /// The loss at the given per-surface responses.
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64;
+
+    /// `∂loss/∂φ` for every element of every surface (same shape as
+    /// `responses`), assuming elements keep their current magnitudes.
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>>;
+}
+
+fn as_slices(responses: &[Vec<Complex>]) -> Vec<&[Complex]> {
+    responses.iter().map(Vec::as_slice).collect()
+}
+
+fn zero_grads(responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+    responses.iter().map(|r| vec![0.0; r.len()]).collect()
+}
+
+/// Coverage: maximize summed Shannon capacity over a set of locations.
+///
+/// `loss(r) = − Σ_i log2(1 + SNR_i(r))`, `SNR_i = |h_i(r)|² · scale`.
+pub struct CoverageObjective {
+    /// One linearized channel per evaluation location.
+    pub links: Vec<Linearization>,
+    /// `P_tx / N` in linear units: multiplying `|h|²` yields the SNR.
+    pub snr_scale: f64,
+}
+
+impl CoverageObjective {
+    /// Builds the objective for a transmitter over grid points, using the
+    /// receiver template's antenna/noise figure.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
+        assert!(!points.is_empty(), "coverage objective needs locations");
+        let links = points
+            .iter()
+            .map(|p| {
+                let mut rx = rx_template.clone();
+                rx.pose.position = *p;
+                sim.linearize(tx, &rx)
+            })
+            .collect();
+        let noise_dbm = surfos_em::noise::noise_power_dbm(
+            sim.band.bandwidth_hz,
+            rx_template.noise_figure_db,
+        );
+        let snr_scale = dbm_to_watts(tx.tx_power_dbm) / dbm_to_watts(noise_dbm);
+        CoverageObjective { links, snr_scale }
+    }
+
+    /// Per-location SNRs in dB at the given responses.
+    pub fn snrs_db(&self, responses: &[Vec<Complex>]) -> Vec<f64> {
+        let slices = as_slices(responses);
+        self.links
+            .iter()
+            .map(|l| {
+                let p = l.evaluate(&slices).norm_sqr() * self.snr_scale;
+                surfos_em::units::linear_to_db(p)
+            })
+            .collect()
+    }
+
+    /// Median SNR in dB (the Figure 4 metric).
+    pub fn median_snr_db(&self, responses: &[Vec<Complex>]) -> f64 {
+        let mut snrs = self.snrs_db(responses);
+        snrs.sort_by(f64::total_cmp);
+        let n = snrs.len();
+        if n % 2 == 1 {
+            snrs[n / 2]
+        } else {
+            (snrs[n / 2 - 1] + snrs[n / 2]) / 2.0
+        }
+    }
+}
+
+impl Objective for CoverageObjective {
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
+        let slices = as_slices(responses);
+        -self
+            .links
+            .iter()
+            .map(|l| {
+                let snr = l.evaluate(&slices).norm_sqr() * self.snr_scale;
+                (1.0 + snr).log2()
+            })
+            .sum::<f64>()
+    }
+
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        let slices = as_slices(responses);
+        let mut grads = zero_grads(responses);
+        let ln2 = std::f64::consts::LN_2;
+        for l in &self.links {
+            let snr = l.evaluate(&slices).norm_sqr() * self.snr_scale;
+            let factor = -self.snr_scale / ((1.0 + snr) * ln2);
+            for (s, grad_s) in grads.iter_mut().enumerate() {
+                if l.linear.iter().any(|t| t.surface == s)
+                    || l.bilinear.iter().any(|b| b.first == s || b.second == s)
+                {
+                    let dp = l.grad_power_wrt_phase(s, &slices);
+                    for (g, d) in grad_s.iter_mut().zip(dp) {
+                        *g += factor * d;
+                    }
+                }
+            }
+        }
+        grads
+    }
+}
+
+/// Localization: minimize the mean AoA cross-entropy over probe locations,
+/// for one sensing surface.
+pub struct LocalizationObjective {
+    /// Per-probe AoA linearizations (over the sensing surface's elements).
+    pub probes: Vec<AoaLinearization>,
+    /// Which surface (simulator index) does the sensing.
+    pub surface: usize,
+}
+
+impl LocalizationObjective {
+    /// Builds the objective: clients at `probe_points` are localized
+    /// through surface `surface_idx` by `ap`, over `grid` candidate
+    /// angles. Probe locations the surface cannot serve are skipped.
+    ///
+    /// # Panics
+    /// Panics if no probe location is servable (the sensing task is
+    /// infeasible — callers must check geometry first).
+    pub fn new(
+        sim: &ChannelSim,
+        surface_idx: usize,
+        ap: &Endpoint,
+        client_template: &Endpoint,
+        probe_points: &[Vec3],
+        grid: AngleGrid,
+    ) -> Self {
+        let surf = &sim.surfaces()[surface_idx];
+        let estimator = AoaEstimator::new(&surf.geometry, sim.band.wavenumber(), grid);
+        let cal = ap_calibration(sim, surface_idx, ap);
+        let probes: Vec<AoaLinearization> = probe_points
+            .iter()
+            .filter_map(|p| {
+                let mut client = client_template.clone();
+                client.pose.position = *p;
+                let lin = sim.linearize(&client, ap);
+                let term = lin.linear.iter().find(|t| t.surface == surface_idx)?;
+                let true_az = AngleGrid::azimuth_of(&surf.pose, *p);
+                Some(estimator.linearize(&term.coeffs, &cal, true_az))
+            })
+            .collect();
+        assert!(
+            !probes.is_empty(),
+            "no probe location is servable by surface {surface_idx}"
+        );
+        LocalizationObjective {
+            probes,
+            surface: surface_idx,
+        }
+    }
+
+    /// Per-probe cross-entropy losses.
+    pub fn losses(&self, responses: &[Vec<Complex>]) -> Vec<f64> {
+        let r = &responses[self.surface];
+        self.probes.iter().map(|p| p.loss(r)).collect()
+    }
+}
+
+impl Objective for LocalizationObjective {
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
+        let l = self.losses(responses);
+        l.iter().sum::<f64>() / l.len() as f64
+    }
+
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        let mut grads = zero_grads(responses);
+        let r = &responses[self.surface];
+        let n = self.probes.len() as f64;
+        for p in &self.probes {
+            for (g, d) in grads[self.surface].iter_mut().zip(p.grad_phase(r)) {
+                *g += d / n;
+            }
+        }
+        grads
+    }
+}
+
+/// Powering: maximize delivered power on one link.
+/// `loss = −ln(|h|² + ε)`.
+pub struct PoweringObjective {
+    /// The linearized channel to the powered device.
+    pub link: Linearization,
+}
+
+impl PoweringObjective {
+    /// Builds the objective for a tx → device link.
+    pub fn new(sim: &ChannelSim, tx: &Endpoint, device: &Endpoint) -> Self {
+        PoweringObjective {
+            link: sim.linearize(tx, device),
+        }
+    }
+
+    /// Delivered power in dBm at the given responses for a transmit power.
+    pub fn delivered_dbm(&self, responses: &[Vec<Complex>], tx_power_dbm: f64) -> f64 {
+        let h = self.link.evaluate(&as_slices(responses));
+        tx_power_dbm + surfos_em::units::amplitude_to_db(h.abs())
+    }
+}
+
+const POWER_EPS: f64 = 1e-30;
+
+impl Objective for PoweringObjective {
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
+        let p = self.link.evaluate(&as_slices(responses)).norm_sqr();
+        -(p + POWER_EPS).ln()
+    }
+
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        let slices = as_slices(responses);
+        let p = self.link.evaluate(&slices).norm_sqr();
+        let factor = -1.0 / (p + POWER_EPS);
+        let mut grads = zero_grads(responses);
+        for (s, grad_s) in grads.iter_mut().enumerate() {
+            let dp = self.link.grad_power_wrt_phase(s, &slices);
+            for (g, d) in grad_s.iter_mut().zip(dp) {
+                *g += factor * d;
+            }
+        }
+        grads
+    }
+}
+
+/// Security suppression: minimize leaked power into protected locations,
+/// down to a floor. `loss = Σ_i ln(max(|h_i|², floor) + ε)` — once a
+/// point's leak is below the floor the term (and its gradient) saturates,
+/// so joint objectives stop paying for suppression the goal doesn't need.
+pub struct SuppressionObjective {
+    /// Linearized channels into the protected region.
+    pub leaks: Vec<Linearization>,
+    /// Leak power (|h|², linear) below which the loss saturates.
+    /// Zero = suppress without limit.
+    pub floor: f64,
+}
+
+impl SuppressionObjective {
+    /// Builds the objective over protected points (no floor).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
+        assert!(!points.is_empty(), "suppression objective needs locations");
+        let leaks = points
+            .iter()
+            .map(|p| {
+                let mut rx = rx_template.clone();
+                rx.pose.position = *p;
+                sim.linearize(tx, &rx)
+            })
+            .collect();
+        SuppressionObjective { leaks, floor: 0.0 }
+    }
+
+    /// Saturates the loss once the leaked RSS falls below
+    /// `max_leak_dbm` for a transmitter at `tx_power_dbm` — the
+    /// [`crate::service::ServiceGoal::Suppression`] target.
+    pub fn with_goal(mut self, max_leak_dbm: f64, tx_power_dbm: f64) -> Self {
+        self.floor = db_to_linear(max_leak_dbm - tx_power_dbm);
+        self
+    }
+
+    /// Worst (highest) leaked RSS over the region, dBm.
+    pub fn worst_leak_dbm(&self, responses: &[Vec<Complex>], tx_power_dbm: f64) -> f64 {
+        let slices = as_slices(responses);
+        self.leaks
+            .iter()
+            .map(|l| {
+                tx_power_dbm
+                    + surfos_em::units::amplitude_to_db(l.evaluate(&slices).abs())
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl Objective for SuppressionObjective {
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
+        let slices = as_slices(responses);
+        self.leaks
+            .iter()
+            .map(|l| {
+                (l.evaluate(&slices).norm_sqr().max(self.floor) + POWER_EPS).ln()
+            })
+            .sum()
+    }
+
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        let slices = as_slices(responses);
+        let mut grads = zero_grads(responses);
+        for l in &self.leaks {
+            let p = l.evaluate(&slices).norm_sqr();
+            if p <= self.floor {
+                continue; // saturated: goal met at this point
+            }
+            let factor = 1.0 / (p + POWER_EPS);
+            for (s, grad_s) in grads.iter_mut().enumerate() {
+                let dp = l.grad_power_wrt_phase(s, &slices);
+                for (g, d) in grad_s.iter_mut().zip(dp) {
+                    *g += factor * d;
+                }
+            }
+        }
+        grads
+    }
+}
+
+/// A weighted sum of objectives — the joint multitasking loss of §4:
+/// "we minimize the sum of localization loss and coverage loss".
+#[derive(Default)]
+pub struct MultiObjective {
+    terms: Vec<(Box<dyn Objective>, f64)>,
+}
+
+impl MultiObjective {
+    /// An empty objective (zero loss).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a weighted term (builder style).
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative weights.
+    pub fn with(mut self, objective: Box<dyn Objective>, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and non-negative"
+        );
+        self.terms.push((objective, weight));
+        self
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been added.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl Objective for MultiObjective {
+    fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(o, w)| w * o.loss(responses))
+            .sum()
+    }
+
+    fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        let mut total = zero_grads(responses);
+        for (o, w) in &self.terms {
+            let g = o.grad_phase(responses);
+            for (ts, gs) in total.iter_mut().zip(g) {
+                for (t, gi) in ts.iter_mut().zip(gs) {
+                    *t += w * gi;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfos_channel::{OperationMode, SurfaceInstance};
+    use surfos_em::antenna::ElementPattern;
+    use surfos_em::array::ArrayGeometry;
+    use surfos_em::band::NamedBand;
+    use surfos_geometry::{FloorPlan, Pose};
+
+    fn setup() -> (ChannelSim, Endpoint, Endpoint) {
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(FloorPlan::new(), band);
+        let pose = Pose::wall_mounted(Vec3::new(0.0, 0.0, 1.5), Vec3::X);
+        let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+        sim.add_surface(SurfaceInstance::new(
+            "s0",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+        let ap = Endpoint::access_point(
+            "ap0",
+            Pose::wall_mounted(Vec3::new(5.0, -3.0, 2.0), Vec3::new(-1.0, 0.6, 0.0)),
+        );
+        let mut client = Endpoint::client("c0", Vec3::new(5.0, 3.0, 1.2));
+        client.pattern = ElementPattern::Isotropic;
+        (sim, ap, client)
+    }
+
+    fn grid_points() -> Vec<Vec3> {
+        vec![
+            Vec3::new(4.0, 2.0, 1.2),
+            Vec3::new(5.0, 3.0, 1.2),
+            Vec3::new(6.0, 2.5, 1.2),
+            Vec3::new(4.5, 3.5, 1.2),
+        ]
+    }
+
+    fn finite_diff_check(obj: &dyn Objective, responses: &[Vec<Complex>], elems: &[usize]) {
+        let grads = obj.grad_phase(responses);
+        let base = obj.loss(responses);
+        let eps = 1e-6;
+        for &e in elems {
+            let mut r = responses.to_vec();
+            r[0][e] *= Complex::cis(eps);
+            let fd = (obj.loss(&r) - base) / eps;
+            let g = grads[0][e];
+            assert!(
+                (fd - g).abs() < 1e-3 * (1.0 + fd.abs().max(g.abs())),
+                "elem {e}: fd={fd} grad={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_gradient_matches_fd() {
+        let (sim, ap, client) = setup();
+        let obj = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let responses: Vec<Vec<Complex>> = vec![(0..64)
+            .map(|i| Complex::cis(i as f64 * 0.13))
+            .collect()];
+        finite_diff_check(&obj, &responses, &[0, 17, 63]);
+    }
+
+    #[test]
+    fn coverage_descent_direction_improves_capacity() {
+        let (sim, ap, client) = setup();
+        let obj = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let responses: Vec<Vec<Complex>> = vec![vec![Complex::ONE; 64]];
+        let g = obj.grad_phase(&responses);
+        let step = 0.05;
+        let stepped: Vec<Vec<Complex>> = vec![responses[0]
+            .iter()
+            .zip(&g[0])
+            .map(|(r, gi)| *r * Complex::cis(-step * gi))
+            .collect()];
+        assert!(obj.loss(&stepped) <= obj.loss(&responses) + 1e-12);
+    }
+
+    #[test]
+    fn median_snr_reported() {
+        let (sim, ap, client) = setup();
+        let obj = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let responses: Vec<Vec<Complex>> = vec![vec![Complex::ONE; 64]];
+        let snrs = obj.snrs_db(&responses);
+        assert_eq!(snrs.len(), 4);
+        let med = obj.median_snr_db(&responses);
+        let mut sorted = snrs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!(med >= sorted[1] - 1e-9 && med <= sorted[2] + 1e-9);
+    }
+
+    #[test]
+    fn localization_gradient_matches_fd() {
+        let (sim, ap, client) = setup();
+        let obj = LocalizationObjective::new(
+            &sim,
+            0,
+            &ap,
+            &client,
+            &grid_points(),
+            AngleGrid::uniform(21, 1.2),
+        );
+        let responses: Vec<Vec<Complex>> = vec![(0..64)
+            .map(|i| Complex::cis((i * i) as f64 * 0.05))
+            .collect()];
+        finite_diff_check(&obj, &responses, &[3, 32]);
+    }
+
+    #[test]
+    fn powering_gradient_matches_fd() {
+        let (sim, ap, client) = setup();
+        let obj = PoweringObjective::new(&sim, &ap, &client);
+        let responses: Vec<Vec<Complex>> = vec![(0..64)
+            .map(|i| Complex::cis(i as f64 * 0.4))
+            .collect()];
+        finite_diff_check(&obj, &responses, &[5, 40]);
+    }
+
+    #[test]
+    fn suppression_prefers_nulls() {
+        let (sim, ap, client) = setup();
+        let obj = SuppressionObjective::new(&sim, &ap, &grid_points(), &client);
+        // Focusing the surface on a protected point must raise the loss
+        // relative to an anti-focused (scrambled) configuration.
+        let lin = sim.linearize(&ap, &{
+            let mut rx = client.clone();
+            rx.pose.position = grid_points()[0];
+            rx
+        });
+        let term = &lin.linear[0];
+        let focused: Vec<Vec<Complex>> =
+            vec![term.coeffs.iter().map(|c| Complex::cis(-c.arg())).collect()];
+        let scrambled: Vec<Vec<Complex>> = vec![(0..64)
+            .map(|i| Complex::cis((i * 37 % 64) as f64))
+            .collect()];
+        assert!(obj.loss(&focused) > obj.loss(&scrambled));
+    }
+
+    #[test]
+    fn multiobjective_weights_sum() {
+        let (sim, ap, client) = setup();
+        let cov = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let pow = PoweringObjective::new(&sim, &ap, &client);
+        let responses: Vec<Vec<Complex>> = vec![vec![Complex::ONE; 64]];
+        let l_cov = cov.loss(&responses);
+        let l_pow = pow.loss(&responses);
+        let multi = MultiObjective::new()
+            .with(Box::new(cov), 2.0)
+            .with(Box::new(pow), 0.5);
+        assert!((multi.loss(&responses) - (2.0 * l_cov + 0.5 * l_pow)).abs() < 1e-9);
+        assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn multiobjective_gradient_matches_fd() {
+        let (sim, ap, client) = setup();
+        let multi = MultiObjective::new()
+            .with(
+                Box::new(CoverageObjective::new(&sim, &ap, &grid_points(), &client)),
+                1.0,
+            )
+            .with(
+                Box::new(LocalizationObjective::new(
+                    &sim,
+                    0,
+                    &ap,
+                    &client,
+                    &grid_points(),
+                    AngleGrid::uniform(15, 1.2),
+                )),
+                0.3,
+            );
+        let responses: Vec<Vec<Complex>> = vec![(0..64)
+            .map(|i| Complex::cis(i as f64 * 0.09))
+            .collect()];
+        finite_diff_check(&multi, &responses, &[11, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs locations")]
+    fn empty_coverage_rejected() {
+        let (sim, ap, client) = setup();
+        let _ = CoverageObjective::new(&sim, &ap, &[], &client);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite")]
+    fn bad_weight_rejected() {
+        let (sim, ap, client) = setup();
+        let cov = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let _ = MultiObjective::new().with(Box::new(cov), -1.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The slice scheduler: admission, priority, sharing, preemption.
+//!
+//! Scheduling is recomputed per frame from the live task set in priority
+//! order, so preemption falls out naturally: when a high-priority task
+//! arrives, the next frame's schedule simply allocates to it first and
+//! lower-priority tasks keep whatever is left (possibly nothing — they
+//! stay pending until resources free up). Tasks marked *shareable* can be
+//! co-scheduled on the same slice as a multitask group whose configuration
+//! the optimizer solves jointly (§3.2's configuration multiplexing);
+//! non-shareable tasks get exclusive slices.
+
+use crate::slice::{Slice, SliceMap};
+use crate::task::TaskId;
+use std::collections::BTreeMap;
+
+/// The schedulable resource grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// Time slots per schedule frame.
+    pub slots_per_frame: usize,
+    /// Number of frequency bands managed.
+    pub bands: usize,
+    /// Number of deployed surfaces.
+    pub surfaces: usize,
+}
+
+/// One task's resource requirement for the coming frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Requirement {
+    /// The task.
+    pub task: TaskId,
+    /// Scheduling priority (higher first).
+    pub priority: u8,
+    /// Which band the task operates on.
+    pub band: usize,
+    /// Surfaces that can serve the task (the orchestrator computes
+    /// serviceability from geometry); all of them are claimed together.
+    pub surfaces: Vec<usize>,
+    /// Minimum time slots per frame the task needs to be admitted.
+    pub min_slots: usize,
+    /// Whether the task tolerates sharing a slice via joint optimization.
+    pub shareable: bool,
+}
+
+/// The outcome of scheduling one frame.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOutcome {
+    /// The slice assignments.
+    pub map: SliceMap,
+    /// Tasks that could not receive their minimum slots.
+    pub rejected: Vec<TaskId>,
+}
+
+/// The frame scheduler.
+#[derive(Debug, Default)]
+pub struct Scheduler;
+
+impl Scheduler {
+    /// Schedules a frame. Requirements are served in priority order
+    /// (ties: lower task id first, for determinism).
+    ///
+    /// # Panics
+    /// Panics if a requirement references a band/surface outside the
+    /// resource model, or requests zero surfaces or more slots than the
+    /// frame has — malformed requirements are orchestrator bugs.
+    pub fn schedule(requirements: &[Requirement], model: &ResourceModel) -> ScheduleOutcome {
+        for r in requirements {
+            assert!(r.band < model.bands, "band {} out of range", r.band);
+            assert!(
+                r.surfaces.iter().all(|s| *s < model.surfaces),
+                "surface out of range in task {}",
+                r.task
+            );
+            assert!(!r.surfaces.is_empty(), "task {} requests no surfaces", r.task);
+            assert!(
+                r.min_slots >= 1 && r.min_slots <= model.slots_per_frame,
+                "task {} min_slots {} outside frame",
+                r.task,
+                r.min_slots
+            );
+        }
+
+        let mut order: Vec<&Requirement> = requirements.iter().collect();
+        order.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.task.cmp(&b.task)));
+
+        let mut map = SliceMap::new();
+        // Occupancy bookkeeping: slice → (all members shareable?).
+        let mut shareable_at: BTreeMap<Slice, bool> = BTreeMap::new();
+        let mut rejected = Vec::new();
+
+        for req in order {
+            // A slot is usable if *every* slice (one per claimed surface)
+            // in the task's band is either free, or shareable-with-us.
+            let usable: Vec<usize> = (0..model.slots_per_frame)
+                .filter(|&slot| {
+                    req.surfaces.iter().all(|&surface| {
+                        let slice = Slice {
+                            slot,
+                            band: req.band,
+                            surface,
+                        };
+                        match shareable_at.get(&slice) {
+                            None => true,
+                            Some(&everyone_shares) => everyone_shares && req.shareable,
+                        }
+                    })
+                })
+                .collect();
+
+            if usable.len() < req.min_slots {
+                rejected.push(req.task);
+                continue;
+            }
+            for &slot in usable.iter().take(req.min_slots) {
+                for &surface in &req.surfaces {
+                    let slice = Slice {
+                        slot,
+                        band: req.band,
+                        surface,
+                    };
+                    map.assign(slice, req.task);
+                    shareable_at
+                        .entry(slice)
+                        .and_modify(|s| *s &= req.shareable)
+                        .or_insert(req.shareable);
+                }
+            }
+        }
+
+        debug_assert_eq!(map.check_isolation(), Ok(()));
+        ScheduleOutcome { map, rejected }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> ResourceModel {
+        ResourceModel {
+            slots_per_frame: 4,
+            bands: 2,
+            surfaces: 2,
+        }
+    }
+
+    fn req(task: TaskId, priority: u8, surfaces: Vec<usize>, min_slots: usize, shareable: bool) -> Requirement {
+        Requirement {
+            task,
+            priority,
+            band: 0,
+            surfaces,
+            min_slots,
+            shareable,
+        }
+    }
+
+    #[test]
+    fn single_task_gets_slots() {
+        let out = Scheduler::schedule(&[req(1, 5, vec![0], 2, false)], &model());
+        assert!(out.rejected.is_empty());
+        assert_eq!(out.map.slices_of(1).len(), 2);
+    }
+
+    #[test]
+    fn exclusive_tasks_split_the_frame() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 2, false),
+                req(2, 4, vec![0], 2, false),
+            ],
+            &model(),
+        );
+        assert!(out.rejected.is_empty());
+        let s1 = out.map.slices_of(1);
+        let s2 = out.map.slices_of(2);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s2.len(), 2);
+        assert!(s1.iter().all(|s| !s2.contains(s)), "no overlap");
+    }
+
+    #[test]
+    fn shareable_tasks_stack_on_same_slices() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 4, true),
+                req(2, 4, vec![0], 4, true),
+            ],
+            &model(),
+        );
+        assert!(out.rejected.is_empty());
+        // Both fit the whole frame by sharing.
+        assert_eq!(out.map.slices_of(1).len(), 4);
+        assert_eq!(out.map.slices_of(2).len(), 4);
+        for (_, group) in out.map.iter() {
+            assert_eq!(group.tasks, vec![1, 2]);
+        }
+    }
+
+    #[test]
+    fn nonshareable_blocks_sharing() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 4, false), // exclusive, takes whole frame
+                req(2, 4, vec![0], 1, true),
+            ],
+            &model(),
+        );
+        assert_eq!(out.rejected, vec![2]);
+    }
+
+    #[test]
+    fn priority_preempts_lower() {
+        // Low priority first in the list — order must not matter.
+        let out = Scheduler::schedule(
+            &[
+                req(1, 1, vec![0], 3, false),
+                req(2, 9, vec![0], 3, false),
+            ],
+            &model(),
+        );
+        // High priority task 2 gets its 3 slots; task 1 can only find 1
+        // free slot, below its minimum → rejected.
+        assert_eq!(out.rejected, vec![1]);
+        assert_eq!(out.map.slices_of(2).len(), 3);
+    }
+
+    #[test]
+    fn different_bands_do_not_conflict() {
+        let mut r2 = req(2, 4, vec![0], 4, false);
+        r2.band = 1;
+        let out = Scheduler::schedule(&[req(1, 5, vec![0], 4, false), r2], &model());
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn different_surfaces_do_not_conflict() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 4, false),
+                req(2, 4, vec![1], 4, false),
+            ],
+            &model(),
+        );
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn multi_surface_claim_needs_all_surfaces_free() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 2, false),    // surface 0, slots 0–1
+                req(2, 4, vec![0, 1], 2, false), // both surfaces together
+            ],
+            &model(),
+        );
+        assert!(out.rejected.is_empty());
+        // Task 2 can only use slots where surface 0 is also free (2, 3),
+        // and it claims a slice on each surface per slot: 2 slots × 2
+        // surfaces = 4 slices.
+        let s2 = out.map.slices_of(2);
+        assert_eq!(s2.len(), 4);
+        assert!(s2.iter().all(|s| s.slot >= 2));
+    }
+
+    #[test]
+    fn multi_surface_claim_rejected_when_short() {
+        let out = Scheduler::schedule(
+            &[
+                req(1, 5, vec![0], 3, false),
+                req(2, 4, vec![0, 1], 2, false),
+            ],
+            &model(),
+        );
+        assert_eq!(out.rejected, vec![2]);
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_task_id() {
+        let out = Scheduler::schedule(
+            &[
+                req(7, 5, vec![0], 3, false),
+                req(3, 5, vec![0], 3, false),
+            ],
+            &model(),
+        );
+        // Same priority: lower id (3) wins the contended slots.
+        assert_eq!(out.rejected, vec![7]);
+        assert_eq!(out.map.slices_of(3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_band_panics() {
+        let mut r = req(1, 5, vec![0], 1, false);
+        r.band = 7;
+        let _ = Scheduler::schedule(&[r], &model());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_schedule_respects_isolation_and_minimums(
+            reqs in prop::collection::vec(
+                (0u64..20, 0u8..10, 0usize..2, 1usize..4, prop::bool::ANY),
+                1..12
+            )
+        ) {
+            // Unique task ids.
+            let mut seen = std::collections::BTreeSet::new();
+            let requirements: Vec<Requirement> = reqs
+                .into_iter()
+                .filter(|(t, ..)| seen.insert(*t))
+                .map(|(task, priority, surface, min_slots, shareable)| Requirement {
+                    task, priority, band: 0,
+                    surfaces: vec![surface],
+                    min_slots, shareable,
+                })
+                .collect();
+            let out = Scheduler::schedule(&requirements, &model());
+            prop_assert_eq!(out.map.check_isolation(), Ok(()));
+            for r in &requirements {
+                let held = out.map.slices_of(r.task).len();
+                if out.rejected.contains(&r.task) {
+                    prop_assert_eq!(held, 0, "rejected task holds slices");
+                } else {
+                    prop_assert!(held >= r.min_slots, "admitted below minimum");
+                }
+            }
+            // Sharing only among shareable tasks.
+            for (_, group) in out.map.iter() {
+                if group.tasks.len() > 1 {
+                    for t in &group.tasks {
+                        let r = requirements.iter().find(|r| r.task == *t).unwrap();
+                        prop_assert!(r.shareable, "non-shareable task in group");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # surfos-sensing
+//!
+//! The sensing substrate for SurfOS: how surfaces turn channels into
+//! spatial information.
+//!
+//! The paper's localization pipeline (§4, following md-Track): the AoA
+//! between a client and a metasurface is estimated from the channel
+//! information observed at the AP, then converted to a position with an
+//! accurate ToF (range). The surface's configuration *weights the
+//! aperture* the estimator sees, which is exactly why a coverage-optimized
+//! configuration can wreck localization (Figure 2) and why joint
+//! optimization (Figure 5) is needed.
+//!
+//! - [`aoa`]: angle grids, beam-scan (matched-filter) AoA spectra, and the
+//!   differentiable cross-entropy AoA loss with analytic phase gradients —
+//!   the localization term the orchestrator's multitask optimizer
+//!   minimizes.
+//! - [`sounding`]: element-domain channel sounding through a configured
+//!   surface, with receiver noise.
+//! - [`localize`]: AoA + ToF → position, and error metrics.
+//! - [`motion`]: channel-delta motion detection (a second sensing service
+//!   sharing the same hardware).
+
+pub mod aoa;
+pub mod eval;
+pub mod localize;
+pub mod motion;
+pub mod sounding;
+
+pub use aoa::{AngleGrid, AoaEstimator, AoaLinearization};
+pub use localize::{localization_error_m, localize};
+pub use sounding::ElementSounding;

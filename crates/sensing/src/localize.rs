@@ -1,0 +1,104 @@
+//! AoA + ToF → position.
+//!
+//! The paper's conversion (§4): the estimated AoA at the surface is
+//! combined with an accurate ToF (range) to produce a position; the
+//! localization error is the distance to the client's true position.
+
+use surfos_geometry::{Pose, Vec3};
+
+/// Converts an estimated azimuth (surface local frame, see
+/// [`crate::aoa::AngleGrid`]) and a range into a world-frame position
+/// estimate, at the height implied by the local x–z plane.
+pub fn localize(pose: &Pose, azimuth: f64, range_m: f64) -> Vec3 {
+    assert!(range_m > 0.0, "range must be positive");
+    let local = Vec3::new(azimuth.sin() * range_m, 0.0, azimuth.cos() * range_m);
+    pose.local_to_world(local)
+}
+
+/// Localization error for a client at `truth`, given the estimated azimuth
+/// and assuming an exact ToF range (the paper's assumption).
+pub fn localization_error_m(pose: &Pose, estimated_azimuth: f64, truth: Vec3) -> f64 {
+    let range = pose.position.distance(truth);
+    let estimate = localize(pose, estimated_azimuth, range);
+    estimate.distance(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aoa::AngleGrid;
+    use proptest::prelude::*;
+
+    fn pose() -> Pose {
+        Pose::wall_mounted(Vec3::new(0.0, 0.0, 1.5), Vec3::X)
+    }
+
+    #[test]
+    fn perfect_azimuth_small_error() {
+        let p = pose();
+        let truth = Vec3::new(3.0, 2.0, 1.5); // same height as surface
+        let az = AngleGrid::azimuth_of(&p, truth);
+        let err = localization_error_m(&p, az, truth);
+        assert!(err < 1e-9, "err={err}");
+    }
+
+    #[test]
+    fn height_mismatch_bounded_error() {
+        // Client below the surface plane: the azimuth-only model leaves a
+        // small residual, bounded by the height difference.
+        let p = pose();
+        let truth = Vec3::new(3.0, 2.0, 1.2);
+        let az = AngleGrid::azimuth_of(&p, truth);
+        let err = localization_error_m(&p, az, truth);
+        assert!(err < 0.5, "err={err}");
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn angle_error_scales_with_range() {
+        let p = pose();
+        let near = Vec3::new(2.0, 0.0, 1.5);
+        let far = Vec3::new(8.0, 0.0, 1.5);
+        let offset = 0.1; // rad of azimuth error
+        let near_err = localization_error_m(&p, offset, near);
+        let far_err = localization_error_m(&p, offset, far);
+        assert!(far_err > 3.0 * near_err, "near={near_err} far={far_err}");
+        // Chord approximation: err ≈ range·offset for small offsets.
+        assert!((near_err - 2.0 * offset).abs() < 0.05);
+    }
+
+    #[test]
+    fn localize_inverts_azimuth_of() {
+        let p = Pose::wall_mounted(Vec3::new(2.0, 3.0, 1.0), Vec3::new(-0.5, 1.0, 0.0));
+        let truth = Vec3::new(1.0, 6.0, 1.0);
+        let az = AngleGrid::azimuth_of(&p, truth);
+        let range = p.position.distance(truth);
+        let back = localize(&p, az, range);
+        // truth lies in the surface's local x–z plane only if it shares the
+        // pose height component; here it does (z matches pose plane).
+        assert!(back.distance(truth) < 1e-6, "{back} vs {truth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let _ = localize(&pose(), 0.1, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_nonnegative_and_bounded_by_diameter(
+            az_err in -0.5..0.5f64,
+            tx in 1.0..8.0f64, ty in -3.0..3.0f64,
+        ) {
+            let p = pose();
+            let truth = Vec3::new(tx, ty, 1.5);
+            let true_az = AngleGrid::azimuth_of(&p, truth);
+            let err = localization_error_m(&p, true_az + az_err, truth);
+            let range = p.position.distance(truth);
+            prop_assert!(err >= 0.0);
+            // Estimate lies on a sphere of the same range: error ≤ 2·range.
+            prop_assert!(err <= 2.0 * range + 1e-9);
+        }
+    }
+}

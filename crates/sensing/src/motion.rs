@@ -1,0 +1,127 @@
+//! Channel-delta motion detection.
+//!
+//! A second sensing service that shares surface hardware with
+//! communication: movement in the environment perturbs the multipath
+//! channel, so the magnitude of successive channel differences is a motion
+//! statistic. Thresholding it gives a presence/motion detector — the
+//! "motion detection" service of the paper's Figure 1.
+
+use surfos_em::complex::Complex;
+
+/// A sliding-window motion detector over complex channel samples.
+#[derive(Debug, Clone)]
+pub struct MotionDetector {
+    /// Detection threshold on the normalized delta (0..).
+    pub threshold: f64,
+    last: Option<Complex>,
+    /// Exponential moving average of the channel magnitude, used to
+    /// normalize deltas so the detector is transmit-power independent.
+    avg_mag: f64,
+}
+
+impl MotionDetector {
+    /// Creates a detector with a normalized-delta threshold (typical 0.1).
+    ///
+    /// # Panics
+    /// Panics on a non-positive threshold.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        MotionDetector {
+            threshold,
+            last: None,
+            avg_mag: 0.0,
+        }
+    }
+
+    /// Feeds one channel observation; returns `Some(delta)` when motion is
+    /// detected (normalized delta above threshold), `None` otherwise.
+    pub fn observe(&mut self, h: Complex) -> Option<f64> {
+        let result = match self.last {
+            None => None,
+            Some(prev) => {
+                let delta = (h - prev).abs();
+                let scale = self.avg_mag.max(1e-15);
+                let normalized = delta / scale;
+                (normalized > self.threshold).then_some(normalized)
+            }
+        };
+        self.last = Some(h);
+        self.avg_mag = if self.avg_mag == 0.0 {
+            h.abs()
+        } else {
+            0.9 * self.avg_mag + 0.1 * h.abs()
+        };
+        result
+    }
+
+    /// Resets detector state (e.g. after a deliberate reconfiguration,
+    /// which would otherwise register as motion).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.avg_mag = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_channel_no_detection() {
+        let mut d = MotionDetector::new(0.1);
+        let h = Complex::new(1e-6, 2e-6);
+        assert!(d.observe(h).is_none()); // first sample primes
+        for _ in 0..10 {
+            assert!(d.observe(h).is_none());
+        }
+    }
+
+    #[test]
+    fn step_change_detected() {
+        let mut d = MotionDetector::new(0.1);
+        let h = Complex::new(1e-6, 0.0);
+        d.observe(h);
+        d.observe(h);
+        let moved = d.observe(Complex::new(0.2e-6, 0.5e-6));
+        assert!(moved.is_some());
+        assert!(moved.unwrap() > 0.1);
+    }
+
+    #[test]
+    fn detection_is_scale_invariant() {
+        let mut small = MotionDetector::new(0.1);
+        let mut large = MotionDetector::new(0.1);
+        // Same relative perturbation at very different absolute levels.
+        small.observe(Complex::new(1e-9, 0.0));
+        large.observe(Complex::new(1e-3, 0.0));
+        let a = small.observe(Complex::new(1.5e-9, 0.0));
+        let b = large.observe(Complex::new(1.5e-3, 0.0));
+        assert_eq!(a.is_some(), b.is_some());
+    }
+
+    #[test]
+    fn reset_reprimes() {
+        let mut d = MotionDetector::new(0.1);
+        d.observe(Complex::new(1e-6, 0.0));
+        d.reset();
+        // First sample after reset never triggers, even if very different.
+        assert!(d.observe(Complex::new(9e-6, 0.0)).is_none());
+    }
+
+    #[test]
+    fn small_drift_below_threshold_ignored() {
+        let mut d = MotionDetector::new(0.2);
+        let mut h = Complex::new(1e-6, 0.0);
+        d.observe(h);
+        for _ in 0..20 {
+            h *= Complex::cis(0.01); // slow phase drift, |Δ| ≈ 1 %
+            assert!(d.observe(h).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn bad_threshold_rejected() {
+        let _ = MotionDetector::new(0.0);
+    }
+}

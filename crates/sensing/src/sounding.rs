@@ -1,0 +1,213 @@
+//! Element-domain channel sounding through a configured surface.
+//!
+//! The observation model behind the paper's localization study: a client
+//! transmits pilots; the path client → surface element `e` → AP carries
+//! the (response-independent) coefficient `c_e` from the channel
+//! simulator, weighted by the element's programmed response `r_e`. After
+//! md-Track-style decomposition the AP holds one complex sample per
+//! element,
+//!
+//! `y_e = c_e · r_e + n_e`,
+//!
+//! with receiver noise `n_e`. The AP knows the (static) surface→AP leg
+//! exactly — infrastructure is calibrated — so it removes that phase with
+//! [`ap_calibration`] before beam-scanning. What it *cannot* remove is the
+//! configuration weighting: a coverage beam pointed elsewhere starves the
+//! observation of SNR and scrambles the aperture taper — the Figure 2
+//! effect.
+
+use rand::{Rng, RngExt};
+use surfos_channel::{ChannelSim, Endpoint};
+use surfos_em::complex::Complex;
+
+/// One element-domain sounding observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementSounding {
+    /// Per-element complex samples `y_e` (calibration *not* yet applied).
+    pub samples: Vec<Complex>,
+    /// The AP-side calibration phasors `e^{-jk·d(elem, AP)}` the estimator
+    /// divides out (multiplies by conjugate).
+    pub calibration: Vec<Complex>,
+}
+
+/// The AP-side calibration phasors for a surface: the known propagation
+/// phase of each element→AP leg.
+pub fn ap_calibration(sim: &ChannelSim, surface_idx: usize, ap: &Endpoint) -> Vec<Complex> {
+    let k = sim.band.wavenumber();
+    let s = &sim.surfaces()[surface_idx];
+    (0..s.len())
+        .map(|e| {
+            let d = s.element_world_position(e).distance(ap.position());
+            Complex::cis(-k * d)
+        })
+        .collect()
+}
+
+/// Sounds the client → surface → AP element channel with the surface's
+/// *current* response, adding complex Gaussian receiver noise of standard
+/// deviation `noise_std` per real dimension.
+///
+/// Returns `None` when the surface cannot serve the client–AP pair at all
+/// (mode/side gating) — there is nothing to sound.
+pub fn sound<R: Rng>(
+    sim: &ChannelSim,
+    surface_idx: usize,
+    client: &Endpoint,
+    ap: &Endpoint,
+    noise_std: f64,
+    rng: &mut R,
+) -> Option<ElementSounding> {
+    assert!(noise_std >= 0.0, "noise std must be non-negative");
+    let lin = sim.linearize(client, ap);
+    let term = lin.linear.iter().find(|t| t.surface == surface_idx)?;
+    let response = sim.surfaces()[surface_idx].response();
+    let samples = term
+        .coeffs
+        .iter()
+        .zip(response)
+        .map(|(c, r)| {
+            let noise = Complex::new(
+                gaussian(rng) * noise_std,
+                gaussian(rng) * noise_std,
+            );
+            *c * *r + noise
+        })
+        .collect();
+    Some(ElementSounding {
+        samples,
+        calibration: ap_calibration(sim, surface_idx, ap),
+    })
+}
+
+/// The calibrated observation: `y_e · conj(cal_e)` — input to the AoA
+/// estimator.
+pub fn calibrated(sounding: &ElementSounding) -> Vec<Complex> {
+    sounding
+        .samples
+        .iter()
+        .zip(&sounding.calibration)
+        .map(|(y, cal)| *y * cal.conj())
+        .collect()
+}
+
+/// A standard Gaussian sample via Box–Muller (keeps the dependency surface
+/// to `rand`'s core `Rng` trait).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > 1e-300 {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use surfos_channel::{OperationMode, SurfaceInstance};
+    use surfos_em::antenna::ElementPattern;
+    use surfos_em::array::ArrayGeometry;
+    use surfos_em::band::NamedBand;
+    use surfos_geometry::{FloorPlan, Pose, Vec3};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn setup() -> (ChannelSim, Endpoint, Endpoint, usize) {
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(FloorPlan::new(), band);
+        let pose = Pose::wall_mounted(Vec3::new(0.0, 0.0, 1.5), Vec3::X);
+        let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+        let idx = sim.add_surface(SurfaceInstance::new(
+            "s0",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
+        let mut client = Endpoint::client("c0", Vec3::new(4.0, 2.0, 1.2));
+        client.pattern = ElementPattern::Isotropic;
+        let ap = Endpoint::access_point(
+            "ap0",
+            Pose::wall_mounted(Vec3::new(4.0, -2.0, 2.0), Vec3::new(-1.0, 0.5, 0.0)),
+        );
+        (sim, client, ap, idx)
+    }
+
+    #[test]
+    fn noiseless_sounding_matches_coeffs_times_response() {
+        let (sim, client, ap, idx) = setup();
+        let s = sound(&sim, idx, &client, &ap, 0.0, &mut rng()).expect("serves");
+        let lin = sim.linearize(&client, &ap);
+        let term = lin.linear.iter().find(|t| t.surface == idx).unwrap();
+        for ((y, c), r) in s
+            .samples
+            .iter()
+            .zip(&term.coeffs)
+            .zip(sim.surfaces()[idx].response())
+        {
+            assert!((*y - *c * *r).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn calibration_phasors_are_unit() {
+        let (sim, _, ap, idx) = setup();
+        for c in ap_calibration(&sim, idx, &ap) {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn calibrated_observation_exposes_client_aoa() {
+        // After calibration, the residual per-element phase must match the
+        // client-side steering (up to a common offset): adjacent-element
+        // phase deltas agree with the steering vector's.
+        let (sim, client, ap, idx) = setup();
+        let s = sound(&sim, idx, &client, &ap, 0.0, &mut rng()).unwrap();
+        let y = calibrated(&s);
+        let surf = &sim.surfaces()[idx];
+        let k = sim.band.wavenumber();
+        // Expected client-side phase for elements 0 and 1.
+        let d0 = surf.element_world_position(0).distance(client.position());
+        let d1 = surf.element_world_position(1).distance(client.position());
+        let expected_delta = -k * (d1 - d0);
+        let got_delta = (y[1] / y[0]).arg();
+        let diff = surfos_em::phase::wrap_phase_signed(got_delta - expected_delta);
+        assert!(diff.abs() < 1e-6, "diff={diff}");
+    }
+
+    #[test]
+    fn noise_perturbs_but_seeded_reproducibly() {
+        let (sim, client, ap, idx) = setup();
+        let a = sound(&sim, idx, &client, &ap, 1e-9, &mut rng()).unwrap();
+        let b = sound(&sim, idx, &client, &ap, 1e-9, &mut rng()).unwrap();
+        assert_eq!(a, b, "same seed, same observation");
+        let clean = sound(&sim, idx, &client, &ap, 0.0, &mut rng()).unwrap();
+        assert_ne!(a, clean);
+    }
+
+    #[test]
+    fn ungated_surface_yields_none() {
+        let (sim, client, _, idx) = setup();
+        // An "AP" behind the reflective surface cannot be served.
+        let behind = Endpoint::access_point(
+            "ap1",
+            Pose::wall_mounted(Vec3::new(-3.0, 0.0, 1.5), Vec3::X),
+        );
+        assert!(sound(&sim, idx, &client, &behind, 0.0, &mut rng()).is_none());
+    }
+
+    #[test]
+    fn gaussian_moments_sane() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

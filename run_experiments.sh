@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every paper artefact into results/ (stdout + CSV series).
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+for bin in table1 fig2 fig4 fig5 fig6 ablations; do
+    echo "== $bin =="
+    cargo run --release -p surfos-bench --bin "$bin" -- --csv results \
+        > "results/$bin.txt" 2> >(grep -v '^\s*Compiling\|^\s*Finished\|^\s*Running' >&2 || true)
+done
+echo "results/ written"

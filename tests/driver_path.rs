@@ -1,0 +1,186 @@
+//! Driver-path integration: configurations must survive the full control
+//! plane — optimizer → wire encoding → decoding → slot store → control
+//! delay → granularity projection → quantization → physical response —
+//! and the losses each stage introduces must be the expected ones.
+
+use surfos::em::complex::Complex;
+use surfos::em::phase::{quantization_loss, quantize_phase};
+use surfos::hw::driver::{ProgrammableDriver, SurfaceDriver};
+use surfos::hw::granularity::Reconfigurability;
+use surfos::hw::spec::{ControlCapability, HardwareSpec, SurfaceMode};
+use surfos::hw::wire::{decode, encode, ConfigFrame};
+use surfos::hw::SurfaceConfig;
+
+fn spec(bits: u8, reconf: Reconfigurability) -> HardwareSpec {
+    HardwareSpec {
+        model: "pathtest".into(),
+        band: surfos::em::band::NamedBand::MmWave28GHz.band(),
+        mode: SurfaceMode::Reflective,
+        capabilities: vec![ControlCapability::Phase { bits }],
+        reconfigurability: reconf,
+        rows: 8,
+        cols: 8,
+        pitch_m: 0.0053,
+        efficiency: 1.0,
+        control_delay_us: Some(1000),
+        config_slots: 4,
+        cost_per_element_usd: 1.0,
+        base_cost_usd: 10.0,
+        power_mw: 100.0,
+    }
+}
+
+/// Ideal continuous phases for the test: a diagonal ramp.
+fn ideal_phases() -> Vec<f64> {
+    (0..64).map(|i| (i as f64 * 0.37) % std::f64::consts::TAU).collect()
+}
+
+#[test]
+fn wire_then_driver_equals_driver_directly() {
+    // Pushing through the wire must be byte-exact with a direct call at
+    // the same quantization.
+    let phases = ideal_phases();
+
+    let mut direct = ProgrammableDriver::new(spec(3, Reconfigurability::ElementWise));
+    let quantized: Vec<f64> = phases.iter().map(|&p| quantize_phase(p, 3)).collect();
+    direct.shift_phase(1, &quantized, 0).unwrap();
+    direct.tick(10);
+
+    let mut via_wire = ProgrammableDriver::new(spec(3, Reconfigurability::ElementWise));
+    let frame = ConfigFrame {
+        slot: 1,
+        config: SurfaceConfig::from_phases(&phases),
+    };
+    let bytes = encode(&frame, 3, 0);
+    let (decoded, _, _) = decode(bytes).unwrap();
+    via_wire
+        .load_config(decoded.slot as usize, decoded.config, 0)
+        .unwrap();
+    via_wire.tick(10);
+
+    direct.activate_slot(1).unwrap();
+    via_wire.activate_slot(1).unwrap();
+    for (a, b) in direct
+        .realized_response()
+        .iter()
+        .zip(via_wire.realized_response())
+    {
+        assert!((*a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn quantization_loss_matches_theory() {
+    // Beamforming with b-bit phases loses ~sinc²(π/2^b) of coherent power.
+    // Check the realized response against the theoretical factor.
+    let phases = ideal_phases();
+    // The "target" beam: perfect conjugate combining would give gain 64.
+    let target: Vec<Complex> = phases.iter().map(|&p| Complex::cis(p)).collect();
+
+    for bits in [1u8, 2, 3] {
+        let mut driver = ProgrammableDriver::new(spec(bits, Reconfigurability::ElementWise));
+        driver.shift_phase(0, &phases, 0).unwrap();
+        driver.tick(10);
+        let realized = driver.realized_response();
+        // Coherent combining achieved with quantized phases.
+        let gain: Complex = realized
+            .iter()
+            .zip(&target)
+            .map(|(r, t)| *r * t.conj())
+            .sum();
+        let achieved = (gain.abs() / 64.0).powi(2);
+        let predicted = quantization_loss(bits);
+        assert!(
+            (achieved - predicted).abs() < 0.08,
+            "{bits}-bit: achieved {achieved:.3} vs theory {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn column_tying_loses_against_elementwise_on_2d_patterns() {
+    // A 2-D (diagonal) phase pattern cannot be represented column-wise;
+    // the projection must lose coherent gain.
+    let phases = ideal_phases();
+    let target: Vec<Complex> = phases.iter().map(|&p| Complex::cis(p)).collect();
+
+    let combine = |reconf: Reconfigurability| -> f64 {
+        let mut driver = ProgrammableDriver::new(spec(3, reconf));
+        driver.shift_phase(0, &phases, 0).unwrap();
+        driver.tick(10);
+        driver
+            .realized_response()
+            .iter()
+            .zip(&target)
+            .map(|(r, t)| *r * t.conj())
+            .sum::<Complex>()
+            .abs()
+    };
+
+    let elementwise = combine(Reconfigurability::ElementWise);
+    let columnwise = combine(Reconfigurability::ColumnWise);
+    assert!(
+        columnwise < 0.8 * elementwise,
+        "column-wise must lose on 2-D patterns: {columnwise:.1} vs {elementwise:.1}"
+    );
+}
+
+#[test]
+fn control_delay_is_respected_through_the_stack() {
+    let mut driver = ProgrammableDriver::new({
+        let mut s = spec(2, Reconfigurability::ElementWise);
+        s.control_delay_us = Some(5_000); // 5 ms
+        s
+    });
+    driver.shift_phase(0, &ideal_phases(), 100).unwrap();
+    assert_eq!(driver.tick(104), 0, "not yet (4 ms < 5 ms)");
+    assert!(driver.stored_config(0).unwrap().is_none());
+    assert_eq!(driver.tick(105), 1, "commits at exactly the delay");
+    assert!(driver.stored_config(0).unwrap().is_some());
+}
+
+#[test]
+fn corrupted_wire_frames_never_reach_hardware() {
+    let frame = ConfigFrame {
+        slot: 0,
+        config: SurfaceConfig::from_phases(&ideal_phases()),
+    };
+    let bytes = encode(&frame, 2, 0);
+    // Flip every byte position one at a time; decode must reject, not
+    // deliver silently corrupted configurations.
+    let mut rejected = 0;
+    for i in 0..bytes.len() {
+        let mut raw = bytes.to_vec();
+        raw[i] ^= 0x55;
+        if decode(bytes::Bytes::from(raw)).is_err() {
+            rejected += 1;
+        }
+    }
+    assert_eq!(
+        rejected,
+        bytes.len(),
+        "every single-byte corruption must be caught by the checksum"
+    );
+}
+
+#[test]
+fn slot_multiplexing_switches_beams_instantly() {
+    // Two beams in two slots (the time-division multiplexing data plane):
+    // activation has no control delay.
+    let mut driver = ProgrammableDriver::new(spec(3, Reconfigurability::ElementWise));
+    let beam_a: Vec<f64> = vec![0.0; 64];
+    let beam_b: Vec<f64> = (0..64).map(|i| quantize_phase(i as f64, 3)).collect();
+    driver.shift_phase(0, &beam_a, 0).unwrap();
+    driver.shift_phase(1, &beam_b, 0).unwrap();
+    driver.tick(10);
+
+    driver.activate_slot(0).unwrap();
+    let a = driver.realized_response();
+    driver.activate_slot(1).unwrap();
+    let b = driver.realized_response();
+    driver.activate_slot(0).unwrap();
+    let a_again = driver.realized_response();
+
+    assert_ne!(a, b, "slots hold different beams");
+    assert_eq!(a, a_again, "switching back is exact");
+}

@@ -1,0 +1,222 @@
+//! End-to-end integration: every layer of SurfOS in one scenario — the
+//! apartment, a deployed surface, intent translation, scheduling,
+//! optimization, the driver path, and environmental dynamics.
+
+use surfos::channel::dynamics::Blocker;
+use surfos::channel::{ChannelSim, Endpoint};
+use surfos::em::band::NamedBand;
+use surfos::geometry::scenario::two_room_apartment;
+use surfos::geometry::{Pose, Vec3};
+use surfos::hw::designs;
+use surfos::hw::driver::ProgrammableDriver;
+use surfos::orchestrator::task::TaskState;
+use surfos::SurfOS;
+
+fn boot() -> SurfOS {
+    let scen = two_room_apartment();
+    let band = NamedBand::MmWave28GHz.band();
+    let sim = ChannelSim::new(scen.plan.clone(), band);
+    let mut os = SurfOS::new(sim);
+    os.set_user_room("bedroom");
+
+    let mut spec = designs::scatter_mimo();
+    spec.band = band;
+    spec.rows = 32;
+    spec.cols = 32;
+    spec.pitch_m = band.wavelength_m() / 2.0;
+    let pose = *scen.anchor("bedroom-north").unwrap();
+    os.deploy_surface("wall0", Box::new(ProgrammableDriver::new(spec)), pose);
+
+    os.add_endpoint(Endpoint::access_point(
+        "ap0",
+        Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
+    ));
+    os.add_endpoint(Endpoint::client("laptop", Vec3::new(6.5, 1.5, 1.2)));
+    os.add_endpoint(Endpoint::client("phone", Vec3::new(7.8, 2.8, 1.0)));
+    os.orchestrator_mut().adam_options.iters = 80;
+    os
+}
+
+#[test]
+fn intent_to_running_service_to_real_snr() {
+    let mut os = boot();
+    let tasks = os.handle_utterance("I want to start VR gaming in this room");
+    assert!(tasks.len() >= 2);
+
+    // Before service, the bedroom is unusable.
+    let ap = os.orchestrator().ap().clone();
+    let laptop = os.orchestrator().endpoint("laptop").unwrap().clone();
+    let before = os.sim().link_budget(&ap, &laptop).snr_db;
+    assert!(before < 5.0, "bedroom should start dead-ish, got {before:.1}");
+
+    for _ in 0..3 {
+        let report = os.step(10);
+        assert!(report.push_errors.is_empty(), "{:?}", report.push_errors);
+    }
+
+    // Tasks got scheduled and ran.
+    for t in &tasks {
+        let task = os.orchestrator().tasks.get(*t).unwrap();
+        assert!(
+            matches!(task.state, TaskState::Running | TaskState::Pending),
+            "task {} in {:?}",
+            task.id,
+            task.state
+        );
+    }
+    // At least the coverage/link tasks must be running.
+    assert!(tasks
+        .iter()
+        .any(|t| os.orchestrator().tasks.get(*t).unwrap().state == TaskState::Running));
+
+    let after = os.sim().link_budget(&ap, &laptop).snr_db;
+    assert!(
+        after > before + 15.0,
+        "service should transform the room: {before:.1} → {after:.1} dB"
+    );
+}
+
+#[test]
+fn multiple_services_coexist_via_shared_slices() {
+    let mut os = boot();
+    let cov = os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
+    let sense = os.orchestrator_mut().enable_sensing("bedroom", 3600.0);
+    let link = os.orchestrator_mut().enhance_link("laptop", 20.0, 50.0);
+
+    let report = os.step(10);
+    assert!(report.rejected.is_empty(), "all tasks admitted");
+
+    for t in [cov, sense, link] {
+        assert_eq!(os.orchestrator().tasks.get(t).unwrap().state, TaskState::Running);
+        assert!(!os.orchestrator().slices.slices_of(t).is_empty());
+    }
+    // Coverage and sensing share the single surface via a multitask group.
+    let s_cov = os.orchestrator().slices.slices_of(cov);
+    let s_sense = os.orchestrator().slices.slices_of(sense);
+    assert!(s_cov.iter().any(|s| s_sense.contains(s)), "joint group expected");
+}
+
+#[test]
+fn blocker_hurts_and_reoptimization_recovers() {
+    let mut os = boot();
+    let task = os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
+    for _ in 0..3 {
+        os.step(10);
+    }
+    let healthy = os.measure(task).unwrap();
+    assert!(healthy > 15.0, "healthy room, got {healthy:.1}");
+
+    // A person stands right in front of the surface's view of the doorway.
+    os.orchestrator_mut().sim.blockers = vec![Blocker::person(Vec3::xy(5.4, 3.4))];
+    let blocked = os.measure(task).unwrap();
+    assert!(
+        blocked < healthy - 3.0,
+        "blocker must hurt: {healthy:.1} → {blocked:.1}"
+    );
+
+    // The runtime reacts: new optimization under the new environment.
+    for _ in 0..3 {
+        os.step(10);
+    }
+    let adapted = os.measure(task).unwrap();
+    assert!(
+        adapted >= blocked - 1e-9,
+        "adaptation must not make it worse: {blocked:.1} → {adapted:.1}"
+    );
+}
+
+#[test]
+fn task_expiry_frees_resources_for_pending_work() {
+    let mut os = boot();
+    // A short sensing task and a long coverage task compete.
+    let sense = os.orchestrator_mut().enable_sensing("bedroom", 0.02);
+    let cov = os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
+    os.step(10);
+    assert_eq!(os.orchestrator().tasks.get(sense).unwrap().state, TaskState::Running);
+
+    // Expire the sensing task.
+    let report = os.step(30);
+    assert!(report.reaped.contains(&sense));
+    assert_eq!(
+        os.orchestrator().tasks.get(sense).unwrap().state,
+        TaskState::Completed
+    );
+    assert!(os.orchestrator().slices.slices_of(sense).is_empty());
+    assert_eq!(os.orchestrator().tasks.get(cov).unwrap().state, TaskState::Running);
+}
+
+#[test]
+fn mobility_is_followed_by_reoptimization() {
+    let mut os = boot();
+    let link = os.orchestrator_mut().enhance_link("phone", 20.0, 50.0);
+    for _ in 0..2 {
+        os.step(10);
+    }
+    let at_first = os.measure(link).unwrap();
+
+    // The phone moves across the room; the old beam misses it.
+    os.orchestrator_mut().move_endpoint("phone", Vec3::new(5.6, 0.7, 1.0));
+    let stale = os.measure(link).unwrap();
+
+    for _ in 0..3 {
+        os.step(10);
+    }
+    let refreshed = os.measure(link).unwrap();
+    assert!(
+        refreshed > stale,
+        "re-optimization must recover the moved link: stale {stale:.1} → {refreshed:.1}"
+    );
+    assert!(refreshed > at_first - 10.0, "new position served comparably");
+}
+
+#[test]
+fn all_five_services_share_the_environment() {
+    // The Figure 1 deployment scenario: connectivity, coverage, sensing,
+    // powering and security all admitted over one surface, one frame.
+    let mut os = boot();
+    let link = os.orchestrator_mut().enhance_link("laptop", 20.0, 50.0);
+    let cov = os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
+    let sense = os.orchestrator_mut().enable_sensing("bedroom", 3600.0);
+    let power = os.orchestrator_mut().init_powering("phone", 3600.0);
+    let sec = os.orchestrator_mut().protect_link("living-room", -85.0);
+
+    let report = os.step(10);
+    assert!(report.rejected.is_empty(), "all five admitted: {report:?}");
+    assert!(!report.optimized_slots.is_empty());
+
+    for t in [link, cov, sense, power, sec] {
+        assert_eq!(
+            os.orchestrator().tasks.get(t).unwrap().state,
+            TaskState::Running,
+            "task {t} running"
+        );
+        assert!(!os.orchestrator().slices.slices_of(t).is_empty());
+        assert!(os.measure(t).is_some(), "task {t} measurable");
+    }
+
+    // Security is exclusive: its slices are not shared with anyone.
+    for slice in os.orchestrator().slices.slices_of(sec) {
+        let group = os.orchestrator().slices.group(slice).unwrap();
+        assert_eq!(group.tasks, vec![sec], "security must be isolated");
+    }
+    // The shareable services co-habit at least one slice.
+    let s_cov = os.orchestrator().slices.slices_of(cov);
+    let s_sense = os.orchestrator().slices.slices_of(sense);
+    assert!(s_cov.iter().any(|s| s_sense.contains(s)));
+}
+
+#[test]
+fn telemetry_reflects_work_done() {
+    let mut os = boot();
+    os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
+    for _ in 0..4 {
+        os.step(10);
+    }
+    let t = os.telemetry();
+    assert_eq!(t.steps, 4);
+    assert_eq!(t.frames_scheduled, 4);
+    assert!(t.optimizations >= 4);
+    assert!(t.configs_pushed >= 1);
+    assert!(t.writes_committed >= 1);
+    assert!(t.wire_bytes >= 256, "a 1024-element 2-bit config is ≥256 B");
+}

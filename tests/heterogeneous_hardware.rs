@@ -1,0 +1,157 @@
+//! Heterogeneous hardware integration: all 13 published designs managed
+//! together through the unified hardware manager, plus the cross-band
+//! interaction the paper warns about (§2.1).
+
+use surfos::em::band::NamedBand;
+use surfos::hw::designs::{self, all_designs};
+use surfos::hw::driver::{PassiveDriver, ProgrammableDriver, SurfaceDriver, TimeMs};
+use surfos::hw::nonsurface::NonSurfaceDevice;
+use surfos::hw::{DeviceRegistry, SurfaceConfig};
+
+fn driver_for(spec: surfos::hw::HardwareSpec) -> Box<dyn SurfaceDriver> {
+    if spec.is_passive() {
+        Box::new(PassiveDriver::new(spec))
+    } else {
+        Box::new(ProgrammableDriver::new(spec))
+    }
+}
+
+/// A registry running every design in Table 1 simultaneously.
+fn full_registry() -> DeviceRegistry {
+    let mut reg = DeviceRegistry::new();
+    for spec in all_designs() {
+        let id = spec.model.to_lowercase();
+        reg.register_surface(id, driver_for(spec));
+    }
+    reg.register_device(NonSurfaceDevice::ap("ap0"));
+    reg.register_device(NonSurfaceDevice::base_station("gnb0"));
+    reg
+}
+
+#[test]
+fn all_thirteen_designs_coexist() {
+    let reg = full_registry();
+    assert_eq!(reg.surface_count(), 13);
+    assert_eq!(reg.device_count(), 2);
+}
+
+#[test]
+fn unified_primitives_work_across_all_designs() {
+    let mut reg = full_registry();
+    let now: TimeMs = 0;
+    let ids: Vec<String> = reg.surface_ids().map(String::from).collect();
+    for id in &ids {
+        let driver = reg.surface_mut(id).unwrap();
+        let n = driver.spec().element_count();
+        let supports_phase = driver.spec().supports("phase");
+        let result = driver.load_config(0, SurfaceConfig::identity(n), now);
+        assert!(result.is_ok(), "{id}: {result:?}");
+        if supports_phase {
+            driver.shift_phase(0, &vec![0.5; n], now).unwrap();
+        }
+    }
+    // Commit everything that was delayed.
+    reg.tick_all(1_000_000);
+    for id in &ids {
+        let driver = reg.surface(id).unwrap();
+        assert!(
+            driver.stored_config(0).unwrap().is_some(),
+            "{id} lost its configuration"
+        );
+        assert_eq!(driver.realized_response().len(), driver.spec().element_count());
+    }
+}
+
+#[test]
+fn band_discovery_routes_services_to_capable_hardware() {
+    let reg = full_registry();
+    // 2.4 GHz services can recruit the four sub-6 ISM designs.
+    let at_24 = reg.surfaces_serving(2.44e9);
+    assert!(at_24.contains(&"laia"));
+    assert!(at_24.contains(&"rfocus"));
+    assert!(at_24.contains(&"llama"));
+    assert!(at_24.contains(&"lava"));
+    assert!(!at_24.contains(&"mmwall"));
+
+    // 60 GHz services get the WiGig designs.
+    let at_60 = reg.surfaces_serving(60.48e9);
+    assert!(at_60.contains(&"millimirror"));
+    assert!(at_60.contains(&"automs"));
+    assert!(!at_60.contains(&"scattermimo"));
+
+    // Scrolls' wideband span covers both 0.9 and 5 GHz.
+    assert!(reg.surfaces_serving(0.92e9).contains(&"scrolls"));
+    assert!(reg.surfaces_serving(5.25e9).contains(&"scrolls"));
+}
+
+#[test]
+fn offband_blocking_interaction_is_exposed() {
+    // §2.1: "surfaces designed for 2.4 GHz may block 3 GHz cellular and
+    // 5 GHz Wi-Fi signals". The spec exposes the interaction so the
+    // orchestrator can model it.
+    let laia = designs::laia();
+    let t_cellular = laia.offband_transmission(3.5e9);
+    let t_wifi5 = laia.offband_transmission(5.25e9);
+    let t_mmwave = laia.offband_transmission(NamedBand::MmWave60GHz.band().center_hz);
+    assert!(t_cellular < 0.95, "noticeable blocking at 3.5 GHz: {t_cellular}");
+    assert!(t_wifi5 < 0.99, "some blocking at 5 GHz: {t_wifi5}");
+    assert!(t_mmwave > 0.99, "transparent far off-band: {t_mmwave}");
+    assert!(
+        t_cellular < t_wifi5,
+        "closer bands are blocked harder"
+    );
+}
+
+#[test]
+fn granularity_differences_are_visible_through_realization() {
+    // Same requested configuration; element-wise vs column-wise designs
+    // realize it differently — the heterogeneity upper layers must model.
+    let mut elementwise = ProgrammableDriver::new({
+        let mut s = designs::scatter_mimo();
+        s.rows = 4;
+        s.cols = 4;
+        s
+    });
+    let mut columnwise = ProgrammableDriver::new({
+        let mut s = designs::nr_surface();
+        s.rows = 4;
+        s.cols = 4;
+        s
+    });
+    // A diagonal phase ramp (not column-constant).
+    let phases: Vec<f64> = (0..16).map(|i| (i % 5) as f64).collect();
+    elementwise.shift_phase(0, &phases, 0).unwrap();
+    columnwise.shift_phase(0, &phases, 0).unwrap();
+    elementwise.tick(1_000_000);
+    columnwise.tick(1_000_000);
+
+    let re = elementwise.realized_response();
+    let rc = columnwise.realized_response();
+    // Column-wise: all rows of a column share the phase.
+    for c in 0..4 {
+        for r in 1..4 {
+            assert!(
+                (rc[r * 4 + c].arg() - rc[c].arg()).abs() < 1e-9,
+                "column-wise must share states"
+            );
+        }
+    }
+    // Element-wise keeps per-element differences within a column.
+    let distinct = (1..4).any(|r| (re[r * 4].arg() - re[0].arg()).abs() > 1e-3);
+    assert!(distinct, "element-wise must keep distinct states");
+}
+
+#[test]
+fn passive_fleet_draws_zero_power() {
+    let reg = full_registry();
+    let passive_power: f64 = reg
+        .surfaces()
+        .filter(|(_, d)| d.spec().is_passive())
+        .map(|(_, d)| d.spec().power_mw)
+        .sum();
+    assert_eq!(passive_power, 0.0);
+    let total_cost: f64 = reg.surfaces().map(|(_, d)| d.spec().total_cost_usd()).sum();
+    // Table 1's whole design space costs on the order of $20k, dominated
+    // by mmWall.
+    assert!(total_cost > 10_000.0 && total_cost < 25_000.0, "{total_cost}");
+}

@@ -1,0 +1,202 @@
+//! Multitasking integration: the Figure 2 / Figure 5 claims as testable
+//! invariants, across the whole stack (channel sim → objectives →
+//! optimizer → sensing evaluation).
+
+use rand::SeedableRng;
+use surfos::channel::{ChannelSim, Endpoint};
+use surfos::em::band::NamedBand;
+use surfos::geometry::scenario::two_room_apartment;
+use surfos::geometry::{Pose, Vec3};
+use surfos::orchestrator::objective::{
+    CoverageObjective, LocalizationObjective, MultiObjective, Objective,
+};
+use surfos::orchestrator::optimizer::{adam, AdamOptions, Tying};
+use surfos::sensing::aoa::AngleGrid;
+use surfos::sensing::eval::evaluate_localization;
+
+const N: usize = 24;
+
+struct Setup {
+    sim: ChannelSim,
+    idx: usize,
+    ap: Endpoint,
+    probe: Endpoint,
+    grid: Vec<Vec3>,
+}
+
+fn setup() -> Setup {
+    let scen = two_room_apartment();
+    let band = NamedBand::MmWave28GHz.band();
+    let mut sim = ChannelSim::new(scen.plan.clone(), band);
+    let pose = *scen.anchor("bedroom-north").unwrap();
+    let idx = sim.add_surface(surfos::channel::SurfaceInstance::new(
+        "shared",
+        pose,
+        surfos::em::array::ArrayGeometry::half_wavelength(N, N, band.wavelength_m()),
+        surfos::channel::OperationMode::Reflective,
+    ));
+    let ap = Endpoint::access_point(
+        "ap0",
+        Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
+    );
+    let grid = scen.target().sample_grid(5, 5, 1.2, 0.4);
+    let probe = Endpoint::client("probe", grid[0]);
+    Setup {
+        sim,
+        idx,
+        ap,
+        probe,
+        grid,
+    }
+}
+
+fn optimize(objective: &dyn Objective, iters: usize) -> Vec<f64> {
+    adam(
+        objective,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        AdamOptions {
+            iters,
+            lr: 0.15,
+            ..Default::default()
+        },
+    )
+    .phases[0]
+        .clone()
+}
+
+struct Evaluated {
+    median_snr_db: f64,
+    median_loc_err_m: f64,
+}
+
+fn evaluate(s: &mut Setup, phases: &[f64]) -> Evaluated {
+    s.sim.surface_mut(s.idx).set_phases(phases);
+    let snr = s.sim.snr_heatmap(&s.ap, &s.grid, &s.probe);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let errs = evaluate_localization(
+        &s.sim,
+        s.idx,
+        &s.ap,
+        &s.probe,
+        &s.grid,
+        AngleGrid::uniform(61, 1.3),
+        0.0,
+        &mut rng,
+    );
+    let mut errs: Vec<f64> = errs.into_iter().map(|e| e.min(5.0)).collect();
+    errs.sort_by(f64::total_cmp);
+    Evaluated {
+        median_snr_db: snr.median(),
+        median_loc_err_m: errs[errs.len() / 2],
+    }
+}
+
+#[test]
+fn joint_config_multitasks_with_little_loss() {
+    let mut s = setup();
+
+    let coverage = CoverageObjective::new(&s.sim, &s.ap, &s.grid, &s.probe);
+    let localization = LocalizationObjective::new(
+        &s.sim,
+        s.idx,
+        &s.ap,
+        &s.probe,
+        &s.grid,
+        AngleGrid::uniform(41, 1.3),
+    );
+    let joint = MultiObjective::new()
+        .with(
+            Box::new(CoverageObjective::new(&s.sim, &s.ap, &s.grid, &s.probe)),
+            1.0,
+        )
+        .with(
+            Box::new(LocalizationObjective::new(
+                &s.sim,
+                s.idx,
+                &s.ap,
+                &s.probe,
+                &s.grid,
+                AngleGrid::uniform(41, 1.3),
+            )),
+            60.0,
+        );
+
+    let cov_phases = optimize(&coverage, 150);
+    let loc_phases = optimize(&localization, 150);
+    let joint_phases = optimize(&joint, 150);
+
+    let cov = evaluate(&mut s, &cov_phases);
+    let loc = evaluate(&mut s, &loc_phases);
+    let jnt = evaluate(&mut s, &joint_phases);
+
+    // Figure 2's failure mode: coverage-only wrecks localization.
+    assert!(
+        cov.median_loc_err_m > 4.0 * loc.median_loc_err_m,
+        "coverage config should disrupt localization: cov {:.2} m vs loc {:.2} m",
+        cov.median_loc_err_m,
+        loc.median_loc_err_m
+    );
+    // And localization-only sacrifices SNR.
+    assert!(
+        loc.median_snr_db < cov.median_snr_db - 5.0,
+        "loc-only should cost SNR: {:.1} vs {:.1}",
+        loc.median_snr_db,
+        cov.median_snr_db
+    );
+
+    // Figure 5's claim: the joint config is near both single-task optima.
+    assert!(
+        jnt.median_snr_db > cov.median_snr_db - 5.0,
+        "joint SNR within 5 dB of coverage-only: {:.1} vs {:.1}",
+        jnt.median_snr_db,
+        cov.median_snr_db
+    );
+    assert!(
+        jnt.median_loc_err_m < 2.0 * loc.median_loc_err_m + 0.1,
+        "joint localization near loc-only: {:.2} vs {:.2}",
+        jnt.median_loc_err_m,
+        loc.median_loc_err_m
+    );
+    // And strictly beats the wrong single-task config on each metric.
+    assert!(jnt.median_loc_err_m < cov.median_loc_err_m / 2.0);
+    assert!(jnt.median_snr_db > loc.median_snr_db + 3.0);
+}
+
+#[test]
+fn optimizers_agree_on_direction() {
+    // Adam and greedy quantized coordinate descent must both improve the
+    // coverage objective from identity; Adam (continuous) at least as well.
+    let s = setup();
+    let coverage = CoverageObjective::new(&s.sim, &s.ap, &s.grid, &s.probe);
+    let identity_loss = {
+        let responses: Vec<Vec<surfos::em::complex::Complex>> =
+            vec![vec![surfos::em::complex::Complex::ONE; N * N]];
+        coverage.loss(&responses)
+    };
+    let adam_result = adam(
+        &coverage,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        AdamOptions {
+            iters: 120,
+            lr: 0.15,
+            ..Default::default()
+        },
+    );
+    let greedy = surfos::orchestrator::optimizer::greedy_quantized(
+        &coverage,
+        &[N * N],
+        &Tying::element_wise(1),
+        2,
+        1,
+    );
+    assert!(adam_result.loss < identity_loss, "adam improves");
+    assert!(greedy.loss < identity_loss, "greedy improves");
+    assert!(
+        adam_result.loss <= greedy.loss + 1e-9,
+        "continuous adam at least matches 2-bit greedy: {} vs {}",
+        adam_result.loss,
+        greedy.loss
+    );
+}

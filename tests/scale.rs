@@ -1,0 +1,134 @@
+//! Scale integration: a three-room house with three surfaces from three
+//! different published designs, two access points, and six concurrent
+//! tasks across rooms — the Figure 1 deployment at system scale.
+
+use surfos::channel::{ChannelSim, Endpoint};
+use surfos::em::band::NamedBand;
+use surfos::geometry::scenario::three_room_house;
+use surfos::geometry::{Pose, Vec3};
+use surfos::hw::designs;
+use surfos::hw::driver::ProgrammableDriver;
+use surfos::hw::HardwareSpec;
+use surfos::orchestrator::task::TaskState;
+use surfos::SurfOS;
+
+fn at_28ghz(mut spec: HardwareSpec, n: usize) -> HardwareSpec {
+    let band = NamedBand::MmWave28GHz.band();
+    spec.pitch_m *= band.wavelength_m() / spec.band.wavelength_m();
+    spec.band = band;
+    spec.rows = n;
+    spec.cols = n;
+    spec
+}
+
+fn boot_house() -> SurfOS {
+    let scen = three_room_house();
+    let band = NamedBand::MmWave28GHz.band();
+    let sim = ChannelSim::new(scen.plan.clone(), band);
+    let mut os = SurfOS::new(sim);
+    os.set_user_room("bedroom");
+
+    // Three surfaces, three designs, three rooms.
+    for (id, design, anchor, n) in [
+        ("bed0", designs::scatter_mimo(), "bedroom-north", 24usize),
+        ("off0", designs::nr_surface(), "office-east", 24),
+        ("liv0", designs::rflens(), "living-wall", 16),
+    ] {
+        let spec = at_28ghz(design, n);
+        let pose = *scen.anchor(anchor).unwrap();
+        os.deploy_surface(id, Box::new(ProgrammableDriver::new(spec)), pose);
+    }
+
+    // Two APs: the living-room one aimed at the bedroom anchor, a second
+    // in the office doorway region aimed into the office.
+    let bed_anchor = scen.anchor("bedroom-north").unwrap().position;
+    os.add_endpoint(Endpoint::access_point(
+        "ap-living",
+        Pose::wall_mounted(scen.ap_pose.position, bed_anchor - scen.ap_pose.position),
+    ));
+    let office_anchor = scen.anchor("office-east").unwrap().position;
+    let ap2_pos = Vec3::new(0.4, -0.4, 2.2);
+    os.add_endpoint(Endpoint::access_point(
+        "ap-office",
+        Pose::wall_mounted(ap2_pos, office_anchor - ap2_pos),
+    ));
+
+    // Devices scattered over the three rooms.
+    os.add_endpoint(Endpoint::client("laptop", Vec3::new(6.5, 1.5, 1.2)));
+    os.add_endpoint(Endpoint::client("desk-pc", Vec3::new(3.0, -3.0, 1.0)));
+    os.add_endpoint(Endpoint::client("tv", Vec3::new(2.5, 2.0, 1.0)));
+    os.add_endpoint(Endpoint::sensor_tag("tag", Vec3::new(7.5, 3.0, 0.8)));
+
+    os.orchestrator_mut().adam_options.iters = 60;
+    os
+}
+
+#[test]
+fn six_tasks_three_rooms_three_designs() {
+    let mut os = boot_house();
+    let tasks = vec![
+        os.orchestrator_mut().optimize_coverage("bedroom", 20.0),
+        os.orchestrator_mut().optimize_coverage("office", 20.0),
+        os.orchestrator_mut().enhance_link("laptop", 20.0, 50.0),
+        os.orchestrator_mut().enhance_link("desk-pc", 15.0, 100.0),
+        os.orchestrator_mut().enable_sensing("bedroom", 3600.0),
+        os.orchestrator_mut().init_powering("tag", 3600.0),
+    ];
+
+    let report = os.step(10);
+    assert!(report.rejected.is_empty(), "all six admitted: {report:?}");
+    assert!(report.push_errors.is_empty(), "{:?}", report.push_errors);
+    os.step(10);
+
+    for t in &tasks {
+        assert_eq!(
+            os.orchestrator().tasks.get(*t).unwrap().state,
+            TaskState::Running,
+            "task {t} running"
+        );
+        assert!(os.measure(*t).is_some());
+    }
+    assert_eq!(os.orchestrator().slices.check_isolation(), Ok(()));
+}
+
+#[test]
+fn rooms_are_served_by_their_own_surfaces_and_aps() {
+    let mut os = boot_house();
+    let bed_cov = os.orchestrator_mut().optimize_coverage("bedroom", 20.0);
+    let off_cov = os.orchestrator_mut().optimize_coverage("office", 20.0);
+
+    // Geometry routes each room's task to the surface that can serve it.
+    let bed_surfaces = os.orchestrator().servable_surfaces(bed_cov);
+    let off_surfaces = os.orchestrator().servable_surfaces(off_cov);
+    let bed_idx = os.sim().surface_index("bed0").unwrap();
+    let off_idx = os.sim().surface_index("off0").unwrap();
+    assert!(bed_surfaces.contains(&bed_idx), "{bed_surfaces:?}");
+    assert!(off_surfaces.contains(&off_idx), "{off_surfaces:?}");
+    assert!(!off_surfaces.contains(&bed_idx), "bedroom surface can't see office");
+
+    // And the office task is served by the office AP.
+    assert_eq!(os.orchestrator().serving_ap_for(off_cov).id, "ap-office");
+
+    for _ in 0..3 {
+        os.step(10);
+    }
+    let bed = os.measure(bed_cov).unwrap();
+    let off = os.measure(off_cov).unwrap();
+    assert!(bed > 10.0, "bedroom served: {bed:.1} dB");
+    assert!(off > 10.0, "office served: {off:.1} dB");
+}
+
+#[test]
+fn house_scale_telemetry_and_wire_traffic() {
+    let mut os = boot_house();
+    os.orchestrator_mut().optimize_coverage("bedroom", 20.0);
+    os.orchestrator_mut().optimize_coverage("office", 20.0);
+    for _ in 0..3 {
+        os.step(10);
+    }
+    let t = os.telemetry();
+    assert!(t.configs_pushed >= 2, "both rooms' surfaces configured");
+    assert!(t.writes_committed >= 2);
+    // 24×24 at 2 bits ≈ 144 B payload per config; traffic is modest.
+    assert!(t.wire_bytes > 200 && t.wire_bytes < 100_000, "{}", t.wire_bytes);
+}
