@@ -55,11 +55,29 @@ fn bench_heatmap(c: &mut Criterion) {
     });
 }
 
+fn bench_frequency_response(c: &mut Criterion) {
+    // Trace-once sweep vs the old clone-the-simulator-per-point sweep:
+    // the asymmetry the trace/evaluate split buys.
+    let mut lab = ApartmentLab::new("bedroom-north");
+    lab.deploy("s", "bedroom-north", 16);
+    let rx = Endpoint::client("rx", lab.grid[10]);
+    let mut group = c.benchmark_group("channel/frequency_response");
+    group.sample_size(20);
+    group.bench_function("trace_once_128pts_16x16", |b| {
+        b.iter(|| black_box(lab.sim.frequency_response(&lab.ap, &rx, 128)))
+    });
+    group.bench_function("naive_retrace_128pts_16x16", |b| {
+        b.iter(|| black_box(lab.sim.frequency_response_naive(&lab.ap, &rx, 128)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_linearize,
     bench_cached_evaluate,
     bench_cascade_scene,
-    bench_heatmap
+    bench_heatmap,
+    bench_frequency_response
 );
 criterion_main!(benches);

@@ -41,9 +41,11 @@ pub mod endpoint;
 pub mod feedback;
 pub mod heatmap;
 pub mod linear;
+pub mod par;
 pub mod paths;
 pub mod sim;
 pub mod surface;
+pub mod trace;
 
 pub use diagnose::{diagnose_link, LinkDiagnosis};
 pub use endpoint::{Endpoint, EndpointKind};

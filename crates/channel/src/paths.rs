@@ -1,37 +1,69 @@
-//! Path tracing: the complex gain of each propagation mechanism.
+//! Path tracing: enumerating propagation mechanisms into band-independent
+//! geometric records, plus the reference per-band gain functions.
 //!
-//! Every function here returns *amplitude* (field) gains including antenna
-//! pattern factors, so `|h|²` is the power ratio between conducted transmit
-//! power and received power.
+//! Enumeration (`trace_*`) walks the environment once and captures each
+//! path's geometry as a [`trace`](crate::trace) record; evaluation re-phases
+//! those records at any band. The classic gain functions (`direct_gain`,
+//! `wall_bounce_gain`, …) are thin wrappers — trace then evaluate at the
+//! medium's own band — so there is exactly one implementation of the path
+//! math.
+//!
+//! Every gain is an *amplitude* (field) gain including antenna pattern
+//! factors, so `|h|²` is the power ratio between conducted transmit power
+//! and received power.
 
 use crate::dynamics::Blocker;
 use crate::endpoint::Endpoint;
 use crate::linear::{BilinearTerm, LinearTerm};
 use crate::surface::SurfaceInstance;
+use crate::trace::{
+    BounceTrace, CascadeTrace, ChannelTrace, DirectTrace, ElementLeg, SegmentTrace, SurfaceTrace,
+};
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
-use surfos_em::propagation::friis_amplitude;
 use surfos_geometry::reflect::specular_reflection;
 use surfos_geometry::{FloorPlan, Vec3};
 
 /// The propagation medium: static walls plus dynamic blockers, at one band.
 ///
-/// Bundles everything path tracing needs to attenuate a ray segment.
+/// Bundles everything path tracing needs to attenuate a ray segment. Build
+/// it with [`Medium::new`], which pre-filters the deployed surfaces down to
+/// the (usually empty) subset that can obstruct crossing rays, so per-segment
+/// scans don't touch transparent surfaces at all.
 #[derive(Debug, Clone)]
 pub struct Medium<'a> {
     /// The static environment.
     pub plan: &'a FloorPlan,
     /// Dynamic obstructions (people, moved furniture).
     pub blockers: &'a [Blocker],
-    /// Deployed surfaces, whose apertures may obstruct *other* signals
-    /// crossing them (off-band interaction, §2.1). A surface never blocks
-    /// its own scatter legs: those terminate on its plane.
-    pub obstructions: &'a [SurfaceInstance],
     /// The carrier band.
     pub band: Band,
+    /// Deployed surfaces with `obstruction_amplitude < 1.0`, whose apertures
+    /// attenuate *other* signals crossing them (off-band interaction, §2.1).
+    /// A surface never blocks its own scatter legs: those terminate on its
+    /// plane. Kept in deployment order.
+    obstructing: Vec<&'a SurfaceInstance>,
 }
 
 impl<'a> Medium<'a> {
+    /// Creates a medium, pre-filtering `surfaces` to the obstructing subset.
+    pub fn new(
+        plan: &'a FloorPlan,
+        blockers: &'a [Blocker],
+        surfaces: &'a [SurfaceInstance],
+        band: Band,
+    ) -> Self {
+        Medium {
+            plan,
+            blockers,
+            band,
+            obstructing: surfaces
+                .iter()
+                .filter(|s| s.obstruction_amplitude < 1.0)
+                .collect(),
+        }
+    }
+
     /// Amplitude transmission factor along a segment:
     /// walls × blockers × crossing surfaces.
     pub fn transmission(&self, from: Vec3, to: Vec3) -> f64 {
@@ -42,12 +74,37 @@ impl<'a> Medium<'a> {
             .map(|b| b.transmission_amplitude(from, to, &self.band))
             .product();
         let surfaces: f64 = self
-            .obstructions
+            .obstructing
             .iter()
-            .filter(|s| s.obstruction_amplitude < 1.0 && s.intersects_segment(from, to))
+            .filter(|s| s.intersects_segment(from, to))
             .map(|s| s.obstruction_amplitude)
             .product();
         walls * blockers * surfaces
+    }
+
+    /// Enumerates a segment's obstructions into a band-independent record;
+    /// [`SegmentTrace::transmission`] reproduces [`Self::transmission`] at
+    /// any band.
+    pub fn trace_segment(&self, from: Vec3, to: Vec3) -> SegmentTrace {
+        let wall_materials = self
+            .plan
+            .crossings(from, to)
+            .into_iter()
+            .map(|(_, m)| m)
+            .collect();
+        let blocker_materials = self
+            .blockers
+            .iter()
+            .filter(|b| b.intersects(from, to))
+            .map(|b| b.material)
+            .collect();
+        let surface_obstruction = self
+            .obstructing
+            .iter()
+            .filter(|s| s.intersects_segment(from, to))
+            .map(|s| s.obstruction_amplitude)
+            .product();
+        SegmentTrace::new(wall_materials, blocker_materials, surface_obstruction)
     }
 
     /// Carrier wavelength shorthand.
@@ -57,43 +114,64 @@ impl<'a> Medium<'a> {
     }
 }
 
-/// Gain of the direct (possibly wall-penetrating) path.
-pub fn direct_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
+/// Enumerates the direct path, or `None` for co-located endpoints (a dead
+/// link rather than a singularity).
+pub fn trace_direct(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Option<DirectTrace> {
     let d = tx.position().distance(rx.position());
     if d < 1e-6 {
-        // Co-located endpoints: treat as a dead link rather than a
-        // singularity; the caller decides what zero distance means.
-        return Complex::ZERO;
+        return None;
     }
-    let g = friis_amplitude(d, medium.lambda());
     let pat = tx.amplitude_gain_towards(rx.position()) * rx.amplitude_gain_towards(tx.position());
     let pol = (tx.polarization_rad - rx.polarization_rad).cos();
-    let trans = medium.transmission(tx.position(), rx.position());
-    g * (pat * pol * trans)
+    Some(DirectTrace {
+        d,
+        pat_pol: pat * pol,
+        segment: medium.trace_segment(tx.position(), rx.position()),
+    })
 }
 
-/// Summed gain of all first-order specular wall reflections.
-///
-/// Uses the image method: the reflected amplitude decays over the unfolded
-/// path length `d1 + d2`, scaled by the wall material's reflection
-/// coefficient. Each leg is additionally attenuated by any *other* walls it
-/// crosses.
-pub fn wall_bounce_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
-    let mut total = Complex::ZERO;
+/// Gain of the direct (possibly wall-penetrating) path.
+pub fn direct_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
+    match trace_direct(medium, tx, rx) {
+        Some(t) => t.gain_at(&medium.band),
+        None => Complex::ZERO,
+    }
+}
+
+/// Enumerates all first-order specular wall reflections (image method),
+/// in wall order.
+pub fn trace_wall_bounces(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Vec<BounceTrace> {
+    let mut bounces = Vec::new();
     for wall in medium.plan.walls() {
         let Some(refl) = specular_reflection(tx.position(), rx.position(), wall) else {
             continue;
         };
-        let g = friis_amplitude(refl.total_length(), medium.lambda());
-        let rho = wall.material.reflection_amplitude(&medium.band);
         let pat =
             tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point);
+        let pol = (tx.polarization_rad - rx.polarization_rad).cos();
         // Leg attenuation; the bounce wall itself is excluded because the
         // specular point lies on it (segment-endpoint margin).
-        let trans = medium.transmission(tx.position(), refl.point)
-            * medium.transmission(refl.point, rx.position());
-        let pol = (tx.polarization_rad - rx.polarization_rad).cos();
-        total += g * (rho * pat * pol * trans);
+        bounces.push(BounceTrace {
+            total_length: refl.total_length(),
+            material: wall.material,
+            pat,
+            pol,
+            seg_in: medium.trace_segment(tx.position(), refl.point),
+            seg_out: medium.trace_segment(refl.point, rx.position()),
+        });
+    }
+    bounces
+}
+
+/// Summed gain of all first-order specular wall reflections.
+///
+/// The reflected amplitude decays over the unfolded path length `d1 + d2`,
+/// scaled by the wall material's reflection coefficient. Each leg is
+/// additionally attenuated by any *other* walls it crosses.
+pub fn wall_bounce_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
+    let mut total = Complex::ZERO;
+    for bounce in trace_wall_bounces(medium, tx, rx) {
+        total += bounce.gain_at(&medium.band);
     }
     total
 }
@@ -106,80 +184,85 @@ pub fn surface_serves(surface: &SurfaceInstance, tx: Vec3, rx: Vec3) -> bool {
         .serves(surface.is_in_front(tx), surface.is_in_front(rx))
 }
 
+/// Enumerates a single-bounce surface path, or `None` when the surface
+/// cannot serve this link geometrically. Band-dependent pruning (wall
+/// burial, resonance detuning) happens at evaluation, not here — a path
+/// negligible at one band may matter at another.
+///
+/// Per-element distances are exact; incidence/departure angles and wall
+/// attenuation are evaluated once against the surface centre.
+pub fn trace_surface(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    surface: &SurfaceInstance,
+    index: usize,
+) -> Option<SurfaceTrace> {
+    if !surface_serves(surface, tx.position(), rx.position()) {
+        return None;
+    }
+    let center = surface.pose.position;
+    let ep_gain = tx.amplitude_gain_towards(center) * rx.amplitude_gain_towards(center);
+    let pol = (tx.polarization_rad + surface.polarization_rot - rx.polarization_rad).cos();
+    use surfos_em::antenna::Pattern;
+    let th_in = surface.pose.off_boresight_angle(tx.position());
+    let th_out = surface.pose.off_boresight_angle(rx.position());
+    let elem_pat =
+        surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
+    let legs = (0..surface.len())
+        .map(|e| {
+            let p = surface.element_world_position(e);
+            ElementLeg {
+                d1: tx.position().distance(p),
+                d2: p.distance(rx.position()),
+            }
+        })
+        .collect();
+    Some(SurfaceTrace {
+        surface: index,
+        seg_in: medium.trace_segment(tx.position(), center),
+        seg_out: medium.trace_segment(center, rx.position()),
+        ep_gain,
+        pol,
+        resonance: surface.resonance,
+        area: surface.element_area_m2(),
+        efficiency: surface.efficiency,
+        elem_pat,
+        legs,
+    })
+}
+
 /// Per-element coefficients of a single-bounce surface path, or `None` when
-/// the surface cannot serve this link.
+/// the surface cannot serve this link (geometrically or at this band).
 ///
 /// The channel contribution of the surface is `Σ_e coeffs[e] · r[e]` where
-/// `r` is the programmed element response. Per-element distances and
-/// incidence/departure angles are exact; wall attenuation is evaluated once
-/// against the surface centre.
+/// `r` is the programmed element response.
 pub fn surface_coeffs(
     medium: &Medium,
     tx: &Endpoint,
     rx: &Endpoint,
     surface: &SurfaceInstance,
 ) -> Option<LinearTerm> {
-    if !surface_serves(surface, tx.position(), rx.position()) {
-        return None;
-    }
-    let center = surface.pose.position;
-    let trans = medium.transmission(tx.position(), center)
-        * medium.transmission(center, rx.position());
-    if trans < 1e-9 {
-        return None; // buried behind walls; contribution negligible
-    }
-    let ep_gain = tx.amplitude_gain_towards(center) * rx.amplitude_gain_towards(center);
-    // Resonance detuning (frequency control) and polarization rotation
-    // (polarization control) scale every element of this surface alike.
-    let resonance = surface.resonance_factor(medium.band.center_hz);
-    if resonance < 1e-6 {
-        return None; // far out of resonance: the surface is inert here
-    }
-    let pol = (tx.polarization_rad + surface.polarization_rot - rx.polarization_rad).cos();
-    let ep_gain = ep_gain * resonance * pol;
-    let area = surface.element_area_m2();
-    let lambda = medium.lambda();
-    use surfos_em::antenna::Pattern;
-
-    let coeffs = (0..surface.len())
-        .map(|e| {
-            let p = surface.element_world_position(e);
-            let d1 = tx.position().distance(p);
-            let d2 = p.distance(rx.position());
-            let th_in = surface.pose.off_boresight_angle(tx.position());
-            let th_out = surface.pose.off_boresight_angle(rx.position());
-            let elem_pat =
-                surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
-            let scatter = surfos_em::propagation::element_scatter_amplitude(
-                d1,
-                d2,
-                lambda,
-                area,
-                surface.efficiency,
-            );
-            scatter * (elem_pat * ep_gain * trans)
-        })
-        .collect();
-    Some(LinearTerm {
-        surface: usize::MAX, // caller fills in the surface index
-        coeffs,
-    })
+    // usize::MAX marks "caller fills in the surface index".
+    trace_surface(medium, tx, rx, surface, usize::MAX)?.linear_term_at(&medium.band)
 }
 
-/// Coefficients of a two-hop cascade `tx → first → second → rx`, or `None`
-/// when either hop is gated off.
+/// Enumerates a two-hop cascade `tx → first → second → rx`, or `None` when
+/// a geometric gate (serving sides, overlapping surfaces) fails.
 ///
 /// Far-field factorization: the inter-surface hop is taken centre-to-centre
 /// (distance `D`), while the outer legs keep exact per-element distances.
 /// The cascade contribution is `(α·r_first)(β·r_second)` with the shared
 /// `1/(4π·λ·D)` amplitude and `e^{-jkD}` hop phase folded into `α`.
-pub fn cascade_coeffs(
+pub fn trace_cascade(
     medium: &Medium,
     tx: &Endpoint,
     rx: &Endpoint,
     first: &SurfaceInstance,
     second: &SurfaceInstance,
-) -> Option<(Vec<Complex>, Vec<Complex>)> {
+    first_idx: usize,
+    second_idx: usize,
+) -> Option<CascadeTrace> {
     let c1 = first.pose.position;
     let c2 = second.pose.position;
     // Hop gating: first must couple tx → second's side, second must couple
@@ -194,65 +277,71 @@ pub fn cascade_coeffs(
     if d_hop < 1e-3 {
         return None; // overlapping surfaces: not a physical cascade
     }
-    let trans = medium.transmission(tx.position(), c1)
-        * medium.transmission(c1, c2)
-        * medium.transmission(c2, rx.position());
-    if trans < 1e-9 {
-        return None;
-    }
-    let lambda = medium.lambda();
-    let k = medium.band.wavenumber();
     use surfos_em::antenna::Pattern;
 
     // α side: tx → element a → (towards second's centre).
     let th_in1 = first.pose.off_boresight_angle(tx.position());
     let th_out1 = first.pose.off_boresight_angle(c2);
-    let pat1 = first.pattern.amplitude_gain(th_in1)
-        * first.pattern.amplitude_gain(th_out1)
-        * first.resonance_factor(medium.band.center_hz);
-    let area1 = first.element_area_m2();
-    let g_tx = tx.amplitude_gain_towards(c1);
-    // Shared factors folded into α: transmission, 1/(4π d1_a D) amplitude
-    // with phase e^{-jk(d_tx,a + d_a,c2 - D)} and the hop phase e^{-jkD}.
-    let alpha: Vec<Complex> = (0..first.len())
+    let pat1 = first.pattern.amplitude_gain(th_in1) * first.pattern.amplitude_gain(th_out1);
+    let alpha_legs = (0..first.len())
         .map(|a| {
             let p = first.element_world_position(a);
-            let d1 = tx.position().distance(p);
-            let d_to_c2 = p.distance(c2);
-            let mag = area1 * first.efficiency
-                / (4.0 * std::f64::consts::PI * d1 * d_hop);
-            let phase = -k * (d1 + d_to_c2 - d_hop) - k * d_hop;
-            Complex::from_polar(mag, phase) * (pat1 * g_tx * trans)
+            ElementLeg {
+                d1: tx.position().distance(p),
+                d2: p.distance(c2),
+            }
         })
         .collect();
 
-    // β side: (from first's centre) → element b → rx. The incident field is
-    // already amplitude; the element operator is A·eff/(λ·d2_b).
+    // β side: (from first's centre) → element b → rx.
     let th_in2 = second.pose.off_boresight_angle(c1);
     let th_out2 = second.pose.off_boresight_angle(rx.position());
-    let pat2 = second.pattern.amplitude_gain(th_in2)
-        * second.pattern.amplitude_gain(th_out2)
-        * second.resonance_factor(medium.band.center_hz)
-        * (tx.polarization_rad + first.polarization_rot + second.polarization_rot
-            - rx.polarization_rad)
-            .cos();
-    let area2 = second.element_area_m2();
-    let g_rx = rx.amplitude_gain_towards(c2);
-    let beta: Vec<Complex> = (0..second.len())
+    let pat2 = second.pattern.amplitude_gain(th_in2) * second.pattern.amplitude_gain(th_out2);
+    let pol = (tx.polarization_rad + first.polarization_rot + second.polarization_rot
+        - rx.polarization_rad)
+        .cos();
+    let beta_legs = (0..second.len())
         .map(|b| {
             let p = second.element_world_position(b);
-            let d_from_c1 = c1.distance(p);
-            let d2 = p.distance(rx.position());
-            let mag = area2 * second.efficiency / (lambda * d2);
-            let phase = -k * (d_from_c1 - d_hop + d2);
-            Complex::from_polar(mag, phase) * (pat2 * g_rx)
+            ElementLeg {
+                d1: c1.distance(p),
+                d2: p.distance(rx.position()),
+            }
         })
         .collect();
 
-    if alpha.iter().all(|c| c.abs() < 1e-15) || beta.iter().all(|c| c.abs() < 1e-15) {
-        return None; // pattern-gated to nothing (e.g. endpoint behind)
-    }
-    Some((alpha, beta))
+    Some(CascadeTrace {
+        first: first_idx,
+        second: second_idx,
+        seg_in: medium.trace_segment(tx.position(), c1),
+        seg_hop: medium.trace_segment(c1, c2),
+        seg_out: medium.trace_segment(c2, rx.position()),
+        d_hop,
+        pat1,
+        res1: first.resonance,
+        area_eff1: first.element_area_m2() * first.efficiency,
+        g_tx: tx.amplitude_gain_towards(c1),
+        alpha_legs,
+        pat2,
+        res2: second.resonance,
+        pol,
+        area_eff2: second.element_area_m2() * second.efficiency,
+        g_rx: rx.amplitude_gain_towards(c2),
+        beta_legs,
+    })
+}
+
+/// Coefficients of a two-hop cascade `tx → first → second → rx`, or `None`
+/// when either hop is gated off.
+pub fn cascade_coeffs(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    first: &SurfaceInstance,
+    second: &SurfaceInstance,
+) -> Option<(Vec<Complex>, Vec<Complex>)> {
+    trace_cascade(medium, tx, rx, first, second, usize::MAX, usize::MAX)?
+        .coeffs_at(&medium.band)
 }
 
 /// Builds the bilinear term for an ordered surface pair, with indices.
@@ -264,14 +353,57 @@ pub fn cascade_term(
     first_idx: usize,
     second_idx: usize,
 ) -> Option<BilinearTerm> {
-    let (alpha, beta) =
-        cascade_coeffs(medium, tx, rx, &surfaces[first_idx], &surfaces[second_idx])?;
-    Some(BilinearTerm {
-        first: first_idx,
-        alpha,
-        second: second_idx,
-        beta,
-    })
+    trace_cascade(
+        medium,
+        tx,
+        rx,
+        &surfaces[first_idx],
+        &surfaces[second_idx],
+        first_idx,
+        second_idx,
+    )?
+    .term_at(&medium.band)
+}
+
+/// Enumerates every path of a link into one band-independent record.
+/// `wall_reflections` / `cascades` mirror the simulator's enable flags.
+pub fn trace_channel(
+    medium: &Medium,
+    tx: &Endpoint,
+    rx: &Endpoint,
+    surfaces: &[SurfaceInstance],
+    wall_reflections: bool,
+    cascades: bool,
+) -> ChannelTrace {
+    let direct = trace_direct(medium, tx, rx);
+    let bounces = wall_reflections.then(|| trace_wall_bounces(medium, tx, rx));
+    let surface_traces = surfaces
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| trace_surface(medium, tx, rx, s, i))
+        .collect();
+    let cascade_traces = cascades.then(|| {
+        let mut out = Vec::new();
+        for i in 0..surfaces.len() {
+            for j in 0..surfaces.len() {
+                if i == j {
+                    continue;
+                }
+                if let Some(t) =
+                    trace_cascade(medium, tx, rx, &surfaces[i], &surfaces[j], i, j)
+                {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    });
+    ChannelTrace {
+        direct,
+        bounces,
+        surfaces: surface_traces,
+        cascades: cascade_traces,
+    }
 }
 
 #[cfg(test)]
@@ -280,15 +412,11 @@ mod tests {
     use crate::surface::OperationMode;
     use surfos_em::array::ArrayGeometry;
     use surfos_em::band::NamedBand;
+    use surfos_em::propagation::friis_amplitude;
     use surfos_geometry::{Material, Pose, Wall};
 
     fn medium_free(plan: &FloorPlan) -> Medium<'_> {
-        Medium {
-            plan,
-            blockers: &[],
-            obstructions: &[],
-            band: NamedBand::MmWave28GHz.band(),
-        }
+        Medium::new(plan, &[], &[], NamedBand::MmWave28GHz.band())
     }
 
     fn iso_endpoint(id: &str, pos: Vec3) -> Endpoint {
@@ -335,6 +463,7 @@ mod tests {
         let tx = iso_endpoint("tx", Vec3::new(1.0, 1.0, 1.0));
         let rx = iso_endpoint("rx", Vec3::new(1.0, 1.0, 1.0));
         assert_eq!(direct_gain(&m, &tx, &rx), Complex::ZERO);
+        assert!(trace_direct(&m, &tx, &rx).is_none());
     }
 
     #[test]
@@ -362,6 +491,7 @@ mod tests {
         let tx = iso_endpoint("tx", Vec3::new(2.0, 0.0, 1.0));
         let rx = iso_endpoint("rx", Vec3::new(8.0, 0.0, 1.0));
         assert_eq!(wall_bounce_gain(&m, &tx, &rx), Complex::ZERO);
+        assert!(trace_wall_bounces(&m, &tx, &rx).is_empty());
     }
 
     fn test_surface(pos: Vec3, facing: Vec3, n: usize, mode: OperationMode) -> SurfaceInstance {
@@ -458,6 +588,9 @@ mod tests {
         let tx = iso_endpoint("tx", Vec3::new(0.0, 1.0, 1.5));
         let rx = iso_endpoint("rx", Vec3::new(0.0, -1.0, 1.5));
         assert!(surface_coeffs(&m, &tx, &rx, &s).is_none());
+        // The wall-burial gate is band-dependent: the geometric trace still
+        // exists, it just evaluates to nothing at this band.
+        assert!(trace_surface(&m, &tx, &rx, &s, 0).is_some());
     }
 
     #[test]
@@ -566,5 +699,43 @@ mod tests {
         let best_cascade: f64 =
             alpha.iter().map(|c| c.abs()).sum::<f64>() * beta.iter().map(|c| c.abs()).sum::<f64>();
         assert!(best_cascade < best_single);
+    }
+
+    #[test]
+    fn medium_prefilters_transparent_surfaces() {
+        let plan = FloorPlan::new();
+        let band = NamedBand::MmWave28GHz.band();
+        let transparent =
+            test_surface(Vec3::new(3.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective);
+        let opaque = test_surface(Vec3::new(4.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective)
+            .with_obstruction(0.5);
+        let surfaces = [transparent, opaque];
+        let m = Medium::new(&plan, &[], &surfaces, band);
+        assert_eq!(m.obstructing.len(), 1);
+        assert_eq!(m.obstructing[0].obstruction_amplitude, 0.5);
+        // And the obstruction still bites on a crossing segment (the
+        // transparent surface is crossed too, but contributes nothing).
+        let t = m.transmission(Vec3::new(0.0, 0.0, 1.5), Vec3::new(8.0, 0.0, 1.5));
+        assert!((t - 0.5).abs() < 1e-12, "one opaque crossing expected, t={t}");
+    }
+
+    #[test]
+    fn segment_trace_reproduces_transmission_across_bands() {
+        let mut plan = FloorPlan::new();
+        plan.add_wall(Wall::new(
+            Vec3::xy(2.0, -2.0),
+            Vec3::xy(2.0, 2.0),
+            3.0,
+            Material::Drywall,
+        ));
+        let blockers = [Blocker::person(Vec3::xy(3.0, 0.0))];
+        let from = Vec3::new(0.0, 0.0, 1.2);
+        let to = Vec3::new(6.0, 0.0, 1.2);
+        for named in [NamedBand::Ism2_4GHz, NamedBand::WiFi5GHz, NamedBand::MmWave60GHz] {
+            let band = named.band();
+            let m = Medium::new(&plan, &blockers, &[], band);
+            let trace = m.trace_segment(from, to);
+            assert_eq!(trace.transmission(&band), m.transmission(from, to));
+        }
     }
 }

@@ -4,13 +4,37 @@
 //! and the deployed surfaces, and answers the questions the upper layers
 //! ask: link gains, link budgets, heatmaps, and — crucially — channel
 //! [`Linearization`]s for the orchestrator's optimizer.
+//!
+//! ## Evaluation engine
+//!
+//! Three mechanisms keep repeated queries cheap without changing a single
+//! answer (see DESIGN.md, "Channel evaluation engine"):
+//!
+//! - **Trace/evaluate split** — [`ChannelSim::trace`] enumerates a link's
+//!   band-independent geometry once; re-phasing it at another carrier is
+//!   `O(elements)`. [`ChannelSim::frequency_response`] is one trace plus
+//!   N cheap evaluations instead of N full re-traces.
+//! - **Epoch-keyed linearization cache** — single-link queries
+//!   ([`ChannelSim::gain`], [`ChannelSim::rss_dbm`],
+//!   [`ChannelSim::link_budget`]) memoize the [`Linearization`] per
+//!   endpoint pair. Any geometry mutation (surfaces, blockers, band,
+//!   walls added) invalidates the cache; programming surface *responses*
+//!   does not, because responses are evaluation inputs, not geometry.
+//! - **Deterministic fan-out** — heatmaps evaluate their grid on scoped
+//!   threads with chunk-ordered reassembly, bit-identical to serial.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use crate::dynamics::Blocker;
 use crate::endpoint::Endpoint;
 use crate::heatmap::Heatmap;
 use crate::linear::Linearization;
+use crate::par;
 use crate::paths::{self, Medium};
 use crate::surface::SurfaceInstance;
+use crate::trace::ChannelTrace;
+use surfos_em::antenna::ElementPattern;
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
 use surfos_em::noise;
@@ -30,20 +54,93 @@ pub struct LinkBudget {
     pub capacity_bps: f64,
 }
 
+/// Linearizations memoized under one geometry stamp.
+#[derive(Debug, Default)]
+struct LinCache {
+    stamp: u64,
+    map: HashMap<(u64, u64), Arc<Linearization>>,
+}
+
+/// Stale-entry backstop: a cache this large means the caller is sweeping
+/// endpoints (a job for the heatmap API, which bypasses the cache).
+const CACHE_CAP: usize = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+}
+
+/// FNV-1a digest of every endpoint field the linearization depends on:
+/// pose, antenna pattern and polarization. Power and noise figure are
+/// per-query inputs, not geometry, and the id is ignored on purpose — two
+/// probes at the same pose share a cache entry.
+fn endpoint_fingerprint(e: &Endpoint) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in [e.pose.position, e.pose.normal, e.pose.up] {
+        for c in [v.x, v.y, v.z] {
+            fnv_u64(&mut h, c.to_bits());
+        }
+    }
+    match e.pattern {
+        ElementPattern::Isotropic => fnv_u64(&mut h, 1),
+        ElementPattern::Cosine { exponent } => {
+            fnv_u64(&mut h, 2);
+            fnv_u64(&mut h, exponent.to_bits());
+        }
+        ElementPattern::Sector {
+            gain_dbi,
+            beamwidth_rad,
+            floor_dbi,
+        } => {
+            fnv_u64(&mut h, 3);
+            fnv_u64(&mut h, gain_dbi.to_bits());
+            fnv_u64(&mut h, beamwidth_rad.to_bits());
+            fnv_u64(&mut h, floor_dbi.to_bits());
+        }
+    }
+    fnv_u64(&mut h, e.polarization_rad.to_bits());
+    h
+}
+
 /// The ray-tracing channel simulator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ChannelSim {
-    /// The static environment.
+    /// The static environment. Adding walls invalidates the linearization
+    /// cache automatically; for in-place wall edits call
+    /// [`ChannelSim::invalidate_cache`].
     pub plan: FloorPlan,
     /// Carrier band.
     pub band: Band,
-    /// Dynamic obstructions.
-    pub blockers: Vec<Blocker>,
     /// Include first-order wall reflections (default true).
     pub enable_wall_reflections: bool,
     /// Include two-hop surface cascades (default true).
     pub enable_cascades: bool,
+    blockers: Vec<Blocker>,
     surfaces: Vec<SurfaceInstance>,
+    /// Bumped on every geometry mutation; part of the cache stamp.
+    epoch: u64,
+    cache: Mutex<LinCache>,
+}
+
+impl Clone for ChannelSim {
+    fn clone(&self) -> Self {
+        ChannelSim {
+            plan: self.plan.clone(),
+            band: self.band,
+            enable_wall_reflections: self.enable_wall_reflections,
+            enable_cascades: self.enable_cascades,
+            blockers: self.blockers.clone(),
+            surfaces: self.surfaces.clone(),
+            epoch: self.epoch,
+            // The clone starts with an empty cache: cheap, and entries
+            // re-fill on first query.
+            cache: Mutex::new(LinCache::default()),
+        }
+    }
 }
 
 impl ChannelSim {
@@ -56,6 +153,8 @@ impl ChannelSim {
             enable_wall_reflections: true,
             enable_cascades: true,
             surfaces: Vec::new(),
+            epoch: 0,
+            cache: Mutex::new(LinCache::default()),
         }
     }
 
@@ -69,6 +168,7 @@ impl ChannelSim {
             "duplicate surface id {:?}",
             surface.id
         );
+        self.epoch += 1;
         self.surfaces.push(surface);
         self.surfaces.len() - 1
     }
@@ -78,9 +178,27 @@ impl ChannelSim {
         &self.surfaces
     }
 
-    /// Mutable access to a surface by index (to program its response).
+    /// Mutable access to a surface by index. Conservatively treated as a
+    /// geometry mutation (the borrow can move or re-mode the surface); for
+    /// the response-programming hot path use
+    /// [`ChannelSim::set_surface_phases`] / [`ChannelSim::set_surface_response`],
+    /// which keep the linearization cache warm.
     pub fn surface_mut(&mut self, index: usize) -> &mut SurfaceInstance {
+        self.epoch += 1;
         &mut self.surfaces[index]
+    }
+
+    /// Programs a surface's element phases (unit-amplitude response)
+    /// *without* invalidating the linearization cache: the response is an
+    /// input to [`Linearization::evaluate`], not part of the geometry.
+    pub fn set_surface_phases(&mut self, index: usize, phases: &[f64]) {
+        self.surfaces[index].set_phases(phases);
+    }
+
+    /// Programs a surface's complex element response without invalidating
+    /// the linearization cache.
+    pub fn set_surface_response(&mut self, index: usize, response: Vec<Complex>) {
+        self.surfaces[index].set_response(response);
     }
 
     /// Finds a surface index by id.
@@ -88,50 +206,104 @@ impl ChannelSim {
         self.surfaces.iter().position(|s| s.id == id)
     }
 
-    fn medium(&self) -> Medium<'_> {
-        Medium {
-            plan: &self.plan,
-            blockers: &self.blockers,
-            obstructions: &self.surfaces,
-            band: self.band,
-        }
+    /// The dynamic obstructions.
+    pub fn blockers(&self) -> &[Blocker] {
+        &self.blockers
     }
 
-    /// Builds the linearized channel for a link. This is the expensive
-    /// (ray-tracing) operation; everything downstream reuses its output.
+    /// Adds a dynamic obstruction.
+    pub fn add_blocker(&mut self, blocker: Blocker) {
+        self.epoch += 1;
+        self.blockers.push(blocker);
+    }
+
+    /// Replaces the dynamic obstructions (e.g. one step of a walk).
+    pub fn set_blockers(&mut self, blockers: Vec<Blocker>) {
+        self.epoch += 1;
+        self.blockers = blockers;
+    }
+
+    /// Removes all dynamic obstructions.
+    pub fn clear_blockers(&mut self) {
+        self.epoch += 1;
+        self.blockers.clear();
+    }
+
+    /// Forces linearization-cache invalidation after an in-place mutation
+    /// the simulator cannot observe (e.g. editing a wall through
+    /// [`ChannelSim::plan`]).
+    pub fn invalidate_cache(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn medium(&self) -> Medium<'_> {
+        Medium::new(&self.plan, &self.blockers, &self.surfaces, self.band)
+    }
+
+    /// Everything band-dependent that keys the cache: the mutation epoch,
+    /// the band, the enable flags and the wall count (so `plan.add_wall`
+    /// through the public field invalidates without an explicit call).
+    fn stamp(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_u64(&mut h, self.epoch);
+        fnv_u64(&mut h, self.band.center_hz.to_bits());
+        fnv_u64(&mut h, self.band.bandwidth_hz.to_bits());
+        fnv_u64(&mut h, self.plan.walls().len() as u64);
+        fnv_u64(
+            &mut h,
+            ((self.enable_wall_reflections as u64) << 1) | self.enable_cascades as u64,
+        );
+        h
+    }
+
+    /// Enumerates a link's complete band-independent path geometry. This is
+    /// the expensive (ray-tracing) operation; everything downstream —
+    /// [`ChannelSim::linearize`], [`ChannelSim::frequency_response`], the
+    /// cache — replays it per band in `O(elements)`.
+    pub fn trace(&self, tx: &Endpoint, rx: &Endpoint) -> ChannelTrace {
+        paths::trace_channel(
+            &self.medium(),
+            tx,
+            rx,
+            &self.surfaces,
+            self.enable_wall_reflections,
+            self.enable_cascades,
+        )
+    }
+
+    /// Builds the linearized channel for a link: one fresh trace, evaluated
+    /// at the simulator's band.
     pub fn linearize(&self, tx: &Endpoint, rx: &Endpoint) -> Linearization {
-        let medium = self.medium();
-        let mut constant = paths::direct_gain(&medium, tx, rx);
-        if self.enable_wall_reflections {
-            constant += paths::wall_bounce_gain(&medium, tx, rx);
-        }
-        let mut linear = Vec::new();
-        for (i, s) in self.surfaces.iter().enumerate() {
-            if let Some(mut term) = paths::surface_coeffs(&medium, tx, rx, s) {
-                term.surface = i;
-                linear.push(term);
+        self.trace(tx, rx).linearize_at(&self.band)
+    }
+
+    /// The linearization for a link, memoized per endpoint pair until the
+    /// geometry, band or enable flags change. Kernel-tick workloads that
+    /// re-ask [`ChannelSim::link_budget`] over unchanged geometry hit this
+    /// cache and skip ray tracing entirely.
+    pub fn cached_linearization(&self, tx: &Endpoint, rx: &Endpoint) -> Arc<Linearization> {
+        let stamp = self.stamp();
+        let key = (endpoint_fingerprint(tx), endpoint_fingerprint(rx));
+        {
+            let mut cache = self.cache.lock().unwrap();
+            if cache.stamp != stamp {
+                cache.map.clear();
+                cache.stamp = stamp;
+            } else if let Some(lin) = cache.map.get(&key) {
+                return Arc::clone(lin);
             }
         }
-        let mut bilinear = Vec::new();
-        if self.enable_cascades {
-            for i in 0..self.surfaces.len() {
-                for j in 0..self.surfaces.len() {
-                    if i == j {
-                        continue;
-                    }
-                    if let Some(term) =
-                        paths::cascade_term(&medium, tx, rx, &self.surfaces, i, j)
-                    {
-                        bilinear.push(term);
-                    }
-                }
+        // Trace outside the lock; concurrent misses may duplicate work but
+        // never block each other on ray tracing.
+        let lin = Arc::new(self.linearize(tx, rx));
+        let mut cache = self.cache.lock().unwrap();
+        if cache.stamp == stamp {
+            if cache.map.len() >= CACHE_CAP {
+                cache.map.clear();
             }
+            cache.map.insert(key, Arc::clone(&lin));
         }
-        Linearization {
-            constant,
-            linear,
-            bilinear,
-        }
+        lin
     }
 
     /// The per-surface response slices, in index order — the shape
@@ -142,7 +314,7 @@ impl ChannelSim {
 
     /// The complex channel gain with the surfaces' *current* responses.
     pub fn gain(&self, tx: &Endpoint, rx: &Endpoint) -> Complex {
-        self.linearize(tx, rx).evaluate(&self.responses())
+        self.cached_linearization(tx, rx).evaluate(&self.responses())
     }
 
     /// Received signal strength in dBm with current responses.
@@ -165,15 +337,21 @@ impl ChannelSim {
 
     /// RSS heatmap over a set of receive points (a virtual client is placed
     /// at each point; its antenna/noise follow `rx_template`).
+    ///
+    /// Points are evaluated on scoped worker threads (one template clone
+    /// per worker, not per point) with chunk-ordered reassembly, so the
+    /// map is bit-identical to a serial sweep. Fresh traces bypass the
+    /// linearization cache: a grid of one-shot probes would only thrash it.
     pub fn rss_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
-        let values = points
-            .iter()
-            .map(|p| {
-                let mut rx = rx_template.clone();
+        let responses = self.responses();
+        let values = par::par_map_with(
+            points,
+            || rx_template.clone(),
+            |rx, p| {
                 rx.pose.position = *p;
-                self.rss_dbm(tx, &rx)
-            })
-            .collect();
+                tx.tx_power_dbm + amplitude_to_db(self.linearize(tx, rx).evaluate(&responses).abs())
+            },
+        );
         Heatmap {
             points: points.to_vec(),
             values,
@@ -186,8 +364,9 @@ impl ChannelSim {
     /// paths cancel); a single-path link is flat. This is the OFDM
     /// subcarrier view a wideband PHY would see.
     ///
-    /// Each sample re-traces the environment at its own wavelength, so the
-    /// cost is `n_points ×` [`linearize`](Self::linearize).
+    /// The environment is traced **once**; each sample then re-phases the
+    /// band-independent path records at its own subcarrier, so the sweep
+    /// costs one [`trace`](Self::trace) plus `n_points` cheap evaluations.
     ///
     /// # Panics
     /// Panics if `n_points < 2`.
@@ -200,11 +379,39 @@ impl ChannelSim {
         assert!(n_points >= 2, "a sweep needs at least two points");
         let lo = self.band.low_hz();
         let hi = self.band.high_hz();
+        let trace = self.trace(tx, rx);
+        let responses = self.responses();
+        let freqs: Vec<f64> = (0..n_points)
+            .map(|i| lo + (hi - lo) * i as f64 / (n_points - 1) as f64)
+            .collect();
+        // Narrowband probes at each subcarrier: only the centre frequency
+        // matters for path phases. The grid is uniform, so the sweep
+        // evaluator can rotate per-element phasors instead of re-phasing
+        // from scratch at every point.
+        let probes: Vec<Band> = freqs
+            .iter()
+            .map(|&f| Band::new(f, self.band.bandwidth_hz.min(f)))
+            .collect();
+        let gains = trace.sweep_evaluate(&probes, &responses);
+        freqs.into_iter().zip(gains).collect()
+    }
+
+    /// Reference implementation of [`ChannelSim::frequency_response`] that
+    /// re-traces the environment at every subcarrier. Kept for equivalence
+    /// tests and benchmarks.
+    #[doc(hidden)]
+    pub fn frequency_response_naive(
+        &self,
+        tx: &Endpoint,
+        rx: &Endpoint,
+        n_points: usize,
+    ) -> Vec<(f64, Complex)> {
+        assert!(n_points >= 2, "a sweep needs at least two points");
+        let lo = self.band.low_hz();
+        let hi = self.band.high_hz();
         (0..n_points)
             .map(|i| {
                 let f = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;
-                // A narrowband probe at this subcarrier: only the centre
-                // frequency matters for path phases.
                 let mut probe = self.clone();
                 probe.band = Band::new(f, self.band.bandwidth_hz.min(f));
                 let gain = probe.linearize(tx, rx).evaluate(&probe.responses());
@@ -229,7 +436,6 @@ impl ChannelSim {
 mod tests {
     use super::*;
     use crate::surface::OperationMode;
-    use surfos_em::antenna::ElementPattern;
     use surfos_em::array::ArrayGeometry;
     use surfos_em::band::NamedBand;
     use surfos_geometry::scenario::two_room_apartment;
@@ -317,7 +523,7 @@ mod tests {
             .find(|t| t.surface == idx)
             .expect("surface must serve the link");
         let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
-        sim.surface_mut(idx).set_phases(&phases);
+        sim.set_surface_phases(idx, &phases);
 
         let after = sim.link_budget(&ap, &rx).snr_db;
         assert!(
@@ -374,7 +580,7 @@ mod tests {
         let before = sim.rss_dbm(&ap, &rx);
         // A person standing at the receiver blocks every incoming path
         // (direct and wall bounces all converge there).
-        sim.blockers.push(Blocker::person(rx.position()));
+        sim.add_blocker(Blocker::person(rx.position()));
         let after = sim.rss_dbm(&ap, &rx);
         assert!(
             before - after > 10.0,
@@ -511,5 +717,159 @@ mod tests {
         ));
         assert_eq!(sim.surface_index("findme"), Some(idx));
         assert_eq!(sim.surface_index("nope"), None);
+    }
+
+    // ── Evaluation-engine tests ────────────────────────────────────────
+
+    /// A sim with enough structure that every path family is live: walls,
+    /// a blocker off to the side, and two surfaces (so cascades exist).
+    fn rich_sim() -> (ChannelSim, Endpoint, Endpoint) {
+        let scen = two_room_apartment();
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(scen.plan.clone(), band);
+        let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+        let pose = *scen.anchor("bedroom-north").unwrap();
+        sim.add_surface(SurfaceInstance::new("s0", pose, geom, OperationMode::Reflective));
+        let pose2 = Pose::wall_mounted(Vec3::new(4.9, 3.2, 1.5), Vec3::new(-1.0, 0.2, 0.0));
+        sim.add_surface(SurfaceInstance::new("s1", pose2, geom, OperationMode::Reflective));
+        sim.add_blocker(Blocker::person(Vec3::xy(2.0, 2.0)));
+        let ap = Endpoint::access_point("ap0", scen.ap_pose);
+        let rx = iso_client("c", Vec3::new(6.0, 1.0, 1.2));
+        (sim, ap, rx)
+    }
+
+    #[test]
+    fn trace_once_linearize_matches_direct_path_math() {
+        // The trace/evaluate split must reproduce the fresh trace bit for
+        // bit at the trace band.
+        let (sim, ap, rx) = rich_sim();
+        let fresh = sim.linearize(&ap, &rx);
+        let replay = sim.trace(&ap, &rx).linearize_at(&sim.band);
+        assert_eq!(fresh.constant, replay.constant);
+        assert_eq!(fresh.linear.len(), replay.linear.len());
+        for (a, b) in fresh.linear.iter().zip(&replay.linear) {
+            assert_eq!(a.surface, b.surface);
+            assert_eq!(a.coeffs, b.coeffs);
+        }
+        assert_eq!(fresh.bilinear.len(), replay.bilinear.len());
+        for (a, b) in fresh.bilinear.iter().zip(&replay.bilinear) {
+            assert_eq!((a.first, a.second), (b.first, b.second));
+            assert_eq!(a.alpha, b.alpha);
+            assert_eq!(a.beta, b.beta);
+        }
+    }
+
+    #[test]
+    fn frequency_response_matches_naive_retrace() {
+        let (sim, ap, rx) = rich_sim();
+        let fast = sim.frequency_response(&ap, &rx, 64);
+        let naive = sim.frequency_response_naive(&ap, &rx, 64);
+        assert_eq!(fast.len(), naive.len());
+        let mut max_rel: f64 = 0.0;
+        for ((f1, g1), (f2, g2)) in fast.iter().zip(&naive) {
+            assert_eq!(f1, f2);
+            let scale = g2.abs().max(1e-30);
+            max_rel = max_rel.max((*g1 - *g2).abs() / scale);
+        }
+        // The sweep evaluator's phasor recurrence assumes an affine grid;
+        // the FP rounding of each actual grid frequency (~µHz at 28 GHz,
+        // over ~10 m paths) bounds the phase deviation near 1e-12 rad.
+        assert!(max_rel < 1e-10, "max relative deviation {max_rel:.3e}");
+    }
+
+    #[test]
+    fn heatmap_parallel_matches_serial_bitwise() {
+        let (sim, ap, _) = rich_sim();
+        let scen = two_room_apartment();
+        let grid = scen.target().sample_grid(6, 6, 1.2, 0.3);
+        let template = iso_client("probe", Vec3::ZERO);
+        // Serial reference computed with the exact public per-point math.
+        let responses = sim.responses();
+        let serial: Vec<f64> = grid
+            .iter()
+            .map(|p| {
+                let mut rx = template.clone();
+                rx.pose.position = *p;
+                ap.tx_power_dbm
+                    + amplitude_to_db(sim.linearize(&ap, &rx).evaluate(&responses).abs())
+            })
+            .collect();
+        let map = sim.rss_heatmap(&ap, &grid, &template);
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            map.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "parallel heatmap must be bit-identical to serial"
+        );
+    }
+
+    #[test]
+    fn cache_hits_over_unchanged_geometry() {
+        let (sim, ap, rx) = rich_sim();
+        let first = sim.cached_linearization(&ap, &rx);
+        let second = sim.cached_linearization(&ap, &rx);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second query must reuse the cached linearization"
+        );
+        assert_eq!(sim.gain(&ap, &rx), sim.linearize(&ap, &rx).evaluate(&sim.responses()));
+    }
+
+    #[test]
+    fn cache_invalidated_by_surface_mutation() {
+        let (mut sim, ap, rx) = rich_sim();
+        let before = sim.gain(&ap, &rx);
+        sim.surface_mut(0).pose.position.z += 0.3;
+        let after = sim.gain(&ap, &rx);
+        assert_ne!(before, after, "moved surface must change the gain");
+        assert_eq!(after, sim.linearize(&ap, &rx).evaluate(&sim.responses()));
+    }
+
+    #[test]
+    fn cache_invalidated_by_blocker_mutation() {
+        let (mut sim, ap, rx) = rich_sim();
+        let before = sim.gain(&ap, &rx);
+        sim.add_blocker(Blocker::person(rx.position()));
+        let after = sim.gain(&ap, &rx);
+        assert_ne!(before, after, "new blocker must change the gain");
+        assert_eq!(after, sim.linearize(&ap, &rx).evaluate(&sim.responses()));
+        sim.clear_blockers();
+        sim.add_blocker(Blocker::person(Vec3::xy(2.0, 2.0)));
+        assert_eq!(before, sim.gain(&ap, &rx), "original blockers, original gain");
+    }
+
+    #[test]
+    fn cache_invalidated_by_band_change() {
+        let (mut sim, ap, rx) = rich_sim();
+        let at_28 = sim.gain(&ap, &rx);
+        sim.band = NamedBand::MmWave60GHz.band();
+        let at_60 = sim.gain(&ap, &rx);
+        assert_ne!(at_28, at_60, "band change must re-trace");
+        assert_eq!(at_60, sim.linearize(&ap, &rx).evaluate(&sim.responses()));
+        sim.band = NamedBand::MmWave28GHz.band();
+        assert_eq!(at_28, sim.gain(&ap, &rx));
+    }
+
+    #[test]
+    fn response_programming_keeps_cache_warm_and_correct() {
+        let (mut sim, ap, rx) = rich_sim();
+        let lin = sim.cached_linearization(&ap, &rx);
+        let term = lin.linear.iter().find(|t| t.surface == 0).expect("serves");
+        let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
+        sim.set_surface_phases(0, &phases);
+        // Same Arc (no invalidation) …
+        assert!(Arc::ptr_eq(&lin, &sim.cached_linearization(&ap, &rx)));
+        // … and still the correct answer for the *new* responses.
+        assert_eq!(
+            sim.gain(&ap, &rx),
+            sim.linearize(&ap, &rx).evaluate(&sim.responses())
+        );
+    }
+
+    #[test]
+    fn clone_starts_with_cold_cache_but_same_answers() {
+        let (sim, ap, rx) = rich_sim();
+        let g = sim.gain(&ap, &rx);
+        let copy = sim.clone();
+        assert_eq!(g, copy.gain(&ap, &rx));
     }
 }

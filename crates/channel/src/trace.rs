@@ -1,0 +1,568 @@
+//! Trace/evaluate split: band-independent path records.
+//!
+//! Ray tracing a link does two separable jobs: *geometry* (which paths
+//! exist, their segment lengths, which walls/blockers they cross, pattern
+//! and polarization factors) and *electromagnetics* (Friis amplitudes,
+//! material losses, resonance detuning and `e^{-jkd}` phases — everything
+//! that depends on the carrier). The types here capture the first job as a
+//! [`ChannelTrace`]; [`ChannelTrace::linearize_at`] then replays the second
+//! job at any [`Band`] in `O(total elements)` without touching the
+//! environment again.
+//!
+//! This is what makes a wideband frequency sweep one trace + N cheap
+//! re-phasings instead of N full re-traces, and it is the payload the
+//! simulator's linearization cache stores.
+//!
+//! Bit-exactness contract: for the band the trace was taken at,
+//! `linearize_at` reproduces the reference path math in `paths` (which is
+//! implemented on top of these records) operation-for-operation, so cached
+//! and freshly-traced linearizations are interchangeable. Band-dependent
+//! *gates* (wall-burial and resonance pruning) are re-applied per band:
+//! a path negligible at 28 GHz may matter at 5 GHz and vice versa.
+
+use crate::linear::{BilinearTerm, LinearTerm, Linearization};
+use surfos_em::band::Band;
+use surfos_em::complex::Complex;
+use surfos_em::propagation::{element_scatter_amplitude, friis_amplitude};
+use surfos_em::units::db_to_amplitude;
+use surfos_geometry::Material;
+
+/// Thresholds shared with the reference implementation in `paths`.
+pub(crate) const TRANSMISSION_FLOOR: f64 = 1e-9;
+pub(crate) const RESONANCE_FLOOR: f64 = 1e-6;
+pub(crate) const COEFF_FLOOR: f64 = 1e-15;
+
+/// Band-independent obstruction record of one ray segment: which wall
+/// materials it crosses (in crossing order), which blockers (in list
+/// order), and the off-band surface obstruction product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentTrace {
+    /// Materials of crossed walls, sorted by crossing parameter.
+    wall_materials: Vec<Material>,
+    /// Materials of crossed blockers, in blocker-list order.
+    blocker_materials: Vec<Material>,
+    /// Product of crossing surfaces' obstruction amplitudes (band-free).
+    surface_obstruction: f64,
+}
+
+impl SegmentTrace {
+    pub(crate) fn new(
+        wall_materials: Vec<Material>,
+        blocker_materials: Vec<Material>,
+        surface_obstruction: f64,
+    ) -> Self {
+        SegmentTrace {
+            wall_materials,
+            blocker_materials,
+            surface_obstruction,
+        }
+    }
+
+    /// Amplitude transmission factor of the segment at `band`.
+    ///
+    /// Skipped non-crossing factors are exactly `1.0` in the reference
+    /// product, so omitting them is IEEE-identical.
+    pub fn transmission(&self, band: &Band) -> f64 {
+        let walls = db_to_amplitude(
+            -self
+                .wall_materials
+                .iter()
+                .map(|m| m.penetration_loss_db(band))
+                .sum::<f64>(),
+        );
+        let blockers: f64 = self
+            .blocker_materials
+            .iter()
+            .map(|m| m.transmission_amplitude(band))
+            .product();
+        walls * blockers * self.surface_obstruction
+    }
+}
+
+/// Lorentzian resonance efficiency, mirroring
+/// `SurfaceInstance::resonance_factor`.
+fn resonance_factor(resonance: Option<(f64, f64)>, freq_hz: f64) -> f64 {
+    match resonance {
+        None => 1.0,
+        Some((center, width)) => {
+            let x = (freq_hz - center) / (width * center);
+            1.0 / (1.0 + x * x)
+        }
+    }
+}
+
+/// Geometry of the direct path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectTrace {
+    /// Tx–rx distance in metres.
+    pub d: f64,
+    /// Pattern × polarization amplitude factor (band-free).
+    pub pat_pol: f64,
+    /// Obstructions along the path.
+    pub segment: SegmentTrace,
+}
+
+impl DirectTrace {
+    /// Complex gain at `band`.
+    pub fn gain_at(&self, band: &Band) -> Complex {
+        let g = friis_amplitude(self.d, band.wavelength_m());
+        g * (self.pat_pol * self.segment.transmission(band))
+    }
+}
+
+/// Geometry of one first-order specular wall reflection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BounceTrace {
+    /// Unfolded path length tx → specular point → rx.
+    pub total_length: f64,
+    /// The bounce wall's material (reflection loss is band-dependent).
+    pub material: Material,
+    /// Pattern gain product towards the specular point (band-free).
+    pub pat: f64,
+    /// Polarization factor (band-free).
+    pub pol: f64,
+    /// Obstructions on the tx → specular-point leg.
+    pub seg_in: SegmentTrace,
+    /// Obstructions on the specular-point → rx leg.
+    pub seg_out: SegmentTrace,
+}
+
+impl BounceTrace {
+    /// Complex gain at `band`.
+    pub fn gain_at(&self, band: &Band) -> Complex {
+        let g = friis_amplitude(self.total_length, band.wavelength_m());
+        let rho = self.material.reflection_amplitude(band);
+        let trans = self.seg_in.transmission(band) * self.seg_out.transmission(band);
+        g * (rho * self.pat * self.pol * trans)
+    }
+}
+
+/// Per-element leg lengths of a single-bounce surface path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElementLeg {
+    /// Tx → element distance.
+    pub d1: f64,
+    /// Element → rx distance.
+    pub d2: f64,
+}
+
+/// Geometry of a single-bounce programmable-surface path. Survived the
+/// band-independent gates (mode/side serving); the band-dependent gates
+/// (wall burial, resonance) are re-applied by [`Self::linear_term_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceTrace {
+    /// Index of the surface in the simulator's surface list.
+    pub surface: usize,
+    /// Obstructions tx → surface centre.
+    pub seg_in: SegmentTrace,
+    /// Obstructions surface centre → rx.
+    pub seg_out: SegmentTrace,
+    /// Endpoint pattern gain product towards the centre (band-free).
+    pub ep_gain: f64,
+    /// Polarization factor including the surface's rotation (band-free).
+    pub pol: f64,
+    /// The surface's resonance `(centre_hz, fractional_width)`, if any.
+    pub resonance: Option<(f64, f64)>,
+    /// Element area in m².
+    pub area: f64,
+    /// Element amplitude efficiency.
+    pub efficiency: f64,
+    /// Element pattern gain product (centre-based angles; band-free).
+    pub elem_pat: f64,
+    /// Per-element leg lengths.
+    pub legs: Vec<ElementLeg>,
+}
+
+impl SurfaceTrace {
+    /// The per-element coefficients at `band`, or `None` when the surface
+    /// is gated off (buried or detuned) at this band.
+    pub fn linear_term_at(&self, band: &Band) -> Option<LinearTerm> {
+        let trans = self.seg_in.transmission(band) * self.seg_out.transmission(band);
+        if trans < TRANSMISSION_FLOOR {
+            return None;
+        }
+        let resonance = resonance_factor(self.resonance, band.center_hz);
+        if resonance < RESONANCE_FLOOR {
+            return None;
+        }
+        let ep_gain = self.ep_gain * resonance * self.pol;
+        let lambda = band.wavelength_m();
+        let coeffs = self
+            .legs
+            .iter()
+            .map(|leg| {
+                let scatter =
+                    element_scatter_amplitude(leg.d1, leg.d2, lambda, self.area, self.efficiency);
+                scatter * (self.elem_pat * ep_gain * trans)
+            })
+            .collect();
+        Some(LinearTerm {
+            surface: self.surface,
+            coeffs,
+        })
+    }
+}
+
+/// Geometry of a two-hop cascade `tx → first → second → rx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeTrace {
+    /// Index of the first-hop surface.
+    pub first: usize,
+    /// Index of the second-hop surface.
+    pub second: usize,
+    /// Obstructions tx → first centre.
+    pub seg_in: SegmentTrace,
+    /// Obstructions first centre → second centre.
+    pub seg_hop: SegmentTrace,
+    /// Obstructions second centre → rx.
+    pub seg_out: SegmentTrace,
+    /// Centre-to-centre hop distance.
+    pub d_hop: f64,
+    /// First surface: element pattern product towards tx and the second
+    /// centre (band-free; resonance re-applied per band).
+    pub pat1: f64,
+    /// First surface's resonance.
+    pub res1: Option<(f64, f64)>,
+    /// `element_area × efficiency` of the first surface.
+    pub area_eff1: f64,
+    /// Tx pattern gain towards the first centre.
+    pub g_tx: f64,
+    /// First surface per-element legs: `d1` = tx → element,
+    /// `d2` = element → second centre.
+    pub alpha_legs: Vec<ElementLeg>,
+    /// Second surface: element pattern product (band-free).
+    pub pat2: f64,
+    /// Second surface's resonance.
+    pub res2: Option<(f64, f64)>,
+    /// End-to-end polarization factor through both rotations (band-free).
+    pub pol: f64,
+    /// `element_area × efficiency` of the second surface.
+    pub area_eff2: f64,
+    /// Rx pattern gain towards the second centre.
+    pub g_rx: f64,
+    /// Second surface per-element legs: `d1` = first centre → element,
+    /// `d2` = element → rx.
+    pub beta_legs: Vec<ElementLeg>,
+}
+
+impl CascadeTrace {
+    /// The `(α, β)` coefficient vectors at `band`, or `None` when gated.
+    pub fn coeffs_at(&self, band: &Band) -> Option<(Vec<Complex>, Vec<Complex>)> {
+        let trans = self.seg_in.transmission(band)
+            * self.seg_hop.transmission(band)
+            * self.seg_out.transmission(band);
+        if trans < TRANSMISSION_FLOOR {
+            return None;
+        }
+        let lambda = band.wavelength_m();
+        let k = band.wavenumber();
+        let pat1 = self.pat1 * resonance_factor(self.res1, band.center_hz);
+        let alpha: Vec<Complex> = self
+            .alpha_legs
+            .iter()
+            .map(|leg| {
+                let mag = self.area_eff1 / (4.0 * std::f64::consts::PI * leg.d1 * self.d_hop);
+                let phase = -k * (leg.d1 + leg.d2 - self.d_hop) - k * self.d_hop;
+                Complex::from_polar(mag, phase) * (pat1 * self.g_tx * trans)
+            })
+            .collect();
+        let pat2 = self.pat2 * resonance_factor(self.res2, band.center_hz) * self.pol;
+        let beta: Vec<Complex> = self
+            .beta_legs
+            .iter()
+            .map(|leg| {
+                let mag = self.area_eff2 / (lambda * leg.d2);
+                let phase = -k * (leg.d1 - self.d_hop + leg.d2);
+                Complex::from_polar(mag, phase) * (pat2 * self.g_rx)
+            })
+            .collect();
+        if alpha.iter().all(|c| c.abs() < COEFF_FLOOR)
+            || beta.iter().all(|c| c.abs() < COEFF_FLOOR)
+        {
+            return None;
+        }
+        Some((alpha, beta))
+    }
+
+    /// The bilinear term at `band`, or `None` when gated.
+    pub fn term_at(&self, band: &Band) -> Option<BilinearTerm> {
+        let (alpha, beta) = self.coeffs_at(band)?;
+        Some(BilinearTerm {
+            first: self.first,
+            alpha,
+            second: self.second,
+            beta,
+        })
+    }
+}
+
+/// Everything path enumeration found for one (tx, rx) pair: the complete
+/// band-independent geometry of the link. Re-phase it at any carrier with
+/// [`Self::linearize_at`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelTrace {
+    /// Direct path (`None` when the endpoints are co-located).
+    pub direct: Option<DirectTrace>,
+    /// Wall reflections (`None` when tracing had them disabled).
+    pub bounces: Option<Vec<BounceTrace>>,
+    /// Single-bounce surface paths that pass the geometric gates.
+    pub surfaces: Vec<SurfaceTrace>,
+    /// Two-hop cascades (`None` when tracing had them disabled).
+    pub cascades: Option<Vec<CascadeTrace>>,
+}
+
+impl ChannelTrace {
+    /// Evaluates the trace into a [`Linearization`] at `band`. Cheap:
+    /// `O(total elements)`, no environment access.
+    pub fn linearize_at(&self, band: &Band) -> Linearization {
+        let mut constant = match &self.direct {
+            Some(d) => d.gain_at(band),
+            None => Complex::ZERO,
+        };
+        if let Some(bounces) = &self.bounces {
+            let mut total = Complex::ZERO;
+            for b in bounces {
+                total += b.gain_at(band);
+            }
+            constant += total;
+        }
+        let linear = self
+            .surfaces
+            .iter()
+            .filter_map(|s| s.linear_term_at(band))
+            .collect();
+        let bilinear = match &self.cascades {
+            Some(cascades) => cascades.iter().filter_map(|c| c.term_at(band)).collect(),
+            None => Vec::new(),
+        };
+        Linearization {
+            constant,
+            linear,
+            bilinear,
+        }
+    }
+
+    /// Evaluates the trace against `responses` at a *uniformly spaced*
+    /// sequence of narrowband probes in one pass.
+    ///
+    /// Functionally this is `linearize_at(b).evaluate(responses)` per
+    /// band, but per-element phases are linear in the wavenumber, so on a
+    /// uniform grid each element's phasor advances by a fixed per-step
+    /// rotation — one complex multiply instead of a fresh `sin`/`cos`.
+    /// Band-dependent scalars (Friis magnitudes, material losses,
+    /// resonance) and the pruning gates are still recomputed exactly per
+    /// probe. The rotation is exact for a mathematically affine grid; the
+    /// FP rounding of the caller's actual grid points bounds the
+    /// deviation from point-wise evaluation at ~1e-11 relative.
+    pub fn sweep_evaluate(&self, bands: &[Band], responses: &[&[Complex]]) -> Vec<Complex> {
+        if bands.len() < 2 {
+            return bands
+                .iter()
+                .map(|b| self.linearize_at(b).evaluate(responses))
+                .collect();
+        }
+        let tau = 2.0 * std::f64::consts::PI;
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let lambda0 = bands[0].wavelength_m();
+        let k0 = bands[0].wavenumber();
+        let dk = bands[1].wavenumber() - k0;
+
+        // Phasor + its per-step rotation. `value` may carry the
+        // band-independent magnitude and the element's response folded in.
+        struct Rot {
+            value: Complex,
+            delta: Complex,
+        }
+        impl Rot {
+            fn new(value: Complex, dphase: f64) -> Self {
+                Rot {
+                    value,
+                    delta: Complex::from_polar(1.0, dphase),
+                }
+            }
+            /// Returns the current value, then advances one grid step.
+            fn take(&mut self) -> Complex {
+                let v = self.value;
+                self.value = v * self.delta;
+                v
+            }
+        }
+
+        let mut direct = self.direct.as_ref().map(|d| {
+            (
+                d,
+                Rot::new(Complex::from_polar(1.0, -tau * d.d / lambda0), -dk * d.d),
+            )
+        });
+        let mut bounces: Option<Vec<(&BounceTrace, Rot)>> = self.bounces.as_ref().map(|bs| {
+            bs.iter()
+                .map(|b| {
+                    (
+                        b,
+                        Rot::new(
+                            Complex::from_polar(1.0, -tau * b.total_length / lambda0),
+                            -dk * b.total_length,
+                        ),
+                    )
+                })
+                .collect()
+        });
+        let mut surfaces: Vec<(&SurfaceTrace, Vec<Rot>)> = self
+            .surfaces
+            .iter()
+            .map(|s| {
+                let area_eff = s.area * s.efficiency;
+                let elems = s
+                    .legs
+                    .iter()
+                    .zip(responses[s.surface])
+                    .map(|(leg, r)| {
+                        let mag = area_eff / (four_pi * leg.d1 * leg.d2);
+                        let phase = -tau * (leg.d1 + leg.d2) / lambda0;
+                        Rot::new(Complex::from_polar(mag, phase) * *r, -dk * (leg.d1 + leg.d2))
+                    })
+                    .collect();
+                (s, elems)
+            })
+            .collect();
+        // Cascade α/β magnitudes are gated against `COEFF_FLOOR` without
+        // the responses folded in, so track the largest static magnitude
+        // per side alongside the response-weighted phasors.
+        struct CascadeSweep<'a> {
+            c: &'a CascadeTrace,
+            alpha: Vec<Rot>,
+            alpha_max_mag: f64,
+            beta: Vec<Rot>,
+            beta_max_mag: f64,
+        }
+        let mut cascades: Option<Vec<CascadeSweep<'_>>> = self.cascades.as_ref().map(|cs| {
+            cs.iter()
+                .map(|c| {
+                    let mut alpha_max_mag: f64 = 0.0;
+                    let alpha = c
+                        .alpha_legs
+                        .iter()
+                        .zip(responses[c.first])
+                        .map(|(leg, r)| {
+                            let mag = c.area_eff1 / (four_pi * leg.d1 * c.d_hop);
+                            alpha_max_mag = alpha_max_mag.max(mag);
+                            let phase = -k0 * (leg.d1 + leg.d2 - c.d_hop) - k0 * c.d_hop;
+                            Rot::new(
+                                Complex::from_polar(mag, phase) * *r,
+                                -dk * (leg.d1 + leg.d2),
+                            )
+                        })
+                        .collect();
+                    // β magnitude carries a 1/λ that moves with the band;
+                    // keep the static part here and scale per probe.
+                    let mut beta_max_mag: f64 = 0.0;
+                    let beta = c
+                        .beta_legs
+                        .iter()
+                        .zip(responses[c.second])
+                        .map(|(leg, r)| {
+                            let mag = c.area_eff2 / leg.d2;
+                            beta_max_mag = beta_max_mag.max(mag);
+                            let phase = -k0 * (leg.d1 - c.d_hop + leg.d2);
+                            Rot::new(
+                                Complex::from_polar(mag, phase) * *r,
+                                -dk * (leg.d1 - c.d_hop + leg.d2),
+                            )
+                        })
+                        .collect();
+                    CascadeSweep {
+                        c,
+                        alpha,
+                        alpha_max_mag,
+                        beta,
+                        beta_max_mag,
+                    }
+                })
+                .collect()
+        });
+
+        bands
+            .iter()
+            .map(|band| {
+                let lambda = band.wavelength_m();
+                let mut h = Complex::ZERO;
+                if let Some((d, rot)) = direct.as_mut() {
+                    let mag = lambda / (four_pi * d.d);
+                    h += rot.take() * (mag * d.pat_pol * d.segment.transmission(band));
+                }
+                if let Some(bounces) = bounces.as_mut() {
+                    let mut total = Complex::ZERO;
+                    for (b, rot) in bounces.iter_mut() {
+                        let mag = lambda / (four_pi * b.total_length);
+                        let rho = b.material.reflection_amplitude(band);
+                        let trans =
+                            b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                        total += rot.take() * (mag * rho * b.pat * b.pol * trans);
+                    }
+                    h += total;
+                }
+                for (s, elems) in surfaces.iter_mut() {
+                    // Phasors must advance every step, gated or not, so
+                    // accumulate unconditionally and gate the scale.
+                    let mut acc = Complex::ZERO;
+                    for rot in elems.iter_mut() {
+                        acc += rot.take();
+                    }
+                    let trans = s.seg_in.transmission(band) * s.seg_out.transmission(band);
+                    if trans < TRANSMISSION_FLOOR {
+                        continue;
+                    }
+                    let resonance = resonance_factor(s.resonance, band.center_hz);
+                    if resonance < RESONANCE_FLOOR {
+                        continue;
+                    }
+                    h += acc * (s.elem_pat * (s.ep_gain * resonance * s.pol) * trans);
+                }
+                if let Some(cascades) = cascades.as_mut() {
+                    for cs in cascades.iter_mut() {
+                        let mut acc_a = Complex::ZERO;
+                        for rot in cs.alpha.iter_mut() {
+                            acc_a += rot.take();
+                        }
+                        let mut acc_b = Complex::ZERO;
+                        for rot in cs.beta.iter_mut() {
+                            acc_b += rot.take();
+                        }
+                        let c = cs.c;
+                        let trans = c.seg_in.transmission(band)
+                            * c.seg_hop.transmission(band)
+                            * c.seg_out.transmission(band);
+                        if trans < TRANSMISSION_FLOOR {
+                            continue;
+                        }
+                        let a_scale =
+                            c.pat1 * resonance_factor(c.res1, band.center_hz) * c.g_tx * trans;
+                        let b_scale = c.pat2
+                            * resonance_factor(c.res2, band.center_hz)
+                            * c.pol
+                            * c.g_rx
+                            / lambda;
+                        if cs.alpha_max_mag * a_scale.abs() < COEFF_FLOOR
+                            || cs.beta_max_mag * b_scale.abs() < COEFF_FLOOR
+                        {
+                            continue;
+                        }
+                        h += (acc_a * a_scale) * (acc_b * b_scale);
+                    }
+                }
+                h
+            })
+            .collect()
+    }
+
+    /// Total number of stored per-element legs (memory diagnostic).
+    pub fn leg_count(&self) -> usize {
+        self.surfaces.iter().map(|s| s.legs.len()).sum::<usize>()
+            + self
+                .cascades
+                .iter()
+                .flatten()
+                .map(|c| c.alpha_legs.len() + c.beta_legs.len())
+                .sum::<usize>()
+    }
+}

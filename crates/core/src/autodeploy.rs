@@ -121,7 +121,7 @@ fn achieved_median(
     let realized: Vec<f64> = spec
         .reconfigurability
         .project_phases(&result.phases[0], spec.rows, spec.cols, bits);
-    sim.surface_mut(idx).set_phases(&realized);
+    sim.set_surface_phases(idx, &realized);
     let validation = CoverageObjective::new(&sim, &ap, goal.validation(), &probe);
     let responses: Vec<Vec<Complex>> = vec![sim.surfaces()[idx].response().to_vec()];
     validation.median_snr_db(&responses)

@@ -279,11 +279,21 @@ impl SurfOS {
             let shift = driver.realized_frequency_shift();
             let has_freq = driver.spec().supports("frequency");
             let center = driver.spec().band.center_hz;
-            let surf = self.orch.sim.surface_mut(*idx);
-            surf.set_response(response);
-            surf.polarization_rot = pol;
-            if has_freq {
-                surf.resonance = Some((center + shift, RESONANCE_WIDTH));
+            // Responses are evaluation inputs — push them through the
+            // cache-preserving setter; only touch geometry (and so
+            // invalidate cached linearizations) when it actually changed.
+            self.orch.sim.set_surface_response(*idx, response);
+            let geometry_changed = {
+                let surf = &self.orch.sim.surfaces()[*idx];
+                surf.polarization_rot != pol
+                    || (has_freq && surf.resonance != Some((center + shift, RESONANCE_WIDTH)))
+            };
+            if geometry_changed {
+                let surf = self.orch.sim.surface_mut(*idx);
+                surf.polarization_rot = pol;
+                if has_freq {
+                    surf.resonance = Some((center + shift, RESONANCE_WIDTH));
+                }
             }
         }
     }

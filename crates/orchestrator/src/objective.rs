@@ -13,6 +13,7 @@
 //! - suppression (security): positive log leaked power.
 
 use surfos_channel::linear::Linearization;
+use surfos_channel::par;
 use surfos_channel::{ChannelSim, Endpoint};
 use surfos_em::complex::Complex;
 use surfos_em::units::{db_to_linear, dbm_to_watts};
@@ -21,7 +22,11 @@ use surfos_sensing::aoa::{AngleGrid, AoaEstimator, AoaLinearization};
 use surfos_sensing::sounding::ap_calibration;
 
 /// A differentiable loss over multi-surface configurations.
-pub trait Objective: Send {
+///
+/// `Sync` so optimizers may score candidates on worker threads; the
+/// per-location objectives below also fan their own link loops out
+/// (deterministically — see [`surfos_channel::par`]).
+pub trait Objective: Send + Sync {
     /// The loss at the given per-surface responses.
     fn loss(&self, responses: &[Vec<Complex>]) -> f64;
 
@@ -56,14 +61,16 @@ impl CoverageObjective {
     /// Panics if `points` is empty.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
         assert!(!points.is_empty(), "coverage objective needs locations");
-        let links = points
-            .iter()
-            .map(|p| {
-                let mut rx = rx_template.clone();
+        // Per-location ray traces are independent: fan them out with one
+        // template clone per worker, chunk-ordered (bit-identical to serial).
+        let links = par::par_map_with(
+            points,
+            || rx_template.clone(),
+            |rx, p| {
                 rx.pose.position = *p;
-                sim.linearize(tx, &rx)
-            })
-            .collect();
+                sim.linearize(tx, rx)
+            },
+        );
         let noise_dbm = surfos_em::noise::noise_power_dbm(
             sim.band.bandwidth_hz,
             rx_template.noise_figure_db,
@@ -75,13 +82,10 @@ impl CoverageObjective {
     /// Per-location SNRs in dB at the given responses.
     pub fn snrs_db(&self, responses: &[Vec<Complex>]) -> Vec<f64> {
         let slices = as_slices(responses);
-        self.links
-            .iter()
-            .map(|l| {
-                let p = l.evaluate(&slices).norm_sqr() * self.snr_scale;
-                surfos_em::units::linear_to_db(p)
-            })
-            .collect()
+        par::par_map(&self.links, |l| {
+            let p = l.evaluate(&slices).norm_sqr() * self.snr_scale;
+            surfos_em::units::linear_to_db(p)
+        })
     }
 
     /// Median SNR in dB (the Figure 4 metric).
@@ -100,28 +104,40 @@ impl CoverageObjective {
 impl Objective for CoverageObjective {
     fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
         let slices = as_slices(responses);
-        -self
-            .links
-            .iter()
-            .map(|l| {
-                let snr = l.evaluate(&slices).norm_sqr() * self.snr_scale;
-                (1.0 + snr).log2()
-            })
-            .sum::<f64>()
+        let terms = par::par_map(&self.links, |l| {
+            let snr = l.evaluate(&slices).norm_sqr() * self.snr_scale;
+            (1.0 + snr).log2()
+        });
+        // In-order serial sum: same association as the serial loop.
+        -terms.iter().sum::<f64>()
     }
 
     fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
         let slices = as_slices(responses);
-        let mut grads = zero_grads(responses);
         let ln2 = std::f64::consts::LN_2;
-        for l in &self.links {
+        let n_surfaces = responses.len();
+        // Per-link factor and gradients in parallel …
+        let contribs = par::par_map(&self.links, |l| {
             let snr = l.evaluate(&slices).norm_sqr() * self.snr_scale;
             let factor = -self.snr_scale / ((1.0 + snr) * ln2);
-            for (s, grad_s) in grads.iter_mut().enumerate() {
-                if l.linear.iter().any(|t| t.surface == s)
-                    || l.bilinear.iter().any(|b| b.first == s || b.second == s)
-                {
-                    let dp = l.grad_power_wrt_phase(s, &slices);
+            let dps: Vec<Option<Vec<f64>>> = (0..n_surfaces)
+                .map(|s| {
+                    if l.linear.iter().any(|t| t.surface == s)
+                        || l.bilinear.iter().any(|b| b.first == s || b.second == s)
+                    {
+                        Some(l.grad_power_wrt_phase(s, &slices))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            (factor, dps)
+        });
+        // … accumulated serially in link order: bit-identical to serial.
+        let mut grads = zero_grads(responses);
+        for (factor, dps) in contribs {
+            for (grad_s, dp) in grads.iter_mut().zip(dps) {
+                if let Some(dp) = dp {
                     for (g, d) in grad_s.iter_mut().zip(dp) {
                         *g += factor * d;
                     }
@@ -271,14 +287,14 @@ impl SuppressionObjective {
     /// Panics if `points` is empty.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
         assert!(!points.is_empty(), "suppression objective needs locations");
-        let leaks = points
-            .iter()
-            .map(|p| {
-                let mut rx = rx_template.clone();
+        let leaks = par::par_map_with(
+            points,
+            || rx_template.clone(),
+            |rx, p| {
                 rx.pose.position = *p;
-                sim.linearize(tx, &rx)
-            })
-            .collect();
+                sim.linearize(tx, rx)
+            },
+        );
         SuppressionObjective { leaks, floor: 0.0 }
     }
 
@@ -306,25 +322,29 @@ impl SuppressionObjective {
 impl Objective for SuppressionObjective {
     fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
         let slices = as_slices(responses);
-        self.leaks
-            .iter()
-            .map(|l| {
-                (l.evaluate(&slices).norm_sqr().max(self.floor) + POWER_EPS).ln()
-            })
-            .sum()
+        let terms = par::par_map(&self.leaks, |l| {
+            (l.evaluate(&slices).norm_sqr().max(self.floor) + POWER_EPS).ln()
+        });
+        terms.iter().sum()
     }
 
     fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
         let slices = as_slices(responses);
-        let mut grads = zero_grads(responses);
-        for l in &self.leaks {
+        let n_surfaces = responses.len();
+        let contribs = par::par_map(&self.leaks, |l| {
             let p = l.evaluate(&slices).norm_sqr();
             if p <= self.floor {
-                continue; // saturated: goal met at this point
+                return None; // saturated: goal met at this point
             }
             let factor = 1.0 / (p + POWER_EPS);
-            for (s, grad_s) in grads.iter_mut().enumerate() {
-                let dp = l.grad_power_wrt_phase(s, &slices);
+            let dps: Vec<Vec<f64>> = (0..n_surfaces)
+                .map(|s| l.grad_power_wrt_phase(s, &slices))
+                .collect();
+            Some((factor, dps))
+        });
+        let mut grads = zero_grads(responses);
+        for (factor, dps) in contribs.into_iter().flatten() {
+            for (grad_s, dp) in grads.iter_mut().zip(dps) {
                 for (g, d) in grad_s.iter_mut().zip(dp) {
                     *g += factor * d;
                 }

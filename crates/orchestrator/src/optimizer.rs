@@ -18,6 +18,7 @@
 
 use crate::objective::Objective;
 use rand::{Rng, RngExt};
+use surfos_channel::par;
 use surfos_em::complex::Complex;
 use surfos_em::phase::wrap_phase;
 
@@ -230,27 +231,41 @@ pub fn random_search<R: Rng>(
     rng: &mut R,
 ) -> OptimizeResult {
     assert!(samples > 0, "need at least one sample");
+    // Draw every candidate up front, serially: the rng is consumed in
+    // exactly the order the sequential loop used, so results are
+    // reproducible regardless of worker count.
+    let candidates: Vec<Vec<Vec<f64>>> = (0..samples)
+        .map(|_| {
+            shape
+                .iter()
+                .map(|&n| {
+                    (0..n)
+                        .map(|_| rng.random::<f64>() * std::f64::consts::TAU)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    // Score in parallel, then fold serially in draw order — the same
+    // first-strictly-better winner as the sequential loop (including its
+    // all-NaN behavior: no candidate selected, zero phases returned).
+    let losses = par::par_map(&candidates, |c| objective.loss(&to_responses(c)));
     let mut best_loss = f64::INFINITY;
-    let mut best: Vec<Vec<f64>> = shape.iter().map(|&n| vec![0.0; n]).collect();
+    let mut best_idx: Option<usize> = None;
     let mut history = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let candidate: Vec<Vec<f64>> = shape
-            .iter()
-            .map(|&n| {
-                (0..n)
-                    .map(|_| rng.random::<f64>() * std::f64::consts::TAU)
-                    .collect()
-            })
-            .collect();
-        let loss = objective.loss(&to_responses(&candidate));
+    for (i, &loss) in losses.iter().enumerate() {
         if loss < best_loss {
             best_loss = loss;
-            best = candidate;
+            best_idx = Some(i);
         }
         history.push(best_loss);
     }
+    let phases = match best_idx {
+        Some(i) => candidates.into_iter().nth(i).expect("index in range"),
+        None => shape.iter().map(|&n| vec![0.0; n]).collect(),
+    };
     OptimizeResult {
-        phases: best,
+        phases,
         loss: best_loss,
         history,
     }

@@ -392,7 +392,7 @@ impl Orchestrator {
             .collect();
         let result = adam(&multi, &initial, &self.tying, self.adam_options);
         for (s, phases) in result.phases.iter().enumerate() {
-            self.sim.surface_mut(s).set_phases(phases);
+            self.sim.set_surface_phases(s, phases);
         }
         Some(result.loss)
     }

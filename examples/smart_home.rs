@@ -81,7 +81,7 @@ fn main() {
     for tick in 0..8 {
         let t_s = tick as f64 * 0.5;
         let person: Blocker = walk.blocker_at(t_s);
-        os.orchestrator_mut().sim.blockers = vec![person];
+        os.orchestrator_mut().sim.set_blockers(vec![person]);
         let h = os.orchestrator().sim.gain(&ap, &tv);
         let snr = os.orchestrator().sim.link_budget(&ap, &tv).snr_db;
         let motion = detector.observe(h);
@@ -96,7 +96,7 @@ fn main() {
         // The runtime reacts: re-schedule and re-optimize around the body.
         os.step(500);
     }
-    os.orchestrator_mut().sim.blockers.clear();
+    os.orchestrator_mut().sim.clear_blockers();
 
     let recovered = os.measure(tasks[0]).expect("link measurable");
     println!("\nBlocker gone; link back at {recovered:.1} dB.");

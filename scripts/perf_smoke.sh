@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Perf smoke: runs the channel + optimizer criterion benches and collects
+# the per-benchmark medians into a machine-readable BENCH_channel.json at
+# the repo root. Use SURFOS_THREADS=1 to measure the serial baseline.
+#
+#   scripts/perf_smoke.sh                 # all cores
+#   SURFOS_THREADS=1 scripts/perf_smoke.sh  # serial baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+
+CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
+CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
+
+# Wrap the JSON lines into one JSON document with run metadata.
+threads="${SURFOS_THREADS:-auto}"
+{
+  printf '{\n  "threads": "%s",\n  "benchmarks": [\n' "$threads"
+  sed 's/^/    /; $!s/$/,/' "$jsonl"
+  printf '  ]\n}\n'
+} > BENCH_channel.json
+
+echo "wrote BENCH_channel.json ($(grep -c median_ns "$jsonl") benchmarks, threads=$threads)"

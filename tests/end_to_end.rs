@@ -107,7 +107,9 @@ fn blocker_hurts_and_reoptimization_recovers() {
     assert!(healthy > 15.0, "healthy room, got {healthy:.1}");
 
     // A person stands right in front of the surface's view of the doorway.
-    os.orchestrator_mut().sim.blockers = vec![Blocker::person(Vec3::xy(5.4, 3.4))];
+    os.orchestrator_mut()
+        .sim
+        .set_blockers(vec![Blocker::person(Vec3::xy(5.4, 3.4))]);
     let blocked = os.measure(task).unwrap();
     assert!(
         blocked < healthy - 3.0,

@@ -1,0 +1,186 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`Criterion`/`Bencher` API
+//! the benches are written against, with a much lighter measurement loop:
+//! short warmup to calibrate iterations-per-sample, then a fixed number of
+//! timed samples whose **median ns/iter** is reported. Two extras for perf
+//! tracking:
+//!
+//! - CLI filter: `cargo bench --bench channel_sim -- heatmap` runs only
+//!   benchmark ids containing `heatmap` (substring match, like criterion).
+//! - Machine-readable output: when `CRITERION_JSONL` names a file, each
+//!   benchmark appends one JSON line `{"id": ..., "median_ns": ...}` —
+//!   consumed by `scripts/perf_smoke.sh` to build `BENCH_channel.json`.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timed samples per benchmark.
+const SAMPLES: usize = 15;
+/// Target wall time per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Warmup budget used to calibrate iterations per sample.
+const WARMUP: Duration = Duration::from_millis(25);
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark driver. [`Default::default`] reads the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` (and possibly other flags) before any
+        // user filter; the first non-flag argument is the id filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.as_ref(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.as_ref().to_string(), criterion: self }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warmup + calibration: estimate ns/iter, pick iters per sample.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            f(&mut b);
+            warm_iters += b.iters;
+            warm_elapsed += b.elapsed;
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+        let est_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(0.1);
+        let iters = ((TARGET_SAMPLE.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                b.iters = iters;
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[SAMPLES / 2];
+
+        println!("bench: {id:<50} median {median:>14.1} ns/iter ({SAMPLES} samples x {iters} iters)");
+        record(id, median);
+    }
+}
+
+/// Benchmark group, created by [`Criterion::benchmark_group`]; ids are
+/// reported as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.run(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn record(id: &str, median_ns: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSONL") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(file, "{{\"id\": \"{id}\", \"median_ns\": {median_ns:.1}}}");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_monotonic_work() {
+        let mut c = Criterion { filter: None };
+        c.bench_function("smoke/sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+    }
+
+    #[test]
+    fn group_ids_are_prefixed_and_filter_skips() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("skipped", |b| {
+            b.iter(|| panic!("filtered benches must not run"))
+        });
+        group.finish();
+    }
+}

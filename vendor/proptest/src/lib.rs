@@ -1,0 +1,355 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: range strategies
+//! over ints/floats, tuple strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::num::*::ANY`, and the `proptest!`/
+//! `prop_assert!` macros. Each test runs a fixed number of cases from a
+//! deterministic per-test seed (derived from the test's module path), so
+//! failures replay identically. No shrinking: a failing case panics with the
+//! sampled values left to the assertion message.
+
+pub mod test_runner {
+    /// Cases per `proptest!` test. Small enough to keep `cargo test` fast,
+    /// large enough to exercise the input space.
+    pub const CASES: u32 = 64;
+
+    /// Deterministic generator state (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        /// Seed from a test name so every test gets its own stream but
+        /// replays identically run-to-run.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Gen { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling: negligible bias at test scale.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Gen;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Produces values of `Self::Value` from a deterministic generator.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, gen: &mut Gen) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, gen: &mut Gen) -> Self::Value {
+            (**self).generate(gen)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, gen: &mut Gen) -> $ty {
+                        assert!(self.start < self.end, "empty integer range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + gen.below(span) as i128) as $ty
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, gen: &mut Gen) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty integer range strategy");
+                        let span = (hi as i128 - lo as i128 + 1) as u128;
+                        if span > u64::MAX as u128 {
+                            return gen.next_u64() as $ty;
+                        }
+                        (lo as i128 + gen.below(span as u64) as i128) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, gen: &mut Gen) -> f64 {
+            self.start + gen.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, gen: &mut Gen) -> f64 {
+            self.start() + gen.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, gen: &mut Gen) -> f32 {
+            self.start + gen.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn generate(&self, gen: &mut Gen) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(gen),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Samples any value of a primitive type uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! impl_any_int {
+        ($($ty:ty),*) => {
+            $(
+                impl Strategy for Any<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, gen: &mut Gen) -> $ty {
+                        gen.next_u64() as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, gen: &mut Gen) -> bool {
+            gen.next_u64() >> 63 == 1
+        }
+    }
+
+    /// Collection length: exact or sampled from a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        Exact(usize),
+        /// Half-open `[lo, hi)`, matching `Range<usize>` semantics.
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange::Between(*r.start(), r.end() + 1)
+        }
+    }
+
+    /// `prop::collection::vec(element, size)` strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let len = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Between(lo, hi) => {
+                    assert!(lo < hi, "empty vec size range");
+                    lo + gen.below((hi - lo) as u64) as usize
+                }
+            };
+            (0..len).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`'s layout
+/// (`prop::collection::vec`, `prop::bool::ANY`, `prop::num::u8::ANY`, …).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    #[allow(non_camel_case_types)]
+    pub mod bool {
+        use crate::strategy::Any;
+        use std::marker::PhantomData;
+
+        pub const ANY: Any<bool> = Any(PhantomData);
+    }
+
+    pub mod num {
+        macro_rules! any_mod {
+            ($($m:ident: $ty:ty),*) => {
+                $(
+                    pub mod $m {
+                        use crate::strategy::Any;
+                        use std::marker::PhantomData;
+
+                        pub const ANY: Any<$ty> = Any(PhantomData);
+                    }
+                )*
+            };
+        }
+
+        any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+                 i8: i8, i16: i16, i32: i32, i64: i64, isize: isize);
+    }
+}
+
+/// Defines property tests: each named test samples its arguments from the
+/// given strategies for [`test_runner::CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut gen = $crate::test_runner::Gen::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for _case in 0..$crate::test_runner::CASES {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut gen);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Assertion inside a `proptest!` body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn int_ranges_in_bounds(x in 3u8..9, y in 0usize..4, z in 8u8..=8) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+            prop_assert_eq!(z, 8);
+        }
+
+        #[test]
+        fn float_range_in_bounds(x in -1.5f64..2.5) {
+            prop_assert!((-1.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn vec_sizes_respected(exact in prop::collection::vec(0u32..10, 16),
+                               ranged in prop::collection::vec(prop::bool::ANY, 1..12)) {
+            prop_assert_eq!(exact.len(), 16);
+            prop_assert!((1..12).contains(&ranged.len()));
+            prop_assert!(exact.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn tuples_compose(t in (0u64..20, 0u8..10, prop::num::u8::ANY, prop::bool::ANY)) {
+            prop_assert!(t.0 < 20);
+            prop_assert!(t.1 < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::Gen;
+        let strat = prop::collection::vec(0.0f64..1.0, 0..50);
+        let a: Vec<Vec<f64>> = {
+            let mut g = Gen::from_name("seed");
+            (0..20).map(|_| strat.generate(&mut g)).collect()
+        };
+        let b: Vec<Vec<f64>> = {
+            let mut g = Gen::from_name("seed");
+            (0..20).map(|_| strat.generate(&mut g)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal offline stand-in for `rand`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! just the surface it uses: `StdRng::seed_from_u64`, the `Rng` core trait,
+//! and `RngExt::random::<f64>()`. The generator is xoshiro256++ seeded via
+//! SplitMix64 — a deterministic, high-quality 64-bit PRNG, which is all the
+//! seeded experiments and tests require. Not cryptographically secure.
+
+/// Core random-number source: a stream of `u64`s.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's output stream.
+pub trait UniformRandom: Sized {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformRandom for u64 {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformRandom for u32 {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UniformRandom for bool {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl UniformRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(x >> 11) * 2^-53` construction).
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformRandom for f32 {
+    fn uniform_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience sampling methods over any [`Rng`].
+pub trait RngExt: Rng {
+    fn random<T: UniformRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::uniform_random(self)
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_reasonable_spread() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors the
+//! slice of serde it actually uses: the `Serialize`/`Serializer`/
+//! `SerializeStruct` trait surface exercised by `surfos::telemetry`, plus the
+//! derive-macro names (`serde_derive` shims them as no-ops). The trait
+//! contracts match upstream serde, so swapping the real crate back in is a
+//! one-line `Cargo.toml` change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    /// A data structure that can be serialized.
+    pub trait Serialize {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data format that can serialize values.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error;
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+    }
+
+    /// Returned from `Serializer::serialize_struct`.
+    pub trait SerializeStruct {
+        type Ok;
+        type Error;
+
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        fn end(self) -> Result<Self::Ok, Self::Error>
+        where
+            Self: Sized;
+    }
+
+    macro_rules! impl_serialize_int {
+        ($($ty:ty => $method:ident as $target:ty),* $(,)?) => {
+            $(impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self as $target)
+                }
+            })*
+        };
+    }
+
+    impl_serialize_int! {
+        i8 => serialize_i64 as i64,
+        i16 => serialize_i64 as i64,
+        i32 => serialize_i64 as i64,
+        i64 => serialize_i64 as i64,
+        isize => serialize_i64 as i64,
+        u8 => serialize_u64 as u64,
+        u16 => serialize_u64 as u64,
+        u32 => serialize_u64 as u64,
+        u64 => serialize_u64 as u64,
+        usize => serialize_u64 as u64,
+        f32 => serialize_f64 as f64,
+        f64 => serialize_f64 as f64,
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_bool(*self)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(serializer)
+        }
+    }
+}
+
+pub mod de {
+    /// A data format that can deserialize values.
+    pub trait Deserializer<'de>: Sized {
+        type Error;
+    }
+
+    /// A data structure that can be deserialized.
+    pub trait Deserialize<'de>: Sized {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+}
+
+pub use de::Deserializer;
+pub use ser::{Serialize, Serializer};

@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many plain-data types
+//! but never serializes them through a format crate (the only real use is the
+//! hand-written `impl Serialize for Telemetry`). These derives therefore
+//! expand to nothing: the attribute compiles, and types simply don't get the
+//! trait impls until a real serializer is needed.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
