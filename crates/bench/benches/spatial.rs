@@ -1,0 +1,107 @@
+//! Spatial-index benchmarks: segment queries and full-link tracing on
+//! cluttered scenes at 8/32/128 walls, brute-force scan vs BVH/AABB
+//! culling. The indexed variants must return bit-identical results (the
+//! property tests enforce that); these benches measure what the culling
+//! buys as scenes grow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::channel::paths::{self, Medium};
+use surfos::channel::{Endpoint, SceneIndex};
+use surfos::em::antenna::ElementPattern;
+use surfos::em::band::NamedBand;
+use surfos::geometry::Vec3;
+use surfos_bench::scenes::{cluttered_plan, probe_segments};
+
+const WALL_COUNTS: [usize; 3] = [8, 32, 128];
+const SCENE_SEED: u64 = 42;
+
+fn bench_crossings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan/crossings");
+    for n in WALL_COUNTS {
+        let plan = cluttered_plan(n, SCENE_SEED);
+        let index = plan.build_wall_index();
+        let probes = probe_segments(16, SCENE_SEED ^ 0xBEEF);
+        group.bench_function(format!("brute_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(plan.crossings(from, to));
+                }
+            })
+        });
+        group.bench_function(format!("bvh_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(plan.crossings_with(&index, from, to));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_segment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("medium/trace_segment");
+    let band = NamedBand::MmWave28GHz.band();
+    for n in WALL_COUNTS {
+        let plan = cluttered_plan(n, SCENE_SEED);
+        let index = SceneIndex::build(&plan, &[], &[]);
+        let brute = Medium::new(&plan, &[], &[], band);
+        let indexed = Medium::with_index(&plan, &[], &[], band, &index);
+        let probes = probe_segments(16, SCENE_SEED ^ 0xBEEF);
+        group.bench_function(format!("brute_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(brute.trace_segment(from, to));
+                }
+            })
+        });
+        group.bench_function(format!("bvh_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(indexed.trace_segment(from, to));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linearize_cluttered(c: &mut Criterion) {
+    // Full-stack separation: the brute control re-scans every wall for
+    // every bounce leg (O(walls²) per link), the indexed path walks the
+    // BVH. Both produce bit-identical linearizations.
+    let mut group = c.benchmark_group("channel/linearize_cluttered");
+    let band = NamedBand::MmWave28GHz.band();
+    for n in WALL_COUNTS {
+        let plan = cluttered_plan(n, SCENE_SEED);
+        let sim = surfos::channel::ChannelSim::new(plan.clone(), band);
+        let mut tx = Endpoint::client("tx", Vec3::new(2.0, 2.0, 1.8));
+        tx.pattern = ElementPattern::Isotropic;
+        let mut rx = Endpoint::client("rx", Vec3::new(17.0, 16.0, 1.2));
+        rx.pattern = ElementPattern::Isotropic;
+        group.bench_function(format!("brute_{n}w"), |b| {
+            b.iter(|| {
+                let medium = Medium::new(&plan, &[], &[], band);
+                black_box(
+                    paths::trace_channel(&medium, &tx, &rx, &[], true, true)
+                        .linearize_at(&band),
+                )
+            })
+        });
+        // `sim.linearize` resolves the epoch-cached index and traces
+        // through it — the production path.
+        group.bench_function(format!("indexed_{n}w"), |b| {
+            b.iter(|| black_box(sim.linearize(&tx, &rx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossings,
+    bench_trace_segment,
+    bench_linearize_cluttered
+);
+criterion_main!(benches);

@@ -10,5 +10,6 @@ pub mod fig2;
 pub mod fig4;
 pub mod fig5;
 pub mod report;
+pub mod scenes;
 
 pub use experiments::ApartmentLab;

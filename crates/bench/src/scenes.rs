@@ -1,0 +1,78 @@
+//! Deterministic cluttered scenes for the spatial-index benchmarks.
+//!
+//! The apartment lab has six walls — enough for the paper's figures but
+//! too small to show how tracing scales. These generators scatter `n`
+//! pseudo-random walls over a 20×20 m area (LCG-seeded, so every run
+//! benchmarks the same scene) for the 8/32/128-wall sweeps.
+
+use surfos::geometry::{FloorPlan, Material, Vec3, Wall};
+
+/// `n_walls` short walls with mixed materials over a 20×20 m area.
+/// Deterministic in `seed`.
+pub fn cluttered_plan(n_walls: usize, seed: u64) -> FloorPlan {
+    let mut next = lcg(seed);
+    let materials = [
+        Material::Drywall,
+        Material::Concrete,
+        Material::Glass,
+        Material::Wood,
+    ];
+    let mut plan = FloorPlan::new();
+    for i in 0..n_walls {
+        let x = next() * 20.0;
+        let y = next() * 20.0;
+        let ang = next() * std::f64::consts::TAU;
+        let len = 0.5 + next() * 3.5;
+        plan.add_wall(Wall::new(
+            Vec3::xy(x, y),
+            Vec3::xy(x + ang.cos() * len, y + ang.sin() * len),
+            1.5 + next() * 2.5,
+            materials[i % materials.len()],
+        ));
+    }
+    plan
+}
+
+/// `n` deterministic probe segments criss-crossing the same 20×20 m area
+/// at mixed heights.
+pub fn probe_segments(n: usize, seed: u64) -> Vec<(Vec3, Vec3)> {
+    let mut next = lcg(seed);
+    (0..n)
+        .map(|_| {
+            (
+                Vec3::new(next() * 20.0, next() * 20.0, 0.3 + next() * 2.5),
+                Vec3::new(next() * 20.0, next() * 20.0, 0.3 + next() * 2.5),
+            )
+        })
+        .collect()
+}
+
+/// A splittable LCG stream in `[0, 1)`.
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluttered_plan_is_deterministic_and_sized() {
+        let a = cluttered_plan(32, 7);
+        let b = cluttered_plan(32, 7);
+        assert_eq!(a.walls().len(), 32);
+        for (wa, wb) in a.walls().iter().zip(b.walls()) {
+            assert_eq!(wa.a, wb.a);
+            assert_eq!(wa.b, wb.b);
+        }
+        // Different seed, different scene.
+        let c = cluttered_plan(32, 8);
+        assert_ne!(a.walls()[0].a, c.walls()[0].a);
+    }
+}

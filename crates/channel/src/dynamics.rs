@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use surfos_em::band::Band;
+use surfos_geometry::bvh::Aabb;
 use surfos_geometry::{Material, Vec3};
 
 /// A dynamic obstruction, modelled as a vertical lossy cylinder.
@@ -57,6 +58,18 @@ impl Blocker {
         // Height of the 3-D ray at that parameter.
         let z = from.z + (to.z - from.z) * t;
         (0.0..=self.height).contains(&z)
+    }
+
+    /// The cylinder's bounding box (footprint square × `[0, height]`).
+    /// Callers pad it before conservative culling; [`Blocker::intersects`]
+    /// accepts closest approaches exactly at `radius`, which lies on the
+    /// unpadded box faces.
+    pub fn aabb(&self) -> Aabb {
+        let r = Vec3::new(self.radius, self.radius, 0.0);
+        Aabb::new(
+            self.position.flat() - r,
+            self.position.flat() + r + Vec3::new(0.0, 0.0, self.height),
+        )
     }
 
     /// Amplitude transmission factor for a segment: 1 when missed, the

@@ -1,0 +1,106 @@
+//! The scene index: every per-geometry precomputation path tracing reuses
+//! across segments, links and endpoints.
+//!
+//! A [`SceneIndex`] bundles four things, all functions of geometry alone
+//! (never of the band, endpoints or programmed responses):
+//!
+//! - a [`WallIndex`] (BVH) over the floor plan's walls,
+//! - padded bounding boxes for the dynamic blockers,
+//! - padded aperture boxes for the obstructing surfaces
+//!   (`obstruction_amplitude < 1.0`), and
+//! - the world positions of every surface element, so `trace_surface` /
+//!   `trace_cascade` stop re-deriving thousands of pose transforms per link.
+//!
+//! [`ChannelSim`](crate::sim::ChannelSim) builds one per geometry epoch and
+//! shares it (via `Arc`) across every trace, batch fan-out and kernel tick
+//! until a wall/blocker/surface mutation invalidates it. All culling through
+//! the index is conservative — candidate supersets only — so indexed results
+//! are bit-identical to the brute-force scan.
+
+use surfos_geometry::bvh::Aabb;
+use surfos_geometry::plan::WallIndex;
+use surfos_geometry::{FloorPlan, Pose, Vec3};
+
+use crate::dynamics::Blocker;
+use crate::surface::SurfaceInstance;
+
+/// Conservative padding on blocker and surface-aperture boxes. The exact
+/// tests accept boundary hits (closest approach exactly at a blocker's
+/// radius, crossings exactly on an aperture edge); 2 mm of slack keeps every
+/// acceptable hit strictly inside its box, clear of face-equality rounding.
+const PRIM_AABB_PAD: f64 = 2e-3;
+
+/// Element positions cached for one surface, with the pose and count they
+/// were derived from so lookups can reject a stale or mismatched surface.
+#[derive(Debug)]
+struct CachedElements {
+    pose: Pose,
+    positions: Vec<Vec3>,
+}
+
+/// Per-geometry-epoch spatial acceleration for one scene. See the module
+/// docs; build with [`SceneIndex::build`].
+#[derive(Debug)]
+pub struct SceneIndex {
+    walls: WallIndex,
+    blocker_boxes: Vec<Aabb>,
+    obstructing: Vec<(usize, Aabb)>,
+    elements: Vec<CachedElements>,
+}
+
+impl SceneIndex {
+    /// Builds the index for a scene. Cost is `O(walls · log walls +
+    /// blockers + Σ elements)` — paid once per geometry epoch, not per
+    /// link.
+    pub fn build(plan: &FloorPlan, blockers: &[Blocker], surfaces: &[SurfaceInstance]) -> Self {
+        SceneIndex {
+            walls: plan.build_wall_index(),
+            blocker_boxes: blockers
+                .iter()
+                .map(|b| b.aabb().grown(PRIM_AABB_PAD))
+                .collect(),
+            obstructing: surfaces
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.obstruction_amplitude < 1.0)
+                .map(|(i, s)| (i, s.aperture_aabb().grown(PRIM_AABB_PAD)))
+                .collect(),
+            elements: surfaces
+                .iter()
+                .map(|s| CachedElements {
+                    pose: s.pose,
+                    positions: (0..s.len()).map(|e| s.element_world_position(e)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The wall BVH.
+    pub fn walls(&self) -> &WallIndex {
+        &self.walls
+    }
+
+    /// Padded blocker boxes, in blocker order (parallel to the scene's
+    /// blocker slice).
+    pub(crate) fn blocker_boxes(&self) -> &[Aabb] {
+        &self.blocker_boxes
+    }
+
+    /// `(surface index, padded aperture box)` for each obstructing surface,
+    /// in deployment order.
+    pub(crate) fn obstructing(&self) -> &[(usize, Aabb)] {
+        &self.obstructing
+    }
+
+    /// The cached element world positions of surface `index`, or `None` if
+    /// the index is out of range or the surface does not match the one the
+    /// cache was built from (pose or element count changed) — callers then
+    /// fall back to computing positions directly. The positions are exactly
+    /// what [`SurfaceInstance::element_world_position`] returns, bit for
+    /// bit.
+    pub(crate) fn element_positions(&self, index: usize, surface: &SurfaceInstance) -> Option<&[Vec3]> {
+        let cached = self.elements.get(index)?;
+        (cached.positions.len() == surface.len() && cached.pose == surface.pose)
+            .then_some(cached.positions.as_slice())
+    }
+}

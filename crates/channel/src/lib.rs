@@ -40,6 +40,7 @@ pub mod dynamics;
 pub mod endpoint;
 pub mod feedback;
 pub mod heatmap;
+pub mod index;
 pub mod linear;
 pub mod par;
 pub mod paths;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use diagnose::{diagnose_link, LinkDiagnosis};
 pub use endpoint::{Endpoint, EndpointKind};
 pub use heatmap::Heatmap;
+pub use index::SceneIndex;
 pub use linear::Linearization;
 pub use sim::{ChannelSim, LinkBudget};
 pub use surface::{OperationMode, SurfaceInstance};

@@ -14,6 +14,7 @@
 
 use crate::dynamics::Blocker;
 use crate::endpoint::Endpoint;
+use crate::index::SceneIndex;
 use crate::linear::{BilinearTerm, LinearTerm};
 use crate::surface::SurfaceInstance;
 use crate::trace::{
@@ -21,15 +22,23 @@ use crate::trace::{
 };
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
+use surfos_geometry::bvh::Aabb;
 use surfos_geometry::reflect::specular_reflection;
 use surfos_geometry::{FloorPlan, Vec3};
+
+/// Padding for the aperture boxes [`Medium::new`] computes itself (the
+/// indexed constructor reuses the scene index's, padded identically).
+const APERTURE_AABB_PAD: f64 = 2e-3;
 
 /// The propagation medium: static walls plus dynamic blockers, at one band.
 ///
 /// Bundles everything path tracing needs to attenuate a ray segment. Build
-/// it with [`Medium::new`], which pre-filters the deployed surfaces down to
-/// the (usually empty) subset that can obstruct crossing rays, so per-segment
-/// scans don't touch transparent surfaces at all.
+/// it with [`Medium::new`] (brute scans — the reference the property tests
+/// compare against) or [`Medium::with_index`] (conservative BVH/AABB culling
+/// through a [`SceneIndex`]; bit-identical results). Both constructors
+/// pre-filter the deployed surfaces down to the (usually empty) obstructing
+/// subset and attach a padded aperture box to each, so per-segment scans
+/// touch neither transparent surfaces nor far-away opaque ones.
 #[derive(Debug, Clone)]
 pub struct Medium<'a> {
     /// The static environment.
@@ -39,14 +48,19 @@ pub struct Medium<'a> {
     /// The carrier band.
     pub band: Band,
     /// Deployed surfaces with `obstruction_amplitude < 1.0`, whose apertures
-    /// attenuate *other* signals crossing them (off-band interaction, §2.1).
-    /// A surface never blocks its own scatter legs: those terminate on its
+    /// attenuate *other* signals crossing them (off-band interaction, §2.1),
+    /// each with a padded world box for a cheap conservative miss test. A
+    /// surface never blocks its own scatter legs: those terminate on its
     /// plane. Kept in deployment order.
-    obstructing: Vec<&'a SurfaceInstance>,
+    obstructing: Vec<(&'a SurfaceInstance, Aabb)>,
+    /// The scene's spatial index, when tracing through one.
+    index: Option<&'a SceneIndex>,
 }
 
 impl<'a> Medium<'a> {
-    /// Creates a medium, pre-filtering `surfaces` to the obstructing subset.
+    /// Creates a medium, pre-filtering `surfaces` to the obstructing subset
+    /// (each with a precomputed aperture box). All wall and blocker queries
+    /// scan every primitive — this is the brute-force reference.
     pub fn new(
         plan: &'a FloorPlan,
         blockers: &'a [Blocker],
@@ -60,24 +74,68 @@ impl<'a> Medium<'a> {
             obstructing: surfaces
                 .iter()
                 .filter(|s| s.obstruction_amplitude < 1.0)
+                .map(|s| (s, s.aperture_aabb().grown(APERTURE_AABB_PAD)))
                 .collect(),
+            index: None,
+        }
+    }
+
+    /// Creates a medium that answers wall/blocker/surface queries through a
+    /// [`SceneIndex`] built for exactly this `(plan, blockers, surfaces)`
+    /// triple. Culling is conservative, so every answer is bit-identical to
+    /// [`Medium::new`]'s.
+    pub fn with_index(
+        plan: &'a FloorPlan,
+        blockers: &'a [Blocker],
+        surfaces: &'a [SurfaceInstance],
+        band: Band,
+        index: &'a SceneIndex,
+    ) -> Self {
+        Medium {
+            plan,
+            blockers,
+            band,
+            obstructing: index
+                .obstructing()
+                .iter()
+                .map(|&(i, aabb)| (&surfaces[i], aabb))
+                .collect(),
+            index: Some(index),
         }
     }
 
     /// Amplitude transmission factor along a segment:
     /// walls × blockers × crossing surfaces.
     pub fn transmission(&self, from: Vec3, to: Vec3) -> f64 {
-        let walls = self.plan.transmission_amplitude(from, to, &self.band);
-        let blockers: f64 = self
-            .blockers
-            .iter()
-            .map(|b| b.transmission_amplitude(from, to, &self.band))
-            .product();
+        let walls = match self.index {
+            Some(ix) => self
+                .plan
+                .transmission_amplitude_with(ix.walls(), from, to, &self.band),
+            None => self.plan.transmission_amplitude(from, to, &self.band),
+        };
+        // Skipping an AABB-missed blocker drops an exact ×1.0 factor, so
+        // the product is unchanged bit for bit.
+        let blockers: f64 = match self.index {
+            Some(ix) => self
+                .blockers
+                .iter()
+                .zip(ix.blocker_boxes())
+                .filter(|(_, bb)| bb.intersects_segment(from, to))
+                .map(|(b, _)| b.transmission_amplitude(from, to, &self.band))
+                .product(),
+            None => self
+                .blockers
+                .iter()
+                .map(|b| b.transmission_amplitude(from, to, &self.band))
+                .product(),
+        };
         let surfaces: f64 = self
             .obstructing
             .iter()
-            .filter(|s| s.intersects_segment(from, to))
-            .map(|s| s.obstruction_amplitude)
+            .filter(|(s, aabb)| {
+                aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
+            })
+            .map(|(s, _)| s.obstruction_amplitude)
             .product();
         walls * blockers * surfaces
     }
@@ -86,25 +144,43 @@ impl<'a> Medium<'a> {
     /// [`SegmentTrace::transmission`] reproduces [`Self::transmission`] at
     /// any band.
     pub fn trace_segment(&self, from: Vec3, to: Vec3) -> SegmentTrace {
-        let wall_materials = self
-            .plan
-            .crossings(from, to)
-            .into_iter()
-            .map(|(_, m)| m)
-            .collect();
-        let blocker_materials = self
-            .blockers
-            .iter()
-            .filter(|b| b.intersects(from, to))
-            .map(|b| b.material)
-            .collect();
+        let wall_materials = match self.index {
+            Some(ix) => self.plan.crossings_with(ix.walls(), from, to),
+            None => self.plan.crossings(from, to),
+        }
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+        let blocker_materials = match self.index {
+            Some(ix) => self
+                .blockers
+                .iter()
+                .zip(ix.blocker_boxes())
+                .filter(|(b, bb)| bb.intersects_segment(from, to) && b.intersects(from, to))
+                .map(|(b, _)| b.material)
+                .collect(),
+            None => self
+                .blockers
+                .iter()
+                .filter(|b| b.intersects(from, to))
+                .map(|b| b.material)
+                .collect(),
+        };
         let surface_obstruction = self
             .obstructing
             .iter()
-            .filter(|s| s.intersects_segment(from, to))
-            .map(|s| s.obstruction_amplitude)
+            .filter(|(s, aabb)| {
+                aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
+            })
+            .map(|(s, _)| s.obstruction_amplitude)
             .product();
         SegmentTrace::new(wall_materials, blocker_materials, surface_obstruction)
+    }
+
+    /// The cached world positions of surface `index`'s elements, when
+    /// tracing through a scene index that still matches the surface.
+    fn cached_elements(&self, index: usize, surface: &SurfaceInstance) -> Option<&'a [Vec3]> {
+        self.index?.element_positions(index, surface)
     }
 
     /// Carrier wavelength shorthand.
@@ -209,15 +285,16 @@ pub fn trace_surface(
     let th_out = surface.pose.off_boresight_angle(rx.position());
     let elem_pat =
         surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
-    let legs = (0..surface.len())
-        .map(|e| {
-            let p = surface.element_world_position(e);
-            ElementLeg {
-                d1: tx.position().distance(p),
-                d2: p.distance(rx.position()),
-            }
-        })
-        .collect();
+    let leg = |p: Vec3| ElementLeg {
+        d1: tx.position().distance(p),
+        d2: p.distance(rx.position()),
+    };
+    let legs = match medium.cached_elements(index, surface) {
+        Some(ps) => ps.iter().map(|&p| leg(p)).collect(),
+        None => (0..surface.len())
+            .map(|e| leg(surface.element_world_position(e)))
+            .collect(),
+    };
     Some(SurfaceTrace {
         surface: index,
         seg_in: medium.trace_segment(tx.position(), center),
@@ -283,15 +360,16 @@ pub fn trace_cascade(
     let th_in1 = first.pose.off_boresight_angle(tx.position());
     let th_out1 = first.pose.off_boresight_angle(c2);
     let pat1 = first.pattern.amplitude_gain(th_in1) * first.pattern.amplitude_gain(th_out1);
-    let alpha_legs = (0..first.len())
-        .map(|a| {
-            let p = first.element_world_position(a);
-            ElementLeg {
-                d1: tx.position().distance(p),
-                d2: p.distance(c2),
-            }
-        })
-        .collect();
+    let alpha_leg = |p: Vec3| ElementLeg {
+        d1: tx.position().distance(p),
+        d2: p.distance(c2),
+    };
+    let alpha_legs = match medium.cached_elements(first_idx, first) {
+        Some(ps) => ps.iter().map(|&p| alpha_leg(p)).collect(),
+        None => (0..first.len())
+            .map(|a| alpha_leg(first.element_world_position(a)))
+            .collect(),
+    };
 
     // β side: (from first's centre) → element b → rx.
     let th_in2 = second.pose.off_boresight_angle(c1);
@@ -300,15 +378,16 @@ pub fn trace_cascade(
     let pol = (tx.polarization_rad + first.polarization_rot + second.polarization_rot
         - rx.polarization_rad)
         .cos();
-    let beta_legs = (0..second.len())
-        .map(|b| {
-            let p = second.element_world_position(b);
-            ElementLeg {
-                d1: c1.distance(p),
-                d2: p.distance(rx.position()),
-            }
-        })
-        .collect();
+    let beta_leg = |p: Vec3| ElementLeg {
+        d1: c1.distance(p),
+        d2: p.distance(rx.position()),
+    };
+    let beta_legs = match medium.cached_elements(second_idx, second) {
+        Some(ps) => ps.iter().map(|&p| beta_leg(p)).collect(),
+        None => (0..second.len())
+            .map(|b| beta_leg(second.element_world_position(b)))
+            .collect(),
+    };
 
     Some(CascadeTrace {
         first: first_idx,
@@ -712,7 +791,7 @@ mod tests {
         let surfaces = [transparent, opaque];
         let m = Medium::new(&plan, &[], &surfaces, band);
         assert_eq!(m.obstructing.len(), 1);
-        assert_eq!(m.obstructing[0].obstruction_amplitude, 0.5);
+        assert_eq!(m.obstructing[0].0.obstruction_amplitude, 0.5);
         // And the obstruction still bites on a crossing segment (the
         // transparent surface is crossed too, but contributes nothing).
         let t = m.transmission(Vec3::new(0.0, 0.0, 1.5), Vec3::new(8.0, 0.0, 1.5));

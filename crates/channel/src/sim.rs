@@ -7,21 +7,29 @@
 //!
 //! ## Evaluation engine
 //!
-//! Three mechanisms keep repeated queries cheap without changing a single
-//! answer (see DESIGN.md, "Channel evaluation engine"):
+//! Four mechanisms keep repeated queries cheap without changing a single
+//! answer (see DESIGN.md, "Channel evaluation engine" and "Spatial
+//! acceleration & caching"):
 //!
 //! - **Trace/evaluate split** — [`ChannelSim::trace`] enumerates a link's
 //!   band-independent geometry once; re-phasing it at another carrier is
 //!   `O(elements)`. [`ChannelSim::frequency_response`] is one trace plus
 //!   N cheap evaluations instead of N full re-traces.
+//! - **Per-epoch scene index** — every trace runs through a
+//!   [`SceneIndex`] (wall BVH, blocker/aperture boxes, cached element
+//!   positions) built once per geometry epoch and shared across links,
+//!   batches and clones. Culling is conservative, so indexed answers are
+//!   bit-identical to the brute-force scan.
 //! - **Epoch-keyed linearization cache** — single-link queries
 //!   ([`ChannelSim::gain`], [`ChannelSim::rss_dbm`],
 //!   [`ChannelSim::link_budget`]) memoize the [`Linearization`] per
-//!   endpoint pair. Any geometry mutation (surfaces, blockers, band,
-//!   walls added) invalidates the cache; programming surface *responses*
-//!   does not, because responses are evaluation inputs, not geometry.
-//! - **Deterministic fan-out** — heatmaps evaluate their grid on scoped
-//!   threads with chunk-ordered reassembly, bit-identical to serial.
+//!   endpoint pair, with LRU eviction past [`CACHE_CAP`] entries. Any
+//!   geometry mutation (surfaces, blockers, band, walls added)
+//!   invalidates the cache; programming surface *responses* does not,
+//!   because responses are evaluation inputs, not geometry.
+//! - **Deterministic fan-out** — heatmaps and the batch linearization
+//!   APIs evaluate on scoped threads with chunk-ordered reassembly,
+//!   bit-identical to serial.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -29,6 +37,7 @@ use std::sync::{Arc, Mutex};
 use crate::dynamics::Blocker;
 use crate::endpoint::Endpoint;
 use crate::heatmap::Heatmap;
+use crate::index::SceneIndex;
 use crate::linear::Linearization;
 use crate::par;
 use crate::paths::{self, Medium};
@@ -54,16 +63,30 @@ pub struct LinkBudget {
     pub capacity_bps: f64,
 }
 
-/// Linearizations memoized under one geometry stamp.
+/// Linearizations memoized under one geometry stamp. Each entry carries
+/// the logical tick of its last use, so eviction can drop the coldest
+/// entries instead of wiping the map.
 #[derive(Debug, Default)]
 struct LinCache {
     stamp: u64,
-    map: HashMap<(u64, u64), Arc<Linearization>>,
+    /// Monotonic use counter; bumped on every hit and insert.
+    tick: u64,
+    map: HashMap<(u64, u64), (u64, Arc<Linearization>)>,
 }
 
-/// Stale-entry backstop: a cache this large means the caller is sweeping
-/// endpoints (a job for the heatmap API, which bypasses the cache).
+/// Capacity bound on the linearization cache. A cache this large means the
+/// caller is sweeping endpoints (a job for the heatmap / batch APIs, which
+/// bypass it); past the cap the least-recently-used eighth is evicted so
+/// persistent endpoints stay warm through the sweep.
 const CACHE_CAP: usize = 4096;
+
+/// The scene index memoized under one geometry-only stamp (the band and
+/// enable flags don't shape geometry, so band sweeps reuse the index).
+#[derive(Debug, Default)]
+struct IndexCache {
+    stamp: u64,
+    index: Option<Arc<SceneIndex>>,
+}
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -124,10 +147,22 @@ pub struct ChannelSim {
     /// Bumped on every geometry mutation; part of the cache stamp.
     epoch: u64,
     cache: Mutex<LinCache>,
+    index: Mutex<IndexCache>,
 }
 
 impl Clone for ChannelSim {
     fn clone(&self) -> Self {
+        // The clone's geometry is identical, so it shares the scene index
+        // Arc (band-probe clones in `frequency_response_naive` then skip
+        // the rebuild). The linearization cache starts empty: cheap, and
+        // entries re-fill on first query.
+        let index = {
+            let ix = self.index.lock().unwrap();
+            IndexCache {
+                stamp: ix.stamp,
+                index: ix.index.clone(),
+            }
+        };
         ChannelSim {
             plan: self.plan.clone(),
             band: self.band,
@@ -136,9 +171,8 @@ impl Clone for ChannelSim {
             blockers: self.blockers.clone(),
             surfaces: self.surfaces.clone(),
             epoch: self.epoch,
-            // The clone starts with an empty cache: cheap, and entries
-            // re-fill on first query.
             cache: Mutex::new(LinCache::default()),
+            index: Mutex::new(index),
         }
     }
 }
@@ -155,6 +189,7 @@ impl ChannelSim {
             surfaces: Vec::new(),
             epoch: 0,
             cache: Mutex::new(LinCache::default()),
+            index: Mutex::new(IndexCache::default()),
         }
     }
 
@@ -236,10 +271,6 @@ impl ChannelSim {
         self.epoch += 1;
     }
 
-    fn medium(&self) -> Medium<'_> {
-        Medium::new(&self.plan, &self.blockers, &self.surfaces, self.band)
-    }
-
     /// Everything band-dependent that keys the cache: the mutation epoch,
     /// the band, the enable flags and the wall count (so `plan.add_wall`
     /// through the public field invalidates without an explicit call).
@@ -256,13 +287,54 @@ impl ChannelSim {
         h
     }
 
-    /// Enumerates a link's complete band-independent path geometry. This is
-    /// the expensive (ray-tracing) operation; everything downstream —
-    /// [`ChannelSim::linearize`], [`ChannelSim::frequency_response`], the
-    /// cache — replays it per band in `O(elements)`.
-    pub fn trace(&self, tx: &Endpoint, rx: &Endpoint) -> ChannelTrace {
+    /// The geometry-only slice of [`ChannelSim::stamp`]: what the scene
+    /// index depends on. Band and enable flags are deliberately excluded —
+    /// a band sweep reuses the same index.
+    fn geometry_stamp(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_u64(&mut h, self.epoch);
+        fnv_u64(&mut h, self.plan.walls().len() as u64);
+        h
+    }
+
+    /// The scene's spatial index for the current geometry epoch, built on
+    /// first use and shared (via `Arc`) until a wall/blocker/surface
+    /// mutation invalidates it. Every trace in this epoch — single links,
+    /// batches, heatmaps, kernel ticks — runs through the same index.
+    pub fn scene_index(&self) -> Arc<SceneIndex> {
+        let stamp = self.geometry_stamp();
+        {
+            let ix = self.index.lock().unwrap();
+            if ix.stamp == stamp {
+                if let Some(index) = &ix.index {
+                    return Arc::clone(index);
+                }
+            }
+        }
+        // Build outside the lock; the stamp cannot change underneath us
+        // (mutation needs `&mut self`). Concurrent misses may duplicate the
+        // build but never block each other on it.
+        let built = Arc::new(SceneIndex::build(&self.plan, &self.blockers, &self.surfaces));
+        let mut ix = self.index.lock().unwrap();
+        if ix.stamp != stamp || ix.index.is_none() {
+            ix.stamp = stamp;
+            ix.index = Some(Arc::clone(&built));
+            built
+        } else {
+            // Another thread won the race; share its index so `Arc::ptr_eq`
+            // holds across the whole epoch.
+            Arc::clone(ix.index.as_ref().unwrap())
+        }
+    }
+
+    /// [`ChannelSim::trace`] through an already-resolved scene index. The
+    /// batch APIs hoist [`ChannelSim::scene_index`] out of their loops and
+    /// fan out through this.
+    fn trace_with(&self, index: &SceneIndex, tx: &Endpoint, rx: &Endpoint) -> ChannelTrace {
+        let medium =
+            Medium::with_index(&self.plan, &self.blockers, &self.surfaces, self.band, index);
         paths::trace_channel(
-            &self.medium(),
+            &medium,
             tx,
             rx,
             &self.surfaces,
@@ -271,10 +343,53 @@ impl ChannelSim {
         )
     }
 
+    /// Enumerates a link's complete band-independent path geometry. This is
+    /// the expensive (ray-tracing) operation; everything downstream —
+    /// [`ChannelSim::linearize`], [`ChannelSim::frequency_response`], the
+    /// cache — replays it per band in `O(elements)`.
+    pub fn trace(&self, tx: &Endpoint, rx: &Endpoint) -> ChannelTrace {
+        let index = self.scene_index();
+        self.trace_with(&index, tx, rx)
+    }
+
     /// Builds the linearized channel for a link: one fresh trace, evaluated
     /// at the simulator's band.
     pub fn linearize(&self, tx: &Endpoint, rx: &Endpoint) -> Linearization {
         self.trace(tx, rx).linearize_at(&self.band)
+    }
+
+    /// Linearizes many links in one call: the scene index and medium
+    /// snapshot are resolved once, then the pairs fan out across scoped
+    /// worker threads with chunk-ordered reassembly. Output order matches
+    /// input order and every element is bit-identical to
+    /// [`ChannelSim::linearize`] on the same pair.
+    pub fn linearize_batch(&self, pairs: &[(&Endpoint, &Endpoint)]) -> Vec<Linearization> {
+        let index = self.scene_index();
+        par::par_map(pairs, |(tx, rx)| {
+            self.trace_with(&index, tx, rx).linearize_at(&self.band)
+        })
+    }
+
+    /// Linearizes `tx` against a probe placed at each of `points` (antenna
+    /// and polarization follow `rx_template`) — the objective-sampling
+    /// pattern. One scene index, one template clone per worker, and
+    /// chunk-ordered fan-out: element `i` is bit-identical to moving the
+    /// template to `points[i]` and calling [`ChannelSim::linearize`].
+    pub fn linearize_sweep(
+        &self,
+        tx: &Endpoint,
+        points: &[Vec3],
+        rx_template: &Endpoint,
+    ) -> Vec<Linearization> {
+        let index = self.scene_index();
+        par::par_map_with(
+            points,
+            || rx_template.clone(),
+            |rx, p| {
+                rx.pose.position = *p;
+                self.trace_with(&index, tx, rx).linearize_at(&self.band)
+            },
+        )
     }
 
     /// The linearization for a link, memoized per endpoint pair until the
@@ -289,7 +404,11 @@ impl ChannelSim {
             if cache.stamp != stamp {
                 cache.map.clear();
                 cache.stamp = stamp;
-            } else if let Some(lin) = cache.map.get(&key) {
+            } else if cache.map.contains_key(&key) {
+                cache.tick += 1;
+                let tick = cache.tick;
+                let (used, lin) = cache.map.get_mut(&key).unwrap();
+                *used = tick;
                 return Arc::clone(lin);
             }
         }
@@ -299,9 +418,17 @@ impl ChannelSim {
         let mut cache = self.cache.lock().unwrap();
         if cache.stamp == stamp {
             if cache.map.len() >= CACHE_CAP {
-                cache.map.clear();
+                // Evict the least-recently-used eighth (deterministically:
+                // ticks are unique) so endpoints queried every tick survive
+                // a probe sweep that overflows the cap.
+                let mut ticks: Vec<u64> = cache.map.values().map(|(t, _)| *t).collect();
+                ticks.sort_unstable();
+                let threshold = ticks[ticks.len() / 8];
+                cache.map.retain(|_, (t, _)| *t > threshold);
             }
-            cache.map.insert(key, Arc::clone(&lin));
+            cache.tick += 1;
+            let tick = cache.tick;
+            cache.map.insert(key, (tick, Arc::clone(&lin)));
         }
         lin
     }
@@ -344,12 +471,14 @@ impl ChannelSim {
     /// linearization cache: a grid of one-shot probes would only thrash it.
     pub fn rss_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
         let responses = self.responses();
+        let index = self.scene_index();
         let values = par::par_map_with(
             points,
             || rx_template.clone(),
             |rx, p| {
                 rx.pose.position = *p;
-                tx.tx_power_dbm + amplitude_to_db(self.linearize(tx, rx).evaluate(&responses).abs())
+                let lin = self.trace_with(&index, tx, rx).linearize_at(&self.band);
+                tx.tx_power_dbm + amplitude_to_db(lin.evaluate(&responses).abs())
             },
         );
         Heatmap {
@@ -871,5 +1000,106 @@ mod tests {
         let g = sim.gain(&ap, &rx);
         let copy = sim.clone();
         assert_eq!(g, copy.gain(&ap, &rx));
+    }
+
+    #[test]
+    fn scene_index_shared_within_epoch_and_rebuilt_on_mutation() {
+        let (mut sim, ap, rx) = rich_sim();
+        let first = sim.scene_index();
+        let _ = sim.gain(&ap, &rx);
+        assert!(
+            Arc::ptr_eq(&first, &sim.scene_index()),
+            "unchanged geometry must reuse the index"
+        );
+        // Clones share it too.
+        assert!(Arc::ptr_eq(&first, &sim.clone().scene_index()));
+        // Band changes don't shape geometry.
+        sim.band = NamedBand::MmWave60GHz.band();
+        assert!(Arc::ptr_eq(&first, &sim.scene_index()));
+        // Geometry mutations rebuild.
+        sim.add_blocker(Blocker::person(Vec3::xy(1.0, 1.0)));
+        assert!(!Arc::ptr_eq(&first, &sim.scene_index()));
+    }
+
+    #[test]
+    fn response_programming_keeps_scene_index() {
+        let (mut sim, _, _) = rich_sim();
+        let first = sim.scene_index();
+        sim.set_surface_phases(0, &vec![0.5; sim.surfaces()[0].len()]);
+        assert!(
+            Arc::ptr_eq(&first, &sim.scene_index()),
+            "programming responses must not rebuild the index"
+        );
+    }
+
+    #[test]
+    fn linearize_batch_matches_serial_bitwise() {
+        let (sim, ap, rx) = rich_sim();
+        let rx2 = iso_client("c2", Vec3::new(2.5, 1.8, 1.2));
+        let pairs = [(&ap, &rx), (&ap, &rx2), (&rx, &rx2)];
+        let batch = sim.linearize_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for ((tx, rx), lin) in pairs.iter().zip(&batch) {
+            let serial = sim.linearize(tx, rx);
+            assert_eq!(serial.constant, lin.constant);
+            assert_eq!(serial.linear.len(), lin.linear.len());
+            for (a, b) in serial.linear.iter().zip(&lin.linear) {
+                assert_eq!(a.surface, b.surface);
+                assert_eq!(a.coeffs, b.coeffs);
+            }
+            assert_eq!(serial.bilinear.len(), lin.bilinear.len());
+            for (a, b) in serial.bilinear.iter().zip(&lin.bilinear) {
+                assert_eq!((a.first, a.second), (b.first, b.second));
+                assert_eq!(a.alpha, b.alpha);
+                assert_eq!(a.beta, b.beta);
+            }
+        }
+    }
+
+    #[test]
+    fn linearize_sweep_matches_moved_template() {
+        let (sim, ap, _) = rich_sim();
+        let template = iso_client("probe", Vec3::ZERO);
+        let points = [
+            Vec3::new(6.0, 1.0, 1.2),
+            Vec3::new(2.5, 1.8, 1.2),
+            Vec3::new(7.5, 2.5, 1.2),
+        ];
+        let sweep = sim.linearize_sweep(&ap, &points, &template);
+        for (p, lin) in points.iter().zip(&sweep) {
+            let mut rx = template.clone();
+            rx.pose.position = *p;
+            let serial = sim.linearize(&ap, &rx);
+            assert_eq!(serial.constant, lin.constant);
+            assert_eq!(serial.linear.len(), lin.linear.len());
+        }
+    }
+
+    #[test]
+    fn lru_eviction_keeps_hot_endpoints() {
+        // A probe sweep that overflows CACHE_CAP must not evict the pair
+        // that is re-queried throughout the sweep.
+        let band = NamedBand::WiFi5GHz.band();
+        let sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), band);
+        let ap = iso_client("ap", Vec3::new(0.0, 0.0, 2.0));
+        let hot = iso_client("hot", Vec3::new(3.0, 1.0, 1.2));
+        let hot_lin = sim.cached_linearization(&ap, &hot);
+        for i in 0..(CACHE_CAP + CACHE_CAP / 2) {
+            let probe = iso_client("p", Vec3::new(1.0 + i as f64 * 1e-4, 2.0, 1.2));
+            let _ = sim.cached_linearization(&ap, &probe);
+            if i % 64 == 0 {
+                let again = sim.cached_linearization(&ap, &hot);
+                assert!(
+                    Arc::ptr_eq(&hot_lin, &again),
+                    "hot pair evicted at sweep step {i}"
+                );
+            }
+        }
+        assert!(
+            Arc::ptr_eq(&hot_lin, &sim.cached_linearization(&ap, &hot)),
+            "hot pair must survive the whole sweep"
+        );
+        let len = sim.cache.lock().unwrap().map.len();
+        assert!(len <= CACHE_CAP, "cache exceeded its cap: {len}");
     }
 }

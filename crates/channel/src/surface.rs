@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 use surfos_em::antenna::{ElementPattern, Pattern};
 use surfos_em::array::ArrayGeometry;
 use surfos_em::complex::Complex;
+use surfos_geometry::bvh::Aabb;
 use surfos_geometry::{Pose, Vec3};
 
 /// Whether a surface acts on signals by reflection, transmission, or both
@@ -148,6 +149,25 @@ impl SurfaceInstance {
         let half_w = self.geometry.cols as f64 * self.geometry.dx / 2.0;
         let half_h = self.geometry.rows as f64 * self.geometry.dy / 2.0;
         x.abs() <= half_w && y.abs() <= half_h
+    }
+
+    /// The world-space bounding box of the aperture rectangle: the box
+    /// around its four corners. Every crossing [`Self::intersects_segment`]
+    /// accepts lies in the aperture plane inside this box, so a padded copy
+    /// is a conservative prefilter for obstruction tests.
+    pub fn aperture_aabb(&self) -> Aabb {
+        let half_w = self.geometry.cols as f64 * self.geometry.dx / 2.0;
+        let half_h = self.geometry.rows as f64 * self.geometry.dy / 2.0;
+        Aabb::from_points(
+            [
+                Vec3::new(-half_w, -half_h, 0.0),
+                Vec3::new(half_w, -half_h, 0.0),
+                Vec3::new(-half_w, half_h, 0.0),
+                Vec3::new(half_w, half_h, 0.0),
+            ]
+            .into_iter()
+            .map(|c| self.pose.local_to_world(c)),
+        )
     }
 
     /// Sets the element amplitude efficiency.

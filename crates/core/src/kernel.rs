@@ -456,6 +456,22 @@ mod tests {
     }
 
     #[test]
+    fn kernel_ticks_reuse_scene_index() {
+        let mut os = boot();
+        os.submit(ServiceRequest::optimize_coverage("bedroom", 25.0));
+        // The first step may legitimately touch geometry (resonance sync
+        // from the driver); after that the loop is steady-state.
+        os.step(10);
+        let index = os.sim().scene_index();
+        os.step(10);
+        os.step(10);
+        assert!(
+            std::sync::Arc::ptr_eq(&index, &os.sim().scene_index()),
+            "steady-state kernel ticks must not rebuild the scene index"
+        );
+    }
+
+    #[test]
     fn realized_response_is_quantized() {
         let mut os = boot();
         os.submit(ServiceRequest::optimize_coverage("bedroom", 25.0));

@@ -1,0 +1,385 @@
+//! Axis-aligned bounding boxes and a bounding-volume hierarchy for
+//! conservative segment queries.
+//!
+//! Ray tracing asks one geometric question over and over: *which primitives
+//! might this segment touch?* A brute scan answers it in `O(n)` per segment;
+//! the [`Bvh`] here answers it in `O(log n + hits)` by recursively splitting
+//! the primitive set at the median of its centroid spread. Queries are
+//! **conservative**: they yield a superset of the truly-intersected
+//! primitives (a candidate may still miss under the exact test), and never
+//! drop a true hit — callers run the exact intersection test on each
+//! candidate, so results are bit-identical to the brute scan.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box: unions as identity, intersects nothing.
+    pub fn empty() -> Self {
+        Aabb {
+            min: Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// The box spanning two corners (normalized per axis).
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The tightest box around a set of points.
+    pub fn from_points(points: impl IntoIterator<Item = Vec3>) -> Self {
+        let mut out = Self::empty();
+        for p in points {
+            out.min = out.min.min(p);
+            out.max = out.max.max(p);
+        }
+        out
+    }
+
+    /// The union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// The box grown by `pad` on every face. Padding is how callers make
+    /// queries conservative against exact-test tolerances (endpoint-graze
+    /// margins, boundary `<=` comparisons).
+    pub fn grown(&self, pad: f64) -> Aabb {
+        let d = Vec3::new(pad, pad, pad);
+        Aabb {
+            min: self.min - d,
+            max: self.max + d,
+        }
+    }
+
+    /// The box centre.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    fn axis(v: Vec3, axis: usize) -> f64 {
+        match axis {
+            0 => v.x,
+            1 => v.y,
+            _ => v.z,
+        }
+    }
+
+    /// Slab test: does the closed segment `from → to` touch the box?
+    ///
+    /// Never returns a false negative for a segment that contains a point
+    /// strictly inside the box — the property the conservative-culling
+    /// contract rests on. Degenerate (axis-parallel) directions fall back to
+    /// a containment check on that axis.
+    pub fn intersects_segment(&self, from: Vec3, to: Vec3) -> bool {
+        if self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z {
+            return false; // empty (inverted) box: the slab swap would pass it
+        }
+        let mut t0 = 0.0f64;
+        let mut t1 = 1.0f64;
+        for axis in 0..3 {
+            let o = Self::axis(from, axis);
+            let d = Self::axis(to, axis) - o;
+            let lo = Self::axis(self.min, axis);
+            let hi = Self::axis(self.max, axis);
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return false;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut a, mut b) = ((lo - o) * inv, (hi - o) * inv);
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            t0 = t0.max(a);
+            t1 = t1.min(b);
+            if t0 > t1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One node of the flattened hierarchy. Leaves (`count > 0`) own the
+/// primitive indices `order[start..start + count]`; interior nodes put their
+/// left child at the next array slot and their right child at `right`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    aabb: Aabb,
+    start: u32,
+    count: u32,
+    right: u32,
+}
+
+/// Primitives per leaf: small enough to cull well, large enough that the
+/// tree stays shallow and near-degenerate scenes don't over-branch.
+const LEAF_SIZE: usize = 4;
+
+/// Median-split traversal depth is `⌈log2(n / LEAF_SIZE)⌉ + 1`; 64 covers
+/// any primitive count a `u32`-indexed tree can hold.
+const MAX_DEPTH: usize = 64;
+
+/// A bounding-volume hierarchy over primitive bounding boxes.
+///
+/// The tree stores only indices into the caller's primitive array; callers
+/// keep primitives in their original order, which is what makes index-order
+/// tie-breaking (and thus bit-identical results) possible downstream.
+#[derive(Debug, Clone, Default)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    order: Vec<u32>,
+}
+
+impl Bvh {
+    /// Builds the hierarchy over one box per primitive, by recursive median
+    /// split on the centroid spread's longest axis. Deterministic: equal
+    /// centroids tie-break on primitive index.
+    pub fn build(boxes: &[Aabb]) -> Self {
+        let mut bvh = Bvh {
+            nodes: Vec::with_capacity(2 * boxes.len().max(1)),
+            order: (0..boxes.len() as u32).collect(),
+        };
+        if !boxes.is_empty() {
+            bvh.build_range(boxes, 0, boxes.len());
+        }
+        bvh
+    }
+
+    /// Number of indexed primitives.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no primitives are indexed (every query yields nothing).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn build_range(&mut self, boxes: &[Aabb], lo: usize, hi: usize) -> u32 {
+        let node_idx = self.nodes.len() as u32;
+        let mut aabb = Aabb::empty();
+        for &i in &self.order[lo..hi] {
+            aabb = aabb.union(&boxes[i as usize]);
+        }
+        self.nodes.push(Node {
+            aabb,
+            start: lo as u32,
+            count: (hi - lo) as u32,
+            right: 0,
+        });
+        if hi - lo <= LEAF_SIZE {
+            return node_idx;
+        }
+        // Split at the median centroid along the widest centroid axis.
+        let centroid_bounds =
+            Aabb::from_points(self.order[lo..hi].iter().map(|&i| boxes[i as usize].center()));
+        let spread = centroid_bounds.max - centroid_bounds.min;
+        let axis = if spread.x >= spread.y && spread.x >= spread.z {
+            0
+        } else if spread.y >= spread.z {
+            1
+        } else {
+            2
+        };
+        self.order[lo..hi].sort_by(|&a, &b| {
+            Aabb::axis(boxes[a as usize].center(), axis)
+                .total_cmp(&Aabb::axis(boxes[b as usize].center(), axis))
+                .then(a.cmp(&b))
+        });
+        let mid = lo + (hi - lo) / 2;
+        self.build_range(boxes, lo, mid); // left child lands at node_idx + 1
+        let right = self.build_range(boxes, mid, hi);
+        self.nodes[node_idx as usize].count = 0;
+        self.nodes[node_idx as usize].right = right;
+        node_idx
+    }
+
+    /// Calls `visit` with the index of every primitive whose box the segment
+    /// touches (a conservative superset of the exact hits). Visiting order
+    /// is deterministic but *not* primitive order — callers that need
+    /// ordered results sort by `(t, index)` afterwards.
+    ///
+    /// Returns early (and `true`) as soon as `visit` returns `true` —
+    /// the any-hit fast path `has_los`-style queries use.
+    pub fn segment_candidates_until(
+        &self,
+        from: Vec3,
+        to: Vec3,
+        mut visit: impl FnMut(usize) -> bool,
+    ) -> bool {
+        if self.nodes.is_empty() {
+            return false;
+        }
+        let mut stack = [0u32; MAX_DEPTH];
+        let mut sp = 0usize;
+        stack[sp] = 0;
+        sp += 1;
+        while sp > 0 {
+            sp -= 1;
+            let idx = stack[sp] as usize;
+            let node = &self.nodes[idx];
+            if !node.aabb.intersects_segment(from, to) {
+                continue;
+            }
+            if node.count > 0 {
+                for &i in &self.order[node.start as usize..(node.start + node.count) as usize] {
+                    if visit(i as usize) {
+                        return true;
+                    }
+                }
+            } else {
+                // Left child is the next array slot; right was recorded at
+                // build time. Pop order (left first) is a cache nicety, not
+                // a correctness requirement.
+                debug_assert!(sp + 2 <= MAX_DEPTH, "BVH deeper than traversal stack");
+                stack[sp] = node.right;
+                stack[sp + 1] = (idx + 1) as u32;
+                sp += 2;
+            }
+        }
+        false
+    }
+
+    /// Calls `visit` for every candidate primitive (no early exit).
+    pub fn for_each_segment_candidate(&self, from: Vec3, to: Vec3, mut visit: impl FnMut(usize)) {
+        self.segment_candidates_until(from, to, |i| {
+            visit(i);
+            false
+        });
+    }
+
+    /// Collects candidate indices into a vector (convenience for tests).
+    pub fn segment_candidates(&self, from: Vec3, to: Vec3) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_segment_candidate(from, to, |i| out.push(i));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_intersects_nothing() {
+        let e = Aabb::empty();
+        assert!(!e.intersects_segment(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)));
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(e.union(&b), b);
+    }
+
+    #[test]
+    fn segment_through_box_hits() {
+        let b = Aabb::new(Vec3::new(1.0, 1.0, 0.0), Vec3::new(2.0, 2.0, 3.0));
+        assert!(b.intersects_segment(Vec3::new(0.0, 1.5, 1.0), Vec3::new(3.0, 1.5, 1.0)));
+        assert!(!b.intersects_segment(Vec3::new(0.0, 3.0, 1.0), Vec3::new(3.0, 3.0, 1.0)));
+        // Segment ending before the box: no hit.
+        assert!(!b.intersects_segment(Vec3::new(0.0, 1.5, 1.0), Vec3::new(0.5, 1.5, 1.0)));
+        // Axis-parallel segment inside the slab.
+        assert!(b.intersects_segment(Vec3::new(1.5, 0.0, 1.0), Vec3::new(1.5, 3.0, 1.0)));
+    }
+
+    #[test]
+    fn segment_fully_inside_box_hits() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(4.0, 4.0, 4.0));
+        assert!(b.intersects_segment(Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 3.0, 2.0)));
+    }
+
+    #[test]
+    fn empty_bvh_yields_nothing() {
+        let bvh = Bvh::build(&[]);
+        assert!(bvh.is_empty());
+        assert!(bvh.segment_candidates(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn single_box_found() {
+        let boxes = [Aabb::new(Vec3::new(1.0, -1.0, 0.0), Vec3::new(2.0, 1.0, 3.0))];
+        let bvh = Bvh::build(&boxes);
+        assert_eq!(bvh.len(), 1);
+        let c = bvh.segment_candidates(Vec3::new(0.0, 0.0, 1.0), Vec3::new(3.0, 0.0, 1.0));
+        assert_eq!(c, vec![0]);
+    }
+
+    /// Deterministic pseudo-random boxes for the superset property.
+    fn scene_boxes(seed: u64, n: usize) -> Vec<Aabb> {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|_| {
+                let c = Vec3::new(next() * 20.0, next() * 20.0, next() * 4.0);
+                let h = Vec3::new(
+                    0.05 + next() * 2.0,
+                    0.05 + next() * 2.0,
+                    0.05 + next() * 2.0,
+                );
+                Aabb::new(c - h, c + h)
+            })
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_candidates_superset_of_brute_hits(
+            seed in 0u64..1_000_000,
+            n in 0usize..200,
+            x0 in -2.0..22.0f64, y0 in -2.0..22.0f64, z0 in -1.0..5.0f64,
+            x1 in -2.0..22.0f64, y1 in -2.0..22.0f64, z1 in -1.0..5.0f64,
+        ) {
+            let boxes = scene_boxes(seed, n);
+            let bvh = Bvh::build(&boxes);
+            let from = Vec3::new(x0, y0, z0);
+            let to = Vec3::new(x1, y1, z1);
+            let candidates = bvh.segment_candidates(from, to);
+            // Every brute-force box hit must be among the candidates.
+            for (i, b) in boxes.iter().enumerate() {
+                if b.intersects_segment(from, to) {
+                    prop_assert!(
+                        candidates.contains(&i),
+                        "BVH dropped true hit {i} (seed {seed}, n {n})"
+                    );
+                }
+            }
+            // And no candidate is fabricated.
+            for &i in &candidates {
+                prop_assert!(i < n);
+            }
+        }
+
+        #[test]
+        fn prop_no_duplicate_candidates(seed in 0u64..100_000, n in 0usize..100) {
+            let boxes = scene_boxes(seed, n);
+            let bvh = Bvh::build(&boxes);
+            let mut c = bvh.segment_candidates(
+                Vec3::new(-1.0, -1.0, 1.0),
+                Vec3::new(21.0, 21.0, 2.0),
+            );
+            let total = c.len();
+            c.sort_unstable();
+            c.dedup();
+            prop_assert_eq!(total, c.len());
+        }
+    }
+}

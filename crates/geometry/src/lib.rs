@@ -16,10 +16,12 @@
 //! - [`wall`]: vertical wall panels and ray intersection,
 //! - [`pose`]: surface mounting poses and local-frame transforms,
 //! - [`plan`]: floor plans (walls + named room regions) and LOS queries,
+//! - [`bvh`]: bounding boxes and a BVH for conservative segment queries,
 //! - [`reflect`]: specular reflection via the image method,
 //! - [`scenario`]: ready-made environments, including the paper's two-room
 //!   apartment (Figure 4a).
 
+pub mod bvh;
 pub mod material;
 pub mod plan;
 pub mod pose;
@@ -28,8 +30,9 @@ pub mod scenario;
 pub mod vec3;
 pub mod wall;
 
+pub use bvh::{Aabb, Bvh};
 pub use material::Material;
-pub use plan::{FloorPlan, Room};
+pub use plan::{FloorPlan, Room, WallIndex};
 pub use pose::Pose;
 pub use vec3::Vec3;
 pub use wall::Wall;

@@ -7,11 +7,44 @@
 //! - which walls does a segment cross (→ penetration loss), and
 //! - is there line of sight between two points.
 
+use crate::bvh::Bvh;
 use crate::material::Material;
 use crate::vec3::Vec3;
 use crate::wall::Wall;
 use serde::{Deserialize, Serialize};
 use surfos_em::band::Band;
+
+/// Conservative padding on wall bounding boxes: `intersect_segment` accepts
+/// crossings up to the 1 mm graze margin beyond a wall's footprint ends, so
+/// boxes grow by 2 mm to keep every acceptable crossing point strictly
+/// inside (no floating-point edge cases on box faces).
+const WALL_AABB_PAD: f64 = 2e-3;
+
+/// A spatial index over a [`FloorPlan`]'s walls: a [`Bvh`] over padded wall
+/// boxes plus the per-wall graze margins, so candidate tests skip both the
+/// `O(walls)` scan and the per-wall square root.
+///
+/// Built by [`FloorPlan::build_wall_index`] and valid until the wall set
+/// changes; the indexed queries (`*_with`) are bit-identical to their brute
+/// counterparts on the plan the index was built from.
+#[derive(Debug, Clone, Default)]
+pub struct WallIndex {
+    bvh: Bvh,
+    u_margins: Vec<f64>,
+}
+
+impl WallIndex {
+    /// Number of indexed walls (must match the queried plan's).
+    pub fn wall_count(&self) -> usize {
+        self.u_margins.len()
+    }
+
+    /// The underlying hierarchy (for benchmarks and composition into
+    /// higher-level scene indexes).
+    pub fn bvh(&self) -> &Bvh {
+        &self.bvh
+    }
+}
 
 /// A named rectangular room region (plan view), used for "optimize coverage
 /// in the bedroom"-style service goals and for sampling evaluation grids.
@@ -161,6 +194,78 @@ impl FloorPlan {
             .iter()
             .all(|w| w.intersect_segment(from, to).is_none())
     }
+
+    /// Builds a [`WallIndex`] over the current wall set. Rebuild whenever
+    /// walls are added or edited; queries check only the wall *count*, so a
+    /// stale index over mutated walls silently returns wrong answers.
+    pub fn build_wall_index(&self) -> WallIndex {
+        let boxes: Vec<_> = self
+            .walls
+            .iter()
+            .map(|w| w.aabb().grown(WALL_AABB_PAD))
+            .collect();
+        WallIndex {
+            bvh: Bvh::build(&boxes),
+            u_margins: self.walls.iter().map(Wall::u_margin).collect(),
+        }
+    }
+
+    /// [`FloorPlan::crossings`] through a [`WallIndex`]: same result, bit
+    /// for bit, touching only candidate walls. Candidates arrive in tree
+    /// order, so hits are re-sorted by `(t, wall index)` — exactly the
+    /// order the brute scan's stable distance sort produces.
+    pub fn crossings_with(&self, index: &WallIndex, from: Vec3, to: Vec3) -> Vec<(usize, Material)> {
+        debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
+        let t_margin = Wall::t_margin(from, to);
+        let mut hits: Vec<(f64, usize, Material)> = Vec::new();
+        index.bvh.for_each_segment_candidate(from, to, |i| {
+            let w = &self.walls[i];
+            if let Some(h) =
+                w.intersect_segment_with_margins(from, to, t_margin, index.u_margins[i])
+            {
+                hits.push((h.t, i, w.material));
+            }
+        });
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        hits.into_iter().map(|(_, i, m)| (i, m)).collect()
+    }
+
+    /// [`FloorPlan::penetration_loss_db`] through a [`WallIndex`].
+    pub fn penetration_loss_db_with(
+        &self,
+        index: &WallIndex,
+        from: Vec3,
+        to: Vec3,
+        band: &Band,
+    ) -> f64 {
+        self.crossings_with(index, from, to)
+            .iter()
+            .map(|(_, m)| m.penetration_loss_db(band))
+            .sum()
+    }
+
+    /// [`FloorPlan::transmission_amplitude`] through a [`WallIndex`].
+    pub fn transmission_amplitude_with(
+        &self,
+        index: &WallIndex,
+        from: Vec3,
+        to: Vec3,
+        band: &Band,
+    ) -> f64 {
+        surfos_em::units::db_to_amplitude(-self.penetration_loss_db_with(index, from, to, band))
+    }
+
+    /// [`FloorPlan::has_los`] through a [`WallIndex`], with any-hit early
+    /// exit.
+    pub fn has_los_with(&self, index: &WallIndex, from: Vec3, to: Vec3) -> bool {
+        debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
+        let t_margin = Wall::t_margin(from, to);
+        !index.bvh.segment_candidates_until(from, to, |i| {
+            self.walls[i]
+                .intersect_segment_with_margins(from, to, t_margin, index.u_margins[i])
+                .is_some()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -284,5 +389,93 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn degenerate_room_rejected() {
         let _ = Room::new("r", Vec3::xy(1.0, 1.0), Vec3::xy(1.0, 5.0));
+    }
+
+    // ── Wall-index equivalence ─────────────────────────────────────────
+
+    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random clutter: `n` short walls scattered over
+    /// a 10×10 m area with mixed materials.
+    fn cluttered(n: usize, seed: u64) -> FloorPlan {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let materials = [
+            Material::Drywall,
+            Material::Concrete,
+            Material::Glass,
+            Material::Wood,
+        ];
+        let mut plan = FloorPlan::new();
+        for i in 0..n {
+            let x = next() * 10.0;
+            let y = next() * 10.0;
+            let ang = next() * std::f64::consts::TAU;
+            let len = 0.4 + next() * 2.6;
+            plan.add_wall(Wall::new(
+                Vec3::xy(x, y),
+                Vec3::xy(x + ang.cos() * len, y + ang.sin() * len),
+                1.0 + next() * 3.0,
+                materials[i % materials.len()],
+            ));
+        }
+        plan
+    }
+
+    #[test]
+    fn indexed_crossings_match_brute_on_two_rooms() {
+        let plan = two_rooms();
+        let index = plan.build_wall_index();
+        let from = Vec3::new(1.0, 2.0, 1.5);
+        let to = Vec3::new(6.0, 2.0, 1.5);
+        assert_eq!(plan.crossings(from, to), plan.crossings_with(&index, from, to));
+        assert_eq!(plan.has_los(from, to), plan.has_los_with(&index, from, to));
+    }
+
+    #[test]
+    fn empty_plan_index_answers_clear() {
+        let plan = FloorPlan::new();
+        let index = plan.build_wall_index();
+        let band = NamedBand::WiFi5GHz.band();
+        let from = Vec3::new(0.0, 0.0, 1.0);
+        let to = Vec3::new(5.0, 5.0, 1.0);
+        assert!(plan.crossings_with(&index, from, to).is_empty());
+        assert!(plan.has_los_with(&index, from, to));
+        assert_eq!(plan.transmission_amplitude_with(&index, from, to, &band), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_indexed_queries_bit_identical_to_brute(
+            seed in 0u64..1_000_000,
+            n in 0usize..96,
+            x0 in -1.0..11.0f64, y0 in -1.0..11.0f64, z0 in 0.1..4.0f64,
+            x1 in -1.0..11.0f64, y1 in -1.0..11.0f64, z1 in 0.1..4.0f64,
+        ) {
+            let plan = cluttered(n, seed);
+            let index = plan.build_wall_index();
+            let from = Vec3::new(x0, y0, z0);
+            let to = Vec3::new(x1, y1, z1);
+            let band = NamedBand::MmWave28GHz.band();
+
+            prop_assert_eq!(
+                plan.crossings(from, to),
+                plan.crossings_with(&index, from, to)
+            );
+            prop_assert_eq!(plan.has_los(from, to), plan.has_los_with(&index, from, to));
+            prop_assert_eq!(
+                plan.penetration_loss_db(from, to, &band).to_bits(),
+                plan.penetration_loss_db_with(&index, from, to, &band).to_bits()
+            );
+            prop_assert_eq!(
+                plan.transmission_amplitude(from, to, &band).to_bits(),
+                plan.transmission_amplitude_with(&index, from, to, &band).to_bits()
+            );
+        }
     }
 }

@@ -5,10 +5,16 @@
 //! the 2-D segment crossing is found in the plan view, then the z of the
 //! 3-D ray at that parameter is checked against the wall's height.
 
+use crate::bvh::Aabb;
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
 
 use crate::material::Material;
+
+/// Endpoint-graze exclusion distance in metres: segment endpoints within
+/// this of a wall plane do not count as crossings (devices mounted on a
+/// wall must see through their own wall).
+const GRAZE_MARGIN_M: f64 = 1e-3;
 
 /// A vertical wall panel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +76,29 @@ impl Wall {
         Vec3::new(mid.x, mid.y, self.height / 2.0)
     }
 
+    /// The wall's bounding box: footprint extent × `[0, height]`, untight
+    /// by nothing — callers pad it (see [`Aabb::grown`]) to cover the
+    /// graze-margin overhang `intersect_segment` allows on `u`.
+    pub fn aabb(&self) -> Aabb {
+        let lo = self.a.min(self.b);
+        let hi = self.a.max(self.b);
+        Aabb::new(Vec3::new(lo.x, lo.y, 0.0), Vec3::new(hi.x, hi.y, self.height))
+    }
+
+    /// The endpoint-graze margin on the wall parameter `u` (1 mm normalized
+    /// by footprint length). Constant per wall — spatial indexes precompute
+    /// it so candidate tests skip the square root.
+    pub fn u_margin(&self) -> f64 {
+        GRAZE_MARGIN_M / (self.b - self.a).norm().max(1e-9)
+    }
+
+    /// The endpoint-graze margin on the ray parameter `t` (1 mm normalized
+    /// by plan-view segment length). Constant per segment — computed once
+    /// per query when testing many walls.
+    pub fn t_margin(from: Vec3, to: Vec3) -> f64 {
+        GRAZE_MARGIN_M / (to.flat() - from.flat()).norm().max(1e-9)
+    }
+
     /// Tests whether the open segment `from → to` crosses this wall, and if
     /// so where.
     ///
@@ -77,6 +106,29 @@ impl Wall {
     /// a transmitter or surface mounted on a wall must not be considered
     /// blocked by its own mounting wall.
     pub fn intersect_segment(&self, from: Vec3, to: Vec3) -> Option<WallHit> {
+        self.intersect_segment_impl(from, to, None)
+    }
+
+    /// [`Wall::intersect_segment`] with the graze margins supplied by the
+    /// caller (see [`Wall::t_margin`] / [`Wall::u_margin`]). Passing the
+    /// margins those methods compute yields bit-identical results while
+    /// hoisting both square roots out of per-wall inner loops.
+    pub fn intersect_segment_with_margins(
+        &self,
+        from: Vec3,
+        to: Vec3,
+        t_margin: f64,
+        u_margin: f64,
+    ) -> Option<WallHit> {
+        self.intersect_segment_impl(from, to, Some((t_margin, u_margin)))
+    }
+
+    fn intersect_segment_impl(
+        &self,
+        from: Vec3,
+        to: Vec3,
+        margins: Option<(f64, f64)>,
+    ) -> Option<WallHit> {
         // 2-D segment intersection in plan view.
         let p = from.flat();
         let r = to.flat() - p;
@@ -93,8 +145,10 @@ impl Wall {
 
         // Margins: exclude endpoint grazes (1 mm normalized against segment
         // lengths) so devices mounted on walls see through their own wall.
-        let t_margin = 1e-3 / r.norm().max(1e-9);
-        let u_margin = 1e-3 / s.norm().max(1e-9);
+        let (t_margin, u_margin) = match margins {
+            Some(m) => m,
+            None => (Self::t_margin(from, to), self.u_margin()),
+        };
         if t <= t_margin || t >= 1.0 - t_margin {
             return None;
         }

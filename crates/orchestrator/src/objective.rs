@@ -61,16 +61,10 @@ impl CoverageObjective {
     /// Panics if `points` is empty.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
         assert!(!points.is_empty(), "coverage objective needs locations");
-        // Per-location ray traces are independent: fan them out with one
-        // template clone per worker, chunk-ordered (bit-identical to serial).
-        let links = par::par_map_with(
-            points,
-            || rx_template.clone(),
-            |rx, p| {
-                rx.pose.position = *p;
-                sim.linearize(tx, rx)
-            },
-        );
+        // Per-location ray traces are independent; the sweep resolves the
+        // scene index once and fans out chunk-ordered (bit-identical to a
+        // serial per-point linearize).
+        let links = sim.linearize_sweep(tx, points, rx_template);
         let noise_dbm = surfos_em::noise::noise_power_dbm(
             sim.band.bandwidth_hz,
             rx_template.noise_figure_db,
@@ -176,12 +170,22 @@ impl LocalizationObjective {
         let surf = &sim.surfaces()[surface_idx];
         let estimator = AoaEstimator::new(&surf.geometry, sim.band.wavenumber(), grid);
         let cal = ap_calibration(sim, surface_idx, ap);
-        let probes: Vec<AoaLinearization> = probe_points
+        // All probe links share one scene index and fan out together;
+        // results come back in probe order for the zip below.
+        let clients: Vec<Endpoint> = probe_points
             .iter()
-            .filter_map(|p| {
+            .map(|p| {
                 let mut client = client_template.clone();
                 client.pose.position = *p;
-                let lin = sim.linearize(&client, ap);
+                client
+            })
+            .collect();
+        let pairs: Vec<(&Endpoint, &Endpoint)> = clients.iter().map(|c| (c, ap)).collect();
+        let probes: Vec<AoaLinearization> = sim
+            .linearize_batch(&pairs)
+            .iter()
+            .zip(probe_points)
+            .filter_map(|(lin, p)| {
                 let term = lin.linear.iter().find(|t| t.surface == surface_idx)?;
                 let true_az = AngleGrid::azimuth_of(&surf.pose, *p);
                 Some(estimator.linearize(&term.coeffs, &cal, true_az))
@@ -287,14 +291,7 @@ impl SuppressionObjective {
     /// Panics if `points` is empty.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
         assert!(!points.is_empty(), "suppression objective needs locations");
-        let leaks = par::par_map_with(
-            points,
-            || rx_template.clone(),
-            |rx, p| {
-                rx.pose.position = *p;
-                sim.linearize(tx, rx)
-            },
-        );
+        let leaks = sim.linearize_sweep(tx, points, rx_template);
         SuppressionObjective { leaks, floor: 0.0 }
     }
 

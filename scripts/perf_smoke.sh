@@ -1,26 +1,108 @@
 #!/usr/bin/env bash
-# Perf smoke: runs the channel + optimizer criterion benches and collects
-# the per-benchmark medians into a machine-readable BENCH_channel.json at
-# the repo root. Use SURFOS_THREADS=1 to measure the serial baseline.
+# Perf smoke + regression gate.
 #
-#   scripts/perf_smoke.sh                 # all cores
-#   SURFOS_THREADS=1 scripts/perf_smoke.sh  # serial baseline
+# Runs the channel, spatial and optimizer criterion benches and collects
+# the per-benchmark medians into a machine-readable BENCH_channel.json at
+# the repo root. With --check, fresh medians are then compared against the
+# checked-in BENCH_baseline.json and the script exits non-zero when any
+# benchmark regressed by more than PERF_TOLERANCE (default 1.25 = 25 %).
+#
+#   scripts/perf_smoke.sh                    # run benches, write BENCH_channel.json
+#   scripts/perf_smoke.sh --check            # run benches, then gate against baseline
+#   scripts/perf_smoke.sh --check-only       # gate an existing BENCH_channel.json
+#   SURFOS_THREADS=1 scripts/perf_smoke.sh   # serial baseline
+#   PERF_TOLERANCE=1.5 scripts/perf_smoke.sh --check   # looser gate
+#
+# To refresh the baseline after an intentional perf change:
+#   scripts/perf_smoke.sh && cp BENCH_channel.json BENCH_baseline.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-jsonl="$(mktemp)"
-trap 'rm -f "$jsonl"' EXIT
+mode=run
+case "${1:-}" in
+  "") ;;
+  --check) mode=check ;;
+  --check-only) mode=check_only ;;
+  *) echo "usage: $0 [--check|--check-only]" >&2; exit 2 ;;
+esac
 
-CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
-CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
+tolerance="${PERF_TOLERANCE:-1.25}"
+baseline_file="BENCH_baseline.json"
+fresh_file="BENCH_channel.json"
 
-# Wrap the JSON lines into one JSON document with run metadata.
-threads="${SURFOS_THREADS:-auto}"
-{
-  printf '{\n  "threads": "%s",\n  "benchmarks": [\n' "$threads"
-  sed 's/^/    /; $!s/$/,/' "$jsonl"
-  printf '  ]\n}\n'
-} > BENCH_channel.json
+tmpfiles=()
+cleanup() { rm -f "${tmpfiles[@]}"; }
+trap cleanup EXIT
 
-echo "wrote BENCH_channel.json ($(grep -c median_ns "$jsonl") benchmarks, threads=$threads)"
+run_benches() {
+  local jsonl
+  jsonl="$(mktemp)"
+  tmpfiles+=("$jsonl")
+
+  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
+  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench spatial
+  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
+
+  # Wrap the JSON lines into one JSON document with run metadata.
+  local threads="${SURFOS_THREADS:-auto}"
+  {
+    printf '{\n  "threads": "%s",\n  "benchmarks": [\n' "$threads"
+    sed 's/^/    /; $!s/$/,/' "$jsonl"
+    printf '  ]\n}\n'
+  } > "$fresh_file"
+
+  echo "wrote $fresh_file ($(grep -c median_ns "$jsonl") benchmarks, threads=$threads)"
+}
+
+# Extract "<id> <median_ns>" pairs from a BENCH json file.
+extract_medians() {
+  sed -n 's/.*"id": "\([^"]*\)", "median_ns": \([0-9.][0-9.]*\).*/\1 \2/p' "$1"
+}
+
+check_regressions() {
+  if [[ ! -f "$baseline_file" ]]; then
+    echo "missing $baseline_file — run 'scripts/perf_smoke.sh && cp $fresh_file $baseline_file' to create it" >&2
+    exit 1
+  fi
+  if [[ ! -f "$fresh_file" ]]; then
+    echo "missing $fresh_file — run 'scripts/perf_smoke.sh' first (or use --check)" >&2
+    exit 1
+  fi
+  local base fresh
+  base="$(mktemp)"; fresh="$(mktemp)"
+  tmpfiles+=("$base" "$fresh")
+  extract_medians "$baseline_file" > "$base"
+  extract_medians "$fresh_file" > "$fresh"
+
+  awk -v tol="$tolerance" '
+    NR == FNR { baseline[$1] = $2; next }
+    ($1 in baseline) && baseline[$1] > 0 {
+      ratio = $2 / baseline[$1]
+      n++
+      if (ratio > tol) {
+        printf "REGRESSION  %-55s %12.1f -> %12.1f ns  (x%.2f > x%.2f)\n", $1, baseline[$1], $2, ratio, tol
+        bad++
+      } else {
+        printf "ok          %-55s %12.1f -> %12.1f ns  (x%.2f)\n", $1, baseline[$1], $2, ratio
+      }
+    }
+    END {
+      if (n == 0) {
+        print "no overlapping benchmark ids between baseline and fresh run" | "cat >&2"
+        exit 1
+      }
+      if (bad > 0) {
+        printf "%d of %d benchmarks regressed by more than x%.2f\n", bad, n, tol | "cat >&2"
+        exit 1
+      }
+      printf "all %d benchmarks within x%.2f of baseline\n", n, tol
+    }
+  ' "$base" "$fresh"
+}
+
+case "$mode" in
+  run) run_benches ;;
+  check) run_benches; check_regressions ;;
+  check_only) check_regressions ;;
+esac
