@@ -1,0 +1,58 @@
+//! Observability overhead benchmarks.
+//!
+//! The whole point of `surfos-obs` is that instrumentation left in hot
+//! paths (BVH queries, lin-cache lookups, the kernel loop) costs nothing
+//! while metrics are off: every recording API starts with one relaxed
+//! atomic load. The `off/*` benchmarks measure that disabled path — they
+//! should report single-digit nanoseconds per call. The `on/*` variants
+//! show what enabling collection costs, for calibration (they are *not*
+//! perf-gated; sharded registry contention is measured in context by the
+//! channel benches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::obs;
+
+fn bench_disabled(c: &mut Criterion) {
+    obs::set_enabled(false);
+    let mut group = c.benchmark_group("obs/off");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| obs::add(black_box("bench.counter"), black_box(1)))
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| obs::observe(black_box("bench.hist"), black_box(42)))
+    });
+    group.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let _g = obs::span!("bench.span");
+        })
+    });
+    group.bench_function("event_macro", |b| {
+        // The format args must not even be evaluated when off.
+        b.iter(|| obs::event!("bench", "value={}", black_box(7)))
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    obs::set_enabled(true);
+    obs::reset();
+    let mut group = c.benchmark_group("obs/on");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| obs::add(black_box("bench.counter"), black_box(1)))
+    });
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| obs::observe(black_box("bench.hist"), black_box(42)))
+    });
+    group.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let _g = obs::span!("bench.span");
+        })
+    });
+    group.finish();
+    obs::set_enabled(false);
+    obs::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

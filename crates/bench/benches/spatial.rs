@@ -84,8 +84,7 @@ fn bench_linearize_cluttered(c: &mut Criterion) {
             b.iter(|| {
                 let medium = Medium::new(&plan, &[], &[], band);
                 black_box(
-                    paths::trace_channel(&medium, &tx, &rx, &[], true, true)
-                        .linearize_at(&band),
+                    paths::trace_channel(&medium, &tx, &rx, &[], true, true).linearize_at(&band),
                 )
             })
         });

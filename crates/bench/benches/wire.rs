@@ -7,7 +7,9 @@ use surfos::hw::wire::{decode, encode, ConfigFrame};
 use surfos::hw::SurfaceConfig;
 
 fn frame(n: usize) -> ConfigFrame {
-    let phases: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61) % std::f64::consts::TAU).collect();
+    let phases: Vec<f64> = (0..n)
+        .map(|i| (i as f64 * 0.61) % std::f64::consts::TAU)
+        .collect();
     ConfigFrame {
         slot: 1,
         config: SurfaceConfig::from_phases(&phases),
@@ -49,5 +51,10 @@ fn bench_roundtrip_with_amplitude(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip_with_amplitude);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_roundtrip_with_amplitude
+);
 criterion_main!(benches);

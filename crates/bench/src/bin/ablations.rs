@@ -39,15 +39,19 @@ fn opts(iters: usize) -> AdamOptions {
 }
 
 fn median_with_phases(obj: &CoverageObjective, phases: &[f64]) -> f64 {
-    let responses: Vec<Vec<Complex>> =
-        vec![phases.iter().map(|&p| Complex::cis(p)).collect()];
+    let responses: Vec<Vec<Complex>> = vec![phases.iter().map(|&p| Complex::cis(p)).collect()];
     obj.median_snr_db(&responses)
 }
 
 fn ablation_quantization() {
     println!("\n[1] Phase quantization depth (coverage task, {N}×{N} surface)");
     let (_lab, _idx, obj) = coverage_lab();
-    let continuous = adam(&obj, &[vec![0.0; N * N]], &Tying::element_wise(1), opts(150));
+    let continuous = adam(
+        &obj,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        opts(150),
+    );
     let widths = [12, 14, 16, 18];
     print_row(
         &[
@@ -71,10 +75,7 @@ fn ablation_quantization() {
                 format!("{bits}"),
                 format!("{snr:.1} dB"),
                 format!("{:.1} dB", cont_snr - snr),
-                format!(
-                    "{:.1} dB",
-                    -10.0 * quantization_loss(bits).log10()
-                ),
+                format!("{:.1} dB", -10.0 * quantization_loss(bits).log10()),
             ],
             &widths,
         );
@@ -94,7 +95,10 @@ fn ablation_granularity() {
     println!("\n[2] Control granularity (coverage task, {N}×{N} surface)");
     let (_lab, _idx, obj) = coverage_lab();
     let widths = [14, 8, 14];
-    print_row(&["granularity".into(), "DoF".into(), "median SNR".into()], &widths);
+    print_row(
+        &["granularity".into(), "DoF".into(), "median SNR".into()],
+        &widths,
+    );
     print_rule(&widths);
     for (label, tying) in [
         ("element-wise", Tying::element_wise(1)),
@@ -127,21 +131,38 @@ fn ablation_optimizers() {
     let (_lab, _idx, obj) = coverage_lab();
     let widths = [22, 16, 14];
     print_row(
-        &["algorithm".into(), "objective evals".into(), "final loss".into()],
+        &[
+            "algorithm".into(),
+            "objective evals".into(),
+            "final loss".into(),
+        ],
         &widths,
     );
     print_rule(&widths);
 
-    let a = adam(&obj, &[vec![0.0; N * N]], &Tying::element_wise(1), opts(150));
+    let a = adam(
+        &obj,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        opts(150),
+    );
     print_row(
-        &["adam (analytic grad)".into(), "150".into(), format!("{:.1}", a.loss)],
+        &[
+            "adam (analytic grad)".into(),
+            "150".into(),
+            format!("{:.1}", a.loss),
+        ],
         &widths,
     );
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let r = random_search(&obj, &[N * N], 150, &mut rng);
     print_row(
-        &["random search".into(), "150".into(), format!("{:.1}", r.loss)],
+        &[
+            "random search".into(),
+            "150".into(),
+            format!("{:.1}", r.loss),
+        ],
         &widths,
     );
 
@@ -175,15 +196,27 @@ fn ablation_joint_vs_tdm() {
         AngleGrid::uniform(41, 1.3),
     );
 
-    let cov_phases = adam(&coverage, &[vec![0.0; N * N]], &Tying::element_wise(1), opts(150)).phases
-        [0]
-    .clone();
-    let loc_phases =
-        adam(&localization, &[vec![0.0; N * N]], &Tying::element_wise(1), opts(150)).phases[0]
-            .clone();
+    let cov_phases = adam(
+        &coverage,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        opts(150),
+    )
+    .phases[0]
+        .clone();
+    let loc_phases = adam(
+        &localization,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        opts(150),
+    )
+    .phases[0]
+        .clone();
     let joint_obj = MultiObjective::new()
         .with(
-            Box::new(CoverageObjective::new(&lab.sim, &lab.ap, &lab.grid, &lab.probe)),
+            Box::new(CoverageObjective::new(
+                &lab.sim, &lab.ap, &lab.grid, &lab.probe,
+            )),
             1.0,
         )
         .with(
@@ -197,8 +230,14 @@ fn ablation_joint_vs_tdm() {
             )),
             60.0,
         );
-    let joint_phases =
-        adam(&joint_obj, &[vec![0.0; N * N]], &Tying::element_wise(1), opts(150)).phases[0].clone();
+    let joint_phases = adam(
+        &joint_obj,
+        &[vec![0.0; N * N]],
+        &Tying::element_wise(1),
+        opts(150),
+    )
+    .phases[0]
+        .clone();
 
     let as_resp = |phases: &[f64]| -> Vec<Vec<Complex>> {
         vec![phases.iter().map(|&p| Complex::cis(p)).collect()]

@@ -38,15 +38,32 @@ fn main() {
     );
     println!(
         "Fraction of locations with error > 0.5 m under the coverage config: {:.0}%",
-        100.0 * (1.0 - out.localization_m.cdf().iter().filter(|(v, _)| *v <= 0.5).count() as f64
-            / out.localization_m.len() as f64)
+        100.0
+            * (1.0
+                - out
+                    .localization_m
+                    .cdf()
+                    .iter()
+                    .filter(|(v, _)| *v <= 0.5)
+                    .count() as f64
+                    / out.localization_m.len() as f64)
     );
     println!("\nPaper's claim reproduced: a configuration that maximizes coverage");
     println!("can disrupt or preclude effective user localization in the same space.");
 
     if let Some(dir) = csv_dir_from_args() {
-        write_csv(&dir, "fig2_coverage_dbm", "x,y,rss_dbm", &heatmap_rows(&out.coverage_dbm));
-        write_csv(&dir, "fig2_localization_m", "x,y,error_m", &heatmap_rows(&out.localization_m));
+        write_csv(
+            &dir,
+            "fig2_coverage_dbm",
+            "x,y,rss_dbm",
+            &heatmap_rows(&out.coverage_dbm),
+        );
+        write_csv(
+            &dir,
+            "fig2_localization_m",
+            "x,y,error_m",
+            &heatmap_rows(&out.localization_m),
+        );
         write_csv(
             &dir,
             "fig2_baseline_localization_m",

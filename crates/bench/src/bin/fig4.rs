@@ -109,7 +109,12 @@ fn main() {
                 )
             })
             .collect();
-        write_csv(&dir, "fig4_sweep", "deployment,cost_usd,area_m2,median_snr_db", &rows);
+        write_csv(
+            &dir,
+            "fig4_sweep",
+            "deployment,cost_usd,area_m2,median_snr_db",
+            &rows,
+        );
     }
 
     println!("\nPaper's claim to reproduce: the hybrid needs a fraction of the");

@@ -47,7 +47,12 @@ fn main() {
     if let Some(dir) = csv_dir_from_args() {
         for c in &out.configs {
             let tag = c.label.to_lowercase().replace([' ', '-'], "_");
-            write_csv(&dir, &format!("fig5_snr_cdf_{tag}"), "snr_db,cdf", &cdf_rows(&c.snr_db));
+            write_csv(
+                &dir,
+                &format!("fig5_snr_cdf_{tag}"),
+                "snr_db,cdf",
+                &cdf_rows(&c.snr_db),
+            );
             write_csv(
                 &dir,
                 &format!("fig5_loc_cdf_{tag}"),

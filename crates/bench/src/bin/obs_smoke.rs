@@ -1,0 +1,79 @@
+//! Observability smoke run: boots the apartment scenario, runs the kernel
+//! loop with metrics enabled, and prints one JSON line per derived metric
+//! and per span — consumed by `scripts/perf_smoke.sh`, which attaches the
+//! lines to `BENCH_channel.json` under `"observability"`.
+//!
+//! The lines deliberately use `"span"`/`"p50_ns"` and `"metric"`/`"value"`
+//! keys, *not* the benches' `"id"`/`"median_ns"` pair: span medians vary
+//! with optimizer iteration counts and are not perf-gated, so they must
+//! stay invisible to the regression extractor.
+
+use surfos::channel::{ChannelSim, Endpoint};
+use surfos::em::band::NamedBand;
+use surfos::geometry::scenario::two_room_apartment;
+use surfos::geometry::{Pose, Vec3};
+use surfos::hw::designs;
+use surfos::hw::driver::ProgrammableDriver;
+use surfos::obs;
+use surfos::orchestrator::ServiceRequest;
+use surfos::SurfOS;
+
+fn main() {
+    obs::set_enabled(true);
+
+    let scen = two_room_apartment();
+    let sim = ChannelSim::new(scen.plan.clone(), NamedBand::MmWave28GHz.band());
+    let mut os = SurfOS::new(sim);
+    let mut spec = designs::scatter_mimo();
+    spec.band = NamedBand::MmWave28GHz.band();
+    spec.rows = 32;
+    spec.cols = 32;
+    spec.pitch_m = 0.0053;
+    let pose = *scen.anchor("bedroom-north").expect("anchor");
+    os.deploy_surface("wall0", Box::new(ProgrammableDriver::new(spec)), pose);
+    os.add_endpoint(Endpoint::access_point(
+        "ap0",
+        Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
+    ));
+    os.add_endpoint(Endpoint::client("laptop", Vec3::new(6.5, 1.5, 1.2)));
+    os.orchestrator_mut().adam_options.iters = 60;
+    os.submit(ServiceRequest::optimize_coverage("bedroom", 25.0));
+    // A link task exercises the per-pair linearization cache (coverage
+    // goes through the sweep path, which is uncached by design).
+    os.submit(ServiceRequest::enhance_link("laptop", 20.0, 50.0));
+    for _ in 0..3 {
+        os.step(10);
+    }
+
+    let snap = obs::snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+
+    let hits = get("channel.lincache.hits") as f64;
+    let misses = get("channel.lincache.misses") as f64;
+    let hit_rate = if hits + misses > 0.0 {
+        hits / (hits + misses)
+    } else {
+        0.0
+    };
+    println!("{{\"metric\": \"channel.lincache.hit_rate\", \"value\": {hit_rate:.4}}}");
+
+    let visited = get("geometry.bvh.nodes_visited") as f64;
+    let brute = get("geometry.bvh.brute_walls") as f64;
+    let cull = if brute > 0.0 { visited / brute } else { 0.0 };
+    println!("{{\"metric\": \"geometry.bvh.visit_ratio\", \"value\": {cull:.4}}}");
+    println!(
+        "{{\"metric\": \"channel.traces\", \"value\": {}}}",
+        get("channel.traces")
+    );
+    println!(
+        "{{\"metric\": \"channel.rephasings\", \"value\": {}}}",
+        get("channel.rephasings")
+    );
+
+    for (path, span) in &snap.spans {
+        println!(
+            "{{\"span\": \"{path}\", \"count\": {}, \"p50_ns\": {}}}",
+            span.count, span.p50_ns
+        );
+    }
+}

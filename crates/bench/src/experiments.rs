@@ -56,8 +56,7 @@ impl ApartmentLab {
             .unwrap_or_else(|| panic!("unknown anchor {anchor:?}"));
         let geom = ArrayGeometry::half_wavelength(n, n, self.sim.band.wavelength_m());
         self.sim.add_surface(
-            SurfaceInstance::new(id, pose, geom, OperationMode::Reflective)
-                .with_efficiency(0.8),
+            SurfaceInstance::new(id, pose, geom, OperationMode::Reflective).with_efficiency(0.8),
         )
     }
 

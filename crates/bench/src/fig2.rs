@@ -36,8 +36,8 @@ pub fn sounding_noise_std(lab: &ApartmentLab, surface_idx: usize) -> f64 {
     let lin = lab.sim.linearize(&client, &lab.ap);
     match lin.linear.iter().find(|t| t.surface == surface_idx) {
         Some(term) => {
-            let mean: f64 = term.coeffs.iter().map(|c| c.abs()).sum::<f64>()
-                / term.coeffs.len() as f64;
+            let mean: f64 =
+                term.coeffs.iter().map(|c| c.abs()).sum::<f64>() / term.coeffs.len() as f64;
             mean * SOUNDING_NOISE_FRACTION
         }
         None => 0.0,
@@ -85,14 +85,7 @@ pub fn run(n: usize, iters: usize) -> Fig2 {
 
     let coverage_dbm = lab.sim.rss_heatmap(&lab.ap, &grid, &lab.probe);
     let errs = evaluate_localization(
-        &lab.sim,
-        idx,
-        &lab.ap,
-        &lab.probe,
-        &grid,
-        angle_grid,
-        noise,
-        &mut rng,
+        &lab.sim, idx, &lab.ap, &lab.probe, &grid, angle_grid, noise, &mut rng,
     );
     let localization_m = Heatmap::new(grid, cap(errs));
 

@@ -56,7 +56,12 @@ fn static_median_at(anchor: &str, n: usize, iters: usize, bits: u8) -> f64 {
     let idx = lab.deploy("s", anchor, n);
     let objective = CoverageObjective::new(&lab.sim, &lab.ap, &lab.grid, &lab.probe);
     let initial = vec![vec![0.0; n * n]];
-    let result = adam(&objective, &initial, &Tying::element_wise(1), adam_opts(iters));
+    let result = adam(
+        &objective,
+        &initial,
+        &Tying::element_wise(1),
+        adam_opts(iters),
+    );
     let phases: Vec<f64> = result.phases[0]
         .iter()
         .map(|&p| quantize_phase(p, bits))
@@ -159,11 +164,7 @@ pub fn hybrid(n_passive: usize, n_prog: usize) -> ArmPoint {
             .iter()
             .find(|b| b.first == passive_idx && b.second == prog_idx)
         {
-            Some(b) => b
-                .beta
-                .iter()
-                .map(|c| quantize_phase(-c.arg(), 2))
-                .collect(),
+            Some(b) => b.beta.iter().map(|c| quantize_phase(-c.arg(), 2)).collect(),
             None => vec![0.0; n_prog * n_prog],
         };
         lab.sim.surface_mut(prog_idx).set_phases(&phases);

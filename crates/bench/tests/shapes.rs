@@ -48,7 +48,11 @@ fn fig4_shape_arm_characters() {
     // Character: passive is nearly free but big; programmable is small
     // but expensive; hybrid reaches comparable SNR at a fraction of the
     // programmable cost and of the passive size.
-    assert!(passive.cost_usd < 50.0, "passive cheap: ${:.0}", passive.cost_usd);
+    assert!(
+        passive.cost_usd < 50.0,
+        "passive cheap: ${:.0}",
+        passive.cost_usd
+    );
     assert!(
         programmable.cost_usd > 10.0 * hybrid.cost_usd / 2.0,
         "programmable dear: ${:.0} vs hybrid ${:.0}",

@@ -53,7 +53,10 @@ impl std::fmt::Display for DesignError {
         match self {
             DesignError::NoCandidate { why } => write!(f, "no candidate design: {why}"),
             DesignError::OverBudget { model, cost_usd } => {
-                write!(f, "best candidate {model} costs ${cost_usd:.0}, over budget")
+                write!(
+                    f,
+                    "best candidate {model} costs ${cost_usd:.0}, over budget"
+                )
             }
         }
     }
@@ -79,11 +82,7 @@ fn matches_static(spec: &HardwareSpec, req: &DesignRequirements) -> bool {
 pub fn retarget_band(template: &HardwareSpec, band: Band) -> HardwareSpec {
     let scale = band.wavelength_m() / template.band.wavelength_m();
     let mut spec = template.clone();
-    spec.model = format!(
-        "{}@{:.1}GHz",
-        template.model,
-        band.center_hz / 1e9
-    );
+    spec.model = format!("{}@{:.1}GHz", template.model, band.center_hz / 1e9);
     spec.band = band;
     spec.pitch_m = template.pitch_m * scale;
     debug_assert_eq!(spec.validate(), Ok(()));
@@ -117,10 +116,8 @@ pub fn select_design(
     database: &[HardwareSpec],
     req: &DesignRequirements,
 ) -> Result<HardwareSpec, DesignError> {
-    let candidates: Vec<&HardwareSpec> = database
-        .iter()
-        .filter(|s| matches_static(s, req))
-        .collect();
+    let candidates: Vec<&HardwareSpec> =
+        database.iter().filter(|s| matches_static(s, req)).collect();
     if candidates.is_empty() {
         return Err(DesignError::NoCandidate {
             why: format!(
@@ -276,7 +273,10 @@ mod tests {
         let spec = select_design(&all_designs(), &req(NamedBand::MmWave28GHz.band())).unwrap();
         assert!(spec.model.contains("@28.0GHz"), "{}", spec.model);
         assert!(spec.band.contains(28.0e9));
-        assert!(spec.pitch_m < spec.band.wavelength_m(), "sub-wavelength pitch");
+        assert!(
+            spec.pitch_m < spec.band.wavelength_m(),
+            "sub-wavelength pitch"
+        );
         assert_eq!(spec.validate(), Ok(()));
     }
 
@@ -302,7 +302,10 @@ mod tests {
         let mut r = req(NamedBand::MmWave28GHz.band());
         r.needs_reconfiguration = true;
         let candidates = candidate_designs(&all_designs(), &r);
-        assert!(candidates.len() >= 3, "several reconfigurable reflective phase designs");
+        assert!(
+            candidates.len() >= 3,
+            "several reconfigurable reflective phase designs"
+        );
         // Costs non-decreasing within the retargeted block (all are
         // retargeted here: nothing covers 28 GHz natively).
         for w in candidates.windows(2) {
@@ -318,8 +321,8 @@ mod tests {
     fn datasheet_roundtrips_for_every_table1_design() {
         for spec in all_designs() {
             let sheet = write_datasheet(&spec);
-            let parsed = parse_datasheet(&sheet)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{sheet}", spec.model));
+            let parsed =
+                parse_datasheet(&sheet).unwrap_or_else(|e| panic!("{}: {e}\n{sheet}", spec.model));
             assert_eq!(parsed.model, spec.model);
             assert_eq!(parsed.rows, spec.rows);
             assert_eq!(parsed.cols, spec.cols);

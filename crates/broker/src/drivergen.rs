@@ -62,9 +62,7 @@ fn err(line: usize, what: impl Into<String>) -> ParseError {
 /// (`"28 GHz"` → 28e9, `"5.3 mm"` → 0.0053, `"150 us"` → 150e-6 s…).
 fn parse_quantity(s: &str, line: usize) -> Result<f64, ParseError> {
     let s = s.trim();
-    let split = s
-        .find(|c: char| c.is_ascii_alphabetic())
-        .unwrap_or(s.len());
+    let split = s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len());
     let (num, unit) = s.split_at(split);
     let value: f64 = num
         .trim()
@@ -174,29 +172,29 @@ pub fn parse_datasheet(text: &str) -> Result<HardwareSpec, ParseError> {
                 let (r, c) = value
                     .split_once(['x', 'X', '×'])
                     .ok_or_else(|| err(line_no, "elements needs `ROWS x COLS`"))?;
-                let rows = r.trim().parse::<usize>().map_err(|_| err(line_no, "bad rows"))?;
-                let cols = c.trim().parse::<usize>().map_err(|_| err(line_no, "bad cols"))?;
+                let rows = r
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| err(line_no, "bad rows"))?;
+                let cols = c
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| err(line_no, "bad cols"))?;
                 rows_cols = Some((rows, cols));
             }
             "pitch" => pitch = Some(parse_quantity(value, line_no)?),
             "efficiency" => {
-                efficiency = value
-                    .parse()
-                    .map_err(|_| err(line_no, "bad efficiency"))?
+                efficiency = value.parse().map_err(|_| err(line_no, "bad efficiency"))?
             }
             "control-delay" => {
-                if value.eq_ignore_ascii_case("none")
-                    || value.eq_ignore_ascii_case("infinite")
-                {
+                if value.eq_ignore_ascii_case("none") || value.eq_ignore_ascii_case("infinite") {
                     passive = true;
                 } else {
                     let seconds = parse_quantity(value, line_no)?;
                     control_delay_us = Some((seconds * 1e6).round() as u64);
                 }
             }
-            "slots" => {
-                slots = value.parse().map_err(|_| err(line_no, "bad slot count"))?
-            }
+            "slots" => slots = value.parse().map_err(|_| err(line_no, "bad slot count"))?,
             "cost-per-element" => cost_per_element = parse_quantity(value, line_no)?,
             "base-cost" => base_cost = parse_quantity(value, line_no)?,
             "power" => power_mw = parse_quantity(value, line_no)?,
@@ -227,7 +225,11 @@ pub fn parse_datasheet(text: &str) -> Result<HardwareSpec, ParseError> {
         cols,
         pitch_m,
         efficiency,
-        control_delay_us: if passive { None } else { control_delay_us.or(Some(1000)) },
+        control_delay_us: if passive {
+            None
+        } else {
+            control_delay_us.or(Some(1000))
+        },
         config_slots: if passive { 1 } else { slots },
         cost_per_element_usd: cost_per_element,
         base_cost_usd: base_cost,

@@ -162,15 +162,21 @@ mod tests {
         // "I want to start VR gaming in this room." →
         // enhance_link("VR_headset", …) + enable_sensing(room, tracking) +
         // optimize_coverage(room, 25) — the paper's first example.
-        let reqs = RuleBasedTranslator
-            .translate("I want to start VR gaming in this room.", &context());
+        let reqs =
+            RuleBasedTranslator.translate("I want to start VR gaming in this room.", &context());
         let kinds: Vec<ServiceKind> = reqs.iter().map(|r| r.kind).collect();
         assert!(kinds.contains(&ServiceKind::Connectivity));
         assert!(kinds.contains(&ServiceKind::Sensing));
         assert!(kinds.contains(&ServiceKind::Coverage));
-        let link = reqs.iter().find(|r| r.kind == ServiceKind::Connectivity).unwrap();
+        let link = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Connectivity)
+            .unwrap();
         assert_eq!(link.subject, "VR_headset");
-        let cov = reqs.iter().find(|r| r.kind == ServiceKind::Coverage).unwrap();
+        let cov = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Coverage)
+            .unwrap();
         assert_eq!(cov.subject, "room_id");
     }
 
@@ -206,7 +212,10 @@ mod tests {
             &context(),
         );
         assert!(reqs.iter().any(|r| r.kind == ServiceKind::Security));
-        let link = reqs.iter().find(|r| r.kind == ServiceKind::Connectivity).unwrap();
+        let link = reqs
+            .iter()
+            .find(|r| r.kind == ServiceKind::Connectivity)
+            .unwrap();
         assert_eq!(link.subject, "laptop");
     }
 

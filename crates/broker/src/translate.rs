@@ -35,8 +35,7 @@ fn fade_margin_db(latency_ms: f64) -> f64 {
 pub fn required_link_snr_db(throughput_mbps: f64, bandwidth_hz: f64, latency_ms: f64) -> f64 {
     assert!(throughput_mbps >= 0.0, "throughput must be non-negative");
     let phy_rate_bps = throughput_mbps * 1e6 / PROTOCOL_EFFICIENCY;
-    (required_snr_db(phy_rate_bps, bandwidth_hz) + fade_margin_db(latency_ms))
-        .max(MIN_LINK_SNR_DB)
+    (required_snr_db(phy_rate_bps, bandwidth_hz) + fade_margin_db(latency_ms)).max(MIN_LINK_SNR_DB)
 }
 
 /// Translates an application demand into surface service requests, for a
@@ -61,7 +60,10 @@ pub fn translate_demand(demand: &AppDemand, bandwidth_hz: f64) -> Vec<ServiceReq
         requests.push(ServiceRequest::protect_link(demand.room.clone(), -85.0));
     }
     if let Some(duration) = demand.needs_powering {
-        requests.push(ServiceRequest::init_powering(demand.device.clone(), duration));
+        requests.push(ServiceRequest::init_powering(
+            demand.device.clone(),
+            duration,
+        ));
     }
     requests
 }
@@ -122,8 +124,7 @@ mod tests {
 
     #[test]
     fn powering_request_appended() {
-        let d = AppDemand::preset(AppClass::OnlineMeeting, "phone", "office")
-            .with_powering(3600.0);
+        let d = AppDemand::preset(AppClass::OnlineMeeting, "phone", "office").with_powering(3600.0);
         let reqs = translate_demand(&d, BW);
         let p = reqs
             .iter()

@@ -181,9 +181,50 @@ mod tests {
         sim.surface_mut(idx).set_phases(&phases);
         let d = diagnose_link(&sim, &ap, &rx);
         let loss = d.loss_without("surface:wall0");
-        assert!(loss > 15.0, "serving surface must carry the link: {loss:.1} dB");
+        assert!(
+            loss > 15.0,
+            "serving surface must carry the link: {loss:.1} dB"
+        );
         // Removing a mechanism that doesn't exist changes nothing.
         assert!(d.loss_without("surface:ghost").abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_surface_is_pinpointed() {
+        // A link served by a focused surface degrades when that surface's
+        // hardware fails (efficiency → 0, e.g. a dead control board). The
+        // diagnosis must attribute the collapse to that mechanism: its
+        // contribution disappears, the counterfactual loss it used to
+        // carry vanishes, and it is no longer dominant.
+        let (mut sim, ap, rx, idx) = setup();
+        let lin = sim.linearize(&ap, &rx);
+        let term = lin.linear.iter().find(|t| t.surface == idx).unwrap();
+        let phases: Vec<f64> = term.coeffs.iter().map(|c| -c.arg()).collect();
+        sim.surface_mut(idx).set_phases(&phases);
+        let healthy = diagnose_link(&sim, &ap, &rx);
+        assert_eq!(healthy.dominant(), "surface:wall0");
+        let carried = healthy.loss_without("surface:wall0");
+
+        sim.surface_mut(idx).efficiency = 0.0;
+        let degraded = diagnose_link(&sim, &ap, &rx);
+        assert!(
+            degraded.total_db < healthy.total_db - 10.0,
+            "dead surface must cost the link double digits: {:.1} -> {:.1} dB",
+            healthy.total_db,
+            degraded.total_db
+        );
+        let surf = degraded
+            .contributions
+            .iter()
+            .find(|c| c.mechanism == "surface:wall0")
+            .expect("mechanism still listed");
+        assert!(surf.field.abs() < 1e-12, "dead surface still radiating");
+        assert!(
+            degraded.loss_without("surface:wall0").abs() < 1e-9,
+            "a dead mechanism carries nothing"
+        );
+        assert!(carried > 10.0);
+        assert_ne!(degraded.dominant(), "surface:wall0");
     }
 
     #[test]

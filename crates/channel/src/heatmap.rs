@@ -107,13 +107,21 @@ impl Heatmap {
         const RAMP: &[u8] = b" .:-=+*#%@";
         let (lo, hi) = (self.min(), self.max());
         let span = (hi - lo).max(1e-12);
-        let min_x = self.points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let min_x = self
+            .points
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::INFINITY, f64::min);
         let max_x = self
             .points
             .iter()
             .map(|p| p.x)
             .fold(f64::NEG_INFINITY, f64::max);
-        let min_y = self.points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+        let min_y = self
+            .points
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::INFINITY, f64::min);
         let max_y = self
             .points
             .iter()
@@ -122,10 +130,10 @@ impl Heatmap {
         let mut sums = vec![0.0f64; cols * rows];
         let mut counts = vec![0usize; cols * rows];
         for (p, v) in self.points.iter().zip(&self.values) {
-            let cx = (((p.x - min_x) / (max_x - min_x).max(1e-12)) * (cols - 1) as f64).round()
-                as usize;
-            let cy = (((p.y - min_y) / (max_y - min_y).max(1e-12)) * (rows - 1) as f64).round()
-                as usize;
+            let cx =
+                (((p.x - min_x) / (max_x - min_x).max(1e-12)) * (cols - 1) as f64).round() as usize;
+            let cy =
+                (((p.y - min_y) / (max_y - min_y).max(1e-12)) * (rows - 1) as f64).round() as usize;
             sums[cy * cols + cx] += v;
             counts[cy * cols + cx] += 1;
         }
@@ -154,9 +162,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn map(values: Vec<f64>) -> Heatmap {
-        let points = (0..values.len())
-            .map(|i| Vec3::xy(i as f64, 0.0))
-            .collect();
+        let points = (0..values.len()).map(|i| Vec3::xy(i as f64, 0.0)).collect();
         Heatmap::new(points, values)
     }
 

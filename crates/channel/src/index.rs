@@ -98,7 +98,11 @@ impl SceneIndex {
     /// fall back to computing positions directly. The positions are exactly
     /// what [`SurfaceInstance::element_world_position`] returns, bit for
     /// bit.
-    pub(crate) fn element_positions(&self, index: usize, surface: &SurfaceInstance) -> Option<&[Vec3]> {
+    pub(crate) fn element_positions(
+        &self,
+        index: usize,
+        surface: &SurfaceInstance,
+    ) -> Option<&[Vec3]> {
         let cached = self.elements.get(index)?;
         (cached.positions.len() == surface.len() && cached.pose == surface.pose)
             .then_some(cached.positions.as_slice())

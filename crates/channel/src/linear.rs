@@ -52,11 +52,7 @@ pub struct Linearization {
 
 fn dot(coeffs: &[Complex], response: &[Complex]) -> Complex {
     debug_assert_eq!(coeffs.len(), response.len());
-    coeffs
-        .iter()
-        .zip(response)
-        .map(|(c, r)| *c * *r)
-        .sum()
+    coeffs.iter().zip(response).map(|(c, r)| *c * *r).sum()
 }
 
 impl Linearization {

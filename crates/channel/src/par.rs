@@ -66,9 +66,11 @@ where
     F: Fn(&mut S, &T) -> U + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
+        surfos_obs::observe("channel.par.threads", 1);
         let mut state = init();
         return items.iter().map(|item| f(&mut state, item)).collect();
     }
+    surfos_obs::observe("channel.par.threads", threads as u64);
     let chunk_len = items.len().div_ceil(threads);
     let init = &init;
     let f = &f;

@@ -132,9 +132,7 @@ impl<'a> Medium<'a> {
         let surfaces: f64 = self
             .obstructing
             .iter()
-            .filter(|(s, aabb)| {
-                aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
-            })
+            .filter(|(s, aabb)| aabb.intersects_segment(from, to) && s.intersects_segment(from, to))
             .map(|(s, _)| s.obstruction_amplitude)
             .product();
         walls * blockers * surfaces
@@ -169,9 +167,7 @@ impl<'a> Medium<'a> {
         let surface_obstruction = self
             .obstructing
             .iter()
-            .filter(|(s, aabb)| {
-                aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
-            })
+            .filter(|(s, aabb)| aabb.intersects_segment(from, to) && s.intersects_segment(from, to))
             .map(|(s, _)| s.obstruction_amplitude)
             .product();
         SegmentTrace::new(wall_materials, blocker_materials, surface_obstruction)
@@ -222,8 +218,7 @@ pub fn trace_wall_bounces(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Vec<
         let Some(refl) = specular_reflection(tx.position(), rx.position(), wall) else {
             continue;
         };
-        let pat =
-            tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point);
+        let pat = tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point);
         let pol = (tx.polarization_rad - rx.polarization_rad).cos();
         // Leg attenuation; the bounce wall itself is excluded because the
         // specular point lies on it (segment-endpoint margin).
@@ -283,8 +278,7 @@ pub fn trace_surface(
     use surfos_em::antenna::Pattern;
     let th_in = surface.pose.off_boresight_angle(tx.position());
     let th_out = surface.pose.off_boresight_angle(rx.position());
-    let elem_pat =
-        surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
+    let elem_pat = surface.pattern.amplitude_gain(th_in) * surface.pattern.amplitude_gain(th_out);
     let leg = |p: Vec3| ElementLeg {
         d1: tx.position().distance(p),
         d2: p.distance(rx.position()),
@@ -419,8 +413,7 @@ pub fn cascade_coeffs(
     first: &SurfaceInstance,
     second: &SurfaceInstance,
 ) -> Option<(Vec<Complex>, Vec<Complex>)> {
-    trace_cascade(medium, tx, rx, first, second, usize::MAX, usize::MAX)?
-        .coeffs_at(&medium.band)
+    trace_cascade(medium, tx, rx, first, second, usize::MAX, usize::MAX)?.coeffs_at(&medium.band)
 }
 
 /// Builds the bilinear term for an ordered surface pair, with indices.
@@ -468,9 +461,7 @@ pub fn trace_channel(
                 if i == j {
                     continue;
                 }
-                if let Some(t) =
-                    trace_cascade(medium, tx, rx, &surfaces[i], &surfaces[j], i, j)
-                {
+                if let Some(t) = trace_cascade(medium, tx, rx, &surfaces[i], &surfaces[j], i, j) {
                     out.push(t);
                 }
             }
@@ -529,8 +520,7 @@ mod tests {
         let rx = iso_endpoint("rx", Vec3::new(5.0, 0.0, 1.0));
         let g = direct_gain(&m, &tx, &rx).abs();
         let clear = friis_amplitude(5.0, m.lambda()).abs();
-        let expect = clear
-            * Material::Concrete.transmission_amplitude(&m.band);
+        let expect = clear * Material::Concrete.transmission_amplitude(&m.band);
         assert!((g - expect).abs() < 1e-15);
         assert!(g < clear / 100.0);
     }
@@ -583,7 +573,12 @@ mod tests {
     fn reflective_surface_gates_sides() {
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
-        let s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let s = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
         let front_a = iso_endpoint("a", Vec3::new(3.0, 1.0, 1.5));
         let front_b = iso_endpoint("b", Vec3::new(3.0, -1.0, 1.5));
         let behind = iso_endpoint("c", Vec3::new(-3.0, 0.0, 1.5));
@@ -613,7 +608,12 @@ mod tests {
         // Program conjugate phases and check coherent combining.
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
-        let mut s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 16, OperationMode::Reflective);
+        let mut s = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            16,
+            OperationMode::Reflective,
+        );
         // Receiver far from the specular direction of the transmitter in
         // both aperture axes (different bearing *and* height), so the
         // identity (mirror) response cannot combine coherently.
@@ -626,13 +626,7 @@ mod tests {
 
         // Focused: cancel each coefficient's phase.
         let focused: f64 = term.coeffs.iter().map(|c| c.abs()).sum();
-        s.set_phases(
-            &term
-                .coeffs
-                .iter()
-                .map(|c| -c.arg())
-                .collect::<Vec<_>>(),
-        );
+        s.set_phases(&term.coeffs.iter().map(|c| -c.arg()).collect::<Vec<_>>());
         let check: Complex = term
             .coeffs
             .iter()
@@ -663,7 +657,12 @@ mod tests {
             ));
         }
         let m = medium_free(&plan);
-        let s = test_surface(Vec3::new(3.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let s = test_surface(
+            Vec3::new(3.0, 0.0, 1.5),
+            -Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
         let tx = iso_endpoint("tx", Vec3::new(0.0, 1.0, 1.5));
         let rx = iso_endpoint("rx", Vec3::new(0.0, -1.0, 1.5));
         assert!(surface_coeffs(&m, &tx, &rx, &s).is_none());
@@ -693,7 +692,12 @@ mod tests {
         // a surface that rotates polarization by 90° restores coupling.
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
-        let mut s = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
+        let mut s = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
         let tx = iso_endpoint("tx", Vec3::new(3.0, 2.0, 1.5));
         let mut rx = iso_endpoint("rx", Vec3::new(3.0, -2.0, 1.5));
         rx.polarization_rad = std::f64::consts::FRAC_PI_2;
@@ -717,10 +721,20 @@ mod tests {
         // detuned, and re-tunable.
         let plan = FloorPlan::new();
         let m = medium_free(&plan); // 28 GHz
-        let s_resonant = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective)
-            .with_resonance(28.0e9, 0.1);
-        let s_detuned = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective)
-            .with_resonance(5.25e9, 0.1);
+        let s_resonant = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        )
+        .with_resonance(28.0e9, 0.1);
+        let s_detuned = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        )
+        .with_resonance(5.25e9, 0.1);
         let tx = iso_endpoint("tx", Vec3::new(3.0, 2.0, 1.5));
         let rx = iso_endpoint("rx", Vec3::new(3.0, -2.0, 1.5));
         let strong: f64 = surface_coeffs(&m, &tx, &rx, &s_resonant)
@@ -741,8 +755,18 @@ mod tests {
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
         // tx — s1 bounces to s2 — rx, all in front of the right faces.
-        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
-        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let s1 = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
+        let s2 = test_surface(
+            Vec3::new(6.0, 0.0, 1.5),
+            -Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
         let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
         let rx = iso_endpoint("rx", Vec3::new(4.0, -2.0, 1.5));
         let (alpha, beta) = cascade_coeffs(&m, &tx, &rx, &s1, &s2).expect("cascade");
@@ -755,8 +779,18 @@ mod tests {
     fn cascade_gated_when_second_cannot_reach_rx() {
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
-        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective);
-        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 4, OperationMode::Reflective);
+        let s1 = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            4,
+            OperationMode::Reflective,
+        );
+        let s2 = test_surface(
+            Vec3::new(6.0, 0.0, 1.5),
+            -Vec3::X,
+            4,
+            OperationMode::Reflective,
+        );
         let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
         let rx_behind_s2 = iso_endpoint("rx", Vec3::new(9.0, 0.0, 1.5));
         assert!(cascade_coeffs(&m, &tx, &rx_behind_s2, &s1, &s2).is_none());
@@ -768,8 +802,18 @@ mod tests {
         // weaker (per unit response) than one bounce off the first.
         let plan = FloorPlan::new();
         let m = medium_free(&plan);
-        let s1 = test_surface(Vec3::new(0.0, 0.0, 1.5), Vec3::X, 8, OperationMode::Reflective);
-        let s2 = test_surface(Vec3::new(6.0, 0.0, 1.5), -Vec3::X, 8, OperationMode::Reflective);
+        let s1 = test_surface(
+            Vec3::new(0.0, 0.0, 1.5),
+            Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
+        let s2 = test_surface(
+            Vec3::new(6.0, 0.0, 1.5),
+            -Vec3::X,
+            8,
+            OperationMode::Reflective,
+        );
         let tx = iso_endpoint("tx", Vec3::new(2.0, 2.0, 1.5));
         let rx = iso_endpoint("rx", Vec3::new(4.0, -2.0, 1.5));
         let single = surface_coeffs(&m, &tx, &rx, &s1).unwrap();
@@ -784,10 +828,19 @@ mod tests {
     fn medium_prefilters_transparent_surfaces() {
         let plan = FloorPlan::new();
         let band = NamedBand::MmWave28GHz.band();
-        let transparent =
-            test_surface(Vec3::new(3.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective);
-        let opaque = test_surface(Vec3::new(4.0, 0.0, 1.5), Vec3::X, 4, OperationMode::Reflective)
-            .with_obstruction(0.5);
+        let transparent = test_surface(
+            Vec3::new(3.0, 0.0, 1.5),
+            Vec3::X,
+            4,
+            OperationMode::Reflective,
+        );
+        let opaque = test_surface(
+            Vec3::new(4.0, 0.0, 1.5),
+            Vec3::X,
+            4,
+            OperationMode::Reflective,
+        )
+        .with_obstruction(0.5);
         let surfaces = [transparent, opaque];
         let m = Medium::new(&plan, &[], &surfaces, band);
         assert_eq!(m.obstructing.len(), 1);
@@ -795,7 +848,10 @@ mod tests {
         // And the obstruction still bites on a crossing segment (the
         // transparent surface is crossed too, but contributes nothing).
         let t = m.transmission(Vec3::new(0.0, 0.0, 1.5), Vec3::new(8.0, 0.0, 1.5));
-        assert!((t - 0.5).abs() < 1e-12, "one opaque crossing expected, t={t}");
+        assert!(
+            (t - 0.5).abs() < 1e-12,
+            "one opaque crossing expected, t={t}"
+        );
     }
 
     #[test]
@@ -810,7 +866,11 @@ mod tests {
         let blockers = [Blocker::person(Vec3::xy(3.0, 0.0))];
         let from = Vec3::new(0.0, 0.0, 1.2);
         let to = Vec3::new(6.0, 0.0, 1.2);
-        for named in [NamedBand::Ism2_4GHz, NamedBand::WiFi5GHz, NamedBand::MmWave60GHz] {
+        for named in [
+            NamedBand::Ism2_4GHz,
+            NamedBand::WiFi5GHz,
+            NamedBand::MmWave60GHz,
+        ] {
             let band = named.band();
             let m = Medium::new(&plan, &blockers, &[], band);
             let trace = m.trace_segment(from, to);

@@ -72,6 +72,28 @@ struct LinCache {
     /// Monotonic use counter; bumped on every hit and insert.
     tick: u64,
     map: HashMap<(u64, u64), (u64, Arc<Linearization>)>,
+    /// Lifetime accounting (survives epoch invalidations; reset on clone).
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Lifetime statistics of one simulator's linearization cache. Hits, misses
+/// and evictions accumulate across geometry epochs (an epoch bump empties
+/// the cache, it does not forget the history); `len` is the current entry
+/// count. Cloning a [`ChannelSim`] starts the clone's stats at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to ray-trace (including the first after an epoch
+    /// bump).
+    pub misses: u64,
+    /// Entries dropped by LRU eviction at the capacity bound (epoch
+    /// invalidations are not evictions).
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
 }
 
 /// Capacity bound on the linearization cache. A cache this large means the
@@ -314,23 +336,30 @@ impl ChannelSim {
         // Build outside the lock; the stamp cannot change underneath us
         // (mutation needs `&mut self`). Concurrent misses may duplicate the
         // build but never block each other on it.
-        let built = Arc::new(SceneIndex::build(&self.plan, &self.blockers, &self.surfaces));
+        surfos_obs::add("channel.index.builds", 1);
+        let built = Arc::new(SceneIndex::build(
+            &self.plan,
+            &self.blockers,
+            &self.surfaces,
+        ));
         let mut ix = self.index.lock().unwrap();
-        if ix.stamp != stamp || ix.index.is_none() {
-            ix.stamp = stamp;
-            ix.index = Some(Arc::clone(&built));
-            built
-        } else {
-            // Another thread won the race; share its index so `Arc::ptr_eq`
-            // holds across the whole epoch.
-            Arc::clone(ix.index.as_ref().unwrap())
+        if ix.stamp == stamp {
+            if let Some(existing) = &ix.index {
+                // Another thread won the race; share its index so
+                // `Arc::ptr_eq` holds across the whole epoch.
+                return Arc::clone(existing);
+            }
         }
+        ix.stamp = stamp;
+        ix.index = Some(Arc::clone(&built));
+        built
     }
 
     /// [`ChannelSim::trace`] through an already-resolved scene index. The
     /// batch APIs hoist [`ChannelSim::scene_index`] out of their loops and
     /// fan out through this.
     fn trace_with(&self, index: &SceneIndex, tx: &Endpoint, rx: &Endpoint) -> ChannelTrace {
+        surfos_obs::add("channel.traces", 1);
         let medium =
             Medium::with_index(&self.plan, &self.blockers, &self.surfaces, self.band, index);
         paths::trace_channel(
@@ -355,6 +384,7 @@ impl ChannelSim {
     /// Builds the linearized channel for a link: one fresh trace, evaluated
     /// at the simulator's band.
     pub fn linearize(&self, tx: &Endpoint, rx: &Endpoint) -> Linearization {
+        let _span = surfos_obs::span!("channel.linearize");
         self.trace(tx, rx).linearize_at(&self.band)
     }
 
@@ -364,6 +394,10 @@ impl ChannelSim {
     /// input order and every element is bit-identical to
     /// [`ChannelSim::linearize`] on the same pair.
     pub fn linearize_batch(&self, pairs: &[(&Endpoint, &Endpoint)]) -> Vec<Linearization> {
+        // The span wraps the fan-out on the caller thread, so it nests
+        // under whatever the caller has open (e.g. `kernel.step`).
+        let _span = surfos_obs::span!("channel.linearize");
+        surfos_obs::observe("channel.batch.width", pairs.len() as u64);
         let index = self.scene_index();
         par::par_map(pairs, |(tx, rx)| {
             self.trace_with(&index, tx, rx).linearize_at(&self.band)
@@ -381,6 +415,8 @@ impl ChannelSim {
         points: &[Vec3],
         rx_template: &Endpoint,
     ) -> Vec<Linearization> {
+        let _span = surfos_obs::span!("channel.linearize");
+        surfos_obs::observe("channel.batch.width", points.len() as u64);
         let index = self.scene_index();
         par::par_map_with(
             points,
@@ -404,14 +440,22 @@ impl ChannelSim {
             if cache.stamp != stamp {
                 cache.map.clear();
                 cache.stamp = stamp;
+                cache.misses += 1;
             } else if cache.map.contains_key(&key) {
                 cache.tick += 1;
+                cache.hits += 1;
                 let tick = cache.tick;
                 let (used, lin) = cache.map.get_mut(&key).unwrap();
                 *used = tick;
-                return Arc::clone(lin);
+                let lin = Arc::clone(lin);
+                drop(cache);
+                surfos_obs::add("channel.lincache.hits", 1);
+                return lin;
+            } else {
+                cache.misses += 1;
             }
         }
+        surfos_obs::add("channel.lincache.misses", 1);
         // Trace outside the lock; concurrent misses may duplicate work but
         // never block each other on ray tracing.
         let lin = Arc::new(self.linearize(tx, rx));
@@ -424,13 +468,29 @@ impl ChannelSim {
                 let mut ticks: Vec<u64> = cache.map.values().map(|(t, _)| *t).collect();
                 ticks.sort_unstable();
                 let threshold = ticks[ticks.len() / 8];
+                let before = cache.map.len();
                 cache.map.retain(|_, (t, _)| *t > threshold);
+                let evicted = (before - cache.map.len()) as u64;
+                cache.evictions += evicted;
+                surfos_obs::add("channel.lincache.evictions", evicted);
             }
             cache.tick += 1;
             let tick = cache.tick;
             cache.map.insert(key, (tick, Arc::clone(&lin)));
         }
         lin
+    }
+
+    /// Lifetime hit/miss/eviction statistics of the linearization cache,
+    /// plus its current size. See [`CacheStats`].
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().unwrap();
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            len: cache.map.len(),
+        }
     }
 
     /// The per-surface response slices, in index order — the shape
@@ -441,7 +501,8 @@ impl ChannelSim {
 
     /// The complex channel gain with the surfaces' *current* responses.
     pub fn gain(&self, tx: &Endpoint, rx: &Endpoint) -> Complex {
-        self.cached_linearization(tx, rx).evaluate(&self.responses())
+        self.cached_linearization(tx, rx)
+            .evaluate(&self.responses())
     }
 
     /// Received signal strength in dBm with current responses.
@@ -470,6 +531,8 @@ impl ChannelSim {
     /// map is bit-identical to a serial sweep. Fresh traces bypass the
     /// linearization cache: a grid of one-shot probes would only thrash it.
     pub fn rss_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
+        let _span = surfos_obs::span!("channel.heatmap");
+        surfos_obs::observe("channel.batch.width", points.len() as u64);
         let responses = self.responses();
         let index = self.scene_index();
         let values = par::par_map_with(
@@ -551,8 +614,7 @@ impl ChannelSim {
 
     /// SNR heatmap over receive points.
     pub fn snr_heatmap(&self, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Heatmap {
-        let noise_dbm =
-            noise::noise_power_dbm(self.band.bandwidth_hz, rx_template.noise_figure_db);
+        let noise_dbm = noise::noise_power_dbm(self.band.bandwidth_hz, rx_template.noise_figure_db);
         let mut map = self.rss_heatmap(tx, points, rx_template);
         for v in &mut map.values {
             *v -= noise_dbm;
@@ -659,7 +721,10 @@ mod tests {
             after > before + 20.0,
             "focusing should add tens of dB: before={before:.1} after={after:.1}"
         );
-        assert!(after > 5.0, "focused bedroom link should be usable: {after:.1}");
+        assert!(
+            after > 5.0,
+            "focused bedroom link should be usable: {after:.1}"
+        );
     }
 
     #[test]
@@ -678,6 +743,31 @@ mod tests {
         let lin = sim.linearize(&ap, &rx);
         let g2 = lin.evaluate(&sim.responses());
         assert!((g1 - g2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_stats_account_across_epoch_bump() {
+        let (mut sim, ap) = apartment_sim();
+        let rx = iso_client("c", Vec3::new(3.0, 1.5, 1.2));
+        assert_eq!(sim.cache_stats(), CacheStats::default());
+
+        sim.link_budget(&ap, &rx); // cold: miss + insert
+        let s = sim.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (0, 1, 0, 1));
+
+        sim.link_budget(&ap, &rx); // warm
+        sim.gain(&ap, &rx); // warm (same pair, different query)
+        let s = sim.cache_stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 1, 1));
+
+        // An epoch bump empties the cache but keeps the lifetime history.
+        sim.invalidate_cache();
+        sim.link_budget(&ap, &rx); // cold again
+        let s = sim.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len), (2, 2, 0, 1));
+
+        sim.link_budget(&ap, &rx); // warm again
+        assert_eq!(sim.cache_stats().hits, 3);
     }
 
     #[test]
@@ -809,7 +899,10 @@ mod tests {
         // Transparent surfaces change nothing.
         sim.surface_mut(0).obstruction_amplitude = 1.0;
         let transparent = sim.rss_dbm(&tx, &rx);
-        assert!((transparent - clear).abs() < 0.75, "clear={clear:.1} transparent={transparent:.1}");
+        assert!(
+            (transparent - clear).abs() < 0.75,
+            "clear={clear:.1} transparent={transparent:.1}"
+        );
     }
 
     #[test]
@@ -821,8 +914,7 @@ mod tests {
         let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
         let pose = Pose::wall_mounted(Vec3::new(0.0, 0.0, 1.5), Vec3::X);
         let idx = sim.add_surface(
-            SurfaceInstance::new("s", pose, geom, OperationMode::Reflective)
-                .with_obstruction(0.01),
+            SurfaceInstance::new("s", pose, geom, OperationMode::Reflective).with_obstruction(0.01),
         );
         let tx = iso_client("tx", Vec3::new(3.0, 2.0, 1.5));
         let rx = iso_client("rx", Vec3::new(3.0, -2.0, 1.5));
@@ -858,9 +950,19 @@ mod tests {
         let mut sim = ChannelSim::new(scen.plan.clone(), band);
         let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
         let pose = *scen.anchor("bedroom-north").unwrap();
-        sim.add_surface(SurfaceInstance::new("s0", pose, geom, OperationMode::Reflective));
+        sim.add_surface(SurfaceInstance::new(
+            "s0",
+            pose,
+            geom,
+            OperationMode::Reflective,
+        ));
         let pose2 = Pose::wall_mounted(Vec3::new(4.9, 3.2, 1.5), Vec3::new(-1.0, 0.2, 0.0));
-        sim.add_surface(SurfaceInstance::new("s1", pose2, geom, OperationMode::Reflective));
+        sim.add_surface(SurfaceInstance::new(
+            "s1",
+            pose2,
+            geom,
+            OperationMode::Reflective,
+        ));
         sim.add_blocker(Blocker::person(Vec3::xy(2.0, 2.0)));
         let ap = Endpoint::access_point("ap0", scen.ap_pose);
         let rx = iso_client("c", Vec3::new(6.0, 1.0, 1.2));
@@ -940,7 +1042,10 @@ mod tests {
             Arc::ptr_eq(&first, &second),
             "second query must reuse the cached linearization"
         );
-        assert_eq!(sim.gain(&ap, &rx), sim.linearize(&ap, &rx).evaluate(&sim.responses()));
+        assert_eq!(
+            sim.gain(&ap, &rx),
+            sim.linearize(&ap, &rx).evaluate(&sim.responses())
+        );
     }
 
     #[test]
@@ -963,7 +1068,11 @@ mod tests {
         assert_eq!(after, sim.linearize(&ap, &rx).evaluate(&sim.responses()));
         sim.clear_blockers();
         sim.add_blocker(Blocker::person(Vec3::xy(2.0, 2.0)));
-        assert_eq!(before, sim.gain(&ap, &rx), "original blockers, original gain");
+        assert_eq!(
+            before,
+            sim.gain(&ap, &rx),
+            "original blockers, original gain"
+        );
     }
 
     #[test]

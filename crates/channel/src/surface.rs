@@ -288,7 +288,10 @@ mod tests {
     fn identity_response_by_default() {
         let s = surface();
         assert_eq!(s.len(), 16);
-        assert!(s.response().iter().all(|r| (*r - Complex::ONE).abs() < 1e-12));
+        assert!(s
+            .response()
+            .iter()
+            .all(|r| (*r - Complex::ONE).abs() < 1e-12));
     }
 
     #[test]

@@ -276,8 +276,7 @@ impl CascadeTrace {
                 Complex::from_polar(mag, phase) * (pat2 * self.g_rx)
             })
             .collect();
-        if alpha.iter().all(|c| c.abs() < COEFF_FLOOR)
-            || beta.iter().all(|c| c.abs() < COEFF_FLOOR)
+        if alpha.iter().all(|c| c.abs() < COEFF_FLOOR) || beta.iter().all(|c| c.abs() < COEFF_FLOOR)
         {
             return None;
         }
@@ -315,6 +314,7 @@ impl ChannelTrace {
     /// Evaluates the trace into a [`Linearization`] at `band`. Cheap:
     /// `O(total elements)`, no environment access.
     pub fn linearize_at(&self, band: &Band) -> Linearization {
+        surfos_obs::add("channel.rephasings", 1);
         let mut constant = match &self.direct {
             Some(d) => d.gain_at(band),
             None => Complex::ZERO,
@@ -356,11 +356,13 @@ impl ChannelTrace {
     /// deviation from point-wise evaluation at ~1e-11 relative.
     pub fn sweep_evaluate(&self, bands: &[Band], responses: &[&[Complex]]) -> Vec<Complex> {
         if bands.len() < 2 {
+            // `linearize_at` does the re-phasing accounting on this path.
             return bands
                 .iter()
                 .map(|b| self.linearize_at(b).evaluate(responses))
                 .collect();
         }
+        surfos_obs::add("channel.rephasings", bands.len() as u64);
         let tau = 2.0 * std::f64::consts::PI;
         let four_pi = 4.0 * std::f64::consts::PI;
         let lambda0 = bands[0].wavelength_m();
@@ -419,7 +421,10 @@ impl ChannelTrace {
                     .map(|(leg, r)| {
                         let mag = area_eff / (four_pi * leg.d1 * leg.d2);
                         let phase = -tau * (leg.d1 + leg.d2) / lambda0;
-                        Rot::new(Complex::from_polar(mag, phase) * *r, -dk * (leg.d1 + leg.d2))
+                        Rot::new(
+                            Complex::from_polar(mag, phase) * *r,
+                            -dk * (leg.d1 + leg.d2),
+                        )
                     })
                     .collect();
                 (s, elems)
@@ -495,8 +500,7 @@ impl ChannelTrace {
                     for (b, rot) in bounces.iter_mut() {
                         let mag = lambda / (four_pi * b.total_length);
                         let rho = b.material.reflection_amplitude(band);
-                        let trans =
-                            b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                        let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
                         total += rot.take() * (mag * rho * b.pat * b.pol * trans);
                     }
                     h += total;
@@ -537,11 +541,9 @@ impl ChannelTrace {
                         }
                         let a_scale =
                             c.pat1 * resonance_factor(c.res1, band.center_hz) * c.g_tx * trans;
-                        let b_scale = c.pat2
-                            * resonance_factor(c.res2, band.center_hz)
-                            * c.pol
-                            * c.g_rx
-                            / lambda;
+                        let b_scale =
+                            c.pat2 * resonance_factor(c.res2, band.center_hz) * c.pol * c.g_rx
+                                / lambda;
                         if cs.alpha_max_mag * a_scale.abs() < COEFF_FLOOR
                             || cs.beta_max_mag * b_scale.abs() < COEFF_FLOOR
                         {

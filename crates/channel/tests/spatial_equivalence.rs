@@ -61,8 +61,7 @@ fn build_sim(seed: u64, n_walls: usize, n_blockers: usize, n_surfaces: usize) ->
         let pos = Vec3::new(next() * 10.0, next() * 10.0, 1.0 + next() * 1.5);
         let ang = next() * std::f64::consts::TAU;
         let pose = Pose::wall_mounted(pos, Vec3::xy(ang.cos(), ang.sin()));
-        let mut surf =
-            SurfaceInstance::new(format!("s{s}"), pose, geom, OperationMode::Reflective);
+        let mut surf = SurfaceInstance::new(format!("s{s}"), pose, geom, OperationMode::Reflective);
         if s % 2 == 1 {
             surf = surf.with_obstruction(0.3 + next() * 0.6);
         }

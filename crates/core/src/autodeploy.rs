@@ -118,9 +118,9 @@ fn achieved_median(
             ..Default::default()
         },
     );
-    let realized: Vec<f64> = spec
-        .reconfigurability
-        .project_phases(&result.phases[0], spec.rows, spec.cols, bits);
+    let realized: Vec<f64> =
+        spec.reconfigurability
+            .project_phases(&result.phases[0], spec.rows, spec.cols, bits);
     sim.set_surface_phases(idx, &realized);
     let validation = CoverageObjective::new(&sim, &ap, goal.validation(), &probe);
     let responses: Vec<Vec<Complex>> = vec![sim.surfaces()[idx].response().to_vec()];

@@ -7,16 +7,51 @@
 //! cargo run --release -p surfos --bin surfosd -- deployment.surfos
 //! echo "help" | cargo run --release -p surfos --bin surfosd
 //! ```
+//!
+//! Observability flags (before the script path):
+//!
+//! - `--metrics-json PATH` — enable metrics collection and, on exit, write
+//!   the full observability snapshot (counters, gauges, histograms, span
+//!   timings, event journal) as JSON to `PATH` (`-` for stdout).
+//! - `--deterministic-metrics` — write the run-invariant projection
+//!   instead: wall-clock series (`*_ns`) are dropped, so two identical
+//!   runs produce byte-identical files (used by `run_experiments.sh` to
+//!   snapshot scenario metrics into `results/`).
 
 use std::io::{BufRead, Write};
 use surfos::shell::Shell;
 
 fn main() {
     let mut shell = Shell::new();
-    let args: Vec<String> = std::env::args().collect();
+    let mut metrics_json: Option<String> = None;
+    let mut deterministic = false;
+    let mut script_path: Option<String> = None;
 
-    if let Some(path) = args.get(1) {
-        let script = match std::fs::read_to_string(path) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-json" => match args.next() {
+                Some(path) => metrics_json = Some(path),
+                None => {
+                    eprintln!("surfosd: --metrics-json needs a path (or `-` for stdout)");
+                    std::process::exit(2);
+                }
+            },
+            "--deterministic-metrics" => deterministic = true,
+            other if other.starts_with("--") => {
+                eprintln!("surfosd: unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => script_path = Some(other.to_string()),
+        }
+    }
+
+    if metrics_json.is_some() {
+        surfos::obs::set_enabled(true);
+    }
+
+    if let Some(path) = script_path {
+        let script = match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("surfosd: cannot read {path}: {e}");
@@ -30,6 +65,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        write_metrics(metrics_json.as_deref(), deterministic);
         return;
     }
 
@@ -50,5 +86,23 @@ fn main() {
         }
         print!("surfosd> ");
         let _ = stdout.flush();
+    }
+    write_metrics(metrics_json.as_deref(), deterministic);
+}
+
+/// Dumps the observability snapshot if `--metrics-json` was given.
+fn write_metrics(path: Option<&str>, deterministic: bool) {
+    let Some(path) = path else { return };
+    let snap = surfos::obs::snapshot();
+    let json = if deterministic {
+        snap.deterministic_json()
+    } else {
+        snap.to_json()
+    };
+    if path == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(path, json + "\n") {
+        eprintln!("surfosd: cannot write metrics to {path}: {e}");
+        std::process::exit(1);
     }
 }

@@ -21,6 +21,7 @@
 
 use crate::telemetry::Telemetry;
 use surfos_broker::intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+use surfos_broker::monitor::ServiceMonitor;
 use surfos_channel::feedback::{FeedbackBus, FeedbackReport};
 use surfos_channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
 use surfos_em::array::ArrayGeometry;
@@ -29,7 +30,7 @@ use surfos_hw::spec::SurfaceMode;
 use surfos_hw::wire::{self, ConfigFrame};
 use surfos_hw::{DeviceRegistry, DriverError, Reconfigurability, SurfaceConfig, SurfaceDriver};
 use surfos_orchestrator::task::TaskId;
-use surfos_orchestrator::{Orchestrator, ServiceRequest};
+use surfos_orchestrator::{Orchestrator, ServiceGoal, ServiceRequest};
 
 /// Fractional resonance width of frequency-control surfaces (Scrolls-
 /// class): the Lorentzian half-width as a fraction of the centre.
@@ -66,6 +67,10 @@ pub struct SurfOS {
     /// reset its control delay — a config slower than the frame period
     /// would then never commit — so unchanged configs are skipped.
     last_pushed: std::collections::HashMap<(String, usize), u64>,
+    /// Per-task service health trackers, fed only while observability is
+    /// enabled (measuring every service each step costs channel
+    /// evaluations).
+    monitors: std::collections::HashMap<TaskId, ServiceMonitor>,
 }
 
 impl SurfOS {
@@ -81,6 +86,7 @@ impl SurfOS {
             user_room: None,
             known_devices: Vec::new(),
             last_pushed: std::collections::HashMap::new(),
+            monitors: std::collections::HashMap::new(),
         }
     }
 
@@ -114,8 +120,8 @@ impl SurfOS {
             SurfaceMode::Transmissive => OperationMode::Transmissive,
             SurfaceMode::Transflective => OperationMode::Transflective,
         };
-        let mut instance = SurfaceInstance::new(id.clone(), pose, geometry, mode)
-            .with_efficiency(spec.efficiency);
+        let mut instance =
+            SurfaceInstance::new(id.clone(), pose, geometry, mode).with_efficiency(spec.efficiency);
         // Frequency-control designs are resonant structures: their
         // scattering strength follows a Lorentzian around the (tunable)
         // resonance centre.
@@ -127,9 +133,7 @@ impl SurfOS {
         // Wire the hardware's granularity into the optimizer.
         self.orch.tying.groups.push(None);
         match spec.reconfigurability {
-            Reconfigurability::ColumnWise => {
-                self.orch.tying.tie_columns(idx, spec.rows, spec.cols)
-            }
+            Reconfigurability::ColumnWise => self.orch.tying.tie_columns(idx, spec.rows, spec.cols),
             Reconfigurability::RowWise => self.orch.tying.tie_rows(idx, spec.rows, spec.cols),
             Reconfigurability::ElementWise | Reconfigurability::Passive => {}
         }
@@ -185,34 +189,60 @@ impl SurfOS {
 
     /// One kernel heartbeat of `dt_ms` milliseconds.
     pub fn step(&mut self, dt_ms: u64) -> StepReport {
+        let _step_span = surfos_obs::span!("kernel.step");
         let mut report = StepReport::default();
         self.telemetry.steps += 1;
+        surfos_obs::add("kernel.steps", 1);
 
         // 1. Time & reaping.
         report.reaped = self.orch.tick(dt_ms);
         self.telemetry.tasks_reaped += report.reaped.len() as u64;
+        surfos_obs::add("kernel.tasks_reaped", report.reaped.len() as u64);
 
         // 2. Schedule.
-        let outcome = self.orch.schedule_frame();
+        let outcome = {
+            let _span = surfos_obs::span!("kernel.schedule");
+            self.orch.schedule_frame()
+        };
         report.rejected = outcome.rejected;
         self.telemetry.frames_scheduled += 1;
+        surfos_obs::add("kernel.frames_scheduled", 1);
 
         // 3. + 4. Optimize each occupied slot and push through drivers.
         let now: TimeMs = self.orch.now_ms();
         for slot in 0..self.orch.slots_per_frame {
-            if self.orch.optimize_slot(slot).is_none() {
+            let optimized = {
+                let _span = surfos_obs::span!("kernel.optimize");
+                self.orch.optimize_slot(slot)
+            };
+            if optimized.is_none() {
                 continue;
             }
             self.telemetry.optimizations += 1;
+            surfos_obs::add("kernel.optimizations", 1);
             report.optimized_slots.push(slot);
+            let _span = surfos_obs::span!("kernel.push");
             self.push_configs(slot, now, &mut report);
         }
 
         // Commit delayed writes.
-        self.telemetry.writes_committed += self.registry.tick_all(now) as u64;
+        {
+            let _span = surfos_obs::span!("kernel.commit");
+            let committed = self.registry.tick_all(now) as u64;
+            self.telemetry.writes_committed += committed;
+            surfos_obs::add("kernel.writes_committed", committed);
+        }
 
         // 5. Sync realized responses into the channel model.
-        self.sync_realized();
+        {
+            let _span = surfos_obs::span!("kernel.sync");
+            self.sync_realized();
+        }
+
+        // 6. Service health (observability only: no control decisions).
+        if surfos_obs::enabled() {
+            self.monitor_services();
+        }
         report
     }
 
@@ -220,10 +250,7 @@ impl SurfOS {
     /// configuration, through the wire format and the driver.
     fn push_configs(&mut self, slot: usize, now: TimeMs, report: &mut StepReport) {
         for (id, idx) in &self.bindings {
-            let phases: Vec<f64> = self
-                .orch
-                .sim
-                .surfaces()[*idx]
+            let phases: Vec<f64> = self.orch.sim.surfaces()[*idx]
                 .response()
                 .iter()
                 .map(|r| r.arg())
@@ -248,14 +275,20 @@ impl SurfOS {
                 h
             };
             if self.last_pushed.get(&(id.clone(), slot)) == Some(&hash) {
+                self.telemetry.configs_skipped += 1;
+                surfos_obs::add("kernel.configs_skipped", 1);
                 continue; // unchanged: leave any pending write to commit
             }
             self.last_pushed.insert((id.clone(), slot), hash);
             self.telemetry.wire_bytes += bytes.len() as u64;
+            surfos_obs::add("kernel.wire_bytes", bytes.len() as u64);
             match wire::decode(bytes) {
                 Ok((decoded, _, _)) => {
                     match driver.load_config(decoded.slot as usize, decoded.config, now) {
-                        Ok(()) => self.telemetry.configs_pushed += 1,
+                        Ok(()) => {
+                            self.telemetry.configs_pushed += 1;
+                            surfos_obs::add("kernel.configs_pushed", 1);
+                        }
                         Err(DriverError::AlreadyFabricated) => {} // frozen passive
                         Err(e) => report.push_errors.push((id.clone(), e)),
                     }
@@ -296,6 +329,52 @@ impl SurfOS {
                 }
             }
         }
+    }
+
+    /// Compares each live task's measured metric against its requested
+    /// target and journals health transitions (`broker.monitor` events).
+    /// Purely observational: the kernel makes no control decisions from
+    /// health, and skips the whole pass when observability is off.
+    fn monitor_services(&mut self) {
+        let _span = surfos_obs::span!("kernel.monitor");
+        let live: Vec<TaskId> = self
+            .orch
+            .tasks
+            .live_by_priority()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        self.monitors.retain(|id, _| live.contains(id));
+        for id in live {
+            let Some(task) = self.orch.tasks.get(id) else {
+                continue;
+            };
+            // (target, higher_is_better) per goal; localization has no
+            // channel-level metric to compare against.
+            let (target, higher_is_better) = match task.request.goal {
+                ServiceGoal::LinkQuality { min_snr_db, .. } => (min_snr_db, true),
+                ServiceGoal::AreaCoverage { median_snr_db } => (median_snr_db, true),
+                ServiceGoal::DeliveredPower { min_power_dbm } => (min_power_dbm, true),
+                ServiceGoal::Suppression { max_leak_dbm } => (max_leak_dbm, false),
+                ServiceGoal::LocalizationAccuracy { .. } => continue,
+            };
+            let label = format!(
+                "task#{id} {:?}({})",
+                task.request.kind, task.request.subject
+            );
+            let Some(metric) = self.orch.measure(id) else {
+                continue;
+            };
+            self.monitors
+                .entry(id)
+                .or_insert_with(|| ServiceMonitor::new(label, target, higher_is_better))
+                .observe(metric);
+        }
+    }
+
+    /// Current health of a monitored task, if observability has fed it.
+    pub fn service_health(&self, task: TaskId) -> Option<surfos_broker::monitor::Health> {
+        self.monitors.get(&task).map(|m| m.health())
     }
 
     /// The orchestrator (task table, slices, service API).
@@ -343,11 +422,7 @@ impl SurfOS {
     pub fn foreign_band_view(&self, band: surfos_em::band::Band) -> ChannelSim {
         let mut sim = ChannelSim::new(self.orch.sim.plan.clone(), band);
         for (id, idx) in &self.bindings {
-            let spec = self
-                .registry
-                .surface(id)
-                .expect("bound driver")
-                .spec();
+            let spec = self.registry.surface(id).expect("bound driver").spec();
             let source = &self.orch.sim.surfaces()[*idx];
             let obstruction = SurfaceInstance::new(
                 format!("{id}-offband"),
@@ -389,7 +464,11 @@ mod tests {
         let sim = ChannelSim::new(scen.plan.clone(), NamedBand::MmWave28GHz.band());
         let mut os = SurfOS::new(sim);
         let pose = *scen.anchor("bedroom-north").unwrap();
-        os.deploy_surface("wall0", Box::new(ProgrammableDriver::new(prog_spec())), pose);
+        os.deploy_surface(
+            "wall0",
+            Box::new(ProgrammableDriver::new(prog_spec())),
+            pose,
+        );
         let ap = Endpoint::access_point(
             "ap0",
             Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position),
@@ -409,10 +488,7 @@ mod tests {
         let surf = &os.sim().surfaces()[0];
         assert_eq!(surf.len(), 1024);
         // Initial physical state is the driver's realized (specular) one.
-        assert!(surf
-            .response()
-            .iter()
-            .all(|r| (r.abs() - 1.0).abs() < 1e-9));
+        assert!(surf.response().iter().all(|r| (r.abs() - 1.0).abs() < 1e-9));
     }
 
     #[test]
@@ -576,10 +652,7 @@ mod tests {
             });
         }
         os.sync_realized();
-        assert_eq!(
-            os.registry().surface("wall0").unwrap().active_slot(),
-            2
-        );
+        assert_eq!(os.registry().surface("wall0").unwrap().active_slot(), 2);
     }
 
     #[test]
@@ -603,7 +676,10 @@ mod tests {
         // A 2.4 GHz LAIA standing mid-path between a 3.5 GHz base station
         // and its user shows up as measurable attenuation in the foreign
         // band's view of the environment (§2.1).
-        let sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), NamedBand::Ism2_4GHz.band());
+        let sim = ChannelSim::new(
+            surfos_geometry::FloorPlan::new(),
+            NamedBand::Ism2_4GHz.band(),
+        );
         let mut os = SurfOS::new(sim);
         let pose = Pose::wall_mounted(Vec3::new(3.0, 0.0, 1.5), Vec3::X);
         os.deploy_surface(
@@ -619,8 +695,11 @@ mod tests {
         rx.pattern = surfos_em::antenna::ElementPattern::Isotropic;
         let obstructed = foreign.rss_dbm(&tx, &rx);
 
-        let clear = ChannelSim::new(surfos_geometry::FloorPlan::new(), NamedBand::Cellular3_5GHz.band())
-            .rss_dbm(&tx, &rx);
+        let clear = ChannelSim::new(
+            surfos_geometry::FloorPlan::new(),
+            NamedBand::Cellular3_5GHz.band(),
+        )
+        .rss_dbm(&tx, &rx);
         let loss = clear - obstructed;
         assert!(
             loss > 0.4,
@@ -630,9 +709,11 @@ mod tests {
         // Far off-band (60 GHz) the same structure is essentially
         // transparent.
         let far = os.foreign_band_view(NamedBand::MmWave60GHz.band());
-        let clear60 =
-            ChannelSim::new(surfos_geometry::FloorPlan::new(), NamedBand::MmWave60GHz.band())
-                .rss_dbm(&tx, &rx);
+        let clear60 = ChannelSim::new(
+            surfos_geometry::FloorPlan::new(),
+            NamedBand::MmWave60GHz.band(),
+        )
+        .rss_dbm(&tx, &rx);
         let loss60 = clear60 - far.rss_dbm(&tx, &rx);
         assert!(loss60 < 0.2, "60 GHz barely affected: {loss60:.2} dB");
     }
@@ -694,7 +775,8 @@ mod tests {
         os.deploy_surface("llama0", Box::new(ProgrammableDriver::new(spec)), pose);
         {
             let drv = os.registry_mut().surface_mut("llama0").unwrap();
-            drv.set_polarization(0, std::f64::consts::FRAC_PI_2, 0).unwrap();
+            drv.set_polarization(0, std::f64::consts::FRAC_PI_2, 0)
+                .unwrap();
             drv.tick(1_000_000);
         }
         os.sync_realized();

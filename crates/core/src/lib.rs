@@ -71,5 +71,6 @@ pub use surfos_channel as channel;
 pub use surfos_em as em;
 pub use surfos_geometry as geometry;
 pub use surfos_hw as hw;
+pub use surfos_obs as obs;
 pub use surfos_orchestrator as orchestrator;
 pub use surfos_sensing as sensing;

@@ -80,9 +80,9 @@ impl Shell {
     }
 
     fn scenario(&self) -> Result<&Scenario, ShellError> {
-        self.scenario
-            .as_ref()
-            .ok_or_else(|| self.err("no scenario loaded (use `scenario apartment|office|corridor`)"))
+        self.scenario.as_ref().ok_or_else(|| {
+            self.err("no scenario loaded (use `scenario apartment|office|corridor`)")
+        })
     }
 
     fn os_mut(&mut self) -> Result<&mut SurfOS, ShellError> {
@@ -198,7 +198,9 @@ impl Shell {
                 ))
             }
             "ap" => {
-                let id = *args.first().ok_or_else(|| self.err("ap <id> [aim <anchor>]"))?;
+                let id = *args
+                    .first()
+                    .ok_or_else(|| self.err("ap <id> [aim <anchor>]"))?;
                 let scen = self.scenario()?.clone();
                 let pose = if args.len() >= 3 && args[1] == "aim" {
                     let target = self.anchor_pose(args[2])?.position;
@@ -249,14 +251,18 @@ impl Shell {
             }
             "request" => {
                 let [kind, subject, value] = args[..] else {
-                    return Err(self.err("request <coverage|link|sensing|powering|protect> <subject> <value>"));
+                    return Err(self.err(
+                        "request <coverage|link|sensing|powering|protect> <subject> <value>",
+                    ));
                 };
                 let value = self.parse_f64(value, "value")?;
                 let req = match kind {
                     "coverage" => {
                         surfos_orchestrator::ServiceRequest::optimize_coverage(subject, value)
                     }
-                    "link" => surfos_orchestrator::ServiceRequest::enhance_link(subject, value, 50.0),
+                    "link" => {
+                        surfos_orchestrator::ServiceRequest::enhance_link(subject, value, 50.0)
+                    }
                     "sensing" => {
                         surfos_orchestrator::ServiceRequest::enable_sensing(subject, value)
                     }
@@ -467,6 +473,21 @@ impl Shell {
                 let os = self.os_mut()?;
                 Ok(os.telemetry().to_string())
             }
+            "metrics" => match args.first().copied() {
+                // Observability control + inspection: spans/counters are
+                // only collected between `metrics on` and `metrics off`.
+                Some("on") => {
+                    surfos_obs::set_enabled(true);
+                    Ok("metrics collection enabled".into())
+                }
+                Some("off") => {
+                    surfos_obs::set_enabled(false);
+                    Ok("metrics collection disabled".into())
+                }
+                Some("json") => Ok(surfos_obs::snapshot().to_json()),
+                None => Ok(surfos_obs::snapshot().render()),
+                Some(other) => Err(self.err(format!("metrics [on|off|json], not {other:?}"))),
+            },
             "tasks" => {
                 let os = self.os_mut()?;
                 let lines: Vec<String> = os
@@ -482,10 +503,12 @@ impl Shell {
                     lines.join("\n")
                 })
             }
-            "help" => Ok("commands: scenario band designs anchors deploy ap client tag say \
+            "help" => Ok(
+                "commands: scenario band designs anchors deploy ap client tag say \
                           request step measure budget diagnose heatmap crossband autodeploy \
-                          telemetry tasks help"
-                .into()),
+                          telemetry metrics tasks help"
+                    .into(),
+            ),
             other => Err(self.err(format!("unknown command {other:?} (try `help`)"))),
         }
     }
@@ -560,7 +583,9 @@ telemetry
     #[test]
     fn errors_identify_the_line() {
         let mut shell = Shell::new();
-        let err = shell.run_script("scenario apartment\nfrobnicate\n").unwrap_err();
+        let err = shell
+            .run_script("scenario apartment\nfrobnicate\n")
+            .unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.what.contains("frobnicate"));
     }
@@ -568,7 +593,9 @@ telemetry
     #[test]
     fn deploy_requires_scenario() {
         let mut shell = Shell::new();
-        let err = shell.execute("deploy a scattermimo bedroom-north").unwrap_err();
+        let err = shell
+            .execute("deploy a scattermimo bedroom-north")
+            .unwrap_err();
         assert!(err.what.contains("no scenario"));
     }
 
@@ -611,7 +638,11 @@ telemetry
         shell
             .run_script("scenario apartment\ndeploy wall0 scattermimo bedroom-north")
             .unwrap();
-        assert!(shell.execute("band 60ghz").unwrap_err().what.contains("before"));
+        assert!(shell
+            .execute("band 60ghz")
+            .unwrap_err()
+            .what
+            .contains("before"));
     }
 
     #[test]
@@ -639,6 +670,23 @@ client laptop 3.0 3.0 1.2",
             out.contains("deploy ") && out.contains("bedroom-north"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn metrics_command_toggles_and_renders() {
+        let mut shell = Shell::new();
+        assert!(shell.execute("metrics on").unwrap().contains("enabled"));
+        shell
+            .run_script(
+                "scenario apartment\ndeploy wall0 scattermimo bedroom-north\nap ap0\nclient laptop 6.5 1.5 1.2\nrequest coverage bedroom 25\nstep 10 1",
+            )
+            .unwrap();
+        let report = shell.execute("metrics").unwrap();
+        assert!(shell.execute("metrics off").unwrap().contains("disabled"));
+        assert!(report.contains("kernel.steps"), "{report}");
+        let json = shell.execute("metrics json").unwrap();
+        assert!(json.starts_with('{'), "{json}");
+        assert!(shell.execute("metrics bogus").is_err());
     }
 
     #[test]

@@ -1,37 +1,88 @@
 //! Kernel telemetry: the counters an operator dashboards.
+//!
+//! The struct, its serde impl and its registry-view constructor are all
+//! generated from one field list by [`telemetry_counters!`], so the
+//! serialized field count can never drift from the definition (the old
+//! hand-written impl hard-coded `serialize_struct("Telemetry", 7)` and
+//! would have silently lied the moment a field was added).
+//!
+//! The kernel also mirrors every increment into the `surfos-obs` registry
+//! under `kernel.<field>`; [`Telemetry::from_snapshot`] reconstructs the
+//! struct from a snapshot, making these counters a *view* over the
+//! registry whenever observability is enabled.
 
 use serde::ser::SerializeStruct;
 
-/// Monotonic counters accumulated by the kernel loop.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Telemetry {
-    /// Kernel steps executed.
-    pub steps: u64,
-    /// Schedule frames computed.
-    pub frames_scheduled: u64,
-    /// Joint optimizations run.
-    pub optimizations: u64,
-    /// Configurations pushed to drivers.
-    pub configs_pushed: u64,
-    /// Bytes of configuration traffic on the control channel.
-    pub wire_bytes: u64,
-    /// Driver writes committed after their control delay.
-    pub writes_committed: u64,
-    /// Tasks completed by expiry.
-    pub tasks_reaped: u64,
+/// Defines the telemetry struct plus its serde and registry-view impls
+/// from a single field list.
+macro_rules! telemetry_counters {
+    (
+        $(#[$struct_meta:meta])*
+        pub struct $name:ident {
+            $( $(#[$field_meta:meta])* pub $field:ident: u64, )+
+        }
+    ) => {
+        $(#[$struct_meta])*
+        pub struct $name {
+            $( $(#[$field_meta])* pub $field: u64, )+
+        }
+
+        impl serde::Serialize for $name {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                const FIELDS: usize = [$(stringify!($field)),+].len();
+                let mut st = s.serialize_struct(stringify!($name), FIELDS)?;
+                $( st.serialize_field(stringify!($field), &self.$field)?; )+
+                st.end()
+            }
+        }
+
+        impl $name {
+            /// The serialized field count (generated, not hand-counted).
+            pub const FIELD_COUNT: usize = [$(stringify!($field)),+].len();
+
+            /// The obs-registry counter name mirroring each field, in
+            /// field order.
+            pub const COUNTER_NAMES: &'static [&'static str] =
+                &[$( concat!("kernel.", stringify!($field)) ),+];
+
+            /// Reconstructs the counters from an obs snapshot. Matches the
+            /// struct the kernel accumulated exactly when observability was
+            /// enabled for the whole run (the kernel mirrors every
+            /// increment); absent counters read as zero.
+            pub fn from_snapshot(snapshot: &surfos_obs::Snapshot) -> Self {
+                $name {
+                    $( $field: snapshot
+                        .counters
+                        .get(concat!("kernel.", stringify!($field)))
+                        .copied()
+                        .unwrap_or(0), )+
+                }
+            }
+        }
+    };
 }
 
-impl serde::Serialize for Telemetry {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let mut st = s.serialize_struct("Telemetry", 7)?;
-        st.serialize_field("steps", &self.steps)?;
-        st.serialize_field("frames_scheduled", &self.frames_scheduled)?;
-        st.serialize_field("optimizations", &self.optimizations)?;
-        st.serialize_field("configs_pushed", &self.configs_pushed)?;
-        st.serialize_field("wire_bytes", &self.wire_bytes)?;
-        st.serialize_field("writes_committed", &self.writes_committed)?;
-        st.serialize_field("tasks_reaped", &self.tasks_reaped)?;
-        st.end()
+telemetry_counters! {
+    /// Monotonic counters accumulated by the kernel loop.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct Telemetry {
+        /// Kernel steps executed.
+        pub steps: u64,
+        /// Schedule frames computed.
+        pub frames_scheduled: u64,
+        /// Joint optimizations run.
+        pub optimizations: u64,
+        /// Configurations pushed to drivers.
+        pub configs_pushed: u64,
+        /// Configuration pushes skipped because the encoded frame was
+        /// identical to the last one pushed to that surface/slot.
+        pub configs_skipped: u64,
+        /// Bytes of configuration traffic on the control channel.
+        pub wire_bytes: u64,
+        /// Driver writes committed after their control delay.
+        pub writes_committed: u64,
+        /// Tasks completed by expiry.
+        pub tasks_reaped: u64,
     }
 }
 
@@ -39,11 +90,12 @@ impl std::fmt::Display for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "steps={} frames={} opts={} pushes={} wire={}B commits={} reaped={}",
+            "steps={} frames={} opts={} pushes={} skips={} wire={}B commits={} reaped={}",
             self.steps,
             self.frames_scheduled,
             self.optimizations,
             self.configs_pushed,
+            self.configs_skipped,
             self.wire_bytes,
             self.writes_committed,
             self.tasks_reaped
@@ -62,5 +114,24 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("steps=0"));
         assert!(s.contains("wire=0B"));
+        assert!(s.contains("skips=0"));
+    }
+
+    #[test]
+    fn serialized_field_count_matches_definition() {
+        // The JSON object must carry exactly FIELD_COUNT keys — the count
+        // is generated, so this can only fail if serialization drops or
+        // duplicates a field.
+        let t = Telemetry {
+            steps: 1,
+            ..Default::default()
+        };
+        let json = surfos_obs::to_json(&t);
+        let v = surfos_obs::JsonValue::parse(&json).expect("valid JSON");
+        let fields = v.as_object().expect("an object");
+        assert_eq!(fields.len(), Telemetry::FIELD_COUNT);
+        assert_eq!(v.get("steps").and_then(|s| s.as_f64()), Some(1.0));
+        assert_eq!(Telemetry::COUNTER_NAMES.len(), Telemetry::FIELD_COUNT);
+        assert!(Telemetry::COUNTER_NAMES.contains(&"kernel.configs_skipped"));
     }
 }

@@ -86,8 +86,7 @@ impl ArrayGeometry {
 
     /// Iterates over all element local positions in row-major order.
     pub fn positions(&self) -> impl Iterator<Item = [f64; 3]> + '_ {
-        (0..self.rows)
-            .flat_map(move |r| (0..self.cols).map(move |c| self.element_position(r, c)))
+        (0..self.rows).flat_map(move |r| (0..self.cols).map(move |c| self.element_position(r, c)))
     }
 }
 

@@ -189,8 +189,11 @@ impl Bvh {
             return node_idx;
         }
         // Split at the median centroid along the widest centroid axis.
-        let centroid_bounds =
-            Aabb::from_points(self.order[lo..hi].iter().map(|&i| boxes[i as usize].center()));
+        let centroid_bounds = Aabb::from_points(
+            self.order[lo..hi]
+                .iter()
+                .map(|&i| boxes[i as usize].center()),
+        );
         let spread = centroid_bounds.max - centroid_bounds.min;
         let axis = if spread.x >= spread.y && spread.x >= spread.z {
             0
@@ -228,21 +231,27 @@ impl Bvh {
         if self.nodes.is_empty() {
             return false;
         }
+        let mut nodes_visited = 0u64;
+        let mut candidates = 0u64;
+        let mut hit = false;
         let mut stack = [0u32; MAX_DEPTH];
         let mut sp = 0usize;
         stack[sp] = 0;
         sp += 1;
-        while sp > 0 {
+        'traverse: while sp > 0 {
             sp -= 1;
             let idx = stack[sp] as usize;
             let node = &self.nodes[idx];
+            nodes_visited += 1;
             if !node.aabb.intersects_segment(from, to) {
                 continue;
             }
             if node.count > 0 {
                 for &i in &self.order[node.start as usize..(node.start + node.count) as usize] {
+                    candidates += 1;
                     if visit(i as usize) {
-                        return true;
+                        hit = true;
+                        break 'traverse;
                     }
                 }
             } else {
@@ -255,7 +264,14 @@ impl Bvh {
                 sp += 2;
             }
         }
-        false
+        if surfos_obs::enabled() {
+            surfos_obs::add("geometry.bvh.queries", 1);
+            surfos_obs::add("geometry.bvh.nodes_visited", nodes_visited);
+            surfos_obs::add("geometry.bvh.candidates", candidates);
+            // What a brute-force scan would have tested for this query.
+            surfos_obs::add("geometry.bvh.brute_walls", self.order.len() as u64);
+        }
+        hit
     }
 
     /// Calls `visit` for every candidate primitive (no early exit).
@@ -308,12 +324,17 @@ mod tests {
     fn empty_bvh_yields_nothing() {
         let bvh = Bvh::build(&[]);
         assert!(bvh.is_empty());
-        assert!(bvh.segment_candidates(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).is_empty());
+        assert!(bvh
+            .segment_candidates(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0))
+            .is_empty());
     }
 
     #[test]
     fn single_box_found() {
-        let boxes = [Aabb::new(Vec3::new(1.0, -1.0, 0.0), Vec3::new(2.0, 1.0, 3.0))];
+        let boxes = [Aabb::new(
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(2.0, 1.0, 3.0),
+        )];
         let bvh = Bvh::build(&boxes);
         assert_eq!(bvh.len(), 1);
         let c = bvh.segment_candidates(Vec3::new(0.0, 0.0, 1.0), Vec3::new(3.0, 0.0, 1.0));
@@ -324,7 +345,9 @@ mod tests {
     fn scene_boxes(seed: u64, n: usize) -> Vec<Aabb> {
         let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         (0..n)

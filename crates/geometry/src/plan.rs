@@ -109,8 +109,16 @@ impl Room {
         let mut pts = Vec::with_capacity(nx * ny);
         for iy in 0..ny {
             for ix in 0..nx {
-                let fx = if nx == 1 { 0.5 } else { ix as f64 / (nx - 1) as f64 };
-                let fy = if ny == 1 { 0.5 } else { iy as f64 / (ny - 1) as f64 };
+                let fx = if nx == 1 {
+                    0.5
+                } else {
+                    ix as f64 / (nx - 1) as f64
+                };
+                let fy = if ny == 1 {
+                    0.5
+                } else {
+                    iy as f64 / (ny - 1) as f64
+                };
                 pts.push(Vec3::new(x0 + fx * (x1 - x0), y0 + fy * (y1 - y0), z));
             }
         }
@@ -165,10 +173,7 @@ impl FloorPlan {
             .walls
             .iter()
             .enumerate()
-            .filter_map(|(i, w)| {
-                w.intersect_segment(from, to)
-                    .map(|h| (h.t, i, w.material))
-            })
+            .filter_map(|(i, w)| w.intersect_segment(from, to).map(|h| (h.t, i, w.material)))
             .collect();
         hits.sort_by(|a, b| a.0.total_cmp(&b.0));
         hits.into_iter().map(|(_, i, m)| (i, m)).collect()
@@ -214,7 +219,12 @@ impl FloorPlan {
     /// for bit, touching only candidate walls. Candidates arrive in tree
     /// order, so hits are re-sorted by `(t, wall index)` — exactly the
     /// order the brute scan's stable distance sort produces.
-    pub fn crossings_with(&self, index: &WallIndex, from: Vec3, to: Vec3) -> Vec<(usize, Material)> {
+    pub fn crossings_with(
+        &self,
+        index: &WallIndex,
+        from: Vec3,
+        to: Vec3,
+    ) -> Vec<(usize, Material)> {
         debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
         let t_margin = Wall::t_margin(from, to);
         let mut hits: Vec<(f64, usize, Material)> = Vec::new();
@@ -307,7 +317,8 @@ mod tests {
             Material::Concrete,
         ));
         let band = NamedBand::MmWave28GHz.band();
-        let loss = plan.penetration_loss_db(Vec3::new(1.0, 2.0, 1.5), Vec3::new(7.0, 2.0, 1.5), &band);
+        let loss =
+            plan.penetration_loss_db(Vec3::new(1.0, 2.0, 1.5), Vec3::new(7.0, 2.0, 1.5), &band);
         let want = Material::Drywall.penetration_loss_db(&band)
             + Material::Concrete.penetration_loss_db(&band);
         assert!((loss - want).abs() < 1e-9);
@@ -433,7 +444,10 @@ mod tests {
         let index = plan.build_wall_index();
         let from = Vec3::new(1.0, 2.0, 1.5);
         let to = Vec3::new(6.0, 2.0, 1.5);
-        assert_eq!(plan.crossings(from, to), plan.crossings_with(&index, from, to));
+        assert_eq!(
+            plan.crossings(from, to),
+            plan.crossings_with(&index, from, to)
+        );
         assert_eq!(plan.has_los(from, to), plan.has_los_with(&index, from, to));
     }
 
@@ -446,7 +460,10 @@ mod tests {
         let to = Vec3::new(5.0, 5.0, 1.0);
         assert!(plan.crossings_with(&index, from, to).is_empty());
         assert!(plan.has_los_with(&index, from, to));
-        assert_eq!(plan.transmission_amplitude_with(&index, from, to, &band), 1.0);
+        assert_eq!(
+            plan.transmission_amplitude_with(&index, from, to, &band),
+            1.0
+        );
     }
 
     proptest! {

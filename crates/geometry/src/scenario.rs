@@ -31,10 +31,7 @@ pub struct Scenario {
 impl Scenario {
     /// Looks up an anchor pose by name.
     pub fn anchor(&self, name: &str) -> Option<&Pose> {
-        self.anchors
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, p)| p)
+        self.anchors.iter().find(|(n, _)| n == name).map(|(_, p)| p)
     }
 
     /// The target [`Room`].
@@ -233,12 +230,31 @@ pub fn corridor() -> Scenario {
     plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(12.0, 0.0), h, conc));
     plan.add_wall(Wall::new(Vec3::xy(0.0, 2.0), Vec3::xy(10.0, 2.0), h, conc));
     plan.add_wall(Wall::new(Vec3::xy(0.0, 0.0), Vec3::xy(0.0, 2.0), h, conc));
-    plan.add_wall(Wall::new(Vec3::xy(12.0, 0.0), Vec3::xy(12.0, 10.0), h, conc));
-    plan.add_wall(Wall::new(Vec3::xy(10.0, 2.0), Vec3::xy(10.0, 10.0), h, conc));
-    plan.add_wall(Wall::new(Vec3::xy(10.0, 10.0), Vec3::xy(12.0, 10.0), h, conc));
+    plan.add_wall(Wall::new(
+        Vec3::xy(12.0, 0.0),
+        Vec3::xy(12.0, 10.0),
+        h,
+        conc,
+    ));
+    plan.add_wall(Wall::new(
+        Vec3::xy(10.0, 2.0),
+        Vec3::xy(10.0, 10.0),
+        h,
+        conc,
+    ));
+    plan.add_wall(Wall::new(
+        Vec3::xy(10.0, 10.0),
+        Vec3::xy(12.0, 10.0),
+        h,
+        conc,
+    ));
 
     plan.add_room(Room::new("leg-a", Vec3::xy(0.0, 0.0), Vec3::xy(10.0, 2.0)));
-    plan.add_room(Room::new("leg-b", Vec3::xy(10.0, 2.0), Vec3::xy(12.0, 10.0)));
+    plan.add_room(Room::new(
+        "leg-b",
+        Vec3::xy(10.0, 2.0),
+        Vec3::xy(12.0, 10.0),
+    ));
 
     let ap_pose = Pose::wall_mounted(Vec3::new(0.3, 1.0, 2.2), Vec3::X);
     let anchors = vec![(
@@ -348,7 +364,9 @@ mod tests {
             assert!(anchor.is_in_front(p));
         }
         // Deep office is dead to the AP directly.
-        assert!(!s.plan.has_los(s.ap_pose.position, Vec3::new(3.5, -3.0, 1.2)));
+        assert!(!s
+            .plan
+            .has_los(s.ap_pose.position, Vec3::new(3.5, -3.0, 1.2)));
         // The apartment anchors are still present and correct.
         assert!(s.anchor("bedroom-north").is_some());
         assert!(s.anchor("living-wall").is_some());

@@ -82,7 +82,10 @@ impl Wall {
     pub fn aabb(&self) -> Aabb {
         let lo = self.a.min(self.b);
         let hi = self.a.max(self.b);
-        Aabb::new(Vec3::new(lo.x, lo.y, 0.0), Vec3::new(hi.x, hi.y, self.height))
+        Aabb::new(
+            Vec3::new(lo.x, lo.y, 0.0),
+            Vec3::new(hi.x, hi.y, self.height),
+        )
     }
 
     /// The endpoint-graze margin on the wall parameter `u` (1 mm normalized

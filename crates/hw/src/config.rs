@@ -102,7 +102,10 @@ impl SurfaceConfig {
                 return Err(format!("element {i}: non-finite phase"));
             }
             if !e.amplitude.is_finite() || !(0.0..=1.0).contains(&e.amplitude) {
-                return Err(format!("element {i}: amplitude {} outside [0,1]", e.amplitude));
+                return Err(format!(
+                    "element {i}: amplitude {} outside [0,1]",
+                    e.amplitude
+                ));
             }
         }
         if let Some(f) = self.frequency_shift_hz {

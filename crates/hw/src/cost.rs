@@ -67,11 +67,8 @@ mod tests {
         assert!((total.hardware_usd - (a.total_cost_usd() + b.total_cost_usd())).abs() < 1e-9);
         assert!((total.area_m2 - (a.area_m2() + b.area_m2())).abs() < 1e-12);
         assert_eq!(total.power_mw, b.power_mw); // passive contributes zero
-        // NR-Surface is column-wise: 16 columns; AutoMS passive: all.
-        assert_eq!(
-            total.degrees_of_freedom,
-            a.element_count() + 16
-        );
+                                                // NR-Surface is column-wise: 16 columns; AutoMS passive: all.
+        assert_eq!(total.degrees_of_freedom, a.element_count() + 16);
     }
 
     #[test]

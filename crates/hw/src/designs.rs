@@ -351,7 +351,12 @@ mod tests {
             if s.is_passive() {
                 assert_eq!(s.power_mw, 0.0, "{}", s.model);
                 assert_eq!(s.config_slots, 1, "{}", s.model);
-                assert_eq!(s.reconfigurability, Reconfigurability::Passive, "{}", s.model);
+                assert_eq!(
+                    s.reconfigurability,
+                    Reconfigurability::Passive,
+                    "{}",
+                    s.model
+                );
             }
         }
     }
@@ -388,7 +393,12 @@ mod tests {
         // §2.1: high-frequency programmable surfaces often support only
         // column-wise reconfiguration.
         for s in [mmwall(), nr_surface()] {
-            assert_eq!(s.reconfigurability, Reconfigurability::ColumnWise, "{}", s.model);
+            assert_eq!(
+                s.reconfigurability,
+                Reconfigurability::ColumnWise,
+                "{}",
+                s.model
+            );
         }
     }
 

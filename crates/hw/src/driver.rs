@@ -87,12 +87,8 @@ pub trait SurfaceDriver: Send {
 
     /// Surface-wide resonance shift (`set_frequency()`), for designs with
     /// frequency control (Scrolls).
-    fn set_frequency(
-        &mut self,
-        slot: usize,
-        shift_hz: f64,
-        now: TimeMs,
-    ) -> Result<(), DriverError>;
+    fn set_frequency(&mut self, slot: usize, shift_hz: f64, now: TimeMs)
+        -> Result<(), DriverError>;
 
     /// Surface-wide polarization rotation (`set_polarization()`).
     fn set_polarization(
@@ -208,10 +204,7 @@ impl ProgrammableDriver {
     /// condition.
     pub fn new(spec: HardwareSpec) -> Self {
         spec.validate().expect("invalid hardware spec");
-        assert!(
-            !spec.is_passive(),
-            "use PassiveDriver for passive designs"
-        );
+        assert!(!spec.is_passive(), "use PassiveDriver for passive designs");
         let slots = vec![None; spec.config_slots];
         ProgrammableDriver {
             spec,
@@ -379,7 +372,10 @@ impl PassiveDriver {
     /// Panics if the spec is programmable or invalid.
     pub fn new(spec: HardwareSpec) -> Self {
         spec.validate().expect("invalid hardware spec");
-        assert!(spec.is_passive(), "use ProgrammableDriver for programmable designs");
+        assert!(
+            spec.is_passive(),
+            "use ProgrammableDriver for programmable designs"
+        );
         PassiveDriver {
             spec,
             config: None,
@@ -586,7 +582,10 @@ mod tests {
         for r in &resp {
             let phase = surfos_em::phase::wrap_phase(r.arg());
             let q = surfos_em::phase::quantize_phase(phase, 2);
-            assert!((phase - q).abs() < 1e-9, "phase {phase} not on 2-bit lattice");
+            assert!(
+                (phase - q).abs() < 1e-9,
+                "phase {phase} not on 2-bit lattice"
+            );
         }
     }
 
@@ -602,7 +601,10 @@ mod tests {
     fn invalid_slot_rejected() {
         let mut d = ProgrammableDriver::new(prog_spec());
         let err = d.shift_phase(9, &[0.0; 4], 0).unwrap_err();
-        assert!(matches!(err, DriverError::InvalidSlot { slot: 9, slots: 4 }));
+        assert!(matches!(
+            err,
+            DriverError::InvalidSlot { slot: 9, slots: 4 }
+        ));
         assert!(matches!(
             d.activate_slot(4).unwrap_err(),
             DriverError::InvalidSlot { .. }
@@ -679,7 +681,10 @@ mod tests {
     fn passive_lifecycle() {
         let mut d = PassiveDriver::new(passive_spec());
         // Cannot fabricate before a pattern is loaded.
-        assert!(matches!(d.fabricate().unwrap_err(), DriverError::NotFabricated));
+        assert!(matches!(
+            d.fabricate().unwrap_err(),
+            DriverError::NotFabricated
+        ));
         d.load_config(0, SurfaceConfig::from_phases(&[0.0, PI, 0.0, PI]), 0)
             .unwrap();
         // Design iteration: overwrite before fabrication is fine.
@@ -692,7 +697,10 @@ mod tests {
             d.load_config(0, SurfaceConfig::identity(4), 0).unwrap_err(),
             DriverError::AlreadyFabricated
         ));
-        assert!(matches!(d.fabricate().unwrap_err(), DriverError::AlreadyFabricated));
+        assert!(matches!(
+            d.fabricate().unwrap_err(),
+            DriverError::AlreadyFabricated
+        ));
         // But it actuates what was frozen.
         let resp = d.realized_response();
         assert!((surfos_em::phase::wrap_phase(resp[0].arg()) - PI).abs() < 1e-9);

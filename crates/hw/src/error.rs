@@ -50,13 +50,19 @@ impl std::fmt::Display for DriverError {
                 write!(f, "hardware does not support {primitive}")
             }
             DriverError::LengthMismatch { expected, got } => {
-                write!(f, "configuration has {got} elements, hardware has {expected}")
+                write!(
+                    f,
+                    "configuration has {got} elements, hardware has {expected}"
+                )
             }
             DriverError::InvalidSlot { slot, slots } => {
                 write!(f, "slot {slot} out of range (hardware stores {slots})")
             }
             DriverError::AlreadyFabricated => {
-                write!(f, "passive surface already fabricated; configuration frozen")
+                write!(
+                    f,
+                    "passive surface already fabricated; configuration frozen"
+                )
             }
             DriverError::NotFabricated => {
                 write!(f, "passive surface not fabricated yet")
@@ -81,7 +87,9 @@ mod tests {
         };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("64"));
-        assert!(DriverError::AlreadyFabricated.to_string().contains("frozen"));
+        assert!(DriverError::AlreadyFabricated
+            .to_string()
+            .contains("frozen"));
         assert!(DriverError::UnsupportedControl {
             primitive: "set_amplitude"
         }

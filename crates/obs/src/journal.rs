@@ -1,0 +1,54 @@
+//! Fixed-capacity ring-buffer event journal.
+//!
+//! Events carry a monotone sequence number, a static category and a
+//! preformatted message. When full, the oldest event is overwritten; the
+//! sequence numbers make the loss visible (a snapshot whose first event has
+//! `seq > 0` dropped exactly `seq` older events).
+
+use std::collections::VecDeque;
+
+/// Ring capacity. Big enough to hold the interesting tail of a run (health
+/// transitions, scheduler decisions), small enough that an enabled journal
+/// is a bounded cost.
+pub(crate) const CAPACITY: usize = 1024;
+
+pub(crate) struct Event {
+    pub seq: u64,
+    pub category: &'static str,
+    pub message: String,
+}
+
+pub(crate) struct Journal {
+    next_seq: u64,
+    events: VecDeque<Event>,
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Journal {
+            next_seq: 0,
+            events: VecDeque::new(),
+        }
+    }
+
+    pub fn push(&mut self, category: &'static str, message: String) {
+        if self.events.len() == CAPACITY {
+            self.events.pop_front();
+        }
+        self.events.push_back(Event {
+            seq: self.next_seq,
+            category,
+            message,
+        });
+        self.next_seq += 1;
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.next_seq = 0;
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+}

@@ -1,0 +1,305 @@
+//! Observability substrate for SurfOS.
+//!
+//! One global, process-wide registry collects four kinds of signal:
+//!
+//! - **counters** — monotone `u64` sums (`obs::add("channel.lincache.hits", 1)`),
+//! - **gauges** — last-write-wins `f64` values (`obs::gauge("orchestrator.loss", l)`),
+//! - **histograms** — log2-bucketed `u64` distributions (`obs::observe("channel.batch.width", n)`),
+//! - **spans** — RAII wall-clock timers that nest into a hierarchical timing
+//!   tree (`let _s = obs::span!("kernel.step");`), keyed by the `/`-joined
+//!   path of active span names on the current thread,
+//!
+//! plus a fixed-capacity ring-buffer **event journal**
+//! (`obs::event!("broker.monitor", "task {} degraded", id)`).
+//!
+//! # Zero overhead when off
+//!
+//! Everything sits behind a runtime enable flag ([`set_enabled`]). While
+//! disabled — the default — every recording call reduces to a single relaxed
+//! atomic load and an untaken branch; `event!` does not even evaluate its
+//! format arguments. `benches/obs.rs` in `surfos-bench` pins this to a few
+//! nanoseconds per call.
+//!
+//! # Sharding
+//!
+//! Counter, histogram and span storage is sharded: each thread is assigned
+//! one of [`registry::NUM_SHARDS`] shards on first use (round-robin), so the
+//! `channel::par` fan-out threads never contend on one lock. [`snapshot`]
+//! merges the shards; merged totals are deterministic regardless of thread
+//! count because addition commutes.
+//!
+//! # Determinism
+//!
+//! Counters, gauge values, histogram bucket counts and journal events are
+//! functions of the work performed, not of the clock, so two identical runs
+//! produce identical values. Wall-clock fields are the exception; by
+//! convention every duration-valued name ends in `_ns`, and
+//! [`Snapshot::deterministic_json`] excludes both those and all span
+//! durations so run outputs can be diffed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+mod journal;
+mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use json::{to_json, JsonValue, JsonWriter};
+pub use snapshot::{EventSnapshot, HistSnapshot, Snapshot, SpanSnapshot};
+pub use span::SpanGuard;
+
+/// The global enable flag. Off by default; when off the recording paths are
+/// a single relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether observability is currently recording.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off at runtime. Existing data is kept; use
+/// [`reset`] to clear it.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears every counter, gauge, histogram, span stat and journal event.
+/// Does not change the enable flag. Intended for tests and for starting a
+/// fresh measurement window.
+pub fn reset() {
+    registry::reset();
+}
+
+/// Adds `delta` to the counter `name`. No-op while disabled.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if enabled() {
+        registry::record_counter(name, delta);
+    }
+}
+
+/// Sets the gauge `name` to `value` (last write wins). No-op while disabled.
+#[inline]
+pub fn gauge(name: &'static str, value: f64) {
+    if enabled() {
+        registry::record_gauge(name, value);
+    }
+}
+
+/// Records `value` into the log2-bucketed histogram `name`. No-op while
+/// disabled.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if enabled() {
+        registry::record_hist(name, value);
+    }
+}
+
+/// Starts a span named `name` on the current thread; the returned guard
+/// records the elapsed time under the `/`-joined path of enclosing spans
+/// when dropped. Prefer the [`span!`] macro. Returns an inert guard while
+/// disabled.
+#[inline]
+pub fn span_enter(name: &'static str) -> SpanGuard {
+    span::enter(name)
+}
+
+/// Appends an event to the journal. Called by the [`event!`] macro, which
+/// gates format-argument evaluation on [`enabled`]; calling this directly
+/// while disabled is a no-op.
+#[inline]
+pub fn event_str(category: &'static str, message: String) {
+    if enabled() {
+        registry::record_event(category, message);
+    }
+}
+
+/// Takes a merged, sorted snapshot of everything recorded so far.
+pub fn snapshot() -> Snapshot {
+    registry::collect()
+}
+
+/// Opens an RAII span: `let _span = obs::span!("kernel.step");`. The span
+/// ends when the guard goes out of scope — bind it to a named variable
+/// (`_span`, not `_`) or it ends immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span_enter($name)
+    };
+}
+
+/// Appends a formatted event to the journal:
+/// `obs::event!("broker.monitor", "task {} -> Degraded", id);`.
+/// Format arguments are not evaluated while observability is disabled.
+#[macro_export]
+macro_rules! event {
+    ($category:expr, $($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::event_str($category, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global registry/enable flag.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _x = exclusive();
+        set_enabled(false);
+        reset();
+        add("t.counter", 3);
+        gauge("t.gauge", 1.5);
+        observe("t.hist", 7);
+        event!("t", "msg {}", 1);
+        let _s = span!("t.span");
+        drop(_s);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        add("t.counter", 2);
+        add("t.counter", 3);
+        gauge("t.gauge", 1.0);
+        gauge("t.gauge", 2.5);
+        observe("t.hist", 1);
+        observe("t.hist", 1);
+        observe("t.hist", 1000);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["t.counter"], 5);
+        assert_eq!(snap.gauges["t.gauge"], 2.5);
+        let h = &snap.histograms["t.hist"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1002);
+        // 1 → bucket lo 1 (count 2); 1000 → bucket lo 512 (count 1).
+        assert_eq!(h.buckets, vec![(1, 2), (512, 1)]);
+        assert_eq!(h.p50(), 1);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner");
+            }
+            {
+                let _inner = span!("inner");
+            }
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer/inner"].count, 2);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
+    }
+
+    #[test]
+    fn journal_keeps_newest_events() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        for i in 0..(journal::CAPACITY + 10) {
+            event!("t", "event {i}");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.events.len(), journal::CAPACITY);
+        assert_eq!(
+            snap.events.first().unwrap().message,
+            format!("event {}", 10)
+        );
+        assert_eq!(snap.events.first().unwrap().seq, 10);
+        assert_eq!(
+            snap.events.last().unwrap().message,
+            format!("event {}", journal::CAPACITY + 9)
+        );
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        add("t.par", 1);
+                        observe("t.par.h", 4);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["t.par"], 800);
+        assert_eq!(snap.histograms["t.par.h"].count, 800);
+        assert_eq!(snap.histograms["t.par.h"].buckets, vec![(4, 800)]);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        add("t.rt.counter", 41);
+        gauge("t.rt.gauge", -2.25);
+        observe("t.rt.hist", 9);
+        event!("t.rt", "hello \"quoted\" \\ world");
+        {
+            let _s = span!("t.rt.span");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let text = snap.to_json();
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("t.rt.counter"))
+                .and_then(JsonValue::as_f64),
+            Some(41.0)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("t.rt.gauge"))
+                .and_then(JsonValue::as_f64),
+            Some(-2.25)
+        );
+        let events = v.get("events").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(
+            events[0].get("message").and_then(JsonValue::as_str),
+            Some("hello \"quoted\" \\ world")
+        );
+        assert!(v.get("spans").and_then(|s| s.get("t.rt.span")).is_some());
+        // The deterministic projection parses too and drops wall-clock data.
+        let det = JsonValue::parse(&snap.deterministic_json()).expect("valid JSON");
+        let span = det.get("spans").and_then(|s| s.get("t.rt.span")).unwrap();
+        assert_eq!(span.as_f64(), Some(1.0)); // count only, no ns
+    }
+}

@@ -1,0 +1,240 @@
+//! The global sharded registry behind the `obs` recording API.
+//!
+//! Counters, histograms and span stats live in [`NUM_SHARDS`] shards; each
+//! thread is pinned round-robin to one shard on first use, so concurrent
+//! recorders (the `channel::par` fan-out) take disjoint locks. Gauges and
+//! the journal are process-global (last-write-wins and strictly ordered
+//! respectively — sharding either would change semantics).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use crate::journal::Journal;
+use crate::snapshot::{EventSnapshot, HistSnapshot, Snapshot, SpanSnapshot};
+
+/// Number of registry shards. More than the machine's thread count is
+/// wasted; fewer risks two fan-out workers sharing a lock. 16 covers the
+/// `channel::par` pool on every machine this runs on.
+pub(crate) const NUM_SHARDS: usize = 16;
+
+/// Histogram bucket count: bucket 0 holds exact zeros, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+pub(crate) const NUM_BUCKETS: usize = 65;
+
+/// The log2 bucket index of `v`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The smallest value that lands in bucket `i`.
+#[inline]
+pub(crate) fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+pub(crate) struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    fn merge_into(&self, count: &mut u64, sum: &mut u64, buckets: &mut [u64; NUM_BUCKETS]) {
+        *count += self.count;
+        *sum = sum.saturating_add(self.sum);
+        for (acc, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *acc += b;
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<&'static str, u64>>,
+    histograms: Mutex<HashMap<&'static str, Hist>>,
+    spans: Mutex<HashMap<String, Hist>>,
+}
+
+struct Registry {
+    shards: [Shard; NUM_SHARDS],
+    gauges: Mutex<HashMap<&'static str, f64>>,
+    journal: Mutex<Journal>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        shards: std::array::from_fn(|_| Shard::default()),
+        gauges: Mutex::new(HashMap::new()),
+        journal: Mutex::new(Journal::new()),
+    })
+}
+
+/// Poison-tolerant lock: metrics must keep working after an unrelated panic
+/// in some other recording thread (e.g. a failing test).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn my_shard() -> &'static Shard {
+    let idx = MY_SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
+            s.set(v);
+            v
+        }
+    });
+    &registry().shards[idx]
+}
+
+pub(crate) fn record_counter(name: &'static str, delta: u64) {
+    *lock(&my_shard().counters).entry(name).or_insert(0) += delta;
+}
+
+pub(crate) fn record_gauge(name: &'static str, value: f64) {
+    lock(&registry().gauges).insert(name, value);
+}
+
+pub(crate) fn record_hist(name: &'static str, value: u64) {
+    lock(&my_shard().histograms)
+        .entry(name)
+        .or_insert_with(Hist::new)
+        .record(value);
+}
+
+pub(crate) fn record_span(path: &str, ns: u64) {
+    let mut spans = lock(&my_shard().spans);
+    match spans.get_mut(path) {
+        Some(h) => h.record(ns),
+        None => {
+            let mut h = Hist::new();
+            h.record(ns);
+            spans.insert(path.to_owned(), h);
+        }
+    }
+}
+
+pub(crate) fn record_event(category: &'static str, message: String) {
+    lock(&registry().journal).push(category, message);
+}
+
+pub(crate) fn reset() {
+    let reg = registry();
+    for shard in &reg.shards {
+        lock(&shard.counters).clear();
+        lock(&shard.histograms).clear();
+        lock(&shard.spans).clear();
+    }
+    lock(&reg.gauges).clear();
+    lock(&reg.journal).clear();
+}
+
+/// Merges every shard into one sorted snapshot. Sums are deterministic
+/// regardless of which thread recorded into which shard.
+pub(crate) fn collect() -> Snapshot {
+    let reg = registry();
+    let mut snap = Snapshot::default();
+
+    let mut hists: HashMap<&'static str, (u64, u64, [u64; NUM_BUCKETS])> = HashMap::new();
+    let mut spans: HashMap<String, (u64, u64, [u64; NUM_BUCKETS])> = HashMap::new();
+    for shard in &reg.shards {
+        for (name, v) in lock(&shard.counters).iter() {
+            *snap.counters.entry((*name).to_owned()).or_insert(0) += v;
+        }
+        for (name, h) in lock(&shard.histograms).iter() {
+            let (count, sum, buckets) = hists.entry(name).or_insert((0, 0, [0; NUM_BUCKETS]));
+            h.merge_into(count, sum, buckets);
+        }
+        for (path, h) in lock(&shard.spans).iter() {
+            let (count, sum, buckets) =
+                spans
+                    .entry(path.clone())
+                    .or_insert((0, 0, [0; NUM_BUCKETS]));
+            h.merge_into(count, sum, buckets);
+        }
+    }
+
+    for (name, (count, sum, buckets)) in hists {
+        snap.histograms.insert(
+            name.to_owned(),
+            HistSnapshot::from_buckets(count, sum, &buckets),
+        );
+    }
+    for (path, (count, total_ns, buckets)) in spans {
+        let p50_ns = HistSnapshot::from_buckets(count, total_ns, &buckets).p50();
+        snap.spans.insert(
+            path,
+            SpanSnapshot {
+                count,
+                total_ns,
+                p50_ns,
+            },
+        );
+    }
+    for (name, v) in lock(&reg.gauges).iter() {
+        snap.gauges.insert((*name).to_owned(), *v);
+    }
+    snap.events = lock(&reg.journal)
+        .iter()
+        .map(|e| EventSnapshot {
+            seq: e.seq,
+            category: e.category.to_owned(),
+            message: e.message.clone(),
+        })
+        .collect();
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(i)), i);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Point-in-time snapshots of the registry: sorted, merged, serializable.
+
+use std::collections::BTreeMap;
+
+use serde::ser::{Serialize, SerializeStruct, Serializer};
+
+use crate::registry::{bucket_lo, NUM_BUCKETS};
+
+/// A merged histogram: total count, saturating sum, and the non-empty log2
+/// buckets as `(bucket_lo, count)` pairs in ascending order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    pub(crate) fn from_buckets(count: u64, sum: u64, buckets: &[u64; NUM_BUCKETS]) -> Self {
+        HistSnapshot {
+            count,
+            sum,
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| (bucket_lo(i), *c))
+                .collect(),
+        }
+    }
+
+    /// Median estimate: the midpoint of the bucket holding the median
+    /// sample. Exact for single-valued buckets (e.g. bucket 1), within 2× on
+    /// the wide high buckets — good enough for "where does the time go".
+    pub fn p50(&self) -> u64 {
+        let half = self.count.div_ceil(2);
+        let mut seen = 0;
+        for &(lo, c) in &self.buckets {
+            seen += c;
+            if seen >= half {
+                let hi = if lo == 0 {
+                    0
+                } else if lo >= 1u64 << 63 {
+                    u64::MAX
+                } else {
+                    2 * lo - 1
+                };
+                return lo / 2 + hi / 2 + (lo & hi & 1);
+            }
+        }
+        0
+    }
+}
+
+/// One path in the span tree: how many times it ran and for how long.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanSnapshot {
+    pub count: u64,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+}
+
+/// One journal event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventSnapshot {
+    pub seq: u64,
+    pub category: String,
+    pub message: String,
+}
+
+/// Everything the registry knows, merged across shards and sorted by name.
+/// Counters, gauges, histogram buckets and events are deterministic across
+/// identical runs; `total_ns`/`p50_ns` and any `*_ns`-named series are
+/// wall-clock and are excluded by [`Snapshot::deterministic_json`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    pub spans: BTreeMap<String, SpanSnapshot>,
+    pub events: Vec<EventSnapshot>,
+}
+
+impl Serialize for HistSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("HistSnapshot", 3)?;
+        st.serialize_field("count", &self.count)?;
+        st.serialize_field("sum", &self.sum)?;
+        st.serialize_field("buckets", &self.buckets)?;
+        st.end()
+    }
+}
+
+impl Serialize for SpanSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("SpanSnapshot", 3)?;
+        st.serialize_field("count", &self.count)?;
+        st.serialize_field("total_ns", &self.total_ns)?;
+        st.serialize_field("p50_ns", &self.p50_ns)?;
+        st.end()
+    }
+}
+
+impl Serialize for EventSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("EventSnapshot", 3)?;
+        st.serialize_field("seq", &self.seq)?;
+        st.serialize_field("category", &self.category)?;
+        st.serialize_field("message", &self.message)?;
+        st.end()
+    }
+}
+
+impl Serialize for Snapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Snapshot", 5)?;
+        st.serialize_field("counters", &self.counters)?;
+        st.serialize_field("gauges", &self.gauges)?;
+        st.serialize_field("histograms", &self.histograms)?;
+        st.serialize_field("spans", &self.spans)?;
+        st.serialize_field("events", &self.events)?;
+        st.end()
+    }
+}
+
+/// The run-to-run-stable projection of a snapshot: spans reduced to their
+/// counts, `*_ns` series dropped entirely. See module docs on determinism.
+struct Deterministic<'a>(&'a Snapshot);
+
+impl Serialize for Deterministic<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        fn stable<V>(map: &BTreeMap<String, V>) -> impl Iterator<Item = (&String, &V)> {
+            map.iter().filter(|(name, _)| !name.ends_with("_ns"))
+        }
+        let snap = self.0;
+        let mut st = serializer.serialize_struct("Snapshot", 5)?;
+
+        let counters: BTreeMap<&str, u64> = stable(&snap.counters)
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        st.serialize_field("counters", &counters)?;
+
+        let gauges: BTreeMap<&str, f64> = stable(&snap.gauges)
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        st.serialize_field("gauges", &gauges)?;
+
+        let histograms: BTreeMap<&str, &HistSnapshot> = stable(&snap.histograms)
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        st.serialize_field("histograms", &histograms)?;
+
+        let spans: BTreeMap<&str, u64> = snap
+            .spans
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.count))
+            .collect();
+        st.serialize_field("spans", &spans)?;
+
+        st.serialize_field("events", &snap.events)?;
+        st.end()
+    }
+}
+
+impl Snapshot {
+    /// The full snapshot as a JSON document (includes wall-clock fields).
+    pub fn to_json(&self) -> String {
+        crate::json::to_json(self)
+    }
+
+    /// The deterministic projection as JSON: identical runs produce
+    /// byte-identical output. Span durations and `*_ns` series are dropped;
+    /// span and bucket *counts* are kept.
+    pub fn deterministic_json(&self) -> String {
+        crate::json::to_json(&Deterministic(self))
+    }
+
+    /// Human-readable report: the span tree (indented by nesting depth),
+    /// counters, gauges, the busiest histograms, and the journal tail.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+
+        out.push_str("spans\n");
+        if self.spans.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (path, s) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<w$} count {:>8}  total {:>10}  p50 {:>10}",
+                "",
+                name,
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.p50_ns),
+                indent = depth * 2,
+                w = 36usize.saturating_sub(depth * 2),
+            );
+        }
+
+        out.push_str("counters\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<38} {v}");
+        }
+        out.push_str("gauges\n");
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  {name:<38} {v}");
+        }
+
+        out.push_str("histograms (busiest first)\n");
+        let mut hists: Vec<_> = self.histograms.iter().collect();
+        hists.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+        for (name, h) in hists.into_iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  {:<38} count {:>8}  p50 {:>8}  buckets {}",
+                name,
+                h.count,
+                h.p50(),
+                h.buckets
+                    .iter()
+                    .map(|(lo, c)| format!("{lo}:{c}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+        }
+
+        out.push_str("journal (tail)\n");
+        let skip = self.events.len().saturating_sub(10);
+        for e in &self.events[skip..] {
+            let _ = writeln!(out, "  [{:>6}] {:<16} {}", e.seq, e.category, e.message);
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with a human unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}

@@ -1,0 +1,74 @@
+//! RAII span timers and the per-thread span path.
+//!
+//! Each thread keeps one growable path string of the span names currently
+//! open on it, joined with `/`. Entering a span appends its name; dropping
+//! the guard records the elapsed nanoseconds under the full path and
+//! truncates back. Nesting therefore comes for free from lexical scope:
+//!
+//! ```
+//! surfos_obs::set_enabled(true);
+//! {
+//!     let _step = surfos_obs::span!("kernel.step");
+//!     let _opt = surfos_obs::span!("kernel.optimize");
+//!     // records under "kernel.step" and "kernel.step/kernel.optimize"
+//! }
+//! # surfos_obs::set_enabled(false);
+//! # surfos_obs::reset();
+//! ```
+//!
+//! Worker threads start their own root: a span opened inside a
+//! `channel::par` closure nests under whatever that worker has open (nothing),
+//! not under the caller's path. Batch entry points therefore open their span
+//! on the caller thread, around the fan-out.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry;
+
+thread_local! {
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Guard returned by [`crate::span!`] / [`crate::span_enter`]. Records the
+/// span on drop. Inert (a no-op to drop) when observability was disabled at
+/// entry.
+#[must_use = "binding a span to `_` drops it immediately; use a named variable like `_span`"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    prev_len: usize,
+}
+
+pub(crate) fn enter(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            start: None,
+            prev_len: 0,
+        };
+    }
+    let prev_len = SPAN_PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let prev = p.len();
+        if !p.is_empty() {
+            p.push('/');
+        }
+        p.push_str(name);
+        prev
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        prev_len,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            registry::record_span(&p, ns);
+            p.truncate(self.prev_len);
+        });
+    }
+}

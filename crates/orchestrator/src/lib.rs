@@ -32,7 +32,9 @@ pub mod service;
 pub mod slice;
 pub mod task;
 
-pub use objective::{CoverageObjective, LocalizationObjective, MultiObjective, Objective, PoweringObjective};
+pub use objective::{
+    CoverageObjective, LocalizationObjective, MultiObjective, Objective, PoweringObjective,
+};
 pub use optimizer::{adam, greedy_quantized, random_search, AdamOptions, OptimizeResult};
 pub use orchestrator::Orchestrator;
 pub use scheduler::Scheduler;

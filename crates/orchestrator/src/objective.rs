@@ -65,10 +65,8 @@ impl CoverageObjective {
         // scene index once and fans out chunk-ordered (bit-identical to a
         // serial per-point linearize).
         let links = sim.linearize_sweep(tx, points, rx_template);
-        let noise_dbm = surfos_em::noise::noise_power_dbm(
-            sim.band.bandwidth_hz,
-            rx_template.noise_figure_db,
-        );
+        let noise_dbm =
+            surfos_em::noise::noise_power_dbm(sim.band.bandwidth_hz, rx_template.noise_figure_db);
         let snr_scale = dbm_to_watts(tx.tx_power_dbm) / dbm_to_watts(noise_dbm);
         CoverageObjective { links, snr_scale }
     }
@@ -308,10 +306,7 @@ impl SuppressionObjective {
         let slices = as_slices(responses);
         self.leaks
             .iter()
-            .map(|l| {
-                tx_power_dbm
-                    + surfos_em::units::amplitude_to_db(l.evaluate(&slices).abs())
-            })
+            .map(|l| tx_power_dbm + surfos_em::units::amplitude_to_db(l.evaluate(&slices).abs()))
             .fold(f64::NEG_INFINITY, f64::max)
     }
 }
@@ -390,10 +385,7 @@ impl MultiObjective {
 
 impl Objective for MultiObjective {
     fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(o, w)| w * o.loss(responses))
-            .sum()
+        self.terms.iter().map(|(o, w)| w * o.loss(responses)).sum()
     }
 
     fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
@@ -468,9 +460,8 @@ mod tests {
     fn coverage_gradient_matches_fd() {
         let (sim, ap, client) = setup();
         let obj = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
-        let responses: Vec<Vec<Complex>> = vec![(0..64)
-            .map(|i| Complex::cis(i as f64 * 0.13))
-            .collect()];
+        let responses: Vec<Vec<Complex>> =
+            vec![(0..64).map(|i| Complex::cis(i as f64 * 0.13)).collect()];
         finite_diff_check(&obj, &responses, &[0, 17, 63]);
     }
 
@@ -523,9 +514,8 @@ mod tests {
     fn powering_gradient_matches_fd() {
         let (sim, ap, client) = setup();
         let obj = PoweringObjective::new(&sim, &ap, &client);
-        let responses: Vec<Vec<Complex>> = vec![(0..64)
-            .map(|i| Complex::cis(i as f64 * 0.4))
-            .collect()];
+        let responses: Vec<Vec<Complex>> =
+            vec![(0..64).map(|i| Complex::cis(i as f64 * 0.4)).collect()];
         finite_diff_check(&obj, &responses, &[5, 40]);
     }
 
@@ -583,9 +573,8 @@ mod tests {
                 )),
                 0.3,
             );
-        let responses: Vec<Vec<Complex>> = vec![(0..64)
-            .map(|i| Complex::cis(i as f64 * 0.09))
-            .collect()];
+        let responses: Vec<Vec<Complex>> =
+            vec![(0..64).map(|i| Complex::cis(i as f64 * 0.09)).collect()];
         finite_diff_check(&multi, &responses, &[11, 50]);
     }
 

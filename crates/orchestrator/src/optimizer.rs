@@ -147,6 +147,7 @@ pub fn adam(
     tying: &Tying,
     opts: AdamOptions,
 ) -> OptimizeResult {
+    let _span = surfos_obs::span!("orchestrator.adam");
     assert!(opts.iters > 0, "need at least one iteration");
     assert!(opts.lr > 0.0, "learning rate must be positive");
     assert_eq!(initial.len(), tying.groups.len(), "tying shape mismatch");
@@ -171,6 +172,7 @@ pub fn adam(
     let mut best_params = params.clone();
 
     for t in 1..=opts.iters {
+        let _iter_span = surfos_obs::span!("orchestrator.adam.iter");
         let element_phases: Vec<Vec<f64>> = params
             .iter()
             .enumerate()
@@ -185,6 +187,18 @@ pub fn adam(
         history.push(loss);
 
         let elem_grads = objective.grad_phase(&responses);
+        if surfos_obs::enabled() {
+            // The norm is only worth its O(elements) sweep when someone is
+            // watching. Milli-units keep sub-1.0 norms out of bucket zero.
+            let norm = elem_grads
+                .iter()
+                .flatten()
+                .map(|g| g * g)
+                .sum::<f64>()
+                .sqrt();
+            surfos_obs::observe("orchestrator.adam.grad_norm_milli", (norm * 1e3) as u64);
+            surfos_obs::gauge("orchestrator.adam.loss", loss);
+        }
         for s in 0..params.len() {
             let g = tying.reduce(s, &elem_grads[s]);
             for i in 0..params[s].len() {
@@ -192,8 +206,7 @@ pub fn adam(
                 v[s][i] = opts.beta2 * v[s][i] + (1.0 - opts.beta2) * g[i] * g[i];
                 let m_hat = m[s][i] / (1.0 - opts.beta1.powi(t as i32));
                 let v_hat = v[s][i] / (1.0 - opts.beta2.powi(t as i32));
-                params[s][i] =
-                    wrap_phase(params[s][i] - opts.lr * m_hat / (v_hat.sqrt() + eps));
+                params[s][i] = wrap_phase(params[s][i] - opts.lr * m_hat / (v_hat.sqrt() + eps));
             }
         }
     }
@@ -211,6 +224,8 @@ pub fn adam(
     }
     history.push(final_loss);
 
+    surfos_obs::add("orchestrator.adam.iters", opts.iters as u64);
+    surfos_obs::gauge("orchestrator.adam.loss", best_loss);
     let phases = best_params
         .iter()
         .enumerate()
@@ -230,6 +245,8 @@ pub fn random_search<R: Rng>(
     samples: usize,
     rng: &mut R,
 ) -> OptimizeResult {
+    let _span = surfos_obs::span!("orchestrator.random_search");
+    surfos_obs::add("orchestrator.random_search.samples", samples as u64);
     assert!(samples > 0, "need at least one sample");
     // Draw every candidate up front, serially: the rng is consumed in
     // exactly the order the sequential loop used, so results are
@@ -260,6 +277,7 @@ pub fn random_search<R: Rng>(
         }
         history.push(best_loss);
     }
+    surfos_obs::gauge("orchestrator.random_search.loss", best_loss);
     let phases = match best_idx {
         Some(i) => candidates.into_iter().nth(i).expect("index in range"),
         None => shape.iter().map(|&n| vec![0.0; n]).collect(),
@@ -434,8 +452,18 @@ mod tests {
         assert!(many.loss <= few.loss);
         // But far from the gradient optimum in this 24-dim space.
         let initial = vec![vec![0.0; 16], vec![0.0; 8]];
-        let grad = adam(&obj, &initial, &Tying::element_wise(2), AdamOptions::default());
-        assert!(grad.loss < many.loss, "adam {} vs random {}", grad.loss, many.loss);
+        let grad = adam(
+            &obj,
+            &initial,
+            &Tying::element_wise(2),
+            AdamOptions::default(),
+        );
+        assert!(
+            grad.loss < many.loss,
+            "adam {} vs random {}",
+            grad.loss,
+            many.loss
+        );
     }
 
     #[test]

@@ -76,9 +76,7 @@ impl Orchestrator {
             "duplicate endpoint id {:?}",
             endpoint.id
         );
-        if self.ap_id.is_none()
-            && endpoint.kind == surfos_channel::EndpointKind::AccessPoint
-        {
+        if self.ap_id.is_none() && endpoint.kind == surfos_channel::EndpointKind::AccessPoint {
             self.ap_id = Some(endpoint.id.clone());
         }
         self.endpoints.insert(endpoint.id.clone(), endpoint);
@@ -209,7 +207,10 @@ impl Orchestrator {
         self.endpoints
             .values()
             .filter(|e| e.kind == surfos_channel::EndpointKind::AccessPoint)
-            .max_by(|a, b| self.ap_score(a, target).total_cmp(&self.ap_score(b, target)))
+            .max_by(|a, b| {
+                self.ap_score(a, target)
+                    .total_cmp(&self.ap_score(b, target))
+            })
             .unwrap_or_else(|| self.ap())
     }
 
@@ -279,6 +280,12 @@ impl Orchestrator {
             });
         }
         let outcome = Scheduler::schedule(&requirements, &model);
+        surfos_obs::add("orchestrator.frames", 1);
+        surfos_obs::add(
+            "orchestrator.tasks_granted",
+            (requirements.len() - outcome.rejected.len()) as u64,
+        );
+        surfos_obs::add("orchestrator.tasks_rejected", outcome.rejected.len() as u64);
 
         // State transitions.
         for r in &requirements {
@@ -290,9 +297,18 @@ impl Orchestrator {
             };
             let current = self.tasks.get(r.task).expect("task exists").state;
             if current != state
-                && matches!(current, TaskState::Pending | TaskState::Running | TaskState::Idle)
+                && matches!(
+                    current,
+                    TaskState::Pending | TaskState::Running | TaskState::Idle
+                )
             {
                 // Running → Pending is a preemption; Pending → Running a grant.
+                surfos_obs::event!(
+                    "scheduler",
+                    "task {:?} {current:?} -> {state:?} (frame at {} ms)",
+                    r.task,
+                    self.now_ms
+                );
                 self.tasks.set_state(r.task, state);
             }
         }
@@ -348,8 +364,7 @@ impl Orchestrator {
                 let grid = room.sample_grid(4, 4, GRID_HEIGHT_M, GRID_MARGIN_M);
                 let template = Endpoint::client("probe", grid[0]);
                 let mut obj = SuppressionObjective::new(&self.sim, &ap, &grid, &template);
-                if let crate::service::ServiceGoal::Suppression { max_leak_dbm } =
-                    task.request.goal
+                if let crate::service::ServiceGoal::Suppression { max_leak_dbm } = task.request.goal
                 {
                     obj = obj.with_goal(max_leak_dbm, ap.tx_power_dbm);
                 }
@@ -362,6 +377,7 @@ impl Orchestrator {
     /// time slot and applies it to the simulator's surfaces. Returns the
     /// achieved loss, or `None` when the slot is empty.
     pub fn optimize_slot(&mut self, slot: usize) -> Option<f64> {
+        let _span = surfos_obs::span!("orchestrator.optimize_slot");
         let mut task_ids: Vec<TaskId> = self
             .slices
             .iter()
@@ -394,6 +410,7 @@ impl Orchestrator {
         for (s, phases) in result.phases.iter().enumerate() {
             self.sim.set_surface_phases(s, phases);
         }
+        surfos_obs::gauge("orchestrator.slot.loss", result.loss);
         Some(result.loss)
     }
 
@@ -417,6 +434,7 @@ impl Orchestrator {
 
     /// Measured service metric for a task with the current configuration.
     pub fn measure(&mut self, task: TaskId) -> Option<f64> {
+        let _span = surfos_obs::span!("orchestrator.measure");
         let ap = self.serving_ap_for(task).clone();
         let t = self.tasks.get(task)?;
         let metric = match t.request.kind {

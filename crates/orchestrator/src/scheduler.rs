@@ -71,7 +71,11 @@ impl Scheduler {
                 "surface out of range in task {}",
                 r.task
             );
-            assert!(!r.surfaces.is_empty(), "task {} requests no surfaces", r.task);
+            assert!(
+                !r.surfaces.is_empty(),
+                "task {} requests no surfaces",
+                r.task
+            );
             assert!(
                 r.min_slots >= 1 && r.min_slots <= model.slots_per_frame,
                 "task {} min_slots {} outside frame",
@@ -145,7 +149,13 @@ mod tests {
         }
     }
 
-    fn req(task: TaskId, priority: u8, surfaces: Vec<usize>, min_slots: usize, shareable: bool) -> Requirement {
+    fn req(
+        task: TaskId,
+        priority: u8,
+        surfaces: Vec<usize>,
+        min_slots: usize,
+        shareable: bool,
+    ) -> Requirement {
         Requirement {
             task,
             priority,
@@ -166,10 +176,7 @@ mod tests {
     #[test]
     fn exclusive_tasks_split_the_frame() {
         let out = Scheduler::schedule(
-            &[
-                req(1, 5, vec![0], 2, false),
-                req(2, 4, vec![0], 2, false),
-            ],
+            &[req(1, 5, vec![0], 2, false), req(2, 4, vec![0], 2, false)],
             &model(),
         );
         assert!(out.rejected.is_empty());
@@ -183,10 +190,7 @@ mod tests {
     #[test]
     fn shareable_tasks_stack_on_same_slices() {
         let out = Scheduler::schedule(
-            &[
-                req(1, 5, vec![0], 4, true),
-                req(2, 4, vec![0], 4, true),
-            ],
+            &[req(1, 5, vec![0], 4, true), req(2, 4, vec![0], 4, true)],
             &model(),
         );
         assert!(out.rejected.is_empty());
@@ -214,10 +218,7 @@ mod tests {
     fn priority_preempts_lower() {
         // Low priority first in the list — order must not matter.
         let out = Scheduler::schedule(
-            &[
-                req(1, 1, vec![0], 3, false),
-                req(2, 9, vec![0], 3, false),
-            ],
+            &[req(1, 1, vec![0], 3, false), req(2, 9, vec![0], 3, false)],
             &model(),
         );
         // High priority task 2 gets its 3 slots; task 1 can only find 1
@@ -237,10 +238,7 @@ mod tests {
     #[test]
     fn different_surfaces_do_not_conflict() {
         let out = Scheduler::schedule(
-            &[
-                req(1, 5, vec![0], 4, false),
-                req(2, 4, vec![1], 4, false),
-            ],
+            &[req(1, 5, vec![0], 4, false), req(2, 4, vec![1], 4, false)],
             &model(),
         );
         assert!(out.rejected.is_empty());
@@ -279,10 +277,7 @@ mod tests {
     #[test]
     fn deterministic_tiebreak_by_task_id() {
         let out = Scheduler::schedule(
-            &[
-                req(7, 5, vec![0], 3, false),
-                req(3, 5, vec![0], 3, false),
-            ],
+            &[req(7, 5, vec![0], 3, false), req(3, 5, vec![0], 3, false)],
             &model(),
         );
         // Same priority: lower id (3) wins the contended slots.

@@ -131,9 +131,7 @@ impl ServiceRequest {
         ServiceRequest {
             kind: ServiceKind::Security,
             subject: region.into(),
-            goal: ServiceGoal::Suppression {
-                max_leak_dbm,
-            },
+            goal: ServiceGoal::Suppression { max_leak_dbm },
             duration_s: None,
             priority: 6,
         }
@@ -149,7 +147,13 @@ impl ServiceRequest {
 impl std::fmt::Display for ServiceRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match (&self.kind, &self.goal) {
-            (ServiceKind::Connectivity, ServiceGoal::LinkQuality { min_snr_db, max_latency_ms }) => {
+            (
+                ServiceKind::Connectivity,
+                ServiceGoal::LinkQuality {
+                    min_snr_db,
+                    max_latency_ms,
+                },
+            ) => {
                 write!(
                     f,
                     "enhance_link({:?}, snr={min_snr_db}, latency={max_latency_ms})",
@@ -157,7 +161,11 @@ impl std::fmt::Display for ServiceRequest {
                 )
             }
             (ServiceKind::Coverage, ServiceGoal::AreaCoverage { median_snr_db }) => {
-                write!(f, "optimize_coverage({:?}, median_snr={median_snr_db})", self.subject)
+                write!(
+                    f,
+                    "optimize_coverage({:?}, median_snr={median_snr_db})",
+                    self.subject
+                )
             }
             (ServiceKind::Sensing, _) => {
                 let d = self.duration_s.unwrap_or(f64::INFINITY);
@@ -172,7 +180,11 @@ impl std::fmt::Display for ServiceRequest {
                 write!(f, "init_powering({:?}, duration={d})", self.subject)
             }
             (ServiceKind::Security, ServiceGoal::Suppression { max_leak_dbm }) => {
-                write!(f, "protect_link({:?}, max_leak={max_leak_dbm})", self.subject)
+                write!(
+                    f,
+                    "protect_link({:?}, max_leak={max_leak_dbm})",
+                    self.subject
+                )
             }
             _ => write!(f, "{:?}({:?})", self.kind, self.subject),
         }
@@ -193,7 +205,10 @@ mod tests {
         );
 
         let r = ServiceRequest::optimize_coverage("room_id", 25.0);
-        assert_eq!(r.to_string(), "optimize_coverage(\"room_id\", median_snr=25)");
+        assert_eq!(
+            r.to_string(),
+            "optimize_coverage(\"room_id\", median_snr=25)"
+        );
 
         let r = ServiceRequest::enable_sensing("meeting_room", 3600.0);
         assert_eq!(

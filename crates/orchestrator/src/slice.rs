@@ -143,7 +143,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn s(slot: usize, band: usize, surface: usize) -> Slice {
-        Slice { slot, band, surface }
+        Slice {
+            slot,
+            band,
+            surface,
+        }
     }
 
     #[test]

@@ -107,7 +107,12 @@ impl TaskTable {
     /// ties broken by admission order (earlier first).
     pub fn live_by_priority(&self) -> Vec<&Task> {
         let mut live: Vec<&Task> = self.tasks.iter().filter(|t| t.is_live()).collect();
-        live.sort_by(|a, b| b.request.priority.cmp(&a.request.priority).then(a.id.cmp(&b.id)));
+        live.sort_by(|a, b| {
+            b.request
+                .priority
+                .cmp(&a.request.priority)
+                .then(a.id.cmp(&b.id))
+        });
         live
     }
 
@@ -121,8 +126,13 @@ impl TaskTable {
         let legal = match (task.state, state) {
             (a, b) if a == b => true,
             (TaskState::Pending, TaskState::Running | TaskState::Failed) => true,
-            (TaskState::Running, TaskState::Idle | TaskState::Completed | TaskState::Failed | TaskState::Pending) => true,
-            (TaskState::Idle, TaskState::Running | TaskState::Completed | TaskState::Failed) => true,
+            (
+                TaskState::Running,
+                TaskState::Idle | TaskState::Completed | TaskState::Failed | TaskState::Pending,
+            ) => true,
+            (TaskState::Idle, TaskState::Running | TaskState::Completed | TaskState::Failed) => {
+                true
+            }
             _ => false,
         };
         assert!(

@@ -99,12 +99,7 @@ impl AoaEstimator {
             .steering
             .iter()
             .map(|s| {
-                let z: Complex = s
-                    .weights
-                    .iter()
-                    .zip(y)
-                    .map(|(w, yi)| w.conj() * *yi)
-                    .sum();
+                let z: Complex = s.weights.iter().zip(y).map(|(w, yi)| w.conj() * *yi).sum();
                 z.norm_sqr()
             })
             .collect();
@@ -216,7 +211,8 @@ impl AoaLinearization {
                 for (i, zi) in z.iter().enumerate() {
                     sum_all += 2.0 * (zi.conj() * Complex::J * self.bin_weights[i][e] * r[e]).re;
                 }
-                let d_true = 2.0 * (zt.conj() * Complex::J * self.bin_weights[self.true_bin][e] * r[e]).re;
+                let d_true =
+                    2.0 * (zt.conj() * Complex::J * self.bin_weights[self.true_bin][e] * r[e]).re;
                 -d_true / zt_sq + sum_all / total
             })
             .collect()

@@ -107,11 +107,14 @@ mod tests {
         let points = vec![Vec3::new(3.0, 1.0, 1.5), Vec3::new(4.0, 2.0, 1.5)];
         let grid = AngleGrid::uniform(81, 1.3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let good: f64 = evaluate_localization(&sim, 0, &ap, &client, &points, grid.clone(), 0.0, &mut rng)
-            .iter()
-            .sum();
+        let good: f64 =
+            evaluate_localization(&sim, 0, &ap, &client, &points, grid.clone(), 0.0, &mut rng)
+                .iter()
+                .sum();
         // Scramble phases pseudo-randomly with strong spatial decorrelation.
-        let phases: Vec<f64> = (0..256).map(|i| ((i * 7919) % 628) as f64 / 100.0).collect();
+        let phases: Vec<f64> = (0..256)
+            .map(|i| ((i * 7919) % 628) as f64 / 100.0)
+            .collect();
         sim.surface_mut(0).set_phases(&phases);
         let bad: f64 = evaluate_localization(&sim, 0, &ap, &client, &points, grid, 0.0, &mut rng)
             .iter()

@@ -66,10 +66,7 @@ pub fn sound<R: Rng>(
         .iter()
         .zip(response)
         .map(|(c, r)| {
-            let noise = Complex::new(
-                gaussian(rng) * noise_std,
-                gaussian(rng) * noise_std,
-            );
+            let noise = Complex::new(gaussian(rng) * noise_std, gaussian(rng) * noise_std);
             *c * *r + noise
         })
         .collect();

@@ -36,7 +36,10 @@ fn main() {
         max_area_m2: None,
     };
     let candidates = candidate_designs(&all_designs(), &requirements);
-    assert!(!candidates.is_empty(), "the database covers the requirements");
+    assert!(
+        !candidates.is_empty(),
+        "the database covers the requirements"
+    );
     println!(
         "[design]     {} candidate design(s): {}",
         candidates.len(),
@@ -119,7 +122,10 @@ fn main() {
         os.step(10);
     }
     let achieved = os.measure(task).expect("measurable");
-    println!("[service]    achieved median SNR {achieved:.1} dB (goal {:.0})", 20.0);
+    println!(
+        "[service]    achieved median SNR {achieved:.1} dB (goal {:.0})",
+        20.0
+    );
     assert!(
         achieved >= 15.0,
         "running deployment should approach the plan: {achieved:.1}"

@@ -111,12 +111,19 @@ fn main() {
     sim.surface_mut(backhaul).set_phases(&backhaul_phases);
 
     let costs = DeploymentCost::of(&[passive_spec(64, band), prog_spec(16, band)]);
-    println!("Hybrid deployment: ${:.0} hardware, {:.3} m² aperture, {:.1} W",
-        costs.hardware_usd, costs.area_m2, costs.power_mw / 1000.0);
+    println!(
+        "Hybrid deployment: ${:.0} hardware, {:.3} m² aperture, {:.1} W",
+        costs.hardware_usd,
+        costs.area_m2,
+        costs.power_mw / 1000.0
+    );
     println!("Backhaul fabricated once; steering tile re-aims per user position.\n");
 
     // As the user moves, only the small programmable tile reconfigures.
-    println!("{:<24} {:>12} {:>14}", "user position", "SNR (dB)", "capacity");
+    println!(
+        "{:<24} {:>12} {:>14}",
+        "user position", "SNR (dB)", "capacity"
+    );
     for p in waypoints {
         let mut rx = user.clone();
         rx.pose.position = p;
@@ -135,7 +142,10 @@ fn main() {
             budget.snr_db,
             budget.capacity_bps / 1e6
         );
-        assert!(budget.snr_db > 10.0, "steered link must be usable everywhere");
+        assert!(
+            budget.snr_db > 10.0,
+            "steered link must be usable everywhere"
+        );
     }
 
     println!("\nThe passive aperture does the heavy lifting; the programmable");

@@ -70,7 +70,10 @@ fn main() {
         },
     );
     sim.surface_mut(idx).set_phases(&result.phases[0]);
-    println!("Jointly optimized one {n}×{n} configuration (loss {:.1}).\n", result.loss);
+    println!(
+        "Jointly optimized one {n}×{n} configuration (loss {:.1}).\n",
+        result.loss
+    );
 
     // Service 1: the stream. Check SNR wherever the user may stand.
     let snr = sim.snr_heatmap(&ap, &grid, &probe);
@@ -105,7 +108,10 @@ fn main() {
         println!("  user at {p} → localization error {e:.2} m");
     }
     let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
-    println!("\nMean tracking error {mean_err:.2} m while streaming at median {:.1} dB —", snr.median());
+    println!(
+        "\nMean tracking error {mean_err:.2} m while streaming at median {:.1} dB —",
+        snr.median()
+    );
     println!("one surface, one configuration, two services (Figure 5's claim).");
 
     assert!(snr.median() > 10.0, "stream must be healthy");

@@ -32,10 +32,7 @@ fn main() {
     os.deploy_surface("wall0", Box::new(ProgrammableDriver::new(spec)), pose);
 
     // 3. Infrastructure and devices. The AP aims at the surface.
-    let ap_pose = Pose::wall_mounted(
-        scen.ap_pose.position,
-        pose.position - scen.ap_pose.position,
-    );
+    let ap_pose = Pose::wall_mounted(scen.ap_pose.position, pose.position - scen.ap_pose.position);
     os.add_endpoint(Endpoint::access_point("ap0", ap_pose));
     os.add_endpoint(Endpoint::client("laptop", Vec3::new(6.5, 1.5, 1.2)));
 
@@ -51,8 +48,11 @@ fn main() {
     let laptop = os.orchestrator().endpoint("laptop").unwrap().clone();
     let ap = os.orchestrator().ap().clone();
     let before = os.sim().link_budget(&ap, &laptop);
-    println!("\nBefore: laptop SNR = {:.1} dB (capacity {:.0} Mb/s)",
-        before.snr_db, before.capacity_bps / 1e6);
+    println!(
+        "\nBefore: laptop SNR = {:.1} dB (capacity {:.0} Mb/s)",
+        before.snr_db,
+        before.capacity_bps / 1e6
+    );
 
     // 6. Run the kernel loop: schedule → optimize → push configs through
     //    the drivers (wire format, control delay, quantization) → actuate.
@@ -61,10 +61,16 @@ fn main() {
     }
 
     let after = os.sim().link_budget(&ap, &laptop);
-    println!("After:  laptop SNR = {:.1} dB (capacity {:.0} Mb/s)",
-        after.snr_db, after.capacity_bps / 1e6);
+    println!(
+        "After:  laptop SNR = {:.1} dB (capacity {:.0} Mb/s)",
+        after.snr_db,
+        after.capacity_bps / 1e6
+    );
     println!("\nKernel telemetry: {}", os.telemetry());
 
-    assert!(after.snr_db > before.snr_db + 10.0, "surface must add >10 dB");
+    assert!(
+        after.snr_db > before.snr_db + 10.0,
+        "surface must add >10 dB"
+    );
     println!("\nSurfOS revived a dead room with one surface and one sentence.");
 }

@@ -8,4 +8,13 @@ for bin in table1 fig2 fig4 fig5 fig6 ablations; do
     cargo run --release -p surfos-bench --bin "$bin" -- --csv results \
         > "results/$bin.txt" 2> >(grep -v '^\s*Compiling\|^\s*Finished\|^\s*Running' >&2 || true)
 done
+
+# Observability snapshot of the apartment demo scenario: the
+# deterministic projection (wall-clock series dropped) is byte-identical
+# across runs, so this file diffs cleanly between commits.
+echo "== metrics (apartment demo) =="
+cargo run --release -p surfos --bin surfosd -- \
+    --metrics-json results/metrics_apartment.json --deterministic-metrics \
+    examples/demo.surfos > results/demo_apartment.txt
+
 echo "results/ written"

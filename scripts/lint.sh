@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Static gate: formatting + clippy with warnings denied.
+#
+#   scripts/lint.sh          # check formatting and lints
+#   scripts/lint.sh --fix    # apply rustfmt, then re-check lints
+#
+# Also invoked by scripts/perf_smoke.sh --check, so a perf gate run cannot
+# pass on a tree that fails the static checks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+  cargo fmt
+else
+  cargo fmt --check
+fi
+
+cargo clippy -q --all-targets -- -D warnings
+
+echo "lint: formatting and clippy clean"

@@ -36,23 +36,32 @@ cleanup() { rm -f "${tmpfiles[@]}"; }
 trap cleanup EXIT
 
 run_benches() {
-  local jsonl
+  local jsonl obs_jsonl
   jsonl="$(mktemp)"
-  tmpfiles+=("$jsonl")
+  obs_jsonl="$(mktemp)"
+  tmpfiles+=("$jsonl" "$obs_jsonl")
 
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench spatial
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
+
+  # Observability attachment: derived cache/culling metrics and span
+  # medians from an instrumented kernel run. These lines use
+  # "span"/"p50_ns" and "metric"/"value" keys, so extract_medians (which
+  # matches "id"/"median_ns") never gates on them.
+  cargo run -q --release -p surfos-bench --bin obs_smoke > "$obs_jsonl"
 
   # Wrap the JSON lines into one JSON document with run metadata.
   local threads="${SURFOS_THREADS:-auto}"
   {
     printf '{\n  "threads": "%s",\n  "benchmarks": [\n' "$threads"
     sed 's/^/    /; $!s/$/,/' "$jsonl"
+    printf '  ],\n  "observability": [\n'
+    sed 's/^/    /; $!s/$/,/' "$obs_jsonl"
     printf '  ]\n}\n'
   } > "$fresh_file"
 
-  echo "wrote $fresh_file ($(grep -c median_ns "$jsonl") benchmarks, threads=$threads)"
+  echo "wrote $fresh_file ($(grep -c median_ns "$jsonl") benchmarks, $(wc -l < "$obs_jsonl") obs metrics, threads=$threads)"
 }
 
 # Extract "<id> <median_ns>" pairs from a BENCH json file.
@@ -103,6 +112,6 @@ check_regressions() {
 
 case "$mode" in
   run) run_benches ;;
-  check) run_benches; check_regressions ;;
+  check) scripts/lint.sh; run_benches; check_regressions ;;
   check_only) check_regressions ;;
 esac

@@ -32,7 +32,9 @@ fn spec(bits: u8, reconf: Reconfigurability) -> HardwareSpec {
 
 /// Ideal continuous phases for the test: a diagonal ramp.
 fn ideal_phases() -> Vec<f64> {
-    (0..64).map(|i| (i as f64 * 0.37) % std::f64::consts::TAU).collect()
+    (0..64)
+        .map(|i| (i as f64 * 0.37) % std::f64::consts::TAU)
+        .collect()
 }
 
 #[test]

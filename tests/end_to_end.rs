@@ -47,7 +47,10 @@ fn intent_to_running_service_to_real_snr() {
     let ap = os.orchestrator().ap().clone();
     let laptop = os.orchestrator().endpoint("laptop").unwrap().clone();
     let before = os.sim().link_budget(&ap, &laptop).snr_db;
-    assert!(before < 5.0, "bedroom should start dead-ish, got {before:.1}");
+    assert!(
+        before < 5.0,
+        "bedroom should start dead-ish, got {before:.1}"
+    );
 
     for _ in 0..3 {
         let report = os.step(10);
@@ -87,13 +90,19 @@ fn multiple_services_coexist_via_shared_slices() {
     assert!(report.rejected.is_empty(), "all tasks admitted");
 
     for t in [cov, sense, link] {
-        assert_eq!(os.orchestrator().tasks.get(t).unwrap().state, TaskState::Running);
+        assert_eq!(
+            os.orchestrator().tasks.get(t).unwrap().state,
+            TaskState::Running
+        );
         assert!(!os.orchestrator().slices.slices_of(t).is_empty());
     }
     // Coverage and sensing share the single surface via a multitask group.
     let s_cov = os.orchestrator().slices.slices_of(cov);
     let s_sense = os.orchestrator().slices.slices_of(sense);
-    assert!(s_cov.iter().any(|s| s_sense.contains(s)), "joint group expected");
+    assert!(
+        s_cov.iter().any(|s| s_sense.contains(s)),
+        "joint group expected"
+    );
 }
 
 #[test]
@@ -134,7 +143,10 @@ fn task_expiry_frees_resources_for_pending_work() {
     let sense = os.orchestrator_mut().enable_sensing("bedroom", 0.02);
     let cov = os.orchestrator_mut().optimize_coverage("bedroom", 25.0);
     os.step(10);
-    assert_eq!(os.orchestrator().tasks.get(sense).unwrap().state, TaskState::Running);
+    assert_eq!(
+        os.orchestrator().tasks.get(sense).unwrap().state,
+        TaskState::Running
+    );
 
     // Expire the sensing task.
     let report = os.step(30);
@@ -144,7 +156,10 @@ fn task_expiry_frees_resources_for_pending_work() {
         TaskState::Completed
     );
     assert!(os.orchestrator().slices.slices_of(sense).is_empty());
-    assert_eq!(os.orchestrator().tasks.get(cov).unwrap().state, TaskState::Running);
+    assert_eq!(
+        os.orchestrator().tasks.get(cov).unwrap().state,
+        TaskState::Running
+    );
 }
 
 #[test]
@@ -157,7 +172,8 @@ fn mobility_is_followed_by_reoptimization() {
     let at_first = os.measure(link).unwrap();
 
     // The phone moves across the room; the old beam misses it.
-    os.orchestrator_mut().move_endpoint("phone", Vec3::new(5.6, 0.7, 1.0));
+    os.orchestrator_mut()
+        .move_endpoint("phone", Vec3::new(5.6, 0.7, 1.0));
     let stale = os.measure(link).unwrap();
 
     for _ in 0..3 {
@@ -168,7 +184,10 @@ fn mobility_is_followed_by_reoptimization() {
         refreshed > stale,
         "re-optimization must recover the moved link: stale {stale:.1} → {refreshed:.1}"
     );
-    assert!(refreshed > at_first - 10.0, "new position served comparably");
+    assert!(
+        refreshed > at_first - 10.0,
+        "new position served comparably"
+    );
 }
 
 #[test]

@@ -58,7 +58,10 @@ fn unified_primitives_work_across_all_designs() {
             driver.stored_config(0).unwrap().is_some(),
             "{id} lost its configuration"
         );
-        assert_eq!(driver.realized_response().len(), driver.spec().element_count());
+        assert_eq!(
+            driver.realized_response().len(),
+            driver.spec().element_count()
+        );
     }
 }
 
@@ -93,13 +96,13 @@ fn offband_blocking_interaction_is_exposed() {
     let t_cellular = laia.offband_transmission(3.5e9);
     let t_wifi5 = laia.offband_transmission(5.25e9);
     let t_mmwave = laia.offband_transmission(NamedBand::MmWave60GHz.band().center_hz);
-    assert!(t_cellular < 0.95, "noticeable blocking at 3.5 GHz: {t_cellular}");
+    assert!(
+        t_cellular < 0.95,
+        "noticeable blocking at 3.5 GHz: {t_cellular}"
+    );
     assert!(t_wifi5 < 0.99, "some blocking at 5 GHz: {t_wifi5}");
     assert!(t_mmwave > 0.99, "transparent far off-band: {t_mmwave}");
-    assert!(
-        t_cellular < t_wifi5,
-        "closer bands are blocked harder"
-    );
+    assert!(t_cellular < t_wifi5, "closer bands are blocked harder");
 }
 
 #[test]
@@ -153,5 +156,8 @@ fn passive_fleet_draws_zero_power() {
     let total_cost: f64 = reg.surfaces().map(|(_, d)| d.spec().total_cost_usd()).sum();
     // Table 1's whole design space costs on the order of $20k, dominated
     // by mmWall.
-    assert!(total_cost > 10_000.0 && total_cost < 25_000.0, "{total_cost}");
+    assert!(
+        total_cost > 10_000.0 && total_cost < 25_000.0,
+        "{total_cost}"
+    );
 }

@@ -104,7 +104,10 @@ fn rooms_are_served_by_their_own_surfaces_and_aps() {
     let off_idx = os.sim().surface_index("off0").unwrap();
     assert!(bed_surfaces.contains(&bed_idx), "{bed_surfaces:?}");
     assert!(off_surfaces.contains(&off_idx), "{off_surfaces:?}");
-    assert!(!off_surfaces.contains(&bed_idx), "bedroom surface can't see office");
+    assert!(
+        !off_surfaces.contains(&bed_idx),
+        "bedroom surface can't see office"
+    );
 
     // And the office task is served by the office AP.
     assert_eq!(os.orchestrator().serving_ap_for(off_cov).id, "ap-office");
@@ -130,5 +133,9 @@ fn house_scale_telemetry_and_wire_traffic() {
     assert!(t.configs_pushed >= 2, "both rooms' surfaces configured");
     assert!(t.writes_committed >= 2);
     // 24×24 at 2 bits ≈ 144 B payload per config; traffic is modest.
-    assert!(t.wire_bytes > 200 && t.wire_bytes < 100_000, "{}", t.wire_bytes);
+    assert!(
+        t.wire_bytes > 200 && t.wire_bytes < 100_000,
+        "{}",
+        t.wire_bytes
+    );
 }

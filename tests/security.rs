@@ -66,14 +66,9 @@ fn optimize(world: &World, suppression_weight: f64) -> Vec<f64> {
     if suppression_weight > 0.0 {
         obj = obj.with(
             Box::new(
-                SuppressionObjective::new(
-                    &world.sim,
-                    &world.ap,
-                    &world.eaves_region,
-                    &probe,
-                )
-                // Stop suppressing once the leak is at -80 dBm.
-                .with_goal(-75.0, world.ap.tx_power_dbm),
+                SuppressionObjective::new(&world.sim, &world.ap, &world.eaves_region, &probe)
+                    // Stop suppressing once the leak is at -80 dBm.
+                    .with_goal(-75.0, world.ap.tx_power_dbm),
             ),
             suppression_weight,
         );

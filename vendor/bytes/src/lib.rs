@@ -116,7 +116,10 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec(), pos: 0 }
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
     }
 }
 
@@ -160,7 +163,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -173,7 +178,10 @@ impl BytesMut {
 
     /// Freeze into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, pos: 0 }
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
     }
 }
 

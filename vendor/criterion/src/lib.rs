@@ -66,7 +66,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.as_ref().to_string(), criterion: self }
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            criterion: self,
+        }
     }
 
     fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
@@ -77,7 +80,10 @@ impl Criterion {
         }
 
         // Warmup + calibration: estimate ns/iter, pick iters per sample.
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
         let mut warm_elapsed = Duration::ZERO;
@@ -100,7 +106,9 @@ impl Criterion {
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter_ns[SAMPLES / 2];
 
-        println!("bench: {id:<50} median {median:>14.1} ns/iter ({SAMPLES} samples x {iters} iters)");
+        println!(
+            "bench: {id:<50} median {median:>14.1} ns/iter ({SAMPLES} samples x {iters} iters)"
+        );
         record(id, median);
     }
 }
@@ -138,7 +146,11 @@ fn record(id: &str, median_ns: f64) {
     if path.is_empty() {
         return;
     }
-    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         let _ = writeln!(file, "{{\"id\": \"{id}\", \"median_ns\": {median_ns:.1}}}");
     }
 }
@@ -169,14 +181,14 @@ mod tests {
     #[test]
     fn measures_and_reports_monotonic_work() {
         let mut c = Criterion { filter: None };
-        c.bench_function("smoke/sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("smoke/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
     }
 
     #[test]
     fn group_ids_are_prefixed_and_filter_skips() {
-        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
         let mut group = c.benchmark_group("g");
         group.sample_size(10).bench_function("skipped", |b| {
             b.iter(|| panic!("filtered benches must not run"))

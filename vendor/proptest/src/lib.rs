@@ -225,7 +225,10 @@ pub mod prop {
         use crate::strategy::{SizeRange, Strategy, VecStrategy};
 
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
     }
 

@@ -1,11 +1,11 @@
 //! Minimal offline stand-in for `serde`.
 //!
 //! The build environment has no registry access, so the workspace vendors the
-//! slice of serde it actually uses: the `Serialize`/`Serializer`/
-//! `SerializeStruct` trait surface exercised by `surfos::telemetry`, plus the
-//! derive-macro names (`serde_derive` shims them as no-ops). The trait
-//! contracts match upstream serde, so swapping the real crate back in is a
-//! one-line `Cargo.toml` change.
+//! slice of serde it actually uses: the `Serialize`/`Serializer` trait surface
+//! exercised by `surfos::telemetry` and `surfos-obs` (structs, sequences and
+//! maps), plus the derive-macro names (`serde_derive` shims them as no-ops).
+//! The trait contracts match upstream serde, so swapping the real crate back
+//! in is a one-line `Cargo.toml` change.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -19,6 +19,8 @@ pub mod ser {
     pub trait Serializer: Sized {
         type Ok;
         type Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
         type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
 
         fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
@@ -26,11 +28,51 @@ pub mod ser {
         fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
         fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
         fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
         fn serialize_struct(
             self,
             name: &'static str,
             len: usize,
         ) -> Result<Self::SerializeStruct, Self::Error>;
+    }
+
+    /// Returned from `Serializer::serialize_seq`.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error;
+
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        fn end(self) -> Result<Self::Ok, Self::Error>
+        where
+            Self: Sized;
+    }
+
+    /// Returned from `Serializer::serialize_map`.
+    pub trait SerializeMap {
+        type Ok;
+        type Error;
+
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+
+        fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+            &mut self,
+            key: &K,
+            value: &V,
+        ) -> Result<(), Self::Error> {
+            self.serialize_key(key)?;
+            self.serialize_value(value)
+        }
+
+        fn end(self) -> Result<Self::Ok, Self::Error>
+        where
+            Self: Sized;
     }
 
     /// Returned from `Serializer::serialize_struct`.
@@ -95,6 +137,47 @@ pub mod ser {
     impl<T: Serialize + ?Sized> Serialize for &T {
         fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
             (**self).serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(serializer)
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(serializer)
+        }
+    }
+
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut seq = serializer.serialize_seq(Some(2))?;
+            seq.serialize_element(&self.0)?;
+            seq.serialize_element(&self.1)?;
+            seq.end()
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut map = serializer.serialize_map(Some(self.len()))?;
+            for (k, v) in self {
+                map.serialize_entry(k, v)?;
+            }
+            map.end()
         }
     }
 }
