@@ -1,0 +1,92 @@
+//! Walk-replay benchmarks: 60 heartbeats of moving blockers over a
+//! cluttered 32-wall scene with a programmable surface. The incremental
+//! path (blocker-epoch index refit + per-link linearization refresh) is
+//! measured against a forced full rebuild per tick — the speedup the
+//! two-epoch dynamics engine exists to deliver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::channel::dynamics::BlockerWalk;
+use surfos::channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
+use surfos::em::antenna::ElementPattern;
+use surfos::em::array::ArrayGeometry;
+use surfos::em::band::NamedBand;
+use surfos::geometry::{Pose, Vec3};
+use surfos_bench::scenes::cluttered_plan;
+
+const WALLS: usize = 32;
+const BLOCKERS: usize = 4;
+const TICKS: usize = 60;
+const SCENE_SEED: u64 = 42;
+
+fn walk_scene() -> (ChannelSim, Endpoint, Endpoint, BlockerWalk) {
+    let band = NamedBand::MmWave28GHz.band();
+    let mut sim = ChannelSim::new(cluttered_plan(WALLS, SCENE_SEED), band);
+    let geom = ArrayGeometry::half_wavelength(16, 16, band.wavelength_m());
+    let pose = Pose::wall_mounted(Vec3::new(10.0, 4.0, 1.8), Vec3::new(0.0, 1.0, 0.0));
+    sim.add_surface(SurfaceInstance::new(
+        "s0",
+        pose,
+        geom,
+        OperationMode::Reflective,
+    ));
+    let mut ap = Endpoint::client("ap", Vec3::new(4.0, 10.0, 2.0));
+    ap.pattern = ElementPattern::Isotropic;
+    let mut rx = Endpoint::client("rx", Vec3::new(16.0, 11.0, 1.2));
+    rx.pattern = ElementPattern::Isotropic;
+    let walk = BlockerWalk::new(
+        vec![
+            Vec3::xy(6.0, 9.0),
+            Vec3::xy(14.0, 10.5),
+            Vec3::xy(11.0, 6.0),
+        ],
+        1.4,
+    );
+    (sim, ap, rx, walk)
+}
+
+/// One replayed heartbeat: reposition the crowd, re-ask the cached link.
+fn tick(sim: &mut ChannelSim, walk: &BlockerWalk, ap: &Endpoint, rx: &Endpoint, k: usize) {
+    let t_s = k as f64 * 0.1;
+    sim.set_blockers(walk.crowd_at(t_s, BLOCKERS, 0.8));
+    black_box(sim.cached_linearization(ap, rx));
+}
+
+fn bench_walk_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel/walk_replay_60ticks");
+    group.sample_size(10);
+
+    // Incremental: blocker-only mutations refit the index and refresh the
+    // cached linearization in place.
+    {
+        let (mut sim, ap, rx, walk) = walk_scene();
+        let _ = sim.cached_linearization(&ap, &rx); // warm
+        group.bench_function("incremental", |b| {
+            b.iter(|| {
+                for k in 0..TICKS {
+                    tick(&mut sim, &walk, &ap, &rx, k);
+                }
+            })
+        });
+    }
+
+    // Full rebuild: the pre-incremental behaviour, forced by invalidating
+    // the structure each tick — index rebuilt, caches dropped, link fully
+    // re-traced.
+    {
+        let (mut sim, ap, rx, walk) = walk_scene();
+        group.bench_function("full_rebuild", |b| {
+            b.iter(|| {
+                for k in 0..TICKS {
+                    sim.invalidate_cache();
+                    tick(&mut sim, &walk, &ap, &rx, k);
+                }
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_replay);
+criterion_main!(benches);

@@ -8,7 +8,10 @@
 //! with optimizer iteration counts and are not perf-gated, so they must
 //! stay invisible to the regression extractor.
 
-use surfos::channel::{ChannelSim, Endpoint};
+use surfos::channel::dynamics::BlockerWalk;
+use surfos::channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
+use surfos::em::antenna::ElementPattern;
+use surfos::em::array::ArrayGeometry;
 use surfos::em::band::NamedBand;
 use surfos::geometry::scenario::two_room_apartment;
 use surfos::geometry::{Pose, Vec3};
@@ -41,6 +44,12 @@ fn main() {
     // A link task exercises the per-pair linearization cache (coverage
     // goes through the sweep path, which is uncached by design).
     os.submit(ServiceRequest::enhance_link("laptop", 20.0, 50.0));
+    // A walking person: every step after the first is a blocker-only
+    // mutation, exercising the incremental refit/refresh path.
+    os.attach_walk(BlockerWalk::new(
+        vec![Vec3::xy(5.5, 1.0), Vec3::xy(7.0, 2.5)],
+        1.4,
+    ));
     for _ in 0..3 {
         os.step(10);
     }
@@ -48,7 +57,9 @@ fn main() {
     let snap = obs::snapshot();
     let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
 
-    let hits = get("channel.lincache.hits") as f64;
+    // Refreshes are warm accesses too: the entry survived a blocker step
+    // and was patched in place instead of re-traced.
+    let hits = (get("channel.lincache.hits") + get("channel.lincache.refreshes")) as f64;
     let misses = get("channel.lincache.misses") as f64;
     let hit_rate = if hits + misses > 0.0 {
         hits / (hits + misses)
@@ -69,11 +80,81 @@ fn main() {
         "{{\"metric\": \"channel.rephasings\", \"value\": {}}}",
         get("channel.rephasings")
     );
+    // Incremental dynamics: how often blocker motion refit the index
+    // instead of rebuilding it, and how many per-path evaluations the
+    // crossing-set diff patched through vs re-traced.
+    for name in [
+        "channel.refits",
+        "channel.index.builds",
+        "channel.paths_patched",
+        "channel.paths_retraced",
+        "channel.lincache.refreshes",
+        "geometry.bvh.refits",
+    ] {
+        println!("{{\"metric\": \"{name}\", \"value\": {}}}", get(name));
+    }
+    println!(
+        "{{\"metric\": \"channel.walk_replay.speedup\", \"value\": {:.2}}}",
+        walk_replay_speedup()
+    );
 
     for (path, span) in &snap.spans {
         println!(
             "{{\"span\": \"{path}\", \"count\": {}, \"p50_ns\": {}}}",
             span.count, span.p50_ns
         );
+    }
+}
+
+/// Rebuild-vs-refit wall-clock ratio over a 60-tick walk replay on the
+/// dynamics bench's scene (32 cluttered walls, 4 walkers, 16×16 surface).
+/// A coarse one-shot measurement — the gated numbers live in the
+/// `channel/walk_replay_60ticks` criterion bench; this records the
+/// realized speedup alongside the obs counters.
+fn walk_replay_speedup() -> f64 {
+    let band = NamedBand::MmWave28GHz.band();
+    let build = || {
+        let mut sim = ChannelSim::new(surfos_bench::scenes::cluttered_plan(32, 42), band);
+        let geom = ArrayGeometry::half_wavelength(16, 16, band.wavelength_m());
+        sim.add_surface(SurfaceInstance::new(
+            "s0",
+            Pose::wall_mounted(Vec3::new(10.0, 4.0, 1.8), Vec3::new(0.0, 1.0, 0.0)),
+            geom,
+            OperationMode::Reflective,
+        ));
+        sim
+    };
+    let mut ap = Endpoint::client("ap", Vec3::new(4.0, 10.0, 2.0));
+    ap.pattern = ElementPattern::Isotropic;
+    let mut rx = Endpoint::client("rx", Vec3::new(16.0, 11.0, 1.2));
+    rx.pattern = ElementPattern::Isotropic;
+    let walk = BlockerWalk::new(
+        vec![
+            Vec3::xy(6.0, 9.0),
+            Vec3::xy(14.0, 10.5),
+            Vec3::xy(11.0, 6.0),
+        ],
+        1.4,
+    );
+    let replay = |sim: &mut ChannelSim, rebuild: bool| {
+        let start = std::time::Instant::now();
+        for k in 0..60 {
+            if rebuild {
+                sim.invalidate_cache();
+            }
+            sim.set_blockers(walk.crowd_at(k as f64 * 0.1, 4, 0.8));
+            std::hint::black_box(sim.cached_linearization(&ap, &rx));
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let mut incremental = build();
+    let _ = incremental.cached_linearization(&ap, &rx); // warm
+    let t_inc = replay(&mut incremental, false);
+    let mut full = build();
+    let t_full = replay(&mut full, true);
+    if t_inc > 0.0 {
+        t_full / t_inc
+    } else {
+        0.0
     }
 }

@@ -136,6 +136,15 @@ impl BlockerWalk {
     pub fn blocker_at(&self, t_s: f64) -> Blocker {
         Blocker::person(self.position_at(t_s))
     }
+
+    /// A single-file crowd on the walk: `count` people, each trailing the
+    /// previous by `spacing_s` seconds along the same loop. The standard
+    /// multi-blocker load for the walk-replay benchmarks.
+    pub fn crowd_at(&self, t_s: f64, count: usize, spacing_s: f64) -> Vec<Blocker> {
+        (0..count)
+            .map(|i| self.blocker_at(t_s + i as f64 * spacing_s))
+            .collect()
+    }
 }
 
 /// An environment event the kernel's runtime loop reacts to.
@@ -226,5 +235,15 @@ mod tests {
     #[should_panic(expected = "at least two waypoints")]
     fn single_waypoint_rejected() {
         let _ = BlockerWalk::new(vec![Vec3::ZERO], 1.0);
+    }
+
+    #[test]
+    fn crowd_trails_the_lead_walker() {
+        let walk = BlockerWalk::new(vec![Vec3::xy(0.0, 0.0), Vec3::xy(4.0, 0.0)], 1.0);
+        let crowd = walk.crowd_at(3.0, 3, 0.5);
+        assert_eq!(crowd.len(), 3);
+        for (i, b) in crowd.iter().enumerate() {
+            assert_eq!(b.position, walk.position_at(3.0 + i as f64 * 0.5));
+        }
     }
 }

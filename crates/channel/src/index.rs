@@ -11,11 +11,21 @@
 //! - the world positions of every surface element, so `trace_surface` /
 //!   `trace_cascade` stop re-deriving thousands of pose transforms per link.
 //!
-//! [`ChannelSim`](crate::sim::ChannelSim) builds one per geometry epoch and
-//! shares it (via `Arc`) across every trace, batch fan-out and kernel tick
-//! until a wall/blocker/surface mutation invalidates it. All culling through
-//! the index is conservative — candidate supersets only — so indexed results
-//! are bit-identical to the brute-force scan.
+//! The first, third and fourth are *structural*: they depend only on walls
+//! and surfaces, which mutate rarely. They live behind one shared
+//! [`SceneStructure`] `Arc`. The blocker boxes are the *dynamic* part —
+//! people walk every tick — so a blocker-only mutation calls
+//! [`SceneIndex::refit_blockers`], which recomputes just the `O(blockers)`
+//! boxes and shares the structure untouched, instead of rebuilding the wall
+//! BVH and re-deriving element positions.
+//!
+//! [`ChannelSim`](crate::sim::ChannelSim) builds one per structure epoch,
+//! refits it per blocker epoch, and shares it (via `Arc`) across every
+//! trace, batch fan-out and kernel tick. All culling through the index is
+//! conservative — candidate supersets only — so indexed results are
+//! bit-identical to the brute-force scan.
+
+use std::sync::Arc;
 
 use surfos_geometry::bvh::Aabb;
 use surfos_geometry::plan::WallIndex;
@@ -38,46 +48,80 @@ struct CachedElements {
     positions: Vec<Vec3>,
 }
 
-/// Per-geometry-epoch spatial acceleration for one scene. See the module
-/// docs; build with [`SceneIndex::build`].
+/// The structural (walls + surfaces) slice of a [`SceneIndex`]: everything
+/// that is invariant under blocker motion. Shared via `Arc` across blocker
+/// refits, so a walk tick never rebuilds the wall BVH or re-derives element
+/// positions.
 #[derive(Debug)]
-pub struct SceneIndex {
+pub struct SceneStructure {
     walls: WallIndex,
-    blocker_boxes: Vec<Aabb>,
     obstructing: Vec<(usize, Aabb)>,
     elements: Vec<CachedElements>,
 }
 
+/// Per-epoch spatial acceleration for one scene. See the module docs;
+/// build with [`SceneIndex::build`], refit with
+/// [`SceneIndex::refit_blockers`].
+#[derive(Debug)]
+pub struct SceneIndex {
+    structure: Arc<SceneStructure>,
+    blocker_boxes: Vec<Aabb>,
+}
+
+fn blocker_boxes(blockers: &[Blocker]) -> Vec<Aabb> {
+    blockers
+        .iter()
+        .map(|b| b.aabb().grown(PRIM_AABB_PAD))
+        .collect()
+}
+
 impl SceneIndex {
     /// Builds the index for a scene. Cost is `O(walls · log walls +
-    /// blockers + Σ elements)` — paid once per geometry epoch, not per
+    /// blockers + Σ elements)` — paid once per structure epoch, not per
     /// link.
     pub fn build(plan: &FloorPlan, blockers: &[Blocker], surfaces: &[SurfaceInstance]) -> Self {
         SceneIndex {
-            walls: plan.build_wall_index(),
-            blocker_boxes: blockers
-                .iter()
-                .map(|b| b.aabb().grown(PRIM_AABB_PAD))
-                .collect(),
-            obstructing: surfaces
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.obstruction_amplitude < 1.0)
-                .map(|(i, s)| (i, s.aperture_aabb().grown(PRIM_AABB_PAD)))
-                .collect(),
-            elements: surfaces
-                .iter()
-                .map(|s| CachedElements {
-                    pose: s.pose,
-                    positions: (0..s.len()).map(|e| s.element_world_position(e)).collect(),
-                })
-                .collect(),
+            structure: Arc::new(SceneStructure {
+                walls: plan.build_wall_index(),
+                obstructing: surfaces
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.obstruction_amplitude < 1.0)
+                    .map(|(i, s)| (i, s.aperture_aabb().grown(PRIM_AABB_PAD)))
+                    .collect(),
+                elements: surfaces
+                    .iter()
+                    .map(|s| CachedElements {
+                        pose: s.pose,
+                        positions: (0..s.len()).map(|e| s.element_world_position(e)).collect(),
+                    })
+                    .collect(),
+            }),
+            blocker_boxes: blocker_boxes(blockers),
         }
+    }
+
+    /// A new index for the same walls and surfaces but a moved/changed
+    /// blocker set: the structure `Arc` is shared untouched and only the
+    /// `O(blockers)` padded boxes are recomputed. Bit-identical to a full
+    /// [`SceneIndex::build`] for the same scene — the boxes come from the
+    /// same expression — at a fraction of the cost.
+    pub fn refit_blockers(&self, blockers: &[Blocker]) -> SceneIndex {
+        SceneIndex {
+            structure: Arc::clone(&self.structure),
+            blocker_boxes: blocker_boxes(blockers),
+        }
+    }
+
+    /// The shared structural slice. Exposed so callers can assert (via
+    /// `Arc::ptr_eq`) that blocker-only mutations never rebuild it.
+    pub fn structure(&self) -> &Arc<SceneStructure> {
+        &self.structure
     }
 
     /// The wall BVH.
     pub fn walls(&self) -> &WallIndex {
-        &self.walls
+        &self.structure.walls
     }
 
     /// Padded blocker boxes, in blocker order (parallel to the scene's
@@ -89,7 +133,7 @@ impl SceneIndex {
     /// `(surface index, padded aperture box)` for each obstructing surface,
     /// in deployment order.
     pub(crate) fn obstructing(&self) -> &[(usize, Aabb)] {
-        &self.obstructing
+        &self.structure.obstructing
     }
 
     /// The cached element world positions of surface `index`, or `None` if
@@ -103,8 +147,43 @@ impl SceneIndex {
         index: usize,
         surface: &SurfaceInstance,
     ) -> Option<&[Vec3]> {
-        let cached = self.elements.get(index)?;
+        let cached = self.structure.elements.get(index)?;
         (cached.positions.len() == surface.len() && cached.pose == surface.pose)
             .then_some(cached.positions.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfos_geometry::scenario::two_room_apartment;
+
+    #[test]
+    fn refit_shares_structure_and_matches_full_build() {
+        let scen = two_room_apartment();
+        let blockers = [Blocker::person(Vec3::xy(2.0, 2.0))];
+        let index = SceneIndex::build(&scen.plan, &blockers, &[]);
+        let moved = [Blocker::person(Vec3::xy(3.5, 1.0))];
+        let refitted = index.refit_blockers(&moved);
+        assert!(
+            Arc::ptr_eq(index.structure(), refitted.structure()),
+            "refit must share the structure Arc"
+        );
+        let rebuilt = SceneIndex::build(&scen.plan, &moved, &[]);
+        assert_eq!(refitted.blocker_boxes(), rebuilt.blocker_boxes());
+    }
+
+    #[test]
+    fn refit_handles_count_changes() {
+        let scen = two_room_apartment();
+        let index = SceneIndex::build(&scen.plan, &[], &[]);
+        let crowd = [
+            Blocker::person(Vec3::xy(1.0, 1.0)),
+            Blocker::person(Vec3::xy(2.0, 2.0)),
+        ];
+        let refitted = index.refit_blockers(&crowd);
+        assert_eq!(refitted.blocker_boxes().len(), 2);
+        assert!(Arc::ptr_eq(index.structure(), refitted.structure()));
+        assert!(refitted.refit_blockers(&[]).blocker_boxes().is_empty());
     }
 }

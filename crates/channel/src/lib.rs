@@ -40,6 +40,7 @@ pub mod dynamics;
 pub mod endpoint;
 pub mod feedback;
 pub mod heatmap;
+pub mod incremental;
 pub mod index;
 pub mod linear;
 pub mod par;
@@ -51,7 +52,7 @@ pub mod trace;
 pub use diagnose::{diagnose_link, LinkDiagnosis};
 pub use endpoint::{Endpoint, EndpointKind};
 pub use heatmap::Heatmap;
-pub use index::SceneIndex;
+pub use index::{SceneIndex, SceneStructure};
 pub use linear::Linearization;
-pub use sim::{ChannelSim, LinkBudget};
+pub use sim::{ChannelSim, IndexStats, LinkBudget};
 pub use surface::{OperationMode, SurfaceInstance};

@@ -170,7 +170,13 @@ impl<'a> Medium<'a> {
             .filter(|(s, aabb)| aabb.intersects_segment(from, to) && s.intersects_segment(from, to))
             .map(|(s, _)| s.obstruction_amplitude)
             .product();
-        SegmentTrace::new(wall_materials, blocker_materials, surface_obstruction)
+        SegmentTrace::new(
+            from,
+            to,
+            wall_materials,
+            blocker_materials,
+            surface_obstruction,
+        )
     }
 
     /// The cached world positions of surface `index`'s elements, when

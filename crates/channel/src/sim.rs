@@ -15,18 +15,25 @@
 //!   band-independent geometry once; re-phasing it at another carrier is
 //!   `O(elements)`. [`ChannelSim::frequency_response`] is one trace plus
 //!   N cheap evaluations instead of N full re-traces.
-//! - **Per-epoch scene index** — every trace runs through a
+//! - **Two-epoch scene index** — every trace runs through a
 //!   [`SceneIndex`] (wall BVH, blocker/aperture boxes, cached element
-//!   positions) built once per geometry epoch and shared across links,
-//!   batches and clones. Culling is conservative, so indexed answers are
-//!   bit-identical to the brute-force scan.
-//! - **Epoch-keyed linearization cache** — single-link queries
-//!   ([`ChannelSim::gain`], [`ChannelSim::rss_dbm`],
-//!   [`ChannelSim::link_budget`]) memoize the [`Linearization`] per
-//!   endpoint pair, with LRU eviction past [`CACHE_CAP`] entries. Any
-//!   geometry mutation (surfaces, blockers, band, walls added)
-//!   invalidates the cache; programming surface *responses* does not,
-//!   because responses are evaluation inputs, not geometry.
+//!   positions) shared across links, batches and clones. Geometry
+//!   mutations split into a *structure epoch* (walls, surfaces, band-free
+//!   invalidation: full rebuild) and a *blocker epoch* (walk ticks:
+//!   [`SceneIndex::refit_blockers`] recomputes only the `O(blockers)`
+//!   boxes, the wall BVH and element positions stay shared). Culling is
+//!   conservative, so indexed answers are bit-identical to the
+//!   brute-force scan.
+//! - **Epoch-keyed incremental linearization cache** — single-link
+//!   queries ([`ChannelSim::gain`], [`ChannelSim::rss_dbm`],
+//!   [`ChannelSim::link_budget`]) memoize a [`LinkState`] per endpoint
+//!   pair, with LRU eviction past [`CACHE_CAP`] entries. Structure or
+//!   band mutations empty the cache; a blocker-only mutation instead
+//!   *refreshes* each entry on next use — diffing every path's
+//!   blocker-crossing set and re-evaluating only the affected paths,
+//!   bit-identical to a cold re-trace. Programming surface *responses*
+//!   invalidates nothing, because responses are evaluation inputs, not
+//!   geometry.
 //! - **Deterministic fan-out** — heatmaps and the batch linearization
 //!   APIs evaluate on scoped threads with chunk-ordered reassembly,
 //!   bit-identical to serial.
@@ -37,6 +44,7 @@ use std::sync::{Arc, Mutex};
 use crate::dynamics::Blocker;
 use crate::endpoint::Endpoint;
 use crate::heatmap::Heatmap;
+use crate::incremental::LinkState;
 use crate::index::SceneIndex;
 use crate::linear::Linearization;
 use crate::par;
@@ -63,37 +71,70 @@ pub struct LinkBudget {
     pub capacity_bps: f64,
 }
 
-/// Linearizations memoized under one geometry stamp. Each entry carries
+/// One memoized link: its [`LinkState`] (trace + per-path values), the
+/// assembled linearization, the blocker epoch the state is current at,
+/// and the logical tick of its last use (for LRU eviction).
+#[derive(Debug)]
+struct CacheEntry {
+    used: u64,
+    blocker_epoch: u64,
+    state: LinkState,
+    lin: Arc<Linearization>,
+}
+
+/// Link states memoized under one structure stamp. Each entry carries
 /// the logical tick of its last use, so eviction can drop the coldest
-/// entries instead of wiping the map.
+/// entries instead of wiping the map. Entries also carry the blocker
+/// epoch they are current at: a blocker-only step leaves the map intact
+/// and refreshes stale entries incrementally on next use.
 #[derive(Debug, Default)]
 struct LinCache {
     stamp: u64,
-    /// Monotonic use counter; bumped on every hit and insert.
+    /// Monotonic use counter; bumped on every hit, refresh and insert.
     tick: u64,
-    map: HashMap<(u64, u64), (u64, Arc<Linearization>)>,
-    /// Lifetime accounting (survives epoch invalidations; reset on clone).
+    map: HashMap<(u64, u64), CacheEntry>,
+    /// Lifetime accounting (survives epoch invalidations; carried into
+    /// clones).
     hits: u64,
     misses: u64,
+    refreshes: u64,
     evictions: u64,
 }
 
-/// Lifetime statistics of one simulator's linearization cache. Hits, misses
-/// and evictions accumulate across geometry epochs (an epoch bump empties
-/// the cache, it does not forget the history); `len` is the current entry
-/// count. Cloning a [`ChannelSim`] starts the clone's stats at zero.
+/// Lifetime statistics of one simulator's linearization cache. Hits,
+/// misses, refreshes and evictions accumulate across geometry epochs (an
+/// epoch bump empties the cache, it does not forget the history); `len` is
+/// the current entry count. Cloning a [`ChannelSim`] carries the lifetime
+/// counters into the clone — the entry map itself starts empty (entries
+/// re-fill on first query) — so BENCH attachments built from a clone do
+/// not under-report hit rates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Queries answered from the cache.
+    /// Queries answered from the cache unchanged.
     pub hits: u64,
-    /// Queries that had to ray-trace (including the first after an epoch
-    /// bump).
+    /// Queries that had to ray-trace (including the first after a
+    /// structure-epoch bump).
     pub misses: u64,
+    /// Queries answered by incrementally refreshing a cached entry after
+    /// a blocker-only mutation (no re-trace).
+    pub refreshes: u64,
     /// Entries dropped by LRU eviction at the capacity bound (epoch
     /// invalidations are not evictions).
     pub evictions: u64,
     /// Entries currently cached.
     pub len: usize,
+}
+
+/// Lifetime scene-index accounting of one simulator: full builds
+/// (structure mutations) vs blocker-box refits (blocker-only mutations).
+/// The kernel turns deltas of these into its refit-vs-rebuild telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Full [`SceneIndex::build`]s installed.
+    pub builds: u64,
+    /// Blocker-box [`SceneIndex::refit_blockers`] installs (structure
+    /// shared, `O(blockers)` work).
+    pub refits: u64,
 }
 
 /// Capacity bound on the linearization cache. A cache this large means the
@@ -102,12 +143,18 @@ pub struct CacheStats {
 /// persistent endpoints stay warm through the sweep.
 const CACHE_CAP: usize = 4096;
 
-/// The scene index memoized under one geometry-only stamp (the band and
-/// enable flags don't shape geometry, so band sweeps reuse the index).
+/// The scene index memoized under one structure-only stamp plus the
+/// blocker epoch it was last refit at (the band and enable flags don't
+/// shape geometry, so band sweeps reuse the index). A structure-stamp
+/// mismatch rebuilds; a blocker-epoch mismatch alone refits.
 #[derive(Debug, Default)]
 struct IndexCache {
-    stamp: u64,
+    struct_stamp: u64,
+    blocker_epoch: u64,
     index: Option<Arc<SceneIndex>>,
+    /// Lifetime build/refit accounting (see [`IndexStats`]).
+    builds: u64,
+    refits: u64,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -166,8 +213,12 @@ pub struct ChannelSim {
     pub enable_cascades: bool,
     blockers: Vec<Blocker>,
     surfaces: Vec<SurfaceInstance>,
-    /// Bumped on every geometry mutation; part of the cache stamp.
-    epoch: u64,
+    /// Bumped on wall/surface mutations and explicit invalidation; keys
+    /// the full-rebuild path (scene index and linearization cache).
+    structure_epoch: u64,
+    /// Bumped on blocker-only mutations (walk ticks); keys the
+    /// refit/refresh fast path.
+    blocker_epoch: u64,
     cache: Mutex<LinCache>,
     index: Mutex<IndexCache>,
 }
@@ -176,13 +227,28 @@ impl Clone for ChannelSim {
     fn clone(&self) -> Self {
         // The clone's geometry is identical, so it shares the scene index
         // Arc (band-probe clones in `frequency_response_naive` then skip
-        // the rebuild). The linearization cache starts empty: cheap, and
-        // entries re-fill on first query.
+        // the rebuild). The linearization cache's entry map starts empty
+        // (link states are heavy; entries re-fill on first query) but the
+        // lifetime counters carry over so accounting built from a clone
+        // does not under-report.
         let index = {
             let ix = self.index.lock().unwrap();
             IndexCache {
-                stamp: ix.stamp,
+                struct_stamp: ix.struct_stamp,
+                blocker_epoch: ix.blocker_epoch,
                 index: ix.index.clone(),
+                builds: ix.builds,
+                refits: ix.refits,
+            }
+        };
+        let cache = {
+            let c = self.cache.lock().unwrap();
+            LinCache {
+                hits: c.hits,
+                misses: c.misses,
+                refreshes: c.refreshes,
+                evictions: c.evictions,
+                ..LinCache::default()
             }
         };
         ChannelSim {
@@ -192,8 +258,9 @@ impl Clone for ChannelSim {
             enable_cascades: self.enable_cascades,
             blockers: self.blockers.clone(),
             surfaces: self.surfaces.clone(),
-            epoch: self.epoch,
-            cache: Mutex::new(LinCache::default()),
+            structure_epoch: self.structure_epoch,
+            blocker_epoch: self.blocker_epoch,
+            cache: Mutex::new(cache),
             index: Mutex::new(index),
         }
     }
@@ -209,7 +276,8 @@ impl ChannelSim {
             enable_wall_reflections: true,
             enable_cascades: true,
             surfaces: Vec::new(),
-            epoch: 0,
+            structure_epoch: 0,
+            blocker_epoch: 0,
             cache: Mutex::new(LinCache::default()),
             index: Mutex::new(IndexCache::default()),
         }
@@ -225,7 +293,7 @@ impl ChannelSim {
             "duplicate surface id {:?}",
             surface.id
         );
-        self.epoch += 1;
+        self.structure_epoch += 1;
         self.surfaces.push(surface);
         self.surfaces.len() - 1
     }
@@ -241,7 +309,7 @@ impl ChannelSim {
     /// [`ChannelSim::set_surface_phases`] / [`ChannelSim::set_surface_response`],
     /// which keep the linearization cache warm.
     pub fn surface_mut(&mut self, index: usize) -> &mut SurfaceInstance {
-        self.epoch += 1;
+        self.structure_epoch += 1;
         &mut self.surfaces[index]
     }
 
@@ -268,37 +336,48 @@ impl ChannelSim {
         &self.blockers
     }
 
-    /// Adds a dynamic obstruction.
+    /// Adds a dynamic obstruction. A blocker-only mutation: the scene
+    /// index refits instead of rebuilding, and cached link states refresh
+    /// incrementally on next use.
     pub fn add_blocker(&mut self, blocker: Blocker) {
-        self.epoch += 1;
+        self.blocker_epoch += 1;
         self.blockers.push(blocker);
     }
 
-    /// Replaces the dynamic obstructions (e.g. one step of a walk).
+    /// Replaces the dynamic obstructions (e.g. one step of a walk). A
+    /// blocker-only mutation — see [`ChannelSim::add_blocker`].
     pub fn set_blockers(&mut self, blockers: Vec<Blocker>) {
-        self.epoch += 1;
+        self.blocker_epoch += 1;
         self.blockers = blockers;
     }
 
-    /// Removes all dynamic obstructions.
+    /// Removes all dynamic obstructions. A blocker-only mutation — see
+    /// [`ChannelSim::add_blocker`].
     pub fn clear_blockers(&mut self) {
-        self.epoch += 1;
+        self.blocker_epoch += 1;
         self.blockers.clear();
     }
 
-    /// Forces linearization-cache invalidation after an in-place mutation
-    /// the simulator cannot observe (e.g. editing a wall through
-    /// [`ChannelSim::plan`]).
+    /// Forces full invalidation (scene index rebuild, linearization cache
+    /// empty) after an in-place mutation the simulator cannot observe
+    /// (e.g. editing a wall through [`ChannelSim::plan`]).
     pub fn invalidate_cache(&mut self) {
-        self.epoch += 1;
+        self.structure_epoch += 1;
     }
 
-    /// Everything band-dependent that keys the cache: the mutation epoch,
-    /// the band, the enable flags and the wall count (so `plan.add_wall`
-    /// through the public field invalidates without an explicit call).
+    /// The `(structure, blocker)` epoch pair — diagnostics and tests.
+    pub fn epochs(&self) -> (u64, u64) {
+        (self.structure_epoch, self.blocker_epoch)
+    }
+
+    /// Everything band-dependent that keys the linearization cache: the
+    /// structure epoch, the band, the enable flags and the wall count (so
+    /// `plan.add_wall` through the public field invalidates without an
+    /// explicit call). The blocker epoch is deliberately excluded — a
+    /// blocker step refreshes entries instead of dropping them.
     fn stamp(&self) -> u64 {
         let mut h = FNV_OFFSET;
-        fnv_u64(&mut h, self.epoch);
+        fnv_u64(&mut h, self.structure_epoch);
         fnv_u64(&mut h, self.band.center_hz.to_bits());
         fnv_u64(&mut h, self.band.bandwidth_hz.to_bits());
         fnv_u64(&mut h, self.plan.walls().len() as u64);
@@ -309,50 +388,86 @@ impl ChannelSim {
         h
     }
 
-    /// The geometry-only slice of [`ChannelSim::stamp`]: what the scene
-    /// index depends on. Band and enable flags are deliberately excluded —
-    /// a band sweep reuses the same index.
+    /// The structure-only slice of [`ChannelSim::stamp`]: what the scene
+    /// index's shared structure depends on. Band and enable flags are
+    /// deliberately excluded — a band sweep reuses the same index.
     fn geometry_stamp(&self) -> u64 {
         let mut h = FNV_OFFSET;
-        fnv_u64(&mut h, self.epoch);
+        fnv_u64(&mut h, self.structure_epoch);
         fnv_u64(&mut h, self.plan.walls().len() as u64);
         h
     }
 
-    /// The scene's spatial index for the current geometry epoch, built on
-    /// first use and shared (via `Arc`) until a wall/blocker/surface
-    /// mutation invalidates it. Every trace in this epoch — single links,
-    /// batches, heatmaps, kernel ticks — runs through the same index.
+    /// The scene's spatial index for the current epochs, built on first
+    /// use and shared (via `Arc`) across every trace — single links,
+    /// batches, heatmaps, kernel ticks. A structure mutation rebuilds it
+    /// in full; a blocker-only mutation *refits* it: the new index shares
+    /// the previous structure (wall BVH, aperture boxes, element
+    /// positions) and only the `O(blockers)` padded blocker boxes are
+    /// recomputed.
     pub fn scene_index(&self) -> Arc<SceneIndex> {
         let stamp = self.geometry_stamp();
-        {
+        let bepoch = self.blocker_epoch;
+        let base = {
             let ix = self.index.lock().unwrap();
-            if ix.stamp == stamp {
+            if ix.struct_stamp == stamp {
                 if let Some(index) = &ix.index {
-                    return Arc::clone(index);
+                    if ix.blocker_epoch == bepoch {
+                        return Arc::clone(index);
+                    }
+                    // Structure intact, blockers moved: refit off this.
+                    Some(Arc::clone(index))
+                } else {
+                    None
                 }
+            } else {
+                None
             }
-        }
-        // Build outside the lock; the stamp cannot change underneath us
-        // (mutation needs `&mut self`). Concurrent misses may duplicate the
-        // build but never block each other on it.
-        surfos_obs::add("channel.index.builds", 1);
-        let built = Arc::new(SceneIndex::build(
-            &self.plan,
-            &self.blockers,
-            &self.surfaces,
-        ));
+        };
+        // Build/refit outside the lock; the epochs cannot change underneath
+        // us (mutation needs `&mut self`). Concurrent misses may duplicate
+        // the work but never block each other on it.
+        let refit = base.is_some();
+        let built = match base {
+            Some(base) => {
+                surfos_obs::add("channel.refits", 1);
+                Arc::new(base.refit_blockers(&self.blockers))
+            }
+            None => {
+                surfos_obs::add("channel.index.builds", 1);
+                Arc::new(SceneIndex::build(
+                    &self.plan,
+                    &self.blockers,
+                    &self.surfaces,
+                ))
+            }
+        };
         let mut ix = self.index.lock().unwrap();
-        if ix.stamp == stamp {
+        if ix.struct_stamp == stamp && ix.blocker_epoch == bepoch {
             if let Some(existing) = &ix.index {
                 // Another thread won the race; share its index so
-                // `Arc::ptr_eq` holds across the whole epoch.
+                // `Arc::ptr_eq` holds across the whole epoch pair.
                 return Arc::clone(existing);
             }
         }
-        ix.stamp = stamp;
+        if refit {
+            ix.refits += 1;
+        } else {
+            ix.builds += 1;
+        }
+        ix.struct_stamp = stamp;
+        ix.blocker_epoch = bepoch;
         ix.index = Some(Arc::clone(&built));
         built
+    }
+
+    /// Lifetime scene-index build/refit counts. See [`IndexStats`].
+    pub fn index_stats(&self) -> IndexStats {
+        let ix = self.index.lock().unwrap();
+        IndexStats {
+            builds: ix.builds,
+            refits: ix.refits,
+        }
     }
 
     /// [`ChannelSim::trace`] through an already-resolved scene index. The
@@ -428,12 +543,57 @@ impl ChannelSim {
         )
     }
 
+    /// Traces many links in one call, returning their band-independent
+    /// [`ChannelTrace`]s: the wideband sibling of
+    /// [`ChannelSim::linearize_batch`]. Callers that sweep bands keep the
+    /// traces and re-phase them with [`ChannelTrace::linearize_at`]
+    /// instead of re-tracing — `linearize_at` at the simulator's band is
+    /// bit-identical to [`ChannelSim::linearize`] on the same pair.
+    pub fn trace_batch(&self, pairs: &[(&Endpoint, &Endpoint)]) -> Vec<ChannelTrace> {
+        let _span = surfos_obs::span!("channel.linearize");
+        surfos_obs::observe("channel.batch.width", pairs.len() as u64);
+        let index = self.scene_index();
+        par::par_map(pairs, |(tx, rx)| self.trace_with(&index, tx, rx))
+    }
+
+    /// Traces `tx` against a probe placed at each of `points` (antenna and
+    /// polarization follow `rx_template`), returning band-independent
+    /// [`ChannelTrace`]s: the wideband sibling of
+    /// [`ChannelSim::linearize_sweep`]. Multi-band objectives build on
+    /// this — trace the grid once, re-phase per band.
+    pub fn trace_sweep(
+        &self,
+        tx: &Endpoint,
+        points: &[Vec3],
+        rx_template: &Endpoint,
+    ) -> Vec<ChannelTrace> {
+        let _span = surfos_obs::span!("channel.linearize");
+        surfos_obs::observe("channel.batch.width", points.len() as u64);
+        let index = self.scene_index();
+        par::par_map_with(
+            points,
+            || rx_template.clone(),
+            |rx, p| {
+                rx.pose.position = *p;
+                self.trace_with(&index, tx, rx)
+            },
+        )
+    }
+
     /// The linearization for a link, memoized per endpoint pair until the
-    /// geometry, band or enable flags change. Kernel-tick workloads that
+    /// structure, band or enable flags change. Kernel-tick workloads that
     /// re-ask [`ChannelSim::link_budget`] over unchanged geometry hit this
     /// cache and skip ray tracing entirely.
+    ///
+    /// After a blocker-only mutation the entry is *refreshed*, not
+    /// dropped: the stored [`LinkState`] diffs each path's
+    /// blocker-crossing set against the new configuration and re-evaluates
+    /// only the affected paths — bit-identical to a cold re-trace, and
+    /// when no crossing changed the very same `Arc` is returned so
+    /// unaffected links stay warm across walk ticks.
     pub fn cached_linearization(&self, tx: &Endpoint, rx: &Endpoint) -> Arc<Linearization> {
         let stamp = self.stamp();
+        let bepoch = self.blocker_epoch;
         let key = (endpoint_fingerprint(tx), endpoint_fingerprint(rx));
         {
             let mut cache = self.cache.lock().unwrap();
@@ -441,53 +601,97 @@ impl ChannelSim {
                 cache.map.clear();
                 cache.stamp = stamp;
                 cache.misses += 1;
-            } else if cache.map.contains_key(&key) {
-                cache.tick += 1;
-                cache.hits += 1;
-                let tick = cache.tick;
-                let (used, lin) = cache.map.get_mut(&key).unwrap();
-                *used = tick;
-                let lin = Arc::clone(lin);
-                drop(cache);
-                surfos_obs::add("channel.lincache.hits", 1);
-                return lin;
             } else {
-                cache.misses += 1;
+                match cache.map.get(&key).map(|e| e.blocker_epoch) {
+                    None => cache.misses += 1,
+                    Some(eb) if eb == bepoch => {
+                        cache.tick += 1;
+                        cache.hits += 1;
+                        let tick = cache.tick;
+                        let entry = cache.map.get_mut(&key).unwrap();
+                        entry.used = tick;
+                        let lin = Arc::clone(&entry.lin);
+                        drop(cache);
+                        surfos_obs::add("channel.lincache.hits", 1);
+                        return lin;
+                    }
+                    Some(_) => {
+                        // Blocker-only step: refresh the stored link state
+                        // in place. Resolving the scene index here nests
+                        // the index lock inside the cache lock; no code
+                        // path takes them in the other order.
+                        cache.tick += 1;
+                        cache.refreshes += 1;
+                        let tick = cache.tick;
+                        let index = self.scene_index();
+                        let entry = cache.map.get_mut(&key).unwrap();
+                        entry.used = tick;
+                        let outcome =
+                            entry
+                                .state
+                                .refresh(&self.blockers, index.blocker_boxes(), &self.band);
+                        if outcome.changed {
+                            entry.lin = Arc::new(entry.state.assemble());
+                        }
+                        entry.blocker_epoch = bepoch;
+                        let lin = Arc::clone(&entry.lin);
+                        drop(cache);
+                        surfos_obs::add("channel.lincache.refreshes", 1);
+                        surfos_obs::add("channel.paths_patched", outcome.patched);
+                        surfos_obs::add("channel.paths_retraced", outcome.retraced);
+                        return lin;
+                    }
+                }
             }
         }
         surfos_obs::add("channel.lincache.misses", 1);
         // Trace outside the lock; concurrent misses may duplicate work but
-        // never block each other on ray tracing.
-        let lin = Arc::new(self.linearize(tx, rx));
+        // never block each other on ray tracing. The link state's assembly
+        // is bit-identical to `linearize` on the same pair.
+        let state = {
+            let _span = surfos_obs::span!("channel.linearize");
+            let index = self.scene_index();
+            LinkState::new(self.trace_with(&index, tx, rx), &self.band)
+        };
+        let lin = Arc::new(state.assemble());
         let mut cache = self.cache.lock().unwrap();
         if cache.stamp == stamp {
             if cache.map.len() >= CACHE_CAP {
                 // Evict the least-recently-used eighth (deterministically:
                 // ticks are unique) so endpoints queried every tick survive
                 // a probe sweep that overflows the cap.
-                let mut ticks: Vec<u64> = cache.map.values().map(|(t, _)| *t).collect();
+                let mut ticks: Vec<u64> = cache.map.values().map(|e| e.used).collect();
                 ticks.sort_unstable();
                 let threshold = ticks[ticks.len() / 8];
                 let before = cache.map.len();
-                cache.map.retain(|_, (t, _)| *t > threshold);
+                cache.map.retain(|_, e| e.used > threshold);
                 let evicted = (before - cache.map.len()) as u64;
                 cache.evictions += evicted;
                 surfos_obs::add("channel.lincache.evictions", evicted);
             }
             cache.tick += 1;
             let tick = cache.tick;
-            cache.map.insert(key, (tick, Arc::clone(&lin)));
+            cache.map.insert(
+                key,
+                CacheEntry {
+                    used: tick,
+                    blocker_epoch: bepoch,
+                    state,
+                    lin: Arc::clone(&lin),
+                },
+            );
         }
         lin
     }
 
-    /// Lifetime hit/miss/eviction statistics of the linearization cache,
-    /// plus its current size. See [`CacheStats`].
+    /// Lifetime hit/miss/refresh/eviction statistics of the linearization
+    /// cache, plus its current size. See [`CacheStats`].
     pub fn cache_stats(&self) -> CacheStats {
         let cache = self.cache.lock().unwrap();
         CacheStats {
             hits: cache.hits,
             misses: cache.misses,
+            refreshes: cache.refreshes,
             evictions: cache.evictions,
             len: cache.map.len(),
         }
@@ -626,6 +830,7 @@ impl ChannelSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamics::BlockerWalk;
     use crate::surface::OperationMode;
     use surfos_em::array::ArrayGeometry;
     use surfos_em::band::NamedBand;
@@ -1104,10 +1309,20 @@ mod tests {
     }
 
     #[test]
-    fn clone_starts_with_cold_cache_but_same_answers() {
+    fn clone_carries_cache_stats_with_cold_entries() {
         let (sim, ap, rx) = rich_sim();
         let g = sim.gain(&ap, &rx);
+        let g2 = sim.gain(&ap, &rx); // one hit on the original
+        assert_eq!(g, g2);
+        let stats = sim.cache_stats();
         let copy = sim.clone();
+        let s = copy.cache_stats();
+        assert_eq!(
+            (s.hits, s.misses, s.refreshes, s.evictions),
+            (stats.hits, stats.misses, stats.refreshes, stats.evictions),
+            "lifetime counters must carry into the clone"
+        );
+        assert_eq!(s.len, 0, "entries themselves are not cloned");
         assert_eq!(g, copy.gain(&ap, &rx));
     }
 
@@ -1125,9 +1340,124 @@ mod tests {
         // Band changes don't shape geometry.
         sim.band = NamedBand::MmWave60GHz.band();
         assert!(Arc::ptr_eq(&first, &sim.scene_index()));
-        // Geometry mutations rebuild.
+        // Blocker mutations install a fresh (refit) index …
         sim.add_blocker(Blocker::person(Vec3::xy(1.0, 1.0)));
-        assert!(!Arc::ptr_eq(&first, &sim.scene_index()));
+        let refitted = sim.scene_index();
+        assert!(!Arc::ptr_eq(&first, &refitted));
+        // … that shares the structure (walls, elements) untouched.
+        assert!(
+            Arc::ptr_eq(first.structure(), refitted.structure()),
+            "blocker mutation must refit, not rebuild, the structure"
+        );
+        // Structure mutations rebuild everything.
+        sim.invalidate_cache();
+        let rebuilt = sim.scene_index();
+        assert!(!Arc::ptr_eq(first.structure(), rebuilt.structure()));
+    }
+
+    #[test]
+    fn blocker_step_refits_never_rebuilds() {
+        let (mut sim, ap, rx) = rich_sim();
+        let _ = sim.gain(&ap, &rx);
+        let before = sim.index_stats();
+        let (structure0, _) = sim.epochs();
+        let walk = BlockerWalk::new(vec![Vec3::xy(1.0, 1.0), Vec3::xy(4.0, 2.5)], 1.4);
+        let base = sim.scene_index();
+        for k in 0..10 {
+            sim.set_blockers(vec![walk.blocker_at(k as f64 * 0.1)]);
+            let index = sim.scene_index();
+            assert!(
+                Arc::ptr_eq(base.structure(), index.structure()),
+                "walk tick {k} must keep the wall BVH / structure Arc"
+            );
+            let _ = sim.gain(&ap, &rx);
+        }
+        let after = sim.index_stats();
+        assert_eq!(after.builds, before.builds, "walk ticks must never rebuild");
+        assert_eq!(after.refits, before.refits + 10, "each tick refits once");
+        let (structure1, _) = sim.epochs();
+        assert_eq!(
+            structure0, structure1,
+            "blocker-only steps must not bump the structure epoch"
+        );
+    }
+
+    #[test]
+    fn blocker_refresh_is_bit_identical_to_cold_retrace() {
+        let (mut sim, ap, rx) = rich_sim();
+        let _ = sim.cached_linearization(&ap, &rx); // populate
+        for pos in [
+            Vec3::xy(3.0, 1.1),
+            Vec3::xy(5.5, 1.0),
+            Vec3::xy(2.0, 2.0),
+            Vec3::xy(7.0, 2.8),
+        ] {
+            sim.set_blockers(vec![Blocker::person(pos)]);
+            let refreshed = sim.cached_linearization(&ap, &rx);
+            let cold = sim.linearize(&ap, &rx);
+            assert_eq!(refreshed.constant, cold.constant, "at {pos:?}");
+            assert_eq!(refreshed.linear.len(), cold.linear.len());
+            for (a, b) in refreshed.linear.iter().zip(&cold.linear) {
+                assert_eq!(a.surface, b.surface);
+                assert_eq!(a.coeffs, b.coeffs);
+            }
+            assert_eq!(refreshed.bilinear.len(), cold.bilinear.len());
+            for (a, b) in refreshed.bilinear.iter().zip(&cold.bilinear) {
+                assert_eq!((a.first, a.second), (b.first, b.second));
+                assert_eq!(a.alpha, b.alpha);
+                assert_eq!(a.beta, b.beta);
+            }
+        }
+        let s = sim.cache_stats();
+        assert_eq!(s.refreshes, 4, "each blocker step must refresh, not miss");
+        assert_eq!(s.misses, 1, "only the initial population misses");
+    }
+
+    #[test]
+    fn unaffected_link_keeps_linearization_arc_across_blocker_step() {
+        // A blocker that never crosses any of the link's paths must leave
+        // the cached Arc untouched (the link stays warm).
+        let band = NamedBand::MmWave28GHz.band();
+        let mut sim = ChannelSim::new(surfos_geometry::FloorPlan::new(), band);
+        let tx = iso_client("tx", Vec3::new(0.0, 0.0, 1.5));
+        let rx = iso_client("rx", Vec3::new(5.0, 0.0, 1.5));
+        sim.add_blocker(Blocker::person(Vec3::xy(10.0, 10.0)));
+        let first = sim.cached_linearization(&tx, &rx);
+        sim.set_blockers(vec![Blocker::person(Vec3::xy(11.0, 10.0))]);
+        let second = sim.cached_linearization(&tx, &rx);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "far-away blocker motion must not re-assemble the linearization"
+        );
+        // And a crossing blocker does change it.
+        sim.set_blockers(vec![Blocker::person(Vec3::xy(2.5, 0.0))]);
+        let third = sim.cached_linearization(&tx, &rx);
+        assert!(!Arc::ptr_eq(&first, &third));
+        let cold = sim.linearize(&tx, &rx);
+        assert_eq!(third.constant, cold.constant);
+    }
+
+    #[test]
+    fn trace_batch_and_sweep_match_serial() {
+        let (sim, ap, rx) = rich_sim();
+        let rx2 = iso_client("c2", Vec3::new(2.5, 1.8, 1.2));
+        let pairs = [(&ap, &rx), (&ap, &rx2)];
+        for (traced, (tx, rx)) in sim.trace_batch(&pairs).iter().zip(&pairs) {
+            let lin = traced.linearize_at(&sim.band);
+            let serial = sim.linearize(tx, rx);
+            assert_eq!(lin.constant, serial.constant);
+            assert_eq!(lin.linear.len(), serial.linear.len());
+        }
+        let template = iso_client("probe", Vec3::ZERO);
+        let points = [Vec3::new(6.0, 1.0, 1.2), Vec3::new(2.5, 1.8, 1.2)];
+        for (traced, p) in sim.trace_sweep(&ap, &points, &template).iter().zip(&points) {
+            let mut probe = template.clone();
+            probe.pose.position = *p;
+            let lin = traced.linearize_at(&sim.band);
+            let serial = sim.linearize(&ap, &probe);
+            assert_eq!(lin.constant, serial.constant);
+            assert_eq!(lin.linear.len(), serial.linear.len());
+        }
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! *gates* (wall-burial and resonance pruning) are re-applied per band:
 //! a path negligible at 28 GHz may matter at 5 GHz and vice versa.
 
+use crate::dynamics::Blocker;
 use crate::linear::{BilinearTerm, LinearTerm, Linearization};
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
 use surfos_em::propagation::{element_scatter_amplitude, friis_amplitude};
 use surfos_em::units::db_to_amplitude;
-use surfos_geometry::Material;
+use surfos_geometry::bvh::Aabb;
+use surfos_geometry::{Material, Vec3};
 
 /// Thresholds shared with the reference implementation in `paths`.
 pub(crate) const TRANSMISSION_FLOOR: f64 = 1e-9;
@@ -34,9 +36,16 @@ pub(crate) const COEFF_FLOOR: f64 = 1e-15;
 
 /// Band-independent obstruction record of one ray segment: which wall
 /// materials it crosses (in crossing order), which blockers (in list
-/// order), and the off-band surface obstruction product.
+/// order), and the off-band surface obstruction product. The segment's
+/// world endpoints are retained so a blocker-only mutation can re-derive
+/// just the blocker crossings ([`SegmentTrace::refresh_blockers`]) without
+/// re-tracing walls or surfaces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentTrace {
+    /// Segment start, in world coordinates.
+    from: Vec3,
+    /// Segment end, in world coordinates.
+    to: Vec3,
     /// Materials of crossed walls, sorted by crossing parameter.
     wall_materials: Vec<Material>,
     /// Materials of crossed blockers, in blocker-list order.
@@ -47,14 +56,45 @@ pub struct SegmentTrace {
 
 impl SegmentTrace {
     pub(crate) fn new(
+        from: Vec3,
+        to: Vec3,
         wall_materials: Vec<Material>,
         blocker_materials: Vec<Material>,
         surface_obstruction: f64,
     ) -> Self {
         SegmentTrace {
+            from,
+            to,
             wall_materials,
             blocker_materials,
             surface_obstruction,
+        }
+    }
+
+    /// Re-derives the blocker-crossing set against a new blocker
+    /// configuration (with its padded boxes from the refitted scene
+    /// index), returning whether it changed. Walls and surface
+    /// obstructions are untouched — blockers are the only moving
+    /// primitives — so an unchanged crossing set leaves the segment's
+    /// [`SegmentTrace::transmission`] bit-identical at every band.
+    ///
+    /// The crossing test and collection order reproduce the indexed
+    /// `Medium::trace_segment` exactly: conservative box cull, exact
+    /// cylinder test, blocker-list order.
+    pub(crate) fn refresh_blockers(&mut self, blockers: &[Blocker], boxes: &[Aabb]) -> bool {
+        let crossed: Vec<Material> = blockers
+            .iter()
+            .zip(boxes)
+            .filter(|(b, bb)| {
+                bb.intersects_segment(self.from, self.to) && b.intersects(self.from, self.to)
+            })
+            .map(|(b, _)| b.material)
+            .collect();
+        if crossed == self.blocker_materials {
+            false
+        } else {
+            self.blocker_materials = crossed;
+            true
         }
     }
 

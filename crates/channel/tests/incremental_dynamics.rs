@@ -1,0 +1,101 @@
+//! Property tests for the incremental dynamics engine: a blocker-only
+//! step (index refit + per-link linearization refresh) must be
+//! bit-identical to a cold full rebuild of the same scene, across random
+//! walks, blocker counts 0–8, and every path class (LOS, wall
+//! reflections, surface-aided, two-hop cascades).
+
+use proptest::prelude::*;
+use surfos_channel::dynamics::{Blocker, BlockerWalk};
+use surfos_channel::surface::{OperationMode, SurfaceInstance};
+use surfos_channel::{ChannelSim, Endpoint};
+use surfos_em::antenna::ElementPattern;
+use surfos_em::array::ArrayGeometry;
+use surfos_em::band::NamedBand;
+use surfos_geometry::scenario::two_room_apartment;
+use surfos_geometry::{Pose, Vec3};
+
+/// Apartment scene with two surfaces so every path class exists: direct,
+/// wall bounces, surface-aided, and two-hop cascades.
+fn scene() -> (ChannelSim, Endpoint, Endpoint) {
+    let scen = two_room_apartment();
+    let band = NamedBand::MmWave28GHz.band();
+    let mut sim = ChannelSim::new(scen.plan.clone(), band);
+    let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+    let pose = *scen.anchor("bedroom-north").unwrap();
+    sim.add_surface(SurfaceInstance::new(
+        "s0",
+        pose,
+        geom,
+        OperationMode::Reflective,
+    ));
+    let pose2 = Pose::wall_mounted(Vec3::new(4.9, 3.2, 1.5), Vec3::new(-1.0, 0.2, 0.0));
+    sim.add_surface(SurfaceInstance::new(
+        "s1",
+        pose2,
+        geom,
+        OperationMode::Reflective,
+    ));
+    let ap = Endpoint::access_point("ap0", scen.ap_pose);
+    let mut rx = Endpoint::client("c", Vec3::new(6.0, 1.0, 1.2));
+    rx.pattern = ElementPattern::Isotropic;
+    (sim, ap, rx)
+}
+
+/// `(x, y)` pairs inside the apartment footprint → waypoints.
+fn to_waypoints(xy: Vec<(f64, f64)>) -> Vec<Vec3> {
+    xy.into_iter().map(|(x, y)| Vec3::xy(x, y)).collect()
+}
+
+proptest! {
+    /// Stepping blockers incrementally (refit + cached refresh) matches a
+    /// cold sim rebuilt from scratch at every tick, bit for bit.
+    #[test]
+    fn incremental_steps_match_cold_rebuild(
+        xy in prop::collection::vec((0.3f64..7.7, 0.3f64..3.7), 2..5),
+        count in 0usize..=8,
+        speed in 0.5f64..2.5,
+        spacing in 0.2f64..1.5,
+        ticks in 2usize..5,
+    ) {
+        let walk = BlockerWalk::new(to_waypoints(xy), speed);
+        let (mut sim, ap, rx) = scene();
+        // Warm the incremental path with an initial population.
+        sim.set_blockers(walk.crowd_at(0.0, count, spacing));
+        let _ = sim.cached_linearization(&ap, &rx);
+        for k in 1..=ticks {
+            let t_s = k as f64 * 0.3;
+            let blockers = walk.crowd_at(t_s, count, spacing);
+            sim.set_blockers(blockers.clone());
+            let incremental = sim.cached_linearization(&ap, &rx);
+            // Cold reference: a fresh sim over the same scene — full
+            // index rebuild, full trace, no cache anywhere.
+            let (mut cold, _, _) = scene();
+            cold.set_blockers(blockers);
+            let reference = cold.linearize(&ap, &rx);
+            prop_assert_eq!(&*incremental, &reference);
+        }
+        // The walk exercised the refresh path, never the miss path again.
+        let stats = sim.cache_stats();
+        prop_assert_eq!(stats.misses, 1);
+    }
+
+    /// A blocker-only step never bumps the structure epoch and never
+    /// drops the wall-BVH structure `Arc` — the regression gate for the
+    /// two-epoch split.
+    #[test]
+    fn blocker_steps_preserve_structure(
+        xy in prop::collection::vec((0.3f64..7.7, 0.3f64..3.7), 0..=8),
+    ) {
+        let (mut sim, ap, rx) = scene();
+        let _ = sim.gain(&ap, &rx);
+        let base = sim.scene_index();
+        let (structure_before, _) = sim.epochs();
+        let builds_before = sim.index_stats().builds;
+        sim.set_blockers(to_waypoints(xy).into_iter().map(Blocker::person).collect());
+        let after = sim.scene_index();
+        prop_assert!(std::sync::Arc::ptr_eq(base.structure(), after.structure()));
+        let (structure_after, _) = sim.epochs();
+        prop_assert_eq!(structure_before, structure_after);
+        prop_assert_eq!(sim.index_stats().builds, builds_before);
+    }
+}

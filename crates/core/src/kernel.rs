@@ -22,8 +22,9 @@
 use crate::telemetry::Telemetry;
 use surfos_broker::intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
 use surfos_broker::monitor::ServiceMonitor;
+use surfos_channel::dynamics::{Blocker, BlockerWalk};
 use surfos_channel::feedback::{FeedbackBus, FeedbackReport};
-use surfos_channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
+use surfos_channel::{ChannelSim, Endpoint, IndexStats, OperationMode, SurfaceInstance};
 use surfos_em::array::ArrayGeometry;
 use surfos_hw::driver::TimeMs;
 use surfos_hw::spec::SurfaceMode;
@@ -71,6 +72,14 @@ pub struct SurfOS {
     /// enabled (measuring every service each step costs channel
     /// evaluations).
     monitors: std::collections::HashMap<TaskId, ServiceMonitor>,
+    /// Scripted blocker trajectories the step loop replays: each walk
+    /// contributes one person, repositioned every heartbeat. Blocker-only
+    /// motion takes the simulator's incremental path (index refit +
+    /// linearization refresh), never a structure rebuild.
+    walks: Vec<BlockerWalk>,
+    /// Simulator index counters at the last step boundary, so the
+    /// telemetry deltas attribute rebuilds/refits to kernel steps.
+    last_index_stats: IndexStats,
 }
 
 impl SurfOS {
@@ -87,7 +96,23 @@ impl SurfOS {
             known_devices: Vec::new(),
             last_pushed: std::collections::HashMap::new(),
             monitors: std::collections::HashMap::new(),
+            walks: Vec::new(),
+            last_index_stats: IndexStats::default(),
         }
+    }
+
+    /// Attaches a scripted blocker walk the step loop replays. Each walk
+    /// adds one person to the environment; positions advance with kernel
+    /// time, exercising the channel model's incremental (refit + refresh)
+    /// path on every heartbeat.
+    pub fn attach_walk(&mut self, walk: BlockerWalk) {
+        self.walks.push(walk);
+    }
+
+    /// Replaces the environment's blockers directly (one-shot events; for
+    /// continuous motion prefer [`SurfOS::attach_walk`]).
+    pub fn set_blockers(&mut self, blockers: Vec<Blocker>) {
+        self.orch.sim.set_blockers(blockers);
     }
 
     /// Replaces the intent backend (e.g. with an LLM client).
@@ -199,6 +224,15 @@ impl SurfOS {
         self.telemetry.tasks_reaped += report.reaped.len() as u64;
         surfos_obs::add("kernel.tasks_reaped", report.reaped.len() as u64);
 
+        // 1b. Environment dynamics: replay attached walks at the new
+        // time. A blocker-only mutation — the simulator refits its index
+        // and refreshes cached linearizations instead of rebuilding.
+        if !self.walks.is_empty() {
+            let t_s = self.orch.now_ms() as f64 / 1000.0;
+            let blockers = self.walks.iter().map(|w| w.blocker_at(t_s)).collect();
+            self.orch.sim.set_blockers(blockers);
+        }
+
         // 2. Schedule.
         let outcome = {
             let _span = surfos_obs::span!("kernel.schedule");
@@ -243,6 +277,18 @@ impl SurfOS {
         if surfos_obs::enabled() {
             self.monitor_services();
         }
+
+        // 7. Attribute the step's scene-index work: full rebuilds vs
+        // blocker refits — the dashboard's view of how often the
+        // incremental path carried a heartbeat.
+        let ix = self.orch.sim.index_stats();
+        let rebuilds = ix.builds - self.last_index_stats.builds;
+        let refits = ix.refits - self.last_index_stats.refits;
+        self.last_index_stats = ix;
+        self.telemetry.index_rebuilds += rebuilds;
+        surfos_obs::add("kernel.index_rebuilds", rebuilds);
+        self.telemetry.index_refits += refits;
+        surfos_obs::add("kernel.index_refits", refits);
         report
     }
 
@@ -544,6 +590,39 @@ mod tests {
         assert!(
             std::sync::Arc::ptr_eq(&index, &os.sim().scene_index()),
             "steady-state kernel ticks must not rebuild the scene index"
+        );
+    }
+
+    #[test]
+    fn walk_ticks_refit_not_rebuild() {
+        let mut os = boot();
+        os.submit(ServiceRequest::optimize_coverage("bedroom", 25.0));
+        os.attach_walk(BlockerWalk::new(
+            vec![Vec3::xy(5.5, 1.0), Vec3::xy(7.0, 2.5)],
+            1.4,
+        ));
+        // First step may touch geometry (resonance sync); settle first.
+        os.step(10);
+        os.step(10);
+        let settled = os.telemetry();
+        let structure = std::sync::Arc::clone(os.sim().scene_index().structure());
+        for _ in 0..5 {
+            os.step(10);
+            assert!(
+                std::sync::Arc::ptr_eq(&structure, os.sim().scene_index().structure()),
+                "walk ticks must keep the wall BVH structure"
+            );
+        }
+        let t = os.telemetry();
+        assert_eq!(
+            t.index_rebuilds, settled.index_rebuilds,
+            "blocker-only steps must never rebuild the scene index"
+        );
+        assert!(
+            t.index_refits >= settled.index_refits + 5,
+            "each walk tick refits: {} -> {}",
+            settled.index_refits,
+            t.index_refits
         );
     }
 

@@ -83,6 +83,11 @@ telemetry_counters! {
         pub writes_committed: u64,
         /// Tasks completed by expiry.
         pub tasks_reaped: u64,
+        /// Scene-index full rebuilds (structure mutations: walls,
+        /// surfaces, band).
+        pub index_rebuilds: u64,
+        /// Scene-index blocker refits (walk ticks; the incremental path).
+        pub index_refits: u64,
     }
 }
 
@@ -90,7 +95,7 @@ impl std::fmt::Display for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "steps={} frames={} opts={} pushes={} skips={} wire={}B commits={} reaped={}",
+            "steps={} frames={} opts={} pushes={} skips={} wire={}B commits={} reaped={} rebuilds={} refits={}",
             self.steps,
             self.frames_scheduled,
             self.optimizations,
@@ -98,7 +103,9 @@ impl std::fmt::Display for Telemetry {
             self.configs_skipped,
             self.wire_bytes,
             self.writes_committed,
-            self.tasks_reaped
+            self.tasks_reaped,
+            self.index_rebuilds,
+            self.index_refits
         )
     }
 }

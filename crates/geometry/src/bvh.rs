@@ -215,6 +215,45 @@ impl Bvh {
         node_idx
     }
 
+    /// Recomputes every node's bounds for updated primitive boxes without
+    /// re-splitting: the topology and primitive order are kept, only the
+    /// box unions are refreshed, bottom-up, in `O(nodes)`.
+    ///
+    /// This is the moving-primitive fast path — a scene where a few boxes
+    /// shift per tick refits instead of rebuilding. Queries stay exactly as
+    /// conservative as on a fresh build (every node bounds the union of its
+    /// primitives' *current* boxes); only the split quality is frozen at
+    /// build time, so refitting is for perturbations, not for a scene that
+    /// has been wholly rearranged.
+    ///
+    /// # Panics
+    /// Panics when `boxes` does not have one box per indexed primitive.
+    pub fn refit(&mut self, boxes: &[Aabb]) {
+        assert_eq!(
+            boxes.len(),
+            self.order.len(),
+            "refit requires one box per indexed primitive"
+        );
+        surfos_obs::add("geometry.bvh.refits", 1);
+        // Children always sit at higher indices than their parent (left at
+        // `idx + 1`, right after the whole left subtree), so one reverse
+        // sweep sees every child before its parent.
+        for idx in (0..self.nodes.len()).rev() {
+            let node = self.nodes[idx];
+            self.nodes[idx].aabb = if node.count > 0 {
+                let mut aabb = Aabb::empty();
+                for &i in &self.order[node.start as usize..(node.start + node.count) as usize] {
+                    aabb = aabb.union(&boxes[i as usize]);
+                }
+                aabb
+            } else {
+                self.nodes[idx + 1]
+                    .aabb
+                    .union(&self.nodes[node.right as usize].aabb)
+            };
+        }
+    }
+
     /// Calls `visit` with the index of every primitive whose box the segment
     /// touches (a conservative superset of the exact hits). Visiting order
     /// is deterministic but *not* primitive order — callers that need
@@ -363,7 +402,61 @@ mod tests {
             .collect()
     }
 
+    #[test]
+    fn refit_with_unchanged_boxes_preserves_candidates() {
+        let boxes = scene_boxes(7, 60);
+        let built = Bvh::build(&boxes);
+        let mut refitted = built.clone();
+        refitted.refit(&boxes);
+        for (from, to) in [
+            (Vec3::new(-1.0, -1.0, 1.0), Vec3::new(21.0, 21.0, 2.0)),
+            (Vec3::new(5.0, 0.0, 0.5), Vec3::new(5.0, 20.0, 3.5)),
+        ] {
+            assert_eq!(
+                built.segment_candidates(from, to),
+                refitted.segment_candidates(from, to)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one box per indexed primitive")]
+    fn refit_rejects_mismatched_box_count() {
+        let boxes = scene_boxes(3, 10);
+        let mut bvh = Bvh::build(&boxes);
+        bvh.refit(&boxes[..9]);
+    }
+
     proptest! {
+        #[test]
+        fn prop_refit_stays_conservative_after_moves(
+            seed in 0u64..100_000,
+            n in 1usize..120,
+            moved in 0usize..8,
+            dx in -6.0..6.0f64, dy in -6.0..6.0f64,
+        ) {
+            // Build on the original boxes, move a few, refit, and check the
+            // conservative-superset contract against the *moved* boxes.
+            let mut boxes = scene_boxes(seed, n);
+            let mut bvh = Bvh::build(&boxes);
+            let delta = Vec3::new(dx, dy, 0.0);
+            for b in boxes.iter_mut().take(moved.min(n)) {
+                *b = Aabb::new(b.min + delta, b.max + delta);
+            }
+            bvh.refit(&boxes);
+            let from = Vec3::new(-8.0, -8.0, 1.0);
+            let to = Vec3::new(28.0, 28.0, 2.0);
+            let candidates = bvh.segment_candidates(from, to);
+            for (i, b) in boxes.iter().enumerate() {
+                if b.intersects_segment(from, to) {
+                    prop_assert!(
+                        candidates.contains(&i),
+                        "refit dropped true hit {i} (seed {seed}, n {n})"
+                    );
+                }
+            }
+        }
+
         #[test]
         fn prop_candidates_superset_of_brute_hits(
             seed in 0u64..1_000_000,

@@ -14,7 +14,9 @@
 
 use surfos_channel::linear::Linearization;
 use surfos_channel::par;
+use surfos_channel::trace::ChannelTrace;
 use surfos_channel::{ChannelSim, Endpoint};
+use surfos_em::band::Band;
 use surfos_em::complex::Complex;
 use surfos_em::units::{db_to_linear, dbm_to_watts};
 use surfos_geometry::Vec3;
@@ -43,6 +45,12 @@ fn zero_grads(responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
     responses.iter().map(|r| vec![0.0; r.len()]).collect()
 }
 
+/// `P_tx / N` in linear units at `band`: multiplying `|h|²` yields SNR.
+fn snr_scale_at(band: &Band, tx_power_dbm: f64, noise_figure_db: f64) -> f64 {
+    let noise_dbm = surfos_em::noise::noise_power_dbm(band.bandwidth_hz, noise_figure_db);
+    dbm_to_watts(tx_power_dbm) / dbm_to_watts(noise_dbm)
+}
+
 /// Coverage: maximize summed Shannon capacity over a set of locations.
 ///
 /// `loss(r) = − Σ_i log2(1 + SNR_i(r))`, `SNR_i = |h_i(r)|² · scale`.
@@ -51,6 +59,11 @@ pub struct CoverageObjective {
     pub links: Vec<Linearization>,
     /// `P_tx / N` in linear units: multiplying `|h|²` yields the SNR.
     pub snr_scale: f64,
+    /// The band-independent traces behind `links`, kept so a band change
+    /// is a cheap re-phasing ([`Self::rephase`]) instead of a re-trace.
+    traces: Vec<ChannelTrace>,
+    tx_power_dbm: f64,
+    noise_figure_db: f64,
 }
 
 impl CoverageObjective {
@@ -63,12 +76,26 @@ impl CoverageObjective {
         assert!(!points.is_empty(), "coverage objective needs locations");
         // Per-location ray traces are independent; the sweep resolves the
         // scene index once and fans out chunk-ordered (bit-identical to a
-        // serial per-point linearize).
-        let links = sim.linearize_sweep(tx, points, rx_template);
-        let noise_dbm =
-            surfos_em::noise::noise_power_dbm(sim.band.bandwidth_hz, rx_template.noise_figure_db);
-        let snr_scale = dbm_to_watts(tx.tx_power_dbm) / dbm_to_watts(noise_dbm);
-        CoverageObjective { links, snr_scale }
+        // serial per-point linearize). Traces are retained for rephasing.
+        let traces = sim.trace_sweep(tx, points, rx_template);
+        let links = par::par_map(&traces, |t| t.linearize_at(&sim.band));
+        CoverageObjective {
+            links,
+            snr_scale: snr_scale_at(&sim.band, tx.tx_power_dbm, rx_template.noise_figure_db),
+            traces,
+            tx_power_dbm: tx.tx_power_dbm,
+            noise_figure_db: rx_template.noise_figure_db,
+        }
+    }
+
+    /// Re-evaluates the objective at a new band without touching the
+    /// environment: the retained traces are re-phased (`O(elements)` per
+    /// link) and the noise scale recomputed. Bit-identical to rebuilding
+    /// via [`Self::new`] against the same geometry retuned to `band` — a
+    /// wideband objective sweep is one trace + N cheap rephasings.
+    pub fn rephase(&mut self, band: &Band) {
+        self.links = par::par_map(&self.traces, |t| t.linearize_at(band));
+        self.snr_scale = snr_scale_at(band, self.tx_power_dbm, self.noise_figure_db);
     }
 
     /// Per-location SNRs in dB at the given responses.
@@ -230,14 +257,24 @@ impl Objective for LocalizationObjective {
 pub struct PoweringObjective {
     /// The linearized channel to the powered device.
     pub link: Linearization,
+    /// The trace behind `link`, for band rephasing.
+    trace: ChannelTrace,
 }
 
 impl PoweringObjective {
     /// Builds the objective for a tx → device link.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, device: &Endpoint) -> Self {
+        let trace = sim.trace(tx, device);
         PoweringObjective {
-            link: sim.linearize(tx, device),
+            link: trace.linearize_at(&sim.band),
+            trace,
         }
+    }
+
+    /// Re-phases the retained trace at a new band (see
+    /// [`CoverageObjective::rephase`]).
+    pub fn rephase(&mut self, band: &Band) {
+        self.link = self.trace.linearize_at(band);
     }
 
     /// Delivered power in dBm at the given responses for a transmit power.
@@ -280,6 +317,8 @@ pub struct SuppressionObjective {
     /// Leak power (|h|², linear) below which the loss saturates.
     /// Zero = suppress without limit.
     pub floor: f64,
+    /// Band-independent traces behind `leaks`, for band rephasing.
+    traces: Vec<ChannelTrace>,
 }
 
 impl SuppressionObjective {
@@ -289,8 +328,20 @@ impl SuppressionObjective {
     /// Panics if `points` is empty.
     pub fn new(sim: &ChannelSim, tx: &Endpoint, points: &[Vec3], rx_template: &Endpoint) -> Self {
         assert!(!points.is_empty(), "suppression objective needs locations");
-        let leaks = sim.linearize_sweep(tx, points, rx_template);
-        SuppressionObjective { leaks, floor: 0.0 }
+        let traces = sim.trace_sweep(tx, points, rx_template);
+        let leaks = par::par_map(&traces, |t| t.linearize_at(&sim.band));
+        SuppressionObjective {
+            leaks,
+            floor: 0.0,
+            traces,
+        }
+    }
+
+    /// Re-phases the retained traces at a new band (see
+    /// [`CoverageObjective::rephase`]); the floor is a power ratio and
+    /// carries over unchanged.
+    pub fn rephase(&mut self, band: &Band) {
+        self.leaks = par::par_map(&self.traces, |t| t.linearize_at(band));
     }
 
     /// Saturates the loss once the leaked RSS falls below
@@ -385,13 +436,30 @@ impl MultiObjective {
 
 impl Objective for MultiObjective {
     fn loss(&self, responses: &[Vec<Complex>]) -> f64 {
-        self.terms.iter().map(|(o, w)| w * o.loss(responses)).sum()
+        // One worker per term: joint tasks (e.g. Figure 5's coverage +
+        // localization) score concurrently. The generic heuristic would
+        // serialize a 2-term list, so the thread count is pinned. Results
+        // come back in term order; the sum is the serial association.
+        let losses = par::par_map_with_threads(
+            &self.terms,
+            self.terms.len(),
+            || (),
+            |(), (o, w)| w * o.loss(responses),
+        );
+        losses.iter().sum()
     }
 
     fn grad_phase(&self, responses: &[Vec<Complex>]) -> Vec<Vec<f64>> {
+        // Per-term gradients concurrently, accumulated serially in term
+        // order — bit-identical to the sequential loop.
+        let grads = par::par_map_with_threads(
+            &self.terms,
+            self.terms.len(),
+            || (),
+            |(), (o, w)| (o.grad_phase(responses), *w),
+        );
         let mut total = zero_grads(responses);
-        for (o, w) in &self.terms {
-            let g = o.grad_phase(responses);
+        for (g, w) in grads {
             for (ts, gs) in total.iter_mut().zip(g) {
                 for (t, gi) in ts.iter_mut().zip(gs) {
                     *t += w * gi;
@@ -576,6 +644,78 @@ mod tests {
         let responses: Vec<Vec<Complex>> =
             vec![(0..64).map(|i| Complex::cis(i as f64 * 0.09)).collect()];
         finite_diff_check(&multi, &responses, &[11, 50]);
+    }
+
+    #[test]
+    fn coverage_rephase_matches_rebuild_at_new_band() {
+        let (sim, ap, client) = setup();
+        let mut obj = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        // Retune the environment and rebuild from scratch for reference.
+        let mut retuned = sim.clone();
+        retuned.band = NamedBand::MmWave60GHz.band();
+        retuned.invalidate_cache();
+        let reference = CoverageObjective::new(&retuned, &ap, &grid_points(), &client);
+        // Re-phasing the retained traces must match bit-for-bit.
+        obj.rephase(&retuned.band);
+        assert_eq!(obj.snr_scale, reference.snr_scale);
+        assert_eq!(obj.links.len(), reference.links.len());
+        for (a, b) in obj.links.iter().zip(&reference.links) {
+            assert_eq!(a.constant, b.constant);
+            assert_eq!(a.linear.len(), b.linear.len());
+            for (ta, tb) in a.linear.iter().zip(&b.linear) {
+                assert_eq!(ta.coeffs, tb.coeffs);
+            }
+        }
+        // And back: a full band round-trip restores the original exactly.
+        let original = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        obj.rephase(&sim.band);
+        for (a, b) in obj.links.iter().zip(&original.links) {
+            assert_eq!(a.constant, b.constant);
+        }
+    }
+
+    #[test]
+    fn suppression_rephase_matches_rebuild_at_new_band() {
+        let (sim, ap, client) = setup();
+        let mut obj =
+            SuppressionObjective::new(&sim, &ap, &grid_points(), &client).with_goal(-60.0, 20.0);
+        let mut retuned = sim.clone();
+        retuned.band = NamedBand::MmWave60GHz.band();
+        retuned.invalidate_cache();
+        let reference = SuppressionObjective::new(&retuned, &ap, &grid_points(), &client);
+        let floor = obj.floor;
+        obj.rephase(&retuned.band);
+        assert_eq!(obj.floor, floor, "floor is band-free");
+        for (a, b) in obj.leaks.iter().zip(&reference.leaks) {
+            assert_eq!(a.constant, b.constant);
+        }
+    }
+
+    #[test]
+    fn multiobjective_parallel_terms_match_serial_sum() {
+        let (sim, ap, client) = setup();
+        let cov = CoverageObjective::new(&sim, &ap, &grid_points(), &client);
+        let pow = PoweringObjective::new(&sim, &ap, &client);
+        let responses: Vec<Vec<Complex>> =
+            vec![(0..64).map(|i| Complex::cis(i as f64 * 0.21)).collect()];
+        let serial = 2.0 * cov.loss(&responses) + 0.5 * pow.loss(&responses);
+        let serial_grad = {
+            let mut total = zero_grads(&responses);
+            for (o, w) in [(&cov as &dyn Objective, 2.0), (&pow as &dyn Objective, 0.5)] {
+                for (ts, gs) in total.iter_mut().zip(o.grad_phase(&responses)) {
+                    for (t, gi) in ts.iter_mut().zip(gs) {
+                        *t += w * gi;
+                    }
+                }
+            }
+            total
+        };
+        let multi = MultiObjective::new()
+            .with(Box::new(cov), 2.0)
+            .with(Box::new(pow), 0.5);
+        // Concurrent term evaluation is bit-identical to the serial loop.
+        assert_eq!(multi.loss(&responses), serial);
+        assert_eq!(multi.grad_phase(&responses), serial_grad);
     }
 
     #[test]
