@@ -1,0 +1,100 @@
+//! Building-scale spatial benchmarks: 1k–4k-wall multi-floor plans, where
+//! the SAH/packed tree has to beat both the brute scan *and* the reference
+//! median-split tree to earn its keep.
+//!
+//! `plan/crossings_building` isolates the index (16 probe segments through
+//! the whole building, brute vs median tree vs SAH tree — all three return
+//! bit-identical crossings, the proptests pin that). The wall counts come
+//! from `building_plan`'s parametric layout: (8 floors × 21 rooms/side) =
+//! 1024 walls, (16 × 42) = 4064 walls.
+//!
+//! `channel/linearize_building` is the full production path — direct +
+//! wall-reflection + penetration tracing through `ChannelSim`'s epoch
+//! cache and `SceneIndex` — on the same scenes, brute control vs indexed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::channel::paths::{self, Medium};
+use surfos::channel::Endpoint;
+use surfos::em::antenna::ElementPattern;
+use surfos::em::band::NamedBand;
+use surfos::geometry::Vec3;
+use surfos_bench::scenes::{building_extent, building_plan, probe_segments_in};
+
+/// (floors, rooms per side) → 1024 and 4064 walls.
+const BUILDINGS: [(usize, usize); 2] = [(8, 21), (16, 42)];
+const SCENE_SEED: u64 = 2024;
+
+fn bench_crossings_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan/crossings_building");
+    for (floors, rooms) in BUILDINGS {
+        let plan = building_plan(floors, rooms, SCENE_SEED);
+        let n = plan.walls().len();
+        let sah = plan.build_wall_index();
+        let median = plan.build_wall_index_median();
+        let (ext_x, ext_y) = building_extent(floors, rooms);
+        let probes = probe_segments_in(16, SCENE_SEED ^ 0xBEEF, ext_x, ext_y);
+        group.bench_function(format!("brute_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(plan.crossings(from, to));
+                }
+            })
+        });
+        group.bench_function(format!("median_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(plan.crossings_with(&median, from, to));
+                }
+            })
+        });
+        group.bench_function(format!("sah_{n}w"), |b| {
+            b.iter(|| {
+                for &(from, to) in &probes {
+                    black_box(plan.crossings_with(&sah, from, to));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linearize_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel/linearize_building");
+    let band = NamedBand::MmWave28GHz.band();
+    for (floors, rooms) in BUILDINGS {
+        let plan = building_plan(floors, rooms, SCENE_SEED);
+        let n = plan.walls().len();
+        let sim = surfos::channel::ChannelSim::new(plan.clone(), band);
+        // A link spanning several rooms and one corridor on the first
+        // floor plate: enough walls in play that culling quality decides
+        // the trace cost.
+        let mut tx = Endpoint::client("tx", Vec3::new(2.0, 2.5, 1.8));
+        tx.pattern = ElementPattern::Isotropic;
+        let mut rx = Endpoint::client("rx", Vec3::new(rooms as f64 * 4.0 - 2.0, 9.5, 1.2));
+        rx.pattern = ElementPattern::Isotropic;
+        // Brute control only at the smaller building: O(walls²) per link
+        // makes the 4k-wall control pure waiting, and the 1k point already
+        // anchors the separation.
+        if n <= 2048 {
+            group.bench_function(format!("brute_{n}w"), |b| {
+                b.iter(|| {
+                    let medium = Medium::new(&plan, &[], &[], band);
+                    black_box(
+                        paths::trace_channel(&medium, &tx, &rx, &[], true, true)
+                            .linearize_at(&band),
+                    )
+                })
+            });
+        }
+        // `sim.linearize` resolves the epoch-cached SAH/packed index and
+        // traces through it — the production path.
+        group.bench_function(format!("indexed_{n}w"), |b| {
+            b.iter(|| black_box(sim.linearize(&tx, &rx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossings_building, bench_linearize_building);
+criterion_main!(benches);

@@ -1,11 +1,21 @@
-//! Deterministic cluttered scenes for the spatial-index benchmarks.
+//! Deterministic cluttered and building-scale scenes for the spatial-index
+//! benchmarks.
 //!
 //! The apartment lab has six walls — enough for the paper's figures but
-//! too small to show how tracing scales. These generators scatter `n`
-//! pseudo-random walls over a 20×20 m area (LCG-seeded, so every run
-//! benchmarks the same scene) for the 8/32/128-wall sweeps.
+//! too small to show how tracing scales. Two families of generators fill
+//! the gap:
+//!
+//! - [`cluttered_plan`] scatters `n` pseudo-random walls over a 20×20 m
+//!   area (LCG-seeded, so every run benchmarks the same scene) for the
+//!   8/32/128-wall sweeps, and
+//! - [`building_plan`] lays out a parametric multi-floor building —
+//!   `floors` floor plates, each with two rows of `rooms_per_side` rooms
+//!   flanking a central corridor, concrete shell, mixed-material
+//!   partitions, and a doorway aperture per room — reaching the 1k–4k wall
+//!   counts the SAH/packed BVH targets (the paper's §5 building-scale
+//!   deployment regime).
 
-use surfos::geometry::{FloorPlan, Material, Vec3, Wall};
+use surfos::geometry::{FloorPlan, Material, Room, Vec3, Wall};
 
 /// `n_walls` short walls with mixed materials over a 20×20 m area.
 /// Deterministic in `seed`.
@@ -47,6 +57,165 @@ pub fn probe_segments(n: usize, seed: u64) -> Vec<(Vec3, Vec3)> {
         .collect()
 }
 
+/// Room depth (corridor to exterior) in metres.
+const ROOM_DEPTH: f64 = 5.0;
+/// Room width along the corridor in metres.
+const ROOM_WIDTH: f64 = 4.0;
+/// Central corridor width in metres.
+const CORRIDOR_WIDTH: f64 = 2.0;
+/// Clear doorway width in each room's corridor wall.
+const DOORWAY_WIDTH: f64 = 0.9;
+/// Storey height in metres.
+const STOREY_HEIGHT: f64 = 3.0;
+/// Plan-view gap between floor plates (walls extrude from `z = 0`, so the
+/// "floors" tile side by side instead of stacking).
+const FLOOR_GAP: f64 = 2.0;
+
+/// A parametric multi-floor building: `floors` rectangular floor plates,
+/// each `rooms_per_side · ROOM_WIDTH` m wide, with a south and a north row
+/// of rooms flanking a central corridor. Every room opens onto the
+/// corridor through a doorway aperture (two wall segments with an
+/// LCG-jittered 0.9 m gap); partitions between rooms cycle through
+/// drywall/glass/wood, the shell and corridor walls are concrete.
+///
+/// Wall count is exactly `floors · (6 · rooms_per_side + 2)`: 4 shell
+/// walls + `2 (rooms_per_side − 1)` partitions + `4 · rooms_per_side`
+/// corridor segments per floor — `(8, 21)` lands on 1024 walls, `(16, 42)`
+/// on 4064. Deterministic in `seed`. Rooms are registered as named
+/// [`Room`] regions (`f{f}s{i}` / `f{f}n{i}` / `f{f}corridor`) so
+/// coverage-style objectives can target them.
+///
+/// The geometry layer extrudes every wall from `z = 0`, so floor plates
+/// tile side by side in plan view (offset in `y`) rather than stacking in
+/// `z`; for spatial-index behaviour this is equivalent — what matters is
+/// thousands of walls with strong room/corridor structure, which is
+/// exactly the non-uniform distribution SAH partitioning exploits.
+pub fn building_plan(floors: usize, rooms_per_side: usize, seed: u64) -> FloorPlan {
+    assert!(
+        floors > 0 && rooms_per_side > 0,
+        "building must be non-empty"
+    );
+    let mut next = lcg(seed);
+    let partition_materials = [Material::Drywall, Material::Glass, Material::Wood];
+    let mut plan = FloorPlan::new();
+    let width = rooms_per_side as f64 * ROOM_WIDTH;
+    let depth = 2.0 * ROOM_DEPTH + CORRIDOR_WIDTH;
+    for f in 0..floors {
+        let y0 = f as f64 * (depth + FLOOR_GAP);
+        let y_corridor_s = y0 + ROOM_DEPTH; // south corridor wall
+        let y_corridor_n = y_corridor_s + CORRIDOR_WIDTH; // north corridor wall
+        let y1 = y0 + depth;
+        let concrete = Material::Concrete;
+
+        // Shell: 4 perimeter walls.
+        plan.add_wall(Wall::new(
+            Vec3::xy(0.0, y0),
+            Vec3::xy(width, y0),
+            STOREY_HEIGHT,
+            concrete,
+        ));
+        plan.add_wall(Wall::new(
+            Vec3::xy(0.0, y1),
+            Vec3::xy(width, y1),
+            STOREY_HEIGHT,
+            concrete,
+        ));
+        plan.add_wall(Wall::new(
+            Vec3::xy(0.0, y0),
+            Vec3::xy(0.0, y1),
+            STOREY_HEIGHT,
+            concrete,
+        ));
+        plan.add_wall(Wall::new(
+            Vec3::xy(width, y0),
+            Vec3::xy(width, y1),
+            STOREY_HEIGHT,
+            concrete,
+        ));
+
+        // Partitions between rooms, both rows.
+        for k in 1..rooms_per_side {
+            let x = k as f64 * ROOM_WIDTH;
+            let material = partition_materials[(f + k) % partition_materials.len()];
+            plan.add_wall(Wall::new(
+                Vec3::xy(x, y0),
+                Vec3::xy(x, y_corridor_s),
+                STOREY_HEIGHT,
+                material,
+            ));
+            plan.add_wall(Wall::new(
+                Vec3::xy(x, y_corridor_n),
+                Vec3::xy(x, y1),
+                STOREY_HEIGHT,
+                material,
+            ));
+        }
+
+        // Corridor walls, one doorway aperture per room: each room's span
+        // of the corridor wall becomes two segments around a jittered gap.
+        for (row, y_wall) in [(0usize, y_corridor_s), (1, y_corridor_n)] {
+            for k in 0..rooms_per_side {
+                let x0 = k as f64 * ROOM_WIDTH;
+                let slack = ROOM_WIDTH - DOORWAY_WIDTH - 1.0; // ≥0.5 m jamb each side
+                let door = x0 + 0.5 + next() * slack;
+                plan.add_wall(Wall::new(
+                    Vec3::xy(x0, y_wall),
+                    Vec3::xy(door, y_wall),
+                    STOREY_HEIGHT,
+                    concrete,
+                ));
+                plan.add_wall(Wall::new(
+                    Vec3::xy(door + DOORWAY_WIDTH, y_wall),
+                    Vec3::xy(x0 + ROOM_WIDTH, y_wall),
+                    STOREY_HEIGHT,
+                    concrete,
+                ));
+                let (room_y0, room_y1, tag) = if row == 0 {
+                    (y0, y_corridor_s, 's')
+                } else {
+                    (y_corridor_n, y1, 'n')
+                };
+                plan.add_room(Room::new(
+                    format!("f{f}{tag}{k}"),
+                    Vec3::xy(x0, room_y0),
+                    Vec3::xy(x0 + ROOM_WIDTH, room_y1),
+                ));
+            }
+        }
+        plan.add_room(Room::new(
+            format!("f{f}corridor"),
+            Vec3::xy(0.0, y_corridor_s),
+            Vec3::xy(width, y_corridor_n),
+        ));
+    }
+    plan
+}
+
+/// The plan-view extent `(x, y)` of [`building_plan`]'s footprint — for
+/// sizing probe segments to the scene.
+pub fn building_extent(floors: usize, rooms_per_side: usize) -> (f64, f64) {
+    let depth = 2.0 * ROOM_DEPTH + CORRIDOR_WIDTH;
+    (
+        rooms_per_side as f64 * ROOM_WIDTH,
+        floors as f64 * (depth + FLOOR_GAP) - FLOOR_GAP,
+    )
+}
+
+/// `n` deterministic probe segments criss-crossing a `[0, x] × [0, y]`
+/// plan-view extent at mixed heights — [`probe_segments`] generalized to
+/// building-sized footprints.
+pub fn probe_segments_in(n: usize, seed: u64, x: f64, y: f64) -> Vec<(Vec3, Vec3)> {
+    let mut next = lcg(seed);
+    (0..n)
+        .map(|_| {
+            (
+                Vec3::new(next() * x, next() * y, 0.3 + next() * 2.5),
+                Vec3::new(next() * x, next() * y, 0.3 + next() * 2.5),
+            )
+        })
+        .collect()
+}
+
 /// A splittable LCG stream in `[0, 1)`.
 fn lcg(seed: u64) -> impl FnMut() -> f64 {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -74,5 +243,70 @@ mod tests {
         // Different seed, different scene.
         let c = cluttered_plan(32, 8);
         assert_ne!(a.walls()[0].a, c.walls()[0].a);
+    }
+
+    #[test]
+    fn building_plan_wall_count_is_parametric() {
+        // floors · (6R + 2): the counts the building benches advertise.
+        assert_eq!(building_plan(8, 21, 5).walls().len(), 1024);
+        assert_eq!(building_plan(16, 42, 5).walls().len(), 4064);
+        assert_eq!(building_plan(1, 1, 5).walls().len(), 8);
+    }
+
+    #[test]
+    fn building_plan_is_deterministic_and_has_rooms() {
+        let a = building_plan(2, 3, 9);
+        let b = building_plan(2, 3, 9);
+        for (wa, wb) in a.walls().iter().zip(b.walls()) {
+            assert_eq!(wa.a, wb.a);
+            assert_eq!(wa.b, wb.b);
+        }
+        // 2 floors × (2 rows × 3 rooms + corridor).
+        assert_eq!(a.rooms().len(), 2 * 7);
+        assert!(a.room("f0s0").is_some());
+        assert!(a.room("f1corridor").is_some());
+        // Doorway jitter responds to the seed.
+        let c = building_plan(2, 3, 10);
+        assert!(a
+            .walls()
+            .iter()
+            .zip(c.walls())
+            .any(|(wa, wc)| wa.a != wc.a || wa.b != wc.b));
+    }
+
+    #[test]
+    fn building_rooms_connect_through_doorways() {
+        // A room centre must reach the corridor centre through its doorway
+        // with zero wall crossings for *some* probe height path — walk the
+        // doorway gap: the two corridor-wall segments leave a 0.9 m gap.
+        let plan = building_plan(1, 4, 3);
+        let index = plan.build_wall_index();
+        let room = plan.room("f0s1").unwrap();
+        let corridor = plan.room("f0corridor").unwrap();
+        // Find the doorway: sweep x across the room span at the corridor
+        // wall line; at least one x must pass with LOS.
+        let mut found = false;
+        for i in 0..200 {
+            let x = room.min.x + (i as f64 / 199.0) * (room.max.x - room.min.x);
+            let inside = Vec3::new(x, room.center(1.2).y, 1.2);
+            let hall = Vec3::new(x, corridor.center(1.2).y, 1.2);
+            if plan.has_los_with(&index, inside, hall) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no doorway aperture found in corridor wall");
+    }
+
+    #[test]
+    fn building_extent_covers_all_walls() {
+        let plan = building_plan(3, 5, 11);
+        let (x, y) = building_extent(3, 5);
+        for w in plan.walls() {
+            for p in [w.a, w.b] {
+                assert!(p.x >= -1e-9 && p.x <= x + 1e-9);
+                assert!(p.y >= -1e-9 && p.y <= y + 1e-9);
+            }
+        }
     }
 }

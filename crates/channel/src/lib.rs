@@ -35,6 +35,8 @@
 //!   phases are exact on the outer legs, and the inter-surface hop is taken
 //!   centre-to-centre.
 
+#![warn(missing_docs)]
+
 pub mod diagnose;
 pub mod dynamics;
 pub mod endpoint;

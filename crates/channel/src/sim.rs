@@ -27,7 +27,7 @@
 //! - **Epoch-keyed incremental linearization cache** — single-link
 //!   queries ([`ChannelSim::gain`], [`ChannelSim::rss_dbm`],
 //!   [`ChannelSim::link_budget`]) memoize a [`LinkState`] per endpoint
-//!   pair, with LRU eviction past [`CACHE_CAP`] entries. Structure or
+//!   pair, with LRU eviction past `CACHE_CAP` entries. Structure or
 //!   band mutations empty the cache; a blocker-only mutation instead
 //!   *refreshes* each entry on next use — diffing every path's
 //!   blocker-crossing set and re-evaluating only the affected paths,

@@ -38,7 +38,7 @@ pub(crate) const COEFF_FLOOR: f64 = 1e-15;
 /// materials it crosses (in crossing order), which blockers (in list
 /// order), and the off-band surface obstruction product. The segment's
 /// world endpoints are retained so a blocker-only mutation can re-derive
-/// just the blocker crossings ([`SegmentTrace::refresh_blockers`]) without
+/// just the blocker crossings (`SegmentTrace::refresh_blockers`) without
 /// re-tracing walls or surfaces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SegmentTrace {

@@ -1,7 +1,8 @@
 //! Kernel telemetry: the counters an operator dashboards.
 //!
 //! The struct, its serde impl and its registry-view constructor are all
-//! generated from one field list by [`telemetry_counters!`], so the
+//! generated from one field list by the private `telemetry_counters!`
+//! macro, so the
 //! serialized field count can never drift from the definition (the old
 //! hand-written impl hard-coded `serialize_struct("Telemetry", 7)` and
 //! would have silently lied the moment a field was added).

@@ -9,7 +9,7 @@
 //! - [`units`]: decibel / linear / power conversions and physical constants,
 //! - [`band`]: frequency bands and wavelengths,
 //! - [`antenna`]: element and aperture gain patterns,
-//! - [`array`]: planar array geometry and steering vectors,
+//! - [`mod@array`]: planar array geometry and steering vectors,
 //! - [`propagation`]: free-space (Friis) propagation and scattering gains,
 //! - [`noise`]: thermal noise, SNR and Shannon capacity,
 //! - [`phase`]: phase wrapping and quantization.

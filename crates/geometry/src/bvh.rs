@@ -1,14 +1,40 @@
-//! Axis-aligned bounding boxes and a bounding-volume hierarchy for
-//! conservative segment queries.
+//! Axis-aligned bounding boxes and a packed, SAH-built bounding-volume
+//! hierarchy for conservative segment queries.
 //!
 //! Ray tracing asks one geometric question over and over: *which primitives
 //! might this segment touch?* A brute scan answers it in `O(n)` per segment;
-//! the [`Bvh`] here answers it in `O(log n + hits)` by recursively splitting
-//! the primitive set at the median of its centroid spread. Queries are
+//! the [`Bvh`] here answers it in `O(log n + hits)`. Queries are
 //! **conservative**: they yield a superset of the truly-intersected
 //! primitives (a candidate may still miss under the exact test), and never
 //! drop a true hit — callers run the exact intersection test on each
 //! candidate, so results are bit-identical to the brute scan.
+//!
+//! ## Construction: binned SAH, median fallback
+//!
+//! [`Bvh::build`] partitions with the **surface-area heuristic**: each
+//! range's centroids are scattered into [`SAH_BINS`] equal-width bins along
+//! the widest centroid axis, and the split plane minimizing
+//! `C_trav + C_isect · (n_L·A_L + n_R·A_R) / A_parent` is chosen by a
+//! prefix/suffix area sweep. SAH packs spatially coherent primitives under
+//! tight boxes, which is what keeps traversal sublinear on building-scale
+//! plans (1000s of walls) where the room/corridor structure is highly
+//! non-uniform. When SAH degenerates — coincident centroids, every centroid
+//! in one bin, a zero-area node — the builder falls back to the median
+//! split, which always makes progress. [`Bvh::build_median`] forces the
+//! median split everywhere; it is the pre-SAH reference builder, kept for
+//! equivalence proptests and the `plan/crossings_building` benches (query
+//! *results* through either tree are identical; only cost differs).
+//!
+//! ## Layout: packed 32-byte nodes
+//!
+//! Nodes live in one contiguous `Vec` of 32-byte entries: bounds squeezed
+//! to `6 × f32` (minima rounded down, maxima rounded up, so the packed box
+//! never shrinks below the exact `f64` box — conservatism survives the
+//! narrowing) plus one word packing the leaf count with the first-primitive
+//! slot (leaf) or the left-child index (interior). Sibling children are
+//! adjacent (`left`, `left + 1`), so a traversal that pops one sibling
+//! prefetches the other and the whole pair spans a single 64-byte cache
+//! line.
 
 use crate::vec3::Vec3;
 
@@ -72,6 +98,17 @@ impl Aabb {
         (self.min + self.max) * 0.5
     }
 
+    /// Surface area `2·(wx·wy + wy·wz + wz·wx)` — the SAH cost weight.
+    /// Zero for empty (inverted) boxes; degenerate flat boxes contribute
+    /// their cross-section, which is exactly what the heuristic wants.
+    pub fn surface_area(&self) -> f64 {
+        let d = self.max - self.min;
+        if d.x < 0.0 || d.y < 0.0 || d.z < 0.0 {
+            return 0.0;
+        }
+        2.0 * (d.x * d.y + d.y * d.z + d.z * d.x)
+    }
+
     fn axis(v: Vec3, axis: usize) -> f64 {
         match axis {
             0 => v.x,
@@ -118,24 +155,146 @@ impl Aabb {
     }
 }
 
-/// One node of the flattened hierarchy. Leaves (`count > 0`) own the
-/// primitive indices `order[start..start + count]`; interior nodes put their
-/// left child at the next array slot and their right child at `right`.
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    aabb: Aabb,
-    start: u32,
-    count: u32,
-    right: u32,
+/// The largest `f32` not above `v`: packed node *minima* round down so the
+/// narrowed box never excludes a point the exact `f64` box contains.
+fn round_down(v: f64) -> f32 {
+    let f = v as f32;
+    if (f as f64) > v {
+        f.next_down()
+    } else {
+        f
+    }
 }
 
-/// Primitives per leaf: small enough to cull well, large enough that the
-/// tree stays shallow and near-degenerate scenes don't over-branch.
+/// The smallest `f32` not below `v`: packed node *maxima* round up.
+fn round_up(v: f64) -> f32 {
+    let f = v as f32;
+    if (f as f64) < v {
+        f.next_up()
+    } else {
+        f
+    }
+}
+
+/// Bits of `word` carrying the leaf start / left-child index.
+const PAYLOAD_BITS: u32 = 27;
+const PAYLOAD_MASK: u32 = (1 << PAYLOAD_BITS) - 1;
+
+/// One node of the packed tree: bounds squeezed to `f32` (conservatively
+/// rounded outward, see [`round_down`]/[`round_up`]) plus one word whose
+/// top 5 bits hold the leaf count (0 marks an interior node) and whose low
+/// 27 bits hold either the first primitive slot in `order` (leaf) or the
+/// left-child index (interior; the right child is adjacent at `left + 1`).
+/// `align(32)` pads the 28 content bytes to a 32-byte stride, so one
+/// sibling pair spans a single 64-byte cache line.
+#[repr(C, align(32))]
+#[derive(Debug, Clone, Copy)]
+struct PackedNode {
+    min: [f32; 3],
+    max: [f32; 3],
+    word: u32,
+}
+
+impl PackedNode {
+    const PLACEHOLDER: PackedNode = PackedNode {
+        min: [0.0; 3],
+        max: [0.0; 3],
+        word: 0,
+    };
+
+    fn new(aabb: &Aabb, word: u32) -> Self {
+        PackedNode {
+            min: [
+                round_down(aabb.min.x),
+                round_down(aabb.min.y),
+                round_down(aabb.min.z),
+            ],
+            max: [
+                round_up(aabb.max.x),
+                round_up(aabb.max.y),
+                round_up(aabb.max.z),
+            ],
+            word,
+        }
+    }
+
+    fn leaf_word(start: usize, count: usize) -> u32 {
+        debug_assert!((1..=MAX_LEAF_SIZE).contains(&count));
+        ((count as u32) << PAYLOAD_BITS) | start as u32
+    }
+
+    fn interior_word(left: usize) -> u32 {
+        left as u32
+    }
+
+    /// Leaf primitive count; 0 for interior nodes.
+    fn count(&self) -> usize {
+        (self.word >> PAYLOAD_BITS) as usize
+    }
+
+    /// Leaf start slot or interior left-child index.
+    fn payload(&self) -> usize {
+        (self.word & PAYLOAD_MASK) as usize
+    }
+
+    /// The packed bounds widened back to `f64` (exact — every `f32` is a
+    /// representable `f64`), a superset of the box the node was packed from.
+    fn aabb(&self) -> Aabb {
+        Aabb {
+            min: Vec3::new(self.min[0] as f64, self.min[1] as f64, self.min[2] as f64),
+            max: Vec3::new(self.max[0] as f64, self.max[1] as f64, self.max[2] as f64),
+        }
+    }
+}
+
+/// Primitives per leaf below which a range is never split: small enough to
+/// cull well, large enough that the tree stays shallow.
 const LEAF_SIZE: usize = 4;
 
-/// Median-split traversal depth is `⌈log2(n / LEAF_SIZE)⌉ + 1`; 64 covers
-/// any primitive count a `u32`-indexed tree can hold.
+/// SAH may terminate a range into a leaf up to this size when every
+/// candidate split costs more than testing the primitives directly. Must
+/// fit the 5 leaf-count bits (≤ 31).
+const MAX_LEAF_SIZE: usize = 16;
+
+/// Centroid bins per axis for the SAH sweep.
+pub const SAH_BINS: usize = 16;
+
+/// SAH cost of one traversal step, relative to [`COST_INTERSECT`].
+const COST_TRAVERSAL: f64 = 0.5;
+
+/// SAH cost of one exact primitive test.
+const COST_INTERSECT: f64 = 1.0;
+
+/// Below this depth SAH may pick arbitrarily lopsided splits; beyond it the
+/// builder forces median splits (balanced halves), bounding total depth at
+/// `SAH_DEPTH_LIMIT + ⌈log2 n⌉ < MAX_DEPTH` for any `n ≤ MAX_PRIMS`.
+const SAH_DEPTH_LIMIT: usize = 32;
+
+/// Traversal stack capacity; covers the depth bound above.
 const MAX_DEPTH: usize = 64;
+
+/// Capacity cap: payloads carry 27 bits and a tree over `n` primitives has
+/// at most `2n − 1` nodes, so `n` is held one bit lower.
+const MAX_PRIMS: usize = 1 << 26;
+
+/// How a range of primitives gets divided (or not).
+enum Split {
+    /// SAH found a paying split; `order[lo..mid]` / `order[mid..hi]` are
+    /// already partitioned.
+    At(usize),
+    /// Every candidate split costs more than a leaf of this range.
+    Leaf,
+    /// SAH degenerated (coincident centroids, one occupied bin, zero-area
+    /// node) — divide at the centroid median instead.
+    MedianFallback,
+}
+
+/// Which splitter drives construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SplitStrategy {
+    Sah,
+    Median,
+}
 
 /// A bounding-volume hierarchy over primitive bounding boxes.
 ///
@@ -144,21 +303,47 @@ const MAX_DEPTH: usize = 64;
 /// tie-breaking (and thus bit-identical results) possible downstream.
 #[derive(Debug, Clone, Default)]
 pub struct Bvh {
-    nodes: Vec<Node>,
+    nodes: Vec<PackedNode>,
     order: Vec<u32>,
 }
 
 impl Bvh {
-    /// Builds the hierarchy over one box per primitive, by recursive median
-    /// split on the centroid spread's longest axis. Deterministic: equal
-    /// centroids tie-break on primitive index.
+    /// Builds the hierarchy with binned-SAH partitioning (see the module
+    /// docs). Deterministic: binning, the cost sweep and the side/index
+    /// partition sort depend only on the input boxes.
+    ///
+    /// # Panics
+    /// Panics when `boxes` exceeds the 2²⁶-primitive packing capacity.
     pub fn build(boxes: &[Aabb]) -> Self {
+        Self::build_with(boxes, SplitStrategy::Sah)
+    }
+
+    /// Builds the hierarchy with the reference median splitter everywhere
+    /// (the pre-SAH construction). Queries through a median tree return the
+    /// same candidate *supersets* contract — and therefore bit-identical
+    /// final results — as [`Bvh::build`]; only traversal cost differs. Kept
+    /// for equivalence proptests and the building-scale benchmarks.
+    pub fn build_median(boxes: &[Aabb]) -> Self {
+        Self::build_with(boxes, SplitStrategy::Median)
+    }
+
+    fn build_with(boxes: &[Aabb], strategy: SplitStrategy) -> Self {
+        assert!(
+            boxes.len() <= MAX_PRIMS,
+            "BVH capacity is {MAX_PRIMS} primitives"
+        );
+        let timer = surfos_obs::enabled().then(std::time::Instant::now);
         let mut bvh = Bvh {
             nodes: Vec::with_capacity(2 * boxes.len().max(1)),
             order: (0..boxes.len() as u32).collect(),
         };
         if !boxes.is_empty() {
-            bvh.build_range(boxes, 0, boxes.len());
+            bvh.nodes.push(PackedNode::PLACEHOLDER);
+            bvh.build_node(boxes, 0, 0, boxes.len(), 0, strategy);
+        }
+        if let Some(t0) = timer {
+            surfos_obs::observe("geometry.bvh.build_ns", t0.elapsed().as_nanos() as u64);
+            surfos_obs::observe("geometry.bvh.build_prims", boxes.len() as u64);
         }
         bvh
     }
@@ -173,28 +358,67 @@ impl Bvh {
         self.order.is_empty()
     }
 
-    fn build_range(&mut self, boxes: &[Aabb], lo: usize, hi: usize) -> u32 {
-        let node_idx = self.nodes.len() as u32;
+    /// Number of packed nodes (leaves + interiors) in the flat array.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build_node(
+        &mut self,
+        boxes: &[Aabb],
+        node: usize,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        strategy: SplitStrategy,
+    ) {
         let mut aabb = Aabb::empty();
         for &i in &self.order[lo..hi] {
             aabb = aabb.union(&boxes[i as usize]);
         }
-        self.nodes.push(Node {
-            aabb,
-            start: lo as u32,
-            count: (hi - lo) as u32,
-            right: 0,
-        });
-        if hi - lo <= LEAF_SIZE {
-            return node_idx;
+        let count = hi - lo;
+        if count <= LEAF_SIZE {
+            self.nodes[node] = PackedNode::new(&aabb, PackedNode::leaf_word(lo, count));
+            return;
         }
-        // Split at the median centroid along the widest centroid axis.
-        let centroid_bounds = Aabb::from_points(
+        let split = match strategy {
+            SplitStrategy::Sah if depth < SAH_DEPTH_LIMIT => self.sah_split(boxes, lo, hi, &aabb),
+            _ => Split::MedianFallback,
+        };
+        let mid = match split {
+            Split::Leaf => {
+                self.nodes[node] = PackedNode::new(&aabb, PackedNode::leaf_word(lo, count));
+                return;
+            }
+            Split::At(mid) => {
+                surfos_obs::add("geometry.bvh.sah_splits", 1);
+                mid
+            }
+            Split::MedianFallback => {
+                if strategy == SplitStrategy::Sah {
+                    surfos_obs::add("geometry.bvh.median_fallbacks", 1);
+                }
+                self.median_split(boxes, lo, hi)
+            }
+        };
+        // Allocate the sibling pair adjacently, then recurse into each.
+        let left = self.nodes.len();
+        self.nodes.push(PackedNode::PLACEHOLDER);
+        self.nodes.push(PackedNode::PLACEHOLDER);
+        self.nodes[node] = PackedNode::new(&aabb, PackedNode::interior_word(left));
+        self.build_node(boxes, left, lo, mid, depth + 1, strategy);
+        self.build_node(boxes, left + 1, mid, hi, depth + 1, strategy);
+    }
+
+    /// The widest-axis centroid bounds of `order[lo..hi]`, shared by both
+    /// splitters.
+    fn centroid_spread(&self, boxes: &[Aabb], lo: usize, hi: usize) -> (Aabb, usize) {
+        let bounds = Aabb::from_points(
             self.order[lo..hi]
                 .iter()
                 .map(|&i| boxes[i as usize].center()),
         );
-        let spread = centroid_bounds.max - centroid_bounds.min;
+        let spread = bounds.max - bounds.min;
         let axis = if spread.x >= spread.y && spread.x >= spread.z {
             0
         } else if spread.y >= spread.z {
@@ -202,17 +426,90 @@ impl Bvh {
         } else {
             2
         };
-        self.order[lo..hi].sort_by(|&a, &b| {
+        (bounds, axis)
+    }
+
+    /// Binned SAH: scatter centroids into [`SAH_BINS`] bins on the widest
+    /// centroid axis, sweep the `SAH_BINS − 1` bin boundaries for the
+    /// minimum `C_trav + C_isect·(n_L·A_L + n_R·A_R)/A_parent`, and
+    /// partition the range at the winner (stable on primitive index, so
+    /// construction is deterministic). Degenerate inputs fall back to the
+    /// median; ranges where no split beats a direct leaf become leaves.
+    fn sah_split(&mut self, boxes: &[Aabb], lo: usize, hi: usize, node_aabb: &Aabb) -> Split {
+        let count = hi - lo;
+        let (centroid_bounds, axis) = self.centroid_spread(boxes, lo, hi);
+        let extent = Aabb::axis(centroid_bounds.max - centroid_bounds.min, axis);
+        let parent_area = node_aabb.surface_area();
+        if extent < 1e-9 || parent_area <= 0.0 {
+            // Coincident centroids (stacked walls, duplicate blockers) or a
+            // zero-area node: SAH cannot rank splits, the median can.
+            return Split::MedianFallback;
+        }
+        let origin = Aabb::axis(centroid_bounds.min, axis);
+        let scale = SAH_BINS as f64 / extent;
+        let bin_of = |b: &Aabb| {
+            (((Aabb::axis(b.center(), axis) - origin) * scale) as usize).min(SAH_BINS - 1)
+        };
+        let mut counts = [0usize; SAH_BINS];
+        let mut bounds = [Aabb::empty(); SAH_BINS];
+        for &i in &self.order[lo..hi] {
+            let b = bin_of(&boxes[i as usize]);
+            counts[b] += 1;
+            bounds[b] = bounds[b].union(&boxes[i as usize]);
+        }
+        // Suffix sweep: area/count of everything right of each boundary.
+        let mut right_area = [0.0f64; SAH_BINS];
+        let mut right_count = [0usize; SAH_BINS];
+        let mut acc = Aabb::empty();
+        let mut n_acc = 0usize;
+        for k in (1..SAH_BINS).rev() {
+            acc = acc.union(&bounds[k]);
+            n_acc += counts[k];
+            right_area[k] = acc.surface_area();
+            right_count[k] = n_acc;
+        }
+        // Prefix sweep over boundaries; strict `<` keeps the leftmost
+        // boundary on cost ties, so the choice is deterministic.
+        let mut best: Option<(f64, usize, usize)> = None;
+        let mut left_box = Aabb::empty();
+        let mut left_n = 0usize;
+        for k in 1..SAH_BINS {
+            left_box = left_box.union(&bounds[k - 1]);
+            left_n += counts[k - 1];
+            if left_n == 0 || right_count[k] == 0 {
+                continue;
+            }
+            let cost = COST_TRAVERSAL
+                + COST_INTERSECT
+                    * (left_n as f64 * left_box.surface_area()
+                        + right_count[k] as f64 * right_area[k])
+                    / parent_area;
+            if best.is_none_or(|(c, _, _)| cost < c) {
+                best = Some((cost, k, left_n));
+            }
+        }
+        let Some((best_cost, best_k, best_left_n)) = best else {
+            return Split::MedianFallback; // every centroid landed in one bin
+        };
+        if best_cost >= COST_INTERSECT * count as f64 && count <= MAX_LEAF_SIZE {
+            return Split::Leaf;
+        }
+        self.order[lo..hi].sort_unstable_by_key(|&i| (bin_of(&boxes[i as usize]) >= best_k, i));
+        Split::At(lo + best_left_n)
+    }
+
+    /// Splits at the median centroid along the widest centroid axis (equal
+    /// centroids tie-break on primitive index). Always makes progress —
+    /// even fully coincident centroids divide by index order — which is why
+    /// it backs SAH up.
+    fn median_split(&mut self, boxes: &[Aabb], lo: usize, hi: usize) -> usize {
+        let (_, axis) = self.centroid_spread(boxes, lo, hi);
+        self.order[lo..hi].sort_unstable_by(|&a, &b| {
             Aabb::axis(boxes[a as usize].center(), axis)
                 .total_cmp(&Aabb::axis(boxes[b as usize].center(), axis))
                 .then(a.cmp(&b))
         });
-        let mid = lo + (hi - lo) / 2;
-        self.build_range(boxes, lo, mid); // left child lands at node_idx + 1
-        let right = self.build_range(boxes, mid, hi);
-        self.nodes[node_idx as usize].count = 0;
-        self.nodes[node_idx as usize].right = right;
-        node_idx
+        lo + (hi - lo) / 2
     }
 
     /// Recomputes every node's bounds for updated primitive boxes without
@@ -222,9 +519,10 @@ impl Bvh {
     /// This is the moving-primitive fast path — a scene where a few boxes
     /// shift per tick refits instead of rebuilding. Queries stay exactly as
     /// conservative as on a fresh build (every node bounds the union of its
-    /// primitives' *current* boxes); only the split quality is frozen at
-    /// build time, so refitting is for perturbations, not for a scene that
-    /// has been wholly rearranged.
+    /// primitives' *current* boxes, re-rounded outward for the packed `f32`
+    /// layout); only the split quality is frozen at build time, so
+    /// refitting is for perturbations, not for a scene that has been wholly
+    /// rearranged.
     ///
     /// # Panics
     /// Panics when `boxes` does not have one box per indexed primitive.
@@ -235,22 +533,26 @@ impl Bvh {
             "refit requires one box per indexed primitive"
         );
         surfos_obs::add("geometry.bvh.refits", 1);
-        // Children always sit at higher indices than their parent (left at
-        // `idx + 1`, right after the whole left subtree), so one reverse
-        // sweep sees every child before its parent.
+        // The sibling pair is always allocated after its parent, so children
+        // sit at higher indices and one reverse sweep sees every child
+        // before its parent.
         for idx in (0..self.nodes.len()).rev() {
             let node = self.nodes[idx];
-            self.nodes[idx].aabb = if node.count > 0 {
+            let count = node.count();
+            let aabb = if count > 0 {
+                let start = node.payload();
                 let mut aabb = Aabb::empty();
-                for &i in &self.order[node.start as usize..(node.start + node.count) as usize] {
+                for &i in &self.order[start..start + count] {
                     aabb = aabb.union(&boxes[i as usize]);
                 }
                 aabb
             } else {
-                self.nodes[idx + 1]
-                    .aabb
-                    .union(&self.nodes[node.right as usize].aabb)
+                // Child bounds are already f32-exact, so this union (and
+                // its re-pack below) is lossless.
+                let left = node.payload();
+                self.nodes[left].aabb().union(&self.nodes[left + 1].aabb())
             };
+            self.nodes[idx] = PackedNode::new(&aabb, node.word);
         }
     }
 
@@ -279,14 +581,15 @@ impl Bvh {
         sp += 1;
         'traverse: while sp > 0 {
             sp -= 1;
-            let idx = stack[sp] as usize;
-            let node = &self.nodes[idx];
+            let node = &self.nodes[stack[sp] as usize];
             nodes_visited += 1;
-            if !node.aabb.intersects_segment(from, to) {
+            if !node.aabb().intersects_segment(from, to) {
                 continue;
             }
-            if node.count > 0 {
-                for &i in &self.order[node.start as usize..(node.start + node.count) as usize] {
+            let count = node.count();
+            if count > 0 {
+                let start = node.payload();
+                for &i in &self.order[start..start + count] {
                     candidates += 1;
                     if visit(i as usize) {
                         hit = true;
@@ -294,12 +597,13 @@ impl Bvh {
                     }
                 }
             } else {
-                // Left child is the next array slot; right was recorded at
-                // build time. Pop order (left first) is a cache nicety, not
-                // a correctness requirement.
+                // The sibling pair is adjacent; popping left first keeps the
+                // walk linear through the packed array (a cache nicety, not
+                // a correctness requirement).
+                let left = node.payload();
                 debug_assert!(sp + 2 <= MAX_DEPTH, "BVH deeper than traversal stack");
-                stack[sp] = node.right;
-                stack[sp + 1] = (idx + 1) as u32;
+                stack[sp] = (left + 1) as u32;
+                stack[sp + 1] = left as u32;
                 sp += 2;
             }
         }
@@ -335,11 +639,48 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn packed_node_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<PackedNode>(), 32);
+        assert_eq!(std::mem::align_of::<PackedNode>(), 32);
+    }
+
+    #[test]
+    fn conservative_rounding_brackets_value() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            -7.3e-9,
+            1e300,
+            -1e300,
+            12345.6789,
+            0.0,
+            -0.0,
+            2.0,
+        ] {
+            assert!(round_down(v) as f64 <= v, "round_down({v}) above value");
+            assert!(round_up(v) as f64 >= v, "round_up({v}) below value");
+        }
+        // Infinities (the empty box) pass through unchanged.
+        assert_eq!(round_down(f64::INFINITY), f32::INFINITY);
+        assert_eq!(round_up(f64::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+
+    #[test]
     fn empty_box_intersects_nothing() {
         let e = Aabb::empty();
         assert!(!e.intersects_segment(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)));
         let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
         assert_eq!(e.union(&b), b);
+        assert_eq!(e.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn surface_area_matches_hand_value() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.surface_area(), 2.0 * (6.0 + 12.0 + 8.0));
+        // A flat (zero-extent) box still has its cross-section.
+        let flat = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 0.0));
+        assert_eq!(flat.surface_area(), 2.0 * 6.0);
     }
 
     #[test]
@@ -361,11 +702,13 @@ mod tests {
 
     #[test]
     fn empty_bvh_yields_nothing() {
-        let bvh = Bvh::build(&[]);
-        assert!(bvh.is_empty());
-        assert!(bvh
-            .segment_candidates(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0))
-            .is_empty());
+        for bvh in [Bvh::build(&[]), Bvh::build_median(&[])] {
+            assert!(bvh.is_empty());
+            assert_eq!(bvh.node_count(), 0);
+            assert!(bvh
+                .segment_candidates(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0))
+                .is_empty());
+        }
     }
 
     #[test]
@@ -376,8 +719,24 @@ mod tests {
         )];
         let bvh = Bvh::build(&boxes);
         assert_eq!(bvh.len(), 1);
+        assert_eq!(bvh.node_count(), 1);
         let c = bvh.segment_candidates(Vec3::new(0.0, 0.0, 1.0), Vec3::new(3.0, 0.0, 1.0));
         assert_eq!(c, vec![0]);
+    }
+
+    #[test]
+    fn coincident_centroids_fall_back_to_median() {
+        // 40 identical point boxes: zero centroid spread on every axis, the
+        // exact input SAH binning cannot rank. The median fallback must
+        // still build a working (index-ordered) tree.
+        let boxes = vec![Aabb::new(Vec3::new(1.0, 1.0, 1.0), Vec3::new(1.0, 1.0, 1.0)); 40];
+        let bvh = Bvh::build(&boxes);
+        let mut c = bvh.segment_candidates(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0));
+        c.sort_unstable();
+        assert_eq!(c, (0..40).collect::<Vec<_>>());
+        assert!(bvh
+            .segment_candidates(Vec3::new(0.0, 5.0, 0.0), Vec3::new(2.0, 5.0, 0.0))
+            .is_empty());
     }
 
     /// Deterministic pseudo-random boxes for the superset property.
@@ -398,6 +757,46 @@ mod tests {
                     0.05 + next() * 2.0,
                 );
                 Aabb::new(c - h, c + h)
+            })
+            .collect()
+    }
+
+    /// Degenerate boxes: zero-extent "walls" (flat in one axis), point
+    /// boxes, and clusters sharing one exact centroid — the inputs where
+    /// SAH binning must fall back to the median split.
+    fn degenerate_boxes(seed: u64, n: usize) -> Vec<Aabb> {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n)
+            .map(|i| {
+                let c = match i % 3 {
+                    // A shared exact centroid: coincident on every axis.
+                    0 => Vec3::new(5.0, 5.0, 1.0),
+                    _ => Vec3::new(next() * 20.0, next() * 20.0, next() * 4.0),
+                };
+                match i % 3 {
+                    // Varying halfwidths around the shared centroid.
+                    0 => {
+                        let h = next() * 1.5;
+                        Aabb::new(c - Vec3::new(h, h, h), c + Vec3::new(h, h, h))
+                    }
+                    // Zero-extent wall: flat in x or y.
+                    1 => {
+                        let h = Vec3::new(
+                            if i % 2 == 0 { 0.0 } else { 1.0 + next() },
+                            if i % 2 == 0 { 1.0 + next() } else { 0.0 },
+                            1.5,
+                        );
+                        Aabb::new(c - h, c + h)
+                    }
+                    // Point box.
+                    _ => Aabb::new(c, c),
+                }
             })
             .collect()
     }
@@ -427,6 +826,23 @@ mod tests {
         bvh.refit(&boxes[..9]);
     }
 
+    /// Shared conservative-superset check: every brute box hit must appear
+    /// among the tree's candidates.
+    fn assert_superset(bvh: &Bvh, boxes: &[Aabb], from: Vec3, to: Vec3) -> Result<(), String> {
+        let candidates = bvh.segment_candidates(from, to);
+        for (i, b) in boxes.iter().enumerate() {
+            if b.intersects_segment(from, to) && !candidates.contains(&i) {
+                return Err(format!("dropped true hit {i}"));
+            }
+        }
+        for &i in &candidates {
+            if i >= boxes.len() {
+                return Err(format!("fabricated candidate {i}"));
+            }
+        }
+        Ok(())
+    }
+
     proptest! {
         #[test]
         fn prop_refit_stays_conservative_after_moves(
@@ -446,15 +862,38 @@ mod tests {
             bvh.refit(&boxes);
             let from = Vec3::new(-8.0, -8.0, 1.0);
             let to = Vec3::new(28.0, 28.0, 2.0);
-            let candidates = bvh.segment_candidates(from, to);
-            for (i, b) in boxes.iter().enumerate() {
-                if b.intersects_segment(from, to) {
-                    prop_assert!(
-                        candidates.contains(&i),
-                        "refit dropped true hit {i} (seed {seed}, n {n})"
-                    );
-                }
+            prop_assert!(assert_superset(&bvh, &boxes, from, to).is_ok());
+        }
+
+        #[test]
+        fn prop_degenerate_boxes_build_and_refit_conservative(
+            seed in 0u64..100_000,
+            n in 1usize..90,
+            moved in 0usize..8,
+            dx in -4.0..4.0f64, dz in -1.0..1.0f64,
+            x0 in -2.0..22.0f64, y0 in -2.0..22.0f64,
+            x1 in -2.0..22.0f64, y1 in -2.0..22.0f64,
+        ) {
+            // Zero-extent walls, point boxes and coincident centroids:
+            // exercise the SAH median fallback on build, then perturb and
+            // refit — the conservative contract must hold throughout, for
+            // both builders.
+            let mut boxes = degenerate_boxes(seed, n);
+            let mut sah = Bvh::build(&boxes);
+            let mut median = Bvh::build_median(&boxes);
+            let from = Vec3::new(x0, y0, 0.5);
+            let to = Vec3::new(x1, y1, 2.5);
+            prop_assert!(assert_superset(&sah, &boxes, from, to).is_ok());
+            prop_assert!(assert_superset(&median, &boxes, from, to).is_ok());
+
+            let delta = Vec3::new(dx, 0.0, dz);
+            for b in boxes.iter_mut().take(moved.min(n)) {
+                *b = Aabb::new(b.min + delta, b.max + delta);
             }
+            sah.refit(&boxes);
+            median.refit(&boxes);
+            prop_assert!(assert_superset(&sah, &boxes, from, to).is_ok());
+            prop_assert!(assert_superset(&median, &boxes, from, to).is_ok());
         }
 
         #[test]
@@ -465,37 +904,29 @@ mod tests {
             x1 in -2.0..22.0f64, y1 in -2.0..22.0f64, z1 in -1.0..5.0f64,
         ) {
             let boxes = scene_boxes(seed, n);
-            let bvh = Bvh::build(&boxes);
             let from = Vec3::new(x0, y0, z0);
             let to = Vec3::new(x1, y1, z1);
-            let candidates = bvh.segment_candidates(from, to);
-            // Every brute-force box hit must be among the candidates.
-            for (i, b) in boxes.iter().enumerate() {
-                if b.intersects_segment(from, to) {
-                    prop_assert!(
-                        candidates.contains(&i),
-                        "BVH dropped true hit {i} (seed {seed}, n {n})"
-                    );
-                }
-            }
-            // And no candidate is fabricated.
-            for &i in &candidates {
-                prop_assert!(i < n);
-            }
+            // Both builders obey the same conservative contract.
+            prop_assert!(assert_superset(&Bvh::build(&boxes), &boxes, from, to).is_ok());
+            prop_assert!(assert_superset(&Bvh::build_median(&boxes), &boxes, from, to).is_ok());
         }
 
         #[test]
         fn prop_no_duplicate_candidates(seed in 0u64..100_000, n in 0usize..100) {
             let boxes = scene_boxes(seed, n);
-            let bvh = Bvh::build(&boxes);
-            let mut c = bvh.segment_candidates(
-                Vec3::new(-1.0, -1.0, 1.0),
-                Vec3::new(21.0, 21.0, 2.0),
-            );
-            let total = c.len();
-            c.sort_unstable();
-            c.dedup();
-            prop_assert_eq!(total, c.len());
+            for bvh in [Bvh::build(&boxes), Bvh::build_median(&boxes)] {
+                let mut c = bvh.segment_candidates(
+                    Vec3::new(-1.0, -1.0, 1.0),
+                    Vec3::new(21.0, 21.0, 2.0),
+                );
+                let total = c.len();
+                c.sort_unstable();
+                c.dedup();
+                prop_assert_eq!(total, c.len());
+                // Leaves partition the primitive set: every primitive is in
+                // exactly one leaf, so a full-cover query finds all of them.
+                prop_assert!(bvh.len() == n);
+            }
         }
     }
 }

@@ -16,10 +16,13 @@
 //! - [`wall`]: vertical wall panels and ray intersection,
 //! - [`pose`]: surface mounting poses and local-frame transforms,
 //! - [`plan`]: floor plans (walls + named room regions) and LOS queries,
-//! - [`bvh`]: bounding boxes and a BVH for conservative segment queries,
+//! - [`bvh`]: bounding boxes and a binned-SAH BVH with a packed 32-byte
+//!   node layout, for conservative segment queries,
 //! - [`reflect`]: specular reflection via the image method,
 //! - [`scenario`]: ready-made environments, including the paper's two-room
 //!   apartment (Figure 4a).
+
+#![warn(missing_docs)]
 
 pub mod bvh;
 pub mod material;

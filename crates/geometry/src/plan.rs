@@ -7,7 +7,7 @@
 //! - which walls does a segment cross (→ penetration loss), and
 //! - is there line of sight between two points.
 
-use crate::bvh::Bvh;
+use crate::bvh::{Aabb, Bvh};
 use crate::material::Material;
 use crate::vec3::Vec3;
 use crate::wall::Wall;
@@ -200,19 +200,37 @@ impl FloorPlan {
             .all(|w| w.intersect_segment(from, to).is_none())
     }
 
-    /// Builds a [`WallIndex`] over the current wall set. Rebuild whenever
-    /// walls are added or edited; queries check only the wall *count*, so a
-    /// stale index over mutated walls silently returns wrong answers.
+    /// Builds a [`WallIndex`] over the current wall set (binned-SAH packed
+    /// tree, see [`Bvh::build`]). Rebuild whenever walls are added or
+    /// edited; queries check only the wall *count*, so a stale index over
+    /// mutated walls silently returns wrong answers.
     pub fn build_wall_index(&self) -> WallIndex {
-        let boxes: Vec<_> = self
-            .walls
-            .iter()
-            .map(|w| w.aabb().grown(WALL_AABB_PAD))
-            .collect();
         WallIndex {
-            bvh: Bvh::build(&boxes),
+            bvh: Bvh::build(&self.padded_wall_boxes()),
             u_margins: self.walls.iter().map(Wall::u_margin).collect(),
         }
+    }
+
+    /// A [`WallIndex`] whose hierarchy uses the reference median splitter
+    /// ([`Bvh::build_median`]) instead of the default binned SAH. Indexed
+    /// query results are bit-identical to [`FloorPlan::build_wall_index`]'s
+    /// (the property tests pin this); only candidate counts and traversal
+    /// cost differ. Kept as the comparison arm for equivalence proptests
+    /// and the `plan/crossings_building` benchmarks.
+    pub fn build_wall_index_median(&self) -> WallIndex {
+        WallIndex {
+            bvh: Bvh::build_median(&self.padded_wall_boxes()),
+            u_margins: self.walls.iter().map(Wall::u_margin).collect(),
+        }
+    }
+
+    /// Wall bounding boxes grown by [`WALL_AABB_PAD`], the primitive set
+    /// both index builders consume.
+    fn padded_wall_boxes(&self) -> Vec<Aabb> {
+        self.walls
+            .iter()
+            .map(|w| w.aabb().grown(WALL_AABB_PAD))
+            .collect()
     }
 
     /// [`FloorPlan::crossings`] through a [`WallIndex`]: same result, bit
@@ -475,24 +493,27 @@ mod tests {
             x1 in -1.0..11.0f64, y1 in -1.0..11.0f64, z1 in 0.1..4.0f64,
         ) {
             let plan = cluttered(n, seed);
-            let index = plan.build_wall_index();
             let from = Vec3::new(x0, y0, z0);
             let to = Vec3::new(x1, y1, z1);
             let band = NamedBand::MmWave28GHz.band();
 
-            prop_assert_eq!(
-                plan.crossings(from, to),
-                plan.crossings_with(&index, from, to)
-            );
-            prop_assert_eq!(plan.has_los(from, to), plan.has_los_with(&index, from, to));
-            prop_assert_eq!(
-                plan.penetration_loss_db(from, to, &band).to_bits(),
-                plan.penetration_loss_db_with(&index, from, to, &band).to_bits()
-            );
-            prop_assert_eq!(
-                plan.transmission_amplitude(from, to, &band).to_bits(),
-                plan.transmission_amplitude_with(&index, from, to, &band).to_bits()
-            );
+            // Both the SAH-packed tree and the reference median tree must
+            // reproduce the brute scan bit for bit.
+            for index in [plan.build_wall_index(), plan.build_wall_index_median()] {
+                prop_assert_eq!(
+                    plan.crossings(from, to),
+                    plan.crossings_with(&index, from, to)
+                );
+                prop_assert_eq!(plan.has_los(from, to), plan.has_los_with(&index, from, to));
+                prop_assert_eq!(
+                    plan.penetration_loss_db(from, to, &band).to_bits(),
+                    plan.penetration_loss_db_with(&index, from, to, &band).to_bits()
+                );
+                prop_assert_eq!(
+                    plan.transmission_amplitude(from, to, &band).to_bits(),
+                    plan.transmission_amplitude_with(&index, from, to, &band).to_bits()
+                );
+            }
         }
     }
 }

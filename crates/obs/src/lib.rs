@@ -23,7 +23,7 @@
 //! # Sharding
 //!
 //! Counter, histogram and span storage is sharded: each thread is assigned
-//! one of [`registry::NUM_SHARDS`] shards on first use (round-robin), so the
+//! one of `registry::NUM_SHARDS` shards on first use (round-robin), so the
 //! `channel::par` fan-out threads never contend on one lock. [`snapshot`]
 //! merges the shards; merged totals are deterministic regardless of thread
 //! count because addition commutes.

@@ -10,7 +10,7 @@
 //!   hardware.
 //! - [`task`]: tasks (the OS-process analogue) with states, priorities and
 //!   lifecycles.
-//! - [`slice`]: the minimal resource unit — a slice of time × frequency ×
+//! - [`mod@slice`]: the minimal resource unit — a slice of time × frequency ×
 //!   space — and assignments of slices to tasks.
 //! - [`scheduler`]: admission, priority scheduling, preemption, idle
 //!   reclamation and isolation across slices.

@@ -17,7 +17,7 @@
 //!   minimizes.
 //! - [`sounding`]: element-domain channel sounding through a configured
 //!   surface, with receiver noise.
-//! - [`localize`]: AoA + ToF → position, and error metrics.
+//! - [`mod@localize`]: AoA + ToF → position, and error metrics.
 //! - [`motion`]: channel-delta motion detection (a second sensing service
 //!   sharing the same hardware).
 

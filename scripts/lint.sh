@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Static gate: formatting + clippy with warnings denied.
+# Static gate: formatting + clippy + rustdoc, all with warnings denied.
 #
-#   scripts/lint.sh          # check formatting and lints
-#   scripts/lint.sh --fix    # apply rustfmt, then re-check lints
+#   scripts/lint.sh          # check formatting, lints and docs
+#   scripts/lint.sh --fix    # apply rustfmt, then re-check lints and docs
 #
 # Also invoked by scripts/perf_smoke.sh --check, so a perf gate run cannot
 # pass on a tree that fails the static checks.
@@ -18,4 +18,8 @@ fi
 
 cargo clippy -q --all-targets -- -D warnings
 
-echo "lint: formatting and clippy clean"
+# Doc gate: broken intra-doc links and missing docs (where a crate opts in
+# via #![warn(missing_docs)]) fail the build, not just warn.
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
+
+echo "lint: formatting, clippy and rustdoc clean"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf smoke + regression gate.
 #
-# Runs the channel, dynamics, spatial and optimizer criterion benches and
-# collects
+# Runs the channel, dynamics, spatial, building and optimizer criterion
+# benches and collects
 # the per-benchmark medians into a machine-readable BENCH_channel.json at
 # the repo root. With --check, fresh medians are then compared against the
 # checked-in BENCH_baseline.json and the script exits non-zero when any
@@ -45,6 +45,7 @@ run_benches() {
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench dynamics
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench spatial
+  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench building
   CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
 
   # Observability attachment: derived cache/culling metrics and span
