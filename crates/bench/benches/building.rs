@@ -96,5 +96,49 @@ fn bench_linearize_building(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crossings_building, bench_linearize_building);
+fn bench_frequency_response_building(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel/frequency_response_building");
+    let band = NamedBand::MmWave28GHz.band();
+    // One trace of the 4064-wall building, then a 64-point subcarrier
+    // sweep: the trace exercises the packet/prefilter geometry once, the
+    // sweep exercises the SoA phasor re-phasing 64 times. The scalar
+    // reference arm (`sweep_evaluate_scalar`) rides along to keep the
+    // AoS → SoA separation visible in the numbers.
+    let (floors, rooms) = BUILDINGS[1];
+    let plan = building_plan(floors, rooms, SCENE_SEED);
+    let n = plan.walls().len();
+    let sim = surfos::channel::ChannelSim::new(plan, band);
+    let mut tx = Endpoint::client("tx", Vec3::new(2.0, 2.5, 1.8));
+    tx.pattern = ElementPattern::Isotropic;
+    let mut rx = Endpoint::client("rx", Vec3::new(rooms as f64 * 4.0 - 2.0, 9.5, 1.2));
+    rx.pattern = ElementPattern::Isotropic;
+    group.bench_function(format!("sweep64_{n}w"), |b| {
+        b.iter(|| black_box(sim.frequency_response(&tx, &rx, 64)))
+    });
+    // Sweep-only arms on a pre-computed trace: the rephase hot loop with
+    // the trace cost excluded, SoA vs the scalar reference.
+    let trace = sim.trace(&tx, &rx);
+    let responses = sim.responses();
+    let (lo, hi) = (band.low_hz(), band.high_hz());
+    let probes: Vec<surfos::em::band::Band> = (0..64)
+        .map(|i| {
+            let f = lo + (hi - lo) * i as f64 / 63.0;
+            surfos::em::band::Band::new(f, band.bandwidth_hz.min(f))
+        })
+        .collect();
+    group.bench_function(format!("rephase64_soa_{n}w"), |b| {
+        b.iter(|| black_box(trace.sweep_evaluate(&probes, &responses)))
+    });
+    group.bench_function(format!("rephase64_scalar_{n}w"), |b| {
+        b.iter(|| black_box(trace.sweep_evaluate_scalar(&probes, &responses)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossings_building,
+    bench_linearize_building,
+    bench_frequency_response_building
+);
 criterion_main!(benches);

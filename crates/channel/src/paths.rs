@@ -179,6 +179,55 @@ impl<'a> Medium<'a> {
         )
     }
 
+    /// Batched [`Self::trace_segment`]: traces many segments in one call so
+    /// the wall query runs through the BVH in SIMD packets
+    /// ([`FloorPlan::crossings_batch`]) instead of one traversal per
+    /// segment. Results are bit-identical to calling
+    /// [`Self::trace_segment`] on each segment in order — the packet slab
+    /// test is conservative and every candidate still goes through the
+    /// exact scalar wall intersection.
+    ///
+    /// Without an index this degrades to the per-segment brute scan, which
+    /// doubles as the reference arm the equivalence tests compare against.
+    pub fn trace_segments(&self, segments: &[(Vec3, Vec3)]) -> Vec<SegmentTrace> {
+        let Some(ix) = self.index else {
+            return segments
+                .iter()
+                .map(|&(from, to)| self.trace_segment(from, to))
+                .collect();
+        };
+        let wall_crossings = self.plan.crossings_batch(ix.walls(), segments);
+        segments
+            .iter()
+            .zip(wall_crossings)
+            .map(|(&(from, to), crossings)| {
+                let wall_materials = crossings.into_iter().map(|(_, m)| m).collect();
+                let blocker_materials = self
+                    .blockers
+                    .iter()
+                    .zip(ix.blocker_boxes())
+                    .filter(|(b, bb)| bb.intersects_segment(from, to) && b.intersects(from, to))
+                    .map(|(b, _)| b.material)
+                    .collect();
+                let surface_obstruction = self
+                    .obstructing
+                    .iter()
+                    .filter(|(s, aabb)| {
+                        aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
+                    })
+                    .map(|(s, _)| s.obstruction_amplitude)
+                    .product();
+                SegmentTrace::new(
+                    from,
+                    to,
+                    wall_materials,
+                    blocker_materials,
+                    surface_obstruction,
+                )
+            })
+            .collect()
+    }
+
     /// The cached world positions of surface `index`'s elements, when
     /// tracing through a scene index that still matches the surface.
     fn cached_elements(&self, index: usize, surface: &SurfaceInstance) -> Option<&'a [Vec3]> {
@@ -219,25 +268,54 @@ pub fn direct_gain(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Complex {
 /// Enumerates all first-order specular wall reflections (image method),
 /// in wall order.
 pub fn trace_wall_bounces(medium: &Medium, tx: &Endpoint, rx: &Endpoint) -> Vec<BounceTrace> {
-    let mut bounces = Vec::new();
-    for wall in medium.plan.walls() {
-        let Some(refl) = specular_reflection(tx.position(), rx.position(), wall) else {
-            continue;
-        };
-        let pat = tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point);
-        let pol = (tx.polarization_rad - rx.polarization_rad).cos();
-        // Leg attenuation; the bounce wall itself is excluded because the
-        // specular point lies on it (segment-endpoint margin).
-        bounces.push(BounceTrace {
+    // Pass 1: pure geometry — collect accepted specular reflections in
+    // wall order.
+    // With a scene index, a conservative SIMD prefilter
+    // ([`WallIndex::specular_candidates`]) narrows the scan to walls whose
+    // f32 uncertainty interval touches the acceptance window; survivors
+    // run the exact test in ascending wall order, so the accepted list is
+    // identical to the brute scan's. Without an index, scan every wall.
+    let walls = medium.plan.walls();
+    let accepted: Vec<_> = match medium.index {
+        Some(ix) => ix
+            .walls()
+            .specular_candidates(tx.position(), rx.position())
+            .into_iter()
+            .filter_map(|i| {
+                let wall = &walls[i];
+                specular_reflection(tx.position(), rx.position(), wall).map(|refl| (wall, refl))
+            })
+            .collect(),
+        None => walls
+            .iter()
+            .filter_map(|wall| {
+                specular_reflection(tx.position(), rx.position(), wall).map(|refl| (wall, refl))
+            })
+            .collect(),
+    };
+    // Pass 2: leg attenuation, batched as two coherent fans (tx → every
+    // specular point, then every specular point → rx) so packet traversal
+    // shares BVH nodes across lanes. The bounce wall itself is excluded
+    // because the specular point lies on it (segment-endpoint margin).
+    let mut segments = Vec::with_capacity(accepted.len() * 2);
+    segments.extend(accepted.iter().map(|(_, refl)| (tx.position(), refl.point)));
+    segments.extend(accepted.iter().map(|(_, refl)| (refl.point, rx.position())));
+    let mut seg_in = medium.trace_segments(&segments);
+    let seg_out = seg_in.split_off(accepted.len());
+    let pol = (tx.polarization_rad - rx.polarization_rad).cos();
+    accepted
+        .into_iter()
+        .zip(seg_in)
+        .zip(seg_out)
+        .map(|(((wall, refl), seg_in), seg_out)| BounceTrace {
             total_length: refl.total_length(),
             material: wall.material,
-            pat,
+            pat: tx.amplitude_gain_towards(refl.point) * rx.amplitude_gain_towards(refl.point),
             pol,
-            seg_in: medium.trace_segment(tx.position(), refl.point),
-            seg_out: medium.trace_segment(refl.point, rx.position()),
-        });
-    }
-    bounces
+            seg_in,
+            seg_out,
+        })
+        .collect()
 }
 
 /// Summed gain of all first-order specular wall reflections.
@@ -295,10 +373,15 @@ pub fn trace_surface(
             .map(|e| leg(surface.element_world_position(e)))
             .collect(),
     };
+    // Both legs share one packet traversal; bit-identical to two scalar
+    // traces.
+    let mut legs2 = medium.trace_segments(&[(tx.position(), center), (center, rx.position())]);
+    let seg_out = legs2.pop().expect("two segments traced");
+    let seg_in = legs2.pop().expect("two segments traced");
     Some(SurfaceTrace {
         surface: index,
-        seg_in: medium.trace_segment(tx.position(), center),
-        seg_out: medium.trace_segment(center, rx.position()),
+        seg_in,
+        seg_out,
         ep_gain,
         pol,
         resonance: surface.resonance,
@@ -389,12 +472,18 @@ pub fn trace_cascade(
             .collect(),
     };
 
+    // All three legs share one packet traversal; bit-identical to three
+    // scalar traces.
+    let mut legs3 = medium.trace_segments(&[(tx.position(), c1), (c1, c2), (c2, rx.position())]);
+    let seg_out = legs3.pop().expect("three segments traced");
+    let seg_hop = legs3.pop().expect("three segments traced");
+    let seg_in = legs3.pop().expect("three segments traced");
     Some(CascadeTrace {
         first: first_idx,
         second: second_idx,
-        seg_in: medium.trace_segment(tx.position(), c1),
-        seg_hop: medium.trace_segment(c1, c2),
-        seg_out: medium.trace_segment(c2, rx.position()),
+        seg_in,
+        seg_hop,
+        seg_out,
         d_hop,
         pat1,
         res1: first.resonance,

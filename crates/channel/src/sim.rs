@@ -1214,6 +1214,66 @@ mod tests {
     }
 
     #[test]
+    fn sweep_soa_matches_scalar_reference_within_ulp_bound() {
+        // The SoA sweep arm reassociates only the cross-element sums; every
+        // per-element value is bit-identical to the scalar reference arm.
+        // Bound the deviation per probe: components that don't cancel must
+        // sit within a small ULP distance, and cancelled components (whose
+        // ULPs overstate the error) within the kernels' absolute
+        // reassociation bound `O(n·ε·Σ|termᵢ|)`, with `Σ|termᵢ|` proxied
+        // by the probe's gain magnitude.
+        use surfos_em::ulp::ulp_distance_f64;
+        const MAX_ULPS: u64 = 1 << 14;
+
+        // A corridor of metal walls: many specular bounces, no surfaces —
+        // the building-bench path mix.
+        let mut corridor = surfos_geometry::FloorPlan::new();
+        for i in 0..6 {
+            let y = -2.0 + 5.0 * i as f64;
+            corridor.add_wall(surfos_geometry::Wall::new(
+                Vec3::xy(0.0, y),
+                Vec3::xy(30.0, y),
+                3.0,
+                surfos_geometry::Material::Metal,
+            ));
+        }
+        let band = NamedBand::MmWave28GHz.band();
+        let corridor_sim = ChannelSim::new(corridor, band);
+        let corridor_tx = iso_client("tx", Vec3::new(1.0, 0.5, 1.5));
+        let corridor_rx = iso_client("rx", Vec3::new(25.0, 1.0, 1.4));
+
+        let (rich, rich_ap, rich_rx) = rich_sim();
+        for (sim, tx, rx) in [
+            (&rich, &rich_ap, &rich_rx),
+            (&corridor_sim, &corridor_tx, &corridor_rx),
+        ] {
+            let trace = sim.trace(tx, rx);
+            let responses = sim.responses();
+            let (lo, hi) = (sim.band.low_hz(), sim.band.high_hz());
+            let n = 64;
+            let probes: Vec<Band> = (0..n)
+                .map(|i| {
+                    let f = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                    Band::new(f, sim.band.bandwidth_hz.min(f))
+                })
+                .collect();
+            let soa = trace.sweep_evaluate(&probes, &responses);
+            let scalar = trace.sweep_evaluate_scalar(&probes, &responses);
+            assert_eq!(soa.len(), scalar.len());
+            assert!(scalar.iter().any(|g| g.abs() > 0.0), "degenerate scene");
+            for (i, (a, b)) in soa.iter().zip(&scalar).enumerate() {
+                let scale = b.abs();
+                for (x, y) in [(a.re, b.re), (a.im, b.im)] {
+                    assert!(
+                        ulp_distance_f64(x, y) <= MAX_ULPS || (x - y).abs() <= scale * 1e-11,
+                        "probe {i}: {x:e} vs {y:e} (|h| = {scale:e})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn heatmap_parallel_matches_serial_bitwise() {
         let (sim, ap, _) = rich_sim();
         let scen = two_room_apartment();

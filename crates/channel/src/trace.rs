@@ -25,9 +25,63 @@ use crate::linear::{BilinearTerm, LinearTerm, Linearization};
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
 use surfos_em::propagation::{element_scatter_amplitude, friis_amplitude};
+use surfos_em::simd::phasor;
 use surfos_em::units::db_to_amplitude;
 use surfos_geometry::bvh::Aabb;
 use surfos_geometry::{Material, Vec3};
+
+/// Structure-of-arrays bank of rotating phasors: per element, a current
+/// value and a fixed per-step rotation, stored as parallel `f64` slices so
+/// the sweep's sum + advance runs through `surfos_em::simd::phasor`'s
+/// vectorizable kernels. Each element's *rotation* is bit-identical to the
+/// scalar `Complex` multiply; only the *sum* across elements is
+/// reassociated (see the kernel docs for the bound).
+#[derive(Debug, Default)]
+struct PhasorBank {
+    re: Vec<f64>,
+    im: Vec<f64>,
+    dre: Vec<f64>,
+    dim: Vec<f64>,
+}
+
+impl PhasorBank {
+    fn with_capacity(n: usize) -> Self {
+        PhasorBank {
+            re: Vec::with_capacity(n),
+            im: Vec::with_capacity(n),
+            dre: Vec::with_capacity(n),
+            dim: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a phasor with initial `value` and per-step rotation angle
+    /// `dphase` (radians).
+    fn push(&mut self, value: Complex, dphase: f64) {
+        let d = Complex::from_polar(1.0, dphase);
+        self.re.push(value.re);
+        self.im.push(value.im);
+        self.dre.push(d.re);
+        self.dim.push(d.im);
+    }
+
+    /// Sum of the current values, then advance every phasor one step.
+    fn sum_and_advance(&mut self) -> Complex {
+        let (re, im) = phasor::sum_and_advance(&mut self.re, &mut self.im, &self.dre, &self.dim);
+        Complex::new(re, im)
+    }
+
+    /// Sum of the current values weighted by the real scales `w`, then
+    /// advance every phasor one step.
+    fn weighted_sum_and_advance(&mut self, w: &[f64]) -> Complex {
+        let (re, im) =
+            phasor::weighted_sum_and_advance(&mut self.re, &mut self.im, &self.dre, &self.dim, w);
+        Complex::new(re, im)
+    }
+
+    fn len(&self) -> usize {
+        self.re.len()
+    }
+}
 
 /// Thresholds shared with the reference implementation in `paths`.
 pub(crate) const TRANSMISSION_FLOOR: f64 = 1e-9;
@@ -394,7 +448,188 @@ impl ChannelTrace {
     /// probe. The rotation is exact for a mathematically affine grid; the
     /// FP rounding of the caller's actual grid points bounds the
     /// deviation from point-wise evaluation at ~1e-11 relative.
+    ///
+    /// The phasors live in structure-of-arrays `PhasorBank`s driven by
+    /// `surfos_em::simd::phasor`, so each probe's sum + advance is a
+    /// vectorizable streaming pass instead of a pointer-chasing `Complex`
+    /// loop. **Equivalence policy** versus the scalar reference arm
+    /// ([`Self::sweep_evaluate_scalar`]): every per-path value — phasor
+    /// rotations, Friis magnitudes, material losses, gates — is computed
+    /// by the same operations in the same order and is bit-identical; only
+    /// the *sums across paths/elements* are reassociated into the kernels'
+    /// partial-sum lanes, bounding the deviation per probe at
+    /// `O(n·ε·Σ|termᵢ|)` absolute (n = paths or elements per sum). The
+    /// per-probe material reflection table is pure memoization of
+    /// [`Material::reflection_amplitude`] and changes nothing.
     pub fn sweep_evaluate(&self, bands: &[Band], responses: &[&[Complex]]) -> Vec<Complex> {
+        if bands.len() < 2 {
+            // `linearize_at` does the re-phasing accounting on this path.
+            return bands
+                .iter()
+                .map(|b| self.linearize_at(b).evaluate(responses))
+                .collect();
+        }
+        surfos_obs::add("channel.rephasings", bands.len() as u64);
+        let tau = 2.0 * std::f64::consts::PI;
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let lambda0 = bands[0].wavelength_m();
+        let k0 = bands[0].wavenumber();
+        let dk = bands[1].wavenumber() - k0;
+
+        let mut direct = self.direct.as_ref().map(|d| {
+            (
+                d,
+                Complex::from_polar(1.0, -tau * d.d / lambda0),
+                Complex::from_polar(1.0, -dk * d.d),
+            )
+        });
+        let bounce_list: Option<&[BounceTrace]> = self.bounces.as_deref();
+        let mut bounce_bank = PhasorBank::with_capacity(bounce_list.map_or(0, <[_]>::len));
+        if let Some(bs) = bounce_list {
+            for b in bs {
+                bounce_bank.push(
+                    Complex::from_polar(1.0, -tau * b.total_length / lambda0),
+                    -dk * b.total_length,
+                );
+            }
+        }
+        let mut bounce_w = vec![0.0f64; bounce_bank.len()];
+        let mut surfaces: Vec<(&SurfaceTrace, PhasorBank)> = self
+            .surfaces
+            .iter()
+            .map(|s| {
+                let area_eff = s.area * s.efficiency;
+                let mut bank = PhasorBank::with_capacity(s.legs.len());
+                for (leg, r) in s.legs.iter().zip(responses[s.surface]) {
+                    let mag = area_eff / (four_pi * leg.d1 * leg.d2);
+                    let phase = -tau * (leg.d1 + leg.d2) / lambda0;
+                    bank.push(
+                        Complex::from_polar(mag, phase) * *r,
+                        -dk * (leg.d1 + leg.d2),
+                    );
+                }
+                (s, bank)
+            })
+            .collect();
+        // Cascade α/β magnitudes are gated against `COEFF_FLOOR` without
+        // the responses folded in, so track the largest static magnitude
+        // per side alongside the response-weighted phasor banks.
+        struct CascadeSoa<'a> {
+            c: &'a CascadeTrace,
+            alpha: PhasorBank,
+            alpha_max_mag: f64,
+            beta: PhasorBank,
+            beta_max_mag: f64,
+        }
+        let mut cascades: Vec<CascadeSoa<'_>> = self
+            .cascades
+            .iter()
+            .flatten()
+            .map(|c| {
+                let mut alpha_max_mag: f64 = 0.0;
+                let mut alpha = PhasorBank::with_capacity(c.alpha_legs.len());
+                for (leg, r) in c.alpha_legs.iter().zip(responses[c.first]) {
+                    let mag = c.area_eff1 / (four_pi * leg.d1 * c.d_hop);
+                    alpha_max_mag = alpha_max_mag.max(mag);
+                    let phase = -k0 * (leg.d1 + leg.d2 - c.d_hop) - k0 * c.d_hop;
+                    alpha.push(
+                        Complex::from_polar(mag, phase) * *r,
+                        -dk * (leg.d1 + leg.d2),
+                    );
+                }
+                // β magnitude carries a 1/λ that moves with the band; keep
+                // the static part here and scale per probe.
+                let mut beta_max_mag: f64 = 0.0;
+                let mut beta = PhasorBank::with_capacity(c.beta_legs.len());
+                for (leg, r) in c.beta_legs.iter().zip(responses[c.second]) {
+                    let mag = c.area_eff2 / leg.d2;
+                    beta_max_mag = beta_max_mag.max(mag);
+                    let phase = -k0 * (leg.d1 - c.d_hop + leg.d2);
+                    beta.push(
+                        Complex::from_polar(mag, phase) * *r,
+                        -dk * (leg.d1 - c.d_hop + leg.d2),
+                    );
+                }
+                CascadeSoa {
+                    c,
+                    alpha,
+                    alpha_max_mag,
+                    beta,
+                    beta_max_mag,
+                }
+            })
+            .collect();
+
+        bands
+            .iter()
+            .map(|band| {
+                let lambda = band.wavelength_m();
+                let mut h = Complex::ZERO;
+                if let Some((d, val, delta)) = direct.as_mut() {
+                    let mag = lambda / (four_pi * d.d);
+                    h += *val * (mag * d.pat_pol * d.segment.transmission(band));
+                    *val *= *delta;
+                }
+                if let Some(bs) = bounce_list {
+                    // Per-probe reflection amplitudes, tabulated once per
+                    // material instead of one `db_to_amplitude` per bounce.
+                    let mut rho = [0.0f64; Material::ALL.len()];
+                    for m in Material::ALL {
+                        rho[m.index()] = m.reflection_amplitude(band);
+                    }
+                    for (w, b) in bounce_w.iter_mut().zip(bs) {
+                        let mag = lambda / (four_pi * b.total_length);
+                        let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                        *w = mag * rho[b.material.index()] * b.pat * b.pol * trans;
+                    }
+                    h += bounce_bank.weighted_sum_and_advance(&bounce_w);
+                }
+                for (s, bank) in surfaces.iter_mut() {
+                    // Phasors must advance every step, gated or not, so
+                    // accumulate unconditionally and gate the scale.
+                    let acc = bank.sum_and_advance();
+                    let trans = s.seg_in.transmission(band) * s.seg_out.transmission(band);
+                    if trans < TRANSMISSION_FLOOR {
+                        continue;
+                    }
+                    let resonance = resonance_factor(s.resonance, band.center_hz);
+                    if resonance < RESONANCE_FLOOR {
+                        continue;
+                    }
+                    h += acc * (s.elem_pat * (s.ep_gain * resonance * s.pol) * trans);
+                }
+                for cs in cascades.iter_mut() {
+                    let acc_a = cs.alpha.sum_and_advance();
+                    let acc_b = cs.beta.sum_and_advance();
+                    let c = cs.c;
+                    let trans = c.seg_in.transmission(band)
+                        * c.seg_hop.transmission(band)
+                        * c.seg_out.transmission(band);
+                    if trans < TRANSMISSION_FLOOR {
+                        continue;
+                    }
+                    let a_scale =
+                        c.pat1 * resonance_factor(c.res1, band.center_hz) * c.g_tx * trans;
+                    let b_scale =
+                        c.pat2 * resonance_factor(c.res2, band.center_hz) * c.pol * c.g_rx / lambda;
+                    if cs.alpha_max_mag * a_scale.abs() < COEFF_FLOOR
+                        || cs.beta_max_mag * b_scale.abs() < COEFF_FLOOR
+                    {
+                        continue;
+                    }
+                    h += (acc_a * a_scale) * (acc_b * b_scale);
+                }
+                h
+            })
+            .collect()
+    }
+
+    /// Scalar reference arm of [`Self::sweep_evaluate`]: one rotating
+    /// `Complex` per path element, strict left-to-right accumulation.
+    /// Kept (and exercised by the equivalence tests) to pin the SoA arm's
+    /// reassociation bound; production callers should use
+    /// [`Self::sweep_evaluate`].
+    pub fn sweep_evaluate_scalar(&self, bands: &[Band], responses: &[&[Complex]]) -> Vec<Complex> {
         if bands.len() < 2 {
             // `linearize_at` does the re-phasing accounting on this path.
             return bands

@@ -12,7 +12,12 @@
 //! - [`mod@array`]: planar array geometry and steering vectors,
 //! - [`propagation`]: free-space (Friis) propagation and scattering gains,
 //! - [`noise`]: thermal noise, SNR and Shannon capacity,
-//! - [`phase`]: phase wrapping and quantization.
+//! - [`phase`]: phase wrapping and quantization,
+//! - [`simd`]: a portable 4/8-lane `f32` SIMD shim plus SoA phasor
+//!   kernels for the tracing/re-phasing hot paths (scalar fallback via
+//!   the `scalar-fallback` feature),
+//! - [`ulp`]: ULP-distance helpers backing the SIMD↔scalar equivalence
+//!   tests.
 //!
 //! Everything here is deterministic, `no_std`-shaped (no allocation in hot
 //! paths beyond `Vec` for arrays) and extensively unit-tested, in the spirit
@@ -25,6 +30,8 @@ pub mod complex;
 pub mod noise;
 pub mod phase;
 pub mod propagation;
+pub mod simd;
+pub mod ulp;
 pub mod units;
 
 pub use antenna::{ElementPattern, Pattern};
@@ -33,4 +40,6 @@ pub use band::{Band, NamedBand};
 pub use complex::Complex;
 pub use noise::{noise_power_dbm, shannon_capacity_bps, snr_db};
 pub use phase::{quantize_phase, wrap_phase};
+pub use simd::{F32x4, F32x8, Mask4, Mask8};
+pub use ulp::{approx_eq_ulps_f64, ulp_distance_f32, ulp_distance_f64};
 pub use units::{db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm, SPEED_OF_LIGHT};

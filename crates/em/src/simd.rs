@@ -1,0 +1,909 @@
+//! Portable SIMD shim for the packet-tracing hot path.
+//!
+//! SurfOS vendors its dependencies, so rather than pull in `wide` or wait
+//! for `std::simd` we expose the handful of lane operations the tracing
+//! and re-phasing kernels actually need: splat/load, add/sub/mul,
+//! `mul_add`, min/max, compares producing lane masks, mask boolean
+//! algebra with `bitmask`/`any`/`all`, blend/`select`, and horizontal
+//! reductions.
+//!
+//! Two backends sit behind one API:
+//!
+//! - **x86_64** (default): [`F32x4`] wraps a `__m128` and uses the SSE
+//!   intrinsics that are in the x86_64 baseline — no runtime feature
+//!   detection; the only `unsafe` in the workspace is the audited `sse!`
+//!   wrapper around value-based baseline intrinsics.
+//! - **scalar fallback** (`--features scalar-fallback`, and automatically
+//!   on non-x86_64 targets): plain `[f32; 4]` arrays with loops shaped so
+//!   the results are **bit-identical** to the SSE backend, including the
+//!   SSE operand-order semantics of `min`/`max` under NaN and the fixed
+//!   `(a[0]+a[2]) + (a[1]+a[3])` association of [`F32x4::reduce_sum`].
+//!
+//! [`F32x8`] is a pair of [`F32x4`] — wide enough for an 8-lane ray
+//! packet while still compiling to two SSE registers on the baseline.
+//!
+//! `mul_add` is **not fused** on either backend (it is `a * b + c` with
+//! both roundings) so the two backends agree bit-for-bit; it exists so
+//! kernels have a single spelling that a future FMA-enabled build can
+//! swap wholesale.
+//!
+//! The [`phasor`] submodule holds the structure-of-arrays complex
+//! helpers used by `ChannelTrace::sweep_evaluate`; see its docs for the
+//! reassociation / ULP policy.
+
+#![allow(clippy::should_implement_trait)]
+
+#[cfg(all(target_arch = "x86_64", not(feature = "scalar-fallback")))]
+mod backend {
+    use core::arch::x86_64::*;
+
+    /// Wraps a value-based SSE intrinsic call.
+    ///
+    /// SAFETY: SSE and SSE2 are unconditionally part of the `x86_64`
+    /// baseline target features, so the wrapped intrinsics (all
+    /// value-based — no pointers) can never execute on a CPU that lacks
+    /// them when this backend is compiled in.
+    macro_rules! sse {
+        ($e:expr) => {
+            unsafe { $e }
+        };
+    }
+
+    /// Four `f32` lanes in one SSE register.
+    #[derive(Clone, Copy, Debug)]
+    pub struct F32x4(pub(super) __m128);
+
+    /// Lane mask for [`F32x4`]: each lane is all-ones (true) or all-zeros.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Mask4(pub(super) __m128);
+
+    #[inline]
+    fn all_ones() -> __m128 {
+        let z = sse!(_mm_setzero_ps());
+        sse!(_mm_cmpeq_ps(z, z))
+    }
+
+    impl F32x4 {
+        /// Broadcasts `v` to all lanes.
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            F32x4(sse!(_mm_set1_ps(v)))
+        }
+
+        /// Loads the four lanes from an array (`a[0]` is lane 0).
+        #[inline]
+        pub fn from_array(a: [f32; 4]) -> Self {
+            F32x4(sse!(_mm_setr_ps(a[0], a[1], a[2], a[3])))
+        }
+
+        /// Stores the four lanes to an array (`a[0]` is lane 0).
+        #[inline]
+        pub fn to_array(self) -> [f32; 4] {
+            let v = self.0;
+            [
+                sse!(_mm_cvtss_f32(v)),
+                sse!(_mm_cvtss_f32(_mm_shuffle_ps::<0b01_01_01_01>(v, v))),
+                sse!(_mm_cvtss_f32(_mm_shuffle_ps::<0b10_10_10_10>(v, v))),
+                sse!(_mm_cvtss_f32(_mm_shuffle_ps::<0b11_11_11_11>(v, v))),
+            ]
+        }
+
+        /// Lane-wise `self + rhs`.
+        #[inline]
+        pub fn add(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_add_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self - rhs`.
+        #[inline]
+        pub fn sub(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_sub_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self * rhs`.
+        #[inline]
+        pub fn mul(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_mul_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self * b + c`, rounded twice (**not** fused; see
+        /// module docs).
+        #[inline]
+        pub fn mul_add(self, b: Self, c: Self) -> Self {
+            F32x4(sse!(_mm_add_ps(_mm_mul_ps(self.0, b.0), c.0)))
+        }
+
+        /// Lane-wise `self / rhs` (IEEE: `±∞` on zero divisors, NaN on
+        /// `0/0`).
+        #[inline]
+        pub fn div(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_div_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise absolute value (clears the sign bit; `|NaN|` keeps
+        /// its payload).
+        #[inline]
+        pub fn abs(self) -> Self {
+            F32x4(sse!(_mm_andnot_ps(_mm_set1_ps(-0.0), self.0)))
+        }
+
+        /// Lane-wise minimum with SSE `minps` semantics: returns the
+        /// *second* operand (`rhs`) when the lanes compare unordered
+        /// (NaN) or equal.
+        #[inline]
+        pub fn min(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_min_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise maximum with SSE `maxps` semantics (see [`Self::min`]).
+        #[inline]
+        pub fn max(self, rhs: Self) -> Self {
+            F32x4(sse!(_mm_max_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self < rhs` (false on NaN).
+        #[inline]
+        pub fn simd_lt(self, rhs: Self) -> Mask4 {
+            Mask4(sse!(_mm_cmplt_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self <= rhs` (false on NaN).
+        #[inline]
+        pub fn simd_le(self, rhs: Self) -> Mask4 {
+            Mask4(sse!(_mm_cmple_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise `self >= rhs` (false on NaN).
+        #[inline]
+        pub fn simd_ge(self, rhs: Self) -> Mask4 {
+            Mask4(sse!(_mm_cmpge_ps(self.0, rhs.0)))
+        }
+
+        /// Picks `self` where `mask` is true, `other` where false.
+        #[inline]
+        pub fn select(self, mask: Mask4, other: Self) -> Self {
+            F32x4(sse!(_mm_or_ps(
+                _mm_and_ps(mask.0, self.0),
+                _mm_andnot_ps(mask.0, other.0),
+            )))
+        }
+
+        /// Horizontal sum with the fixed association
+        /// `(a[0] + a[2]) + (a[1] + a[3])`.
+        #[inline]
+        pub fn reduce_sum(self) -> f32 {
+            let v = self.0;
+            let hi = sse!(_mm_movehl_ps(v, v));
+            let pair = sse!(_mm_add_ps(v, hi));
+            let odd = sse!(_mm_shuffle_ps::<0b01>(pair, pair));
+            sse!(_mm_cvtss_f32(_mm_add_ss(pair, odd)))
+        }
+
+        /// Horizontal minimum (SSE `minps` NaN semantics per step).
+        #[inline]
+        pub fn reduce_min(self) -> f32 {
+            let v = self.0;
+            let hi = sse!(_mm_movehl_ps(v, v));
+            let pair = sse!(_mm_min_ps(v, hi));
+            let odd = sse!(_mm_shuffle_ps::<0b01>(pair, pair));
+            sse!(_mm_cvtss_f32(_mm_min_ss(pair, odd)))
+        }
+
+        /// Horizontal maximum (SSE `maxps` NaN semantics per step).
+        #[inline]
+        pub fn reduce_max(self) -> f32 {
+            let v = self.0;
+            let hi = sse!(_mm_movehl_ps(v, v));
+            let pair = sse!(_mm_max_ps(v, hi));
+            let odd = sse!(_mm_shuffle_ps::<0b01>(pair, pair));
+            sse!(_mm_cvtss_f32(_mm_max_ss(pair, odd)))
+        }
+    }
+
+    impl Mask4 {
+        /// Mask with every lane set to `b`.
+        #[inline]
+        pub fn splat(b: bool) -> Self {
+            if b {
+                Mask4(all_ones())
+            } else {
+                Mask4(sse!(_mm_setzero_ps()))
+            }
+        }
+
+        /// Lane-wise AND.
+        #[inline]
+        pub fn and(self, rhs: Self) -> Self {
+            Mask4(sse!(_mm_and_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise OR.
+        #[inline]
+        pub fn or(self, rhs: Self) -> Self {
+            Mask4(sse!(_mm_or_ps(self.0, rhs.0)))
+        }
+
+        /// Lane-wise NOT.
+        #[inline]
+        pub fn not(self) -> Self {
+            Mask4(sse!(_mm_andnot_ps(self.0, all_ones())))
+        }
+
+        /// One bit per lane, lane 0 in bit 0.
+        #[inline]
+        pub fn bitmask(self) -> u8 {
+            (sse!(_mm_movemask_ps(self.0)) & 0xF) as u8
+        }
+    }
+}
+
+#[cfg(any(not(target_arch = "x86_64"), feature = "scalar-fallback"))]
+mod backend {
+    /// Four `f32` lanes in a plain array (scalar fallback backend).
+    #[derive(Clone, Copy, Debug)]
+    pub struct F32x4(pub(super) [f32; 4]);
+
+    /// Lane mask for [`F32x4`], one bit per lane (lane 0 in bit 0).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Mask4(pub(super) u8);
+
+    /// SSE `minps` semantics: second operand on unordered or equal.
+    #[inline]
+    fn min_sse(a: f32, b: f32) -> f32 {
+        if a < b {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// SSE `maxps` semantics: second operand on unordered or equal.
+    #[inline]
+    fn max_sse(a: f32, b: f32) -> f32 {
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+
+    impl F32x4 {
+        /// Broadcasts `v` to all lanes.
+        #[inline]
+        pub fn splat(v: f32) -> Self {
+            F32x4([v; 4])
+        }
+
+        /// Loads the four lanes from an array (`a[0]` is lane 0).
+        #[inline]
+        pub fn from_array(a: [f32; 4]) -> Self {
+            F32x4(a)
+        }
+
+        /// Stores the four lanes to an array (`a[0]` is lane 0).
+        #[inline]
+        pub fn to_array(self) -> [f32; 4] {
+            self.0
+        }
+
+        /// Lane-wise `self + rhs`.
+        #[inline]
+        pub fn add(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| self.0[i] + rhs.0[i]))
+        }
+
+        /// Lane-wise `self - rhs`.
+        #[inline]
+        pub fn sub(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| self.0[i] - rhs.0[i]))
+        }
+
+        /// Lane-wise `self * rhs`.
+        #[inline]
+        pub fn mul(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| self.0[i] * rhs.0[i]))
+        }
+
+        /// Lane-wise `self * b + c`, rounded twice (**not** fused; see
+        /// module docs).
+        #[inline]
+        pub fn mul_add(self, b: Self, c: Self) -> Self {
+            F32x4(core::array::from_fn(|i| self.0[i] * b.0[i] + c.0[i]))
+        }
+
+        /// Lane-wise `self / rhs` (IEEE: `±∞` on zero divisors, NaN on
+        /// `0/0`).
+        #[inline]
+        pub fn div(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| self.0[i] / rhs.0[i]))
+        }
+
+        /// Lane-wise absolute value (clears the sign bit; `|NaN|` keeps
+        /// its payload).
+        #[inline]
+        pub fn abs(self) -> Self {
+            F32x4(core::array::from_fn(|i| {
+                f32::from_bits(self.0[i].to_bits() & 0x7fff_ffff)
+            }))
+        }
+
+        /// Lane-wise minimum with SSE `minps` semantics (see the SSE
+        /// backend's docs).
+        #[inline]
+        pub fn min(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| min_sse(self.0[i], rhs.0[i])))
+        }
+
+        /// Lane-wise maximum with SSE `maxps` semantics.
+        #[inline]
+        pub fn max(self, rhs: Self) -> Self {
+            F32x4(core::array::from_fn(|i| max_sse(self.0[i], rhs.0[i])))
+        }
+
+        /// Lane-wise `self < rhs` (false on NaN).
+        #[inline]
+        pub fn simd_lt(self, rhs: Self) -> Mask4 {
+            let mut m = 0u8;
+            for i in 0..4 {
+                m |= u8::from(self.0[i] < rhs.0[i]) << i;
+            }
+            Mask4(m)
+        }
+
+        /// Lane-wise `self <= rhs` (false on NaN).
+        #[inline]
+        pub fn simd_le(self, rhs: Self) -> Mask4 {
+            let mut m = 0u8;
+            for i in 0..4 {
+                m |= u8::from(self.0[i] <= rhs.0[i]) << i;
+            }
+            Mask4(m)
+        }
+
+        /// Lane-wise `self >= rhs` (false on NaN).
+        #[inline]
+        pub fn simd_ge(self, rhs: Self) -> Mask4 {
+            let mut m = 0u8;
+            for i in 0..4 {
+                m |= u8::from(self.0[i] >= rhs.0[i]) << i;
+            }
+            Mask4(m)
+        }
+
+        /// Picks `self` where `mask` is true, `other` where false.
+        #[inline]
+        pub fn select(self, mask: Mask4, other: Self) -> Self {
+            F32x4(core::array::from_fn(|i| {
+                if mask.0 & (1 << i) != 0 {
+                    self.0[i]
+                } else {
+                    other.0[i]
+                }
+            }))
+        }
+
+        /// Horizontal sum with the fixed association
+        /// `(a[0] + a[2]) + (a[1] + a[3])` (matches the SSE backend).
+        #[inline]
+        pub fn reduce_sum(self) -> f32 {
+            (self.0[0] + self.0[2]) + (self.0[1] + self.0[3])
+        }
+
+        /// Horizontal minimum (SSE `minps` NaN semantics per step).
+        #[inline]
+        pub fn reduce_min(self) -> f32 {
+            min_sse(min_sse(self.0[0], self.0[2]), min_sse(self.0[1], self.0[3]))
+        }
+
+        /// Horizontal maximum (SSE `maxps` NaN semantics per step).
+        #[inline]
+        pub fn reduce_max(self) -> f32 {
+            max_sse(max_sse(self.0[0], self.0[2]), max_sse(self.0[1], self.0[3]))
+        }
+    }
+
+    impl Mask4 {
+        /// Mask with every lane set to `b`.
+        #[inline]
+        pub fn splat(b: bool) -> Self {
+            Mask4(if b { 0xF } else { 0 })
+        }
+
+        /// Lane-wise AND.
+        #[inline]
+        pub fn and(self, rhs: Self) -> Self {
+            Mask4(self.0 & rhs.0)
+        }
+
+        /// Lane-wise OR.
+        #[inline]
+        pub fn or(self, rhs: Self) -> Self {
+            Mask4(self.0 | rhs.0)
+        }
+
+        /// Lane-wise NOT.
+        #[inline]
+        pub fn not(self) -> Self {
+            Mask4(!self.0 & 0xF)
+        }
+
+        /// One bit per lane, lane 0 in bit 0.
+        #[inline]
+        pub fn bitmask(self) -> u8 {
+            self.0
+        }
+    }
+}
+
+pub use backend::{F32x4, Mask4};
+
+impl Mask4 {
+    /// `true` if any lane is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.bitmask() != 0
+    }
+
+    /// `true` if every lane is set.
+    #[inline]
+    pub fn all(self) -> bool {
+        self.bitmask() == 0xF
+    }
+}
+
+/// Eight `f32` lanes as a pair of [`F32x4`] — the ray-packet width used
+/// by `surfos-geometry`'s packet traversal.
+#[derive(Clone, Copy, Debug)]
+pub struct F32x8(F32x4, F32x4);
+
+/// Lane mask for [`F32x8`].
+#[derive(Clone, Copy, Debug)]
+pub struct Mask8(Mask4, Mask4);
+
+impl F32x8 {
+    /// Number of lanes.
+    pub const LANES: usize = 8;
+
+    /// Broadcasts `v` to all lanes.
+    #[inline]
+    pub fn splat(v: f32) -> Self {
+        F32x8(F32x4::splat(v), F32x4::splat(v))
+    }
+
+    /// Loads the eight lanes from an array (`a[0]` is lane 0).
+    #[inline]
+    pub fn from_array(a: [f32; 8]) -> Self {
+        F32x8(
+            F32x4::from_array([a[0], a[1], a[2], a[3]]),
+            F32x4::from_array([a[4], a[5], a[6], a[7]]),
+        )
+    }
+
+    /// Stores the eight lanes to an array (`a[0]` is lane 0).
+    #[inline]
+    pub fn to_array(self) -> [f32; 8] {
+        let lo = self.0.to_array();
+        let hi = self.1.to_array();
+        [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+    }
+
+    /// Lane-wise `self + rhs`.
+    #[inline]
+    pub fn add(self, rhs: Self) -> Self {
+        F32x8(self.0.add(rhs.0), self.1.add(rhs.1))
+    }
+
+    /// Lane-wise `self - rhs`.
+    #[inline]
+    pub fn sub(self, rhs: Self) -> Self {
+        F32x8(self.0.sub(rhs.0), self.1.sub(rhs.1))
+    }
+
+    /// Lane-wise `self * rhs`.
+    #[inline]
+    pub fn mul(self, rhs: Self) -> Self {
+        F32x8(self.0.mul(rhs.0), self.1.mul(rhs.1))
+    }
+
+    /// Lane-wise `self * b + c`, rounded twice (**not** fused).
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        F32x8(self.0.mul_add(b.0, c.0), self.1.mul_add(b.1, c.1))
+    }
+
+    /// Lane-wise `self / rhs` (IEEE: `±∞` on zero divisors, NaN on `0/0`).
+    #[inline]
+    pub fn div(self, rhs: Self) -> Self {
+        F32x8(self.0.div(rhs.0), self.1.div(rhs.1))
+    }
+
+    /// Lane-wise absolute value (clears the sign bit; `|NaN|` keeps its payload).
+    #[inline]
+    pub fn abs(self) -> Self {
+        F32x8(self.0.abs(), self.1.abs())
+    }
+
+    /// Lane-wise minimum with SSE `minps` semantics.
+    #[inline]
+    pub fn min(self, rhs: Self) -> Self {
+        F32x8(self.0.min(rhs.0), self.1.min(rhs.1))
+    }
+
+    /// Lane-wise maximum with SSE `maxps` semantics.
+    #[inline]
+    pub fn max(self, rhs: Self) -> Self {
+        F32x8(self.0.max(rhs.0), self.1.max(rhs.1))
+    }
+
+    /// Lane-wise `self < rhs` (false on NaN).
+    #[inline]
+    pub fn simd_lt(self, rhs: Self) -> Mask8 {
+        Mask8(self.0.simd_lt(rhs.0), self.1.simd_lt(rhs.1))
+    }
+
+    /// Lane-wise `self <= rhs` (false on NaN).
+    #[inline]
+    pub fn simd_le(self, rhs: Self) -> Mask8 {
+        Mask8(self.0.simd_le(rhs.0), self.1.simd_le(rhs.1))
+    }
+
+    /// Lane-wise `self >= rhs` (false on NaN).
+    #[inline]
+    pub fn simd_ge(self, rhs: Self) -> Mask8 {
+        Mask8(self.0.simd_ge(rhs.0), self.1.simd_ge(rhs.1))
+    }
+
+    /// Picks `self` where `mask` is true, `other` where false.
+    #[inline]
+    pub fn select(self, mask: Mask8, other: Self) -> Self {
+        F32x8(
+            self.0.select(mask.0, other.0),
+            self.1.select(mask.1, other.1),
+        )
+    }
+
+    /// Horizontal sum: `lo.reduce_sum() + hi.reduce_sum()`.
+    #[inline]
+    pub fn reduce_sum(self) -> f32 {
+        self.0.reduce_sum() + self.1.reduce_sum()
+    }
+
+    /// Horizontal minimum (SSE `minps` NaN semantics per step).
+    #[inline]
+    pub fn reduce_min(self) -> f32 {
+        let a = self.0.reduce_min();
+        let b = self.1.reduce_min();
+        if a < b {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Horizontal maximum (SSE `maxps` NaN semantics per step).
+    #[inline]
+    pub fn reduce_max(self) -> f32 {
+        let a = self.0.reduce_max();
+        let b = self.1.reduce_max();
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl Mask8 {
+    /// Mask with every lane set to `b`.
+    #[inline]
+    pub fn splat(b: bool) -> Self {
+        Mask8(Mask4::splat(b), Mask4::splat(b))
+    }
+
+    /// Mask with the first `n` lanes set (`n` is clamped to 8) — the
+    /// shape of a partially filled remainder packet.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        let lanes = F32x8::from_array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        lanes.simd_lt(F32x8::splat(n.min(8) as f32))
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        Mask8(self.0.and(rhs.0), self.1.and(rhs.1))
+    }
+
+    /// Lane-wise OR.
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        Mask8(self.0.or(rhs.0), self.1.or(rhs.1))
+    }
+
+    /// Lane-wise NOT.
+    #[inline]
+    pub fn not(self) -> Self {
+        Mask8(self.0.not(), self.1.not())
+    }
+
+    /// One bit per lane, lane 0 in bit 0.
+    #[inline]
+    pub fn bitmask(self) -> u8 {
+        self.0.bitmask() | (self.1.bitmask() << 4)
+    }
+
+    /// `true` if any lane is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.bitmask() != 0
+    }
+
+    /// `true` if every lane is set.
+    #[inline]
+    pub fn all(self) -> bool {
+        self.bitmask() == 0xFF
+    }
+}
+
+pub mod phasor {
+    //! Structure-of-arrays complex phasor kernels for the sweep hot loop.
+    //!
+    //! `ChannelTrace::sweep_evaluate` advances one unit phasor per path /
+    //! per element across a uniform frequency grid: at every probe it
+    //! sums the current values and multiplies each by a fixed per-step
+    //! rotation. The AoS form (`Vec<Complex>`) defeats autovectorization
+    //! because the complex-sum reduction carries a loop dependency LLVM
+    //! will not reassociate for floats. These kernels keep the phasors in
+    //! SoA `f64` slices and reassociate the reduction explicitly into
+    //! [`ACC_LANES`] partial sums.
+    //!
+    //! **Equivalence policy**: each phasor's *rotation* is bit-identical
+    //! to the scalar `Complex` multiply (`re·dre − im·dim`,
+    //! `re·dim + im·dre`, same operation order). Only the *sum* is
+    //! reassociated, so a sum over `n` values deviates from the
+    //! left-to-right scalar sum by at most `O(n · ε · Σ|vᵢ|)` absolute —
+    //! with unit phasors that is `≲ n²·2⁻⁵²`, orders of magnitude below
+    //! the ~1e-11 relative deviation `sweep_evaluate` already documents
+    //! against point-wise evaluation.
+
+    /// Number of independent accumulators used by the reassociated sums.
+    pub const ACC_LANES: usize = 4;
+
+    /// Sums the phasors `(re[i], im[i])`, each weighted by the *real*
+    /// scale `w[i]`, then advances every phasor by its per-step rotation
+    /// `(dre[i], dim[i])`. Returns the (reassociated) weighted sum.
+    ///
+    /// All slices must have equal length.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn weighted_sum_and_advance(
+        re: &mut [f64],
+        im: &mut [f64],
+        dre: &[f64],
+        dim: &[f64],
+        w: &[f64],
+    ) -> (f64, f64) {
+        let n = re.len();
+        assert!(im.len() == n && dre.len() == n && dim.len() == n && w.len() == n);
+        let mut sr = [0.0f64; ACC_LANES];
+        let mut si = [0.0f64; ACC_LANES];
+        for i in 0..n {
+            let (r, im_i) = (re[i], im[i]);
+            sr[i % ACC_LANES] += r * w[i];
+            si[i % ACC_LANES] += im_i * w[i];
+            re[i] = r * dre[i] - im_i * dim[i];
+            im[i] = r * dim[i] + im_i * dre[i];
+        }
+        (
+            (sr[0] + sr[2]) + (sr[1] + sr[3]),
+            (si[0] + si[2]) + (si[1] + si[3]),
+        )
+    }
+
+    /// Sums the phasors `(re[i], im[i])` and advances each by its
+    /// per-step rotation; the unweighted special case of
+    /// [`weighted_sum_and_advance`].
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ.
+    pub fn sum_and_advance(re: &mut [f64], im: &mut [f64], dre: &[f64], dim: &[f64]) -> (f64, f64) {
+        let n = re.len();
+        assert!(im.len() == n && dre.len() == n && dim.len() == n);
+        let mut sr = [0.0f64; ACC_LANES];
+        let mut si = [0.0f64; ACC_LANES];
+        for i in 0..n {
+            let (r, im_i) = (re[i], im[i]);
+            sr[i % ACC_LANES] += r;
+            si[i % ACC_LANES] += im_i;
+            re[i] = r * dre[i] - im_i * dim[i];
+            im[i] = r * dim[i] + im_i * dre[i];
+        }
+        (
+            (sr[0] + sr[2]) + (sr[1] + sr[3]),
+            (si[0] + si[2]) + (si[1] + si[3]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 8] = [1.0, -2.5, 3.25, 0.0, 7.5, -0.125, 42.0, 1e-3];
+    const B: [f32; 8] = [0.5, 2.5, -3.25, 1.0, -7.5, 0.25, 41.0, 2e-3];
+
+    #[test]
+    fn roundtrip_and_splat() {
+        assert_eq!(F32x8::from_array(A).to_array(), A);
+        assert_eq!(F32x8::splat(2.5).to_array(), [2.5; 8]);
+        assert_eq!(
+            F32x4::from_array([1.0, 2.0, 3.0, 4.0]).to_array(),
+            [1.0, 2.0, 3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn lanewise_arithmetic() {
+        let a = F32x8::from_array(A);
+        let b = F32x8::from_array(B);
+        for i in 0..8 {
+            assert_eq!(a.add(b).to_array()[i], A[i] + B[i]);
+            assert_eq!(a.sub(b).to_array()[i], A[i] - B[i]);
+            assert_eq!(a.mul(b).to_array()[i], A[i] * B[i]);
+            assert_eq!(a.mul_add(b, a).to_array()[i], A[i] * B[i] + A[i]);
+        }
+    }
+
+    #[test]
+    fn div_and_abs_are_lanewise_ieee() {
+        let a = F32x8::from_array(A);
+        let b = F32x8::from_array(B);
+        for i in 0..8 {
+            assert_eq!(a.div(b).to_array()[i], A[i] / B[i]);
+            assert_eq!(a.abs().to_array()[i], A[i].abs());
+        }
+        // Division by zero and 0/0 follow IEEE semantics.
+        let num = F32x4::from_array([1.0, -1.0, 0.0, 4.0]);
+        let den = F32x4::from_array([0.0, 0.0, 0.0, 2.0]);
+        let q = num.div(den).to_array();
+        assert_eq!(q[0], f32::INFINITY);
+        assert_eq!(q[1], f32::NEG_INFINITY);
+        assert!(q[2].is_nan());
+        assert_eq!(q[3], 2.0);
+        // abs clears the sign bit, including on -0.0 and NaN.
+        let x = F32x4::from_array([-0.0, -3.5, f32::NEG_INFINITY, f32::NAN]);
+        let ax = x.abs().to_array();
+        assert_eq!(ax[0].to_bits(), 0.0f32.to_bits());
+        assert_eq!(ax[1], 3.5);
+        assert_eq!(ax[2], f32::INFINITY);
+        assert!(ax[3].is_nan());
+    }
+
+    #[test]
+    fn min_max_follow_sse_operand_order_on_nan() {
+        let nan = f32::NAN;
+        let a = F32x4::from_array([nan, 1.0, 2.0, nan]);
+        let b = F32x4::from_array([5.0, nan, 1.0, nan]);
+        let min = a.min(b).to_array();
+        let max = a.max(b).to_array();
+        // Unordered lanes take the second operand.
+        assert_eq!(min[0], 5.0);
+        assert!(min[1].is_nan());
+        assert_eq!(min[2], 1.0);
+        assert!(min[3].is_nan());
+        assert_eq!(max[0], 5.0);
+        assert!(max[1].is_nan());
+        assert_eq!(max[2], 2.0);
+        assert!(max[3].is_nan());
+    }
+
+    #[test]
+    fn compares_and_masks() {
+        let a = F32x8::from_array(A);
+        let b = F32x8::from_array(B);
+        let lt = a.simd_lt(b);
+        let le = a.simd_le(b);
+        let ge = a.simd_ge(b);
+        for i in 0..8 {
+            assert_eq!(lt.bitmask() & (1 << i) != 0, A[i] < B[i], "lane {i}");
+            assert_eq!(le.bitmask() & (1 << i) != 0, A[i] <= B[i], "lane {i}");
+            assert_eq!(ge.bitmask() & (1 << i) != 0, A[i] >= B[i], "lane {i}");
+        }
+        assert_eq!(lt.or(ge).bitmask(), 0xFF); // no NaNs in A/B
+        assert_eq!(lt.and(lt.not()).bitmask(), 0);
+        assert!(lt.or(ge).all());
+        assert!(!Mask8::splat(false).any());
+        assert!(Mask8::splat(true).all());
+    }
+
+    #[test]
+    fn compares_are_false_on_nan() {
+        let a = F32x4::from_array([f32::NAN, 0.0, f32::NAN, 1.0]);
+        let b = F32x4::splat(0.0);
+        assert_eq!(a.simd_lt(b).bitmask(), 0b0000);
+        assert_eq!(a.simd_le(b).bitmask(), 0b0010);
+        assert_eq!(a.simd_ge(b).bitmask(), 0b1010);
+    }
+
+    #[test]
+    fn select_blends_per_lane() {
+        let a = F32x8::from_array(A);
+        let b = F32x8::from_array(B);
+        let m = a.simd_lt(b);
+        let out = a.select(m, b).to_array();
+        for i in 0..8 {
+            assert_eq!(out[i], if A[i] < B[i] { A[i] } else { B[i] });
+        }
+    }
+
+    #[test]
+    fn first_n_masks_lead_lanes() {
+        assert_eq!(Mask8::first_n(0).bitmask(), 0b0000_0000);
+        assert_eq!(Mask8::first_n(1).bitmask(), 0b0000_0001);
+        assert_eq!(Mask8::first_n(5).bitmask(), 0b0001_1111);
+        assert_eq!(Mask8::first_n(8).bitmask(), 0b1111_1111);
+        assert_eq!(Mask8::first_n(99).bitmask(), 0b1111_1111);
+    }
+
+    #[test]
+    fn reductions_match_documented_association() {
+        let a = F32x4::from_array([1.0, 1e-8, -1.0, 2.0]);
+        assert_eq!(a.reduce_sum(), (1.0 + -1.0) + (1e-8 + 2.0));
+        assert_eq!(a.reduce_min(), -1.0);
+        assert_eq!(a.reduce_max(), 2.0);
+        let b = F32x8::from_array(A);
+        let arr = b.to_array();
+        let lo = (arr[0] + arr[2]) + (arr[1] + arr[3]);
+        let hi = (arr[4] + arr[6]) + (arr[5] + arr[7]);
+        assert_eq!(b.reduce_sum(), lo + hi);
+        assert_eq!(b.reduce_min(), -2.5);
+        assert_eq!(b.reduce_max(), 42.0);
+    }
+
+    #[test]
+    fn phasor_rotation_matches_complex_multiply() {
+        use crate::complex::Complex;
+        let n = 13; // deliberately not a multiple of ACC_LANES
+        let mut vals: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(1.0, 0.37 * i as f64))
+            .collect();
+        let deltas: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(1.0, -0.11 * i as f64))
+            .collect();
+        let mut re: Vec<f64> = vals.iter().map(|c| c.re).collect();
+        let mut im: Vec<f64> = vals.iter().map(|c| c.im).collect();
+        let dre: Vec<f64> = deltas.iter().map(|c| c.re).collect();
+        let dim: Vec<f64> = deltas.iter().map(|c| c.im).collect();
+        for _ in 0..50 {
+            let scalar_sum: Complex = vals.iter().copied().fold(Complex::ZERO, |a, c| a + c);
+            let (sr, si) = phasor::sum_and_advance(&mut re, &mut im, &dre, &dim);
+            // Reassociated sum: tiny absolute deviation, not bit equality.
+            assert!((sr - scalar_sum.re).abs() < 1e-12);
+            assert!((si - scalar_sum.im).abs() < 1e-12);
+            for (v, d) in vals.iter_mut().zip(&deltas) {
+                *v *= *d;
+            }
+            // Rotation itself is pinned bit-identically.
+            for i in 0..n {
+                assert_eq!(re[i], vals[i].re, "re lane {i}");
+                assert_eq!(im[i], vals[i].im, "im lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_phasor_sum_applies_real_scales() {
+        let mut re = vec![1.0, 0.0, -1.0];
+        let mut im = vec![0.0, 1.0, 0.0];
+        let dre = vec![1.0; 3];
+        let dim = vec![0.0; 3];
+        let w = vec![2.0, 3.0, 5.0];
+        let (sr, si) = phasor::weighted_sum_and_advance(&mut re, &mut im, &dre, &dim, &w);
+        assert_eq!(sr, (1.0 * 2.0 - 1.0 * 5.0) + 0.0);
+        assert_eq!(si, 3.0);
+        // Identity rotation leaves the phasors unchanged.
+        assert_eq!(re, vec![1.0, 0.0, -1.0]);
+        assert_eq!(im, vec![0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! ULP (units-in-the-last-place) distance between floats.
+//!
+//! The SIMD↔scalar equivalence tests pin most results bit-identically,
+//! but wherever a kernel *reassociates* a floating-point reduction (the
+//! SoA phasor sums in [`crate::simd::phasor`]) bit equality is the wrong
+//! contract — the right one is a small, documented ULP bound. Comparing
+//! by ULPs rather than an absolute epsilon makes the bound scale with
+//! the magnitude of the values under test.
+//!
+//! The distance is measured on the monotone integer number line obtained
+//! by mapping each float's bit pattern through a sign fold: adjacent
+//! representable floats are 1 ULP apart, `+0.0` and `-0.0` are 0 apart,
+//! and the distance is saturating. `NaN` compares infinitely far from
+//! everything (including itself) so a NaN never slips through a
+//! tolerance check.
+
+/// Maps an `f64` onto a monotone signed-integer line: negative floats
+/// map below zero, positives above, and ordering is preserved.
+#[inline]
+fn monotone_bits_f64(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    if b < 0 {
+        i64::MIN.wrapping_add(1).wrapping_sub(b).wrapping_sub(1)
+    } else {
+        b
+    }
+}
+
+/// Maps an `f32` onto a monotone signed-integer line (see
+/// [`monotone_bits_f64`]).
+#[inline]
+fn monotone_bits_f32(x: f32) -> i32 {
+    let b = x.to_bits() as i32;
+    if b < 0 {
+        i32::MIN.wrapping_add(1).wrapping_sub(b).wrapping_sub(1)
+    } else {
+        b
+    }
+}
+
+/// The distance between two `f64` values in units-in-the-last-place,
+/// saturating at `u64::MAX`.
+///
+/// `0` means bit-identical up to the sign of zero; `1` means adjacent
+/// representable values. If either input is `NaN` the distance is
+/// `u64::MAX`.
+///
+/// ```
+/// use surfos_em::ulp::ulp_distance_f64;
+///
+/// assert_eq!(ulp_distance_f64(1.0, 1.0), 0);
+/// assert_eq!(ulp_distance_f64(1.0, 1.0 + f64::EPSILON), 1);
+/// assert_eq!(ulp_distance_f64(0.0, -0.0), 0);
+/// ```
+pub fn ulp_distance_f64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    let (ia, ib) = (monotone_bits_f64(a), monotone_bits_f64(b));
+    ia.abs_diff(ib)
+}
+
+/// The distance between two `f32` values in units-in-the-last-place,
+/// saturating at `u32::MAX`. See [`ulp_distance_f64`].
+pub fn ulp_distance_f32(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let (ia, ib) = (monotone_bits_f32(a), monotone_bits_f32(b));
+    ia.abs_diff(ib)
+}
+
+/// `true` when `a` and `b` are within `max_ulps` of each other per
+/// [`ulp_distance_f64`]. `NaN` is never within any bound.
+pub fn approx_eq_ulps_f64(a: f64, b: f64, max_ulps: u64) -> bool {
+    ulp_distance_f64(a, b) <= max_ulps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_ulps_apart() {
+        for v in [0.0, 1.0, -1.0, 1e-300, -1e300, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(ulp_distance_f64(v, v), 0, "{v}");
+        }
+        assert_eq!(ulp_distance_f64(0.0, -0.0), 0);
+        assert_eq!(ulp_distance_f32(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_values_are_one_ulp_apart() {
+        let cases = [1.0, -1.0, 1e-10, 1e10, f64::MIN_POSITIVE];
+        for v in cases {
+            let step = if v > 0.0 { 1u64 } else { u64::MAX };
+            let next = f64::from_bits(v.to_bits().wrapping_add(step));
+            assert_eq!(ulp_distance_f64(v, next), 1, "{v}");
+        }
+        assert_eq!(ulp_distance_f64(1.0, 1.0 + f64::EPSILON), 1);
+        assert_eq!(ulp_distance_f32(1.0, 1.0 + f32::EPSILON), 1);
+    }
+
+    #[test]
+    fn distance_crosses_zero_monotonically() {
+        // Smallest positive and smallest negative subnormal are 2 apart
+        // on the folded line (one step each down to ±0).
+        let tiny = f64::from_bits(1);
+        let neg_tiny = f64::from_bits(1 | (1 << 63));
+        assert_eq!(ulp_distance_f64(tiny, 0.0), 1);
+        assert_eq!(ulp_distance_f64(neg_tiny, 0.0), 1);
+        assert_eq!(ulp_distance_f64(tiny, neg_tiny), 2);
+        assert_eq!(ulp_distance_f64(1.0, -1.0), 2 * ulp_distance_f64(1.0, 0.0));
+    }
+
+    #[test]
+    fn nan_is_never_close() {
+        assert_eq!(ulp_distance_f64(f64::NAN, f64::NAN), u64::MAX);
+        assert_eq!(ulp_distance_f64(f64::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u32::MAX);
+        assert!(!approx_eq_ulps_f64(f64::NAN, f64::NAN, u64::MAX - 1));
+    }
+
+    #[test]
+    fn approx_eq_bounds_are_inclusive() {
+        let b = 1.0 + f64::EPSILON;
+        assert!(approx_eq_ulps_f64(1.0, b, 1));
+        assert!(!approx_eq_ulps_f64(1.0, b, 0));
+        assert!(approx_eq_ulps_f64(1.0, 1.0, 0));
+    }
+
+    #[test]
+    fn infinities_behave_like_extreme_finite_neighbours() {
+        assert_eq!(ulp_distance_f64(f64::MAX, f64::INFINITY), 1);
+        assert!(ulp_distance_f64(f64::INFINITY, f64::NEG_INFINITY) > 1 << 62);
+    }
+}

@@ -37,6 +37,7 @@
 //! line.
 
 use crate::vec3::Vec3;
+use surfos_em::simd::{F32x8, Mask8};
 
 /// An axis-aligned bounding box.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -296,6 +297,34 @@ enum SplitStrategy {
     Median,
 }
 
+/// A primitive's own bounds in the packed `f32` layout (conservatively
+/// rounded outward like node bounds), stored in *slot* order so packet
+/// leaf loops stream through them. Leaf node boxes are unions of up to
+/// [`MAX_LEAF_SIZE`] primitives; testing the per-primitive box culls the
+/// union's slack before the (much costlier) exact per-candidate test.
+#[derive(Debug, Clone, Copy)]
+struct PrimBox {
+    min: [f32; 3],
+    max: [f32; 3],
+}
+
+impl PrimBox {
+    fn new(aabb: &Aabb) -> Self {
+        PrimBox {
+            min: [
+                round_down(aabb.min.x),
+                round_down(aabb.min.y),
+                round_down(aabb.min.z),
+            ],
+            max: [
+                round_up(aabb.max.x),
+                round_up(aabb.max.y),
+                round_up(aabb.max.z),
+            ],
+        }
+    }
+}
+
 /// A bounding-volume hierarchy over primitive bounding boxes.
 ///
 /// The tree stores only indices into the caller's primitive array; callers
@@ -305,6 +334,7 @@ enum SplitStrategy {
 pub struct Bvh {
     nodes: Vec<PackedNode>,
     order: Vec<u32>,
+    prim_boxes: Vec<PrimBox>,
 }
 
 impl Bvh {
@@ -336,10 +366,12 @@ impl Bvh {
         let mut bvh = Bvh {
             nodes: Vec::with_capacity(2 * boxes.len().max(1)),
             order: (0..boxes.len() as u32).collect(),
+            prim_boxes: Vec::new(),
         };
         if !boxes.is_empty() {
             bvh.nodes.push(PackedNode::PLACEHOLDER);
             bvh.build_node(boxes, 0, 0, boxes.len(), 0, strategy);
+            bvh.repack_prim_boxes(boxes);
         }
         if let Some(t0) = timer {
             surfos_obs::observe("geometry.bvh.build_ns", t0.elapsed().as_nanos() as u64);
@@ -554,6 +586,15 @@ impl Bvh {
             };
             self.nodes[idx] = PackedNode::new(&aabb, node.word);
         }
+        self.repack_prim_boxes(boxes);
+    }
+
+    /// Refreshes the slot-ordered per-primitive `f32` boxes from the
+    /// current primitive boxes (build and refit both end here).
+    fn repack_prim_boxes(&mut self, boxes: &[Aabb]) {
+        self.prim_boxes.clear();
+        self.prim_boxes
+            .extend(self.order.iter().map(|&i| PrimBox::new(&boxes[i as usize])));
     }
 
     /// Calls `visit` with the index of every primitive whose box the segment
@@ -630,6 +671,305 @@ impl Bvh {
         let mut out = Vec::new();
         self.for_each_segment_candidate(from, to, |i| out.push(i));
         out
+    }
+
+    /// Packet analogue of [`Self::segment_candidates_until`]: walks the
+    /// tree **once** for up to [`SegmentPacket::LANES`] segments, testing
+    /// every packed node box against all lanes with one vectorized slab
+    /// test and sharing the traversal stack.
+    ///
+    /// `visit(lane, slot, prim)` is called for every (lane, candidate)
+    /// pair — `prim` is the caller's original primitive index, `slot` its
+    /// position in the tree's internal order (stable for a given tree;
+    /// callers keeping slot-ordered side tables get sequential reads
+    /// inside each leaf). Returning `true` retires that lane (the any-hit
+    /// early exit), and the traversal stops once every lane has retired.
+    /// Per lane, the candidate stream is the same conservative superset
+    /// contract as the scalar traversal — a superset of the primitives
+    /// the segment truly touches, in the same deterministic depth-first
+    /// order — so callers that run the exact test per candidate and sort
+    /// by `(t, index)` get results bit-identical to per-segment scalar
+    /// queries.
+    ///
+    /// Returns the bitmask of lanes whose `visit` returned `true`.
+    pub fn packet_candidates_until(
+        &self,
+        packet: &SegmentPacket,
+        mut visit: impl FnMut(usize, usize, usize) -> bool,
+    ) -> u8 {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let obs_on = surfos_obs::enabled();
+        let mut live = packet.active_bitmask();
+        let mut done = 0u8;
+        let mut nodes_visited = 0u64;
+        let mut candidates = 0u64;
+        let mut stack_node = [0u32; MAX_DEPTH];
+        let mut stack_mask = [0u8; MAX_DEPTH];
+        let mut sp = 0usize;
+        stack_node[sp] = 0;
+        stack_mask[sp] = live;
+        sp += 1;
+        'traverse: while sp > 0 {
+            sp -= 1;
+            let m = stack_mask[sp] & live;
+            if m == 0 {
+                continue;
+            }
+            let node = &self.nodes[stack_node[sp] as usize];
+            nodes_visited += 1;
+            if obs_on {
+                surfos_obs::observe(
+                    "geometry.bvh.packet_lanes_active",
+                    u64::from(m.count_ones()),
+                );
+            }
+            let hit = packet.test_box(&node.min, &node.max) & m;
+            if hit == 0 {
+                continue;
+            }
+            let count = node.count();
+            if count > 0 {
+                let start = node.payload();
+                for (slot, &prim) in self.order[start..start + count].iter().enumerate() {
+                    // A leaf box is the union of its primitives; re-testing
+                    // the primitive's own (conservatively rounded) box culls
+                    // the union slack before the exact per-candidate test.
+                    let pb = &self.prim_boxes[start + slot];
+                    let mut lanes = packet.test_box(&pb.min, &pb.max) & hit & live;
+                    while lanes != 0 {
+                        let lane = lanes.trailing_zeros() as usize;
+                        lanes &= lanes - 1;
+                        candidates += 1;
+                        if visit(lane, start + slot, prim as usize) {
+                            done |= 1 << lane;
+                            live &= !(1 << lane);
+                            if live == 0 {
+                                break 'traverse;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Children inherit the lanes that hit this node; each is
+                // re-tested against its own box when popped.
+                let left = node.payload();
+                debug_assert!(sp + 2 <= MAX_DEPTH, "BVH deeper than traversal stack");
+                stack_node[sp] = (left + 1) as u32;
+                stack_mask[sp] = hit;
+                stack_node[sp + 1] = left as u32;
+                stack_mask[sp + 1] = hit;
+                sp += 2;
+            }
+        }
+        if obs_on {
+            let lanes = packet.len() as u64;
+            surfos_obs::add("geometry.bvh.packet_traversals", 1);
+            // Keep the scalar-era ratio metrics meaningful: a packet
+            // serves `lanes` logical queries, visits each popped node
+            // once for all of them, and a brute scan would have tested
+            // every primitive per lane.
+            surfos_obs::add("geometry.bvh.queries", lanes);
+            surfos_obs::add("geometry.bvh.nodes_visited", nodes_visited);
+            surfos_obs::add("geometry.bvh.candidates", candidates);
+            surfos_obs::add("geometry.bvh.brute_walls", self.order.len() as u64 * lanes);
+        }
+        done
+    }
+
+    /// Calls `visit(lane, slot, prim)` for every packet candidate (no
+    /// early exit); packet analogue of
+    /// [`Self::for_each_segment_candidate`].
+    pub fn for_each_packet_candidate(
+        &self,
+        packet: &SegmentPacket,
+        mut visit: impl FnMut(usize, usize, usize),
+    ) {
+        self.packet_candidates_until(packet, |lane, slot, prim| {
+            visit(lane, slot, prim);
+            false
+        });
+    }
+
+    /// The tree's internal primitive order: `order()[slot]` is the
+    /// original index of the primitive stored at `slot`. Callers building
+    /// slot-ordered side tables (so leaf-local candidate reads are
+    /// sequential) key them with this.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+/// Segment directions with an axis component below this are treated as
+/// axis-parallel by the packet slab test and fall back to a (padded)
+/// containment check on that axis — a far wider net than the scalar
+/// `1e-12` threshold, because the `f32` lanes cannot resolve the huge
+/// `1/d` magnitudes near-degenerate directions produce. Conservatism, not
+/// accuracy: within `|d| < 1e-3` the segment moves less than a millimetre
+/// along the axis, and the containment pad absorbs that.
+const PACKET_D_EPS: f32 = 1e-3;
+
+/// Up to eight segments bundled lane-per-segment in SoA form, with the
+/// per-lane reciprocals, slab slacks and degenerate-axis masks hoisted so
+/// the per-node work inside [`Bvh::packet_candidates_until`] is pure
+/// vector arithmetic.
+///
+/// The slab test runs in `f32` against the packed node bounds. Every
+/// quantity is padded by a per-packet error bound (`slack`, `pad`)
+/// derived from the largest endpoint coordinate, so a lane never misses
+/// a node box its exact-`f64` segment touches — the packet layer keeps
+/// the tree's conservative-culling contract, and exactness is restored
+/// by the caller's per-candidate test. Node boxes are assumed
+/// non-inverted, which holds for every node of a built tree (built and
+/// refitted boxes are unions of primitive boxes).
+#[derive(Debug, Clone)]
+pub struct SegmentPacket {
+    /// Per-axis lane origins.
+    o: [F32x8; 3],
+    /// Per-axis lane reciprocal directions (`0.0` on degenerate lanes).
+    inv: [F32x8; 3],
+    /// Per-axis conservative widening of the slab interval, in `t` units;
+    /// `+∞` on parallel lanes, so their slab interval is `(-∞, +∞)` and
+    /// never constrains `t` — no per-axis select needed.
+    slack: [F32x8; 3],
+    /// Per-axis mask of lanes that are parallel to the axis.
+    par: [Mask8; 3],
+    /// Whether any lane is parallel to any axis; when `false` the
+    /// containment sweep in [`Self::test_box`] is skipped wholesale.
+    has_par: bool,
+    /// Containment pad for parallel-axis checks, in metres.
+    pad: F32x8,
+    /// Mask of lanes holding real segments.
+    active: Mask8,
+    /// Number of real segments (`1..=LANES`).
+    len: usize,
+}
+
+impl SegmentPacket {
+    /// Packet width.
+    pub const LANES: usize = 8;
+
+    /// Bundles `segments` (each `(from, to)`) into a packet. Unused
+    /// lanes repeat the first segment so every vector is well-defined,
+    /// and are masked out of traversal and visits.
+    ///
+    /// # Panics
+    /// Panics if `segments` is empty or holds more than [`Self::LANES`].
+    pub fn new(segments: &[(Vec3, Vec3)]) -> Self {
+        let len = segments.len();
+        assert!(
+            (1..=Self::LANES).contains(&len),
+            "packet holds 1..=8 segments, got {len}"
+        );
+        let seg = |lane: usize| segments[lane.min(len - 1)];
+
+        // Error budget, from the largest coordinate magnitude in the
+        // packet: converting an endpoint to f32 and subtracting it from a
+        // node bound each lose at most ~mag·2⁻²⁴, and the slab product
+        // loses ~|t|·2⁻²³ more. The generous constants below dominate
+        // both terms; they widen candidate sets by micro-metres, which
+        // the exact per-candidate test absorbs.
+        let mut mag = 1.0f64;
+        for &(from, to) in segments {
+            for v in [from, to] {
+                mag = mag.max(v.x.abs()).max(v.y.abs()).max(v.z.abs());
+            }
+        }
+        let eps_pos = mag * 2.4e-7;
+        let pad_scalar = ((PACKET_D_EPS as f64 + eps_pos) * 1.01) as f32;
+
+        let mut o = [[0.0f32; 8]; 3];
+        let mut inv = [[0.0f32; 8]; 3];
+        let mut slack = [[0.0f32; 8]; 3];
+        let mut par_abs_d = [[0.0f32; 8]; 3];
+        for lane in 0..Self::LANES {
+            let (from, to) = seg(lane);
+            for (axis, (f, t)) in [(from.x, to.x), (from.y, to.y), (from.z, to.z)]
+                .into_iter()
+                .enumerate()
+            {
+                let of = f as f32;
+                let df = (t - f) as f32;
+                o[axis][lane] = of;
+                par_abs_d[axis][lane] = df.abs();
+                if df.abs() >= PACKET_D_EPS {
+                    let inv_f = 1.0 / df;
+                    inv[axis][lane] = inv_f;
+                    slack[axis][lane] = ((eps_pos * (inv_f as f64).abs() + 1e-6) * 1.01) as f32;
+                } else {
+                    // Parallel lane: `inv` stays 0, so the slab products are
+                    // 0 and an infinite slack makes the interval (-∞, +∞) —
+                    // the axis never constrains `t` and the (cheap) slab
+                    // math needs no per-axis select. Rejection on this axis
+                    // is the padded containment check instead.
+                    slack[axis][lane] = f32::INFINITY;
+                }
+            }
+        }
+        let d_eps = F32x8::splat(PACKET_D_EPS);
+        let par = par_abs_d.map(|d| F32x8::from_array(d).simd_lt(d_eps));
+        SegmentPacket {
+            o: o.map(F32x8::from_array),
+            inv: inv.map(F32x8::from_array),
+            slack: slack.map(F32x8::from_array),
+            has_par: par.iter().any(|m| m.any()),
+            par,
+            pad: F32x8::splat(pad_scalar),
+            active: Mask8::first_n(len),
+            len,
+        }
+    }
+
+    /// Number of real segments in the packet.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `false` — a packet always holds at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bitmask of lanes holding real segments (lane 0 in bit 0).
+    pub fn active_bitmask(&self) -> u8 {
+        self.active.bitmask()
+    }
+
+    /// The vectorized conservative slab test: one bit per lane whose
+    /// segment may touch the box `[min, max]`.
+    #[inline]
+    fn test_box(&self, min: &[f32; 3], max: &[f32; 3]) -> u8 {
+        let mut t0 = F32x8::splat(0.0);
+        let mut t1 = F32x8::splat(1.0);
+        for axis in 0..3 {
+            let lo = F32x8::splat(min[axis]);
+            let hi = F32x8::splat(max[axis]);
+            let o = self.o[axis];
+            let inv = self.inv[axis];
+            let a = lo.sub(o).mul(inv);
+            let b = hi.sub(o).mul(inv);
+            // Parallel lanes have `inv = 0` and `slack = +∞`: their slab
+            // interval is (-∞, +∞) and never constrains `t` here.
+            let slack = self.slack[axis];
+            t0 = t0.max(a.min(b).sub(slack));
+            t1 = t1.min(a.max(b).add(slack));
+        }
+        let mut hit = t0.simd_le(t1);
+        // Parallel lanes pass an axis iff the origin sits inside the padded
+        // slab; packets with no parallel lane (the common case for bounce
+        // fans) skip the sweep entirely.
+        if self.has_par {
+            for axis in 0..3 {
+                let lo = F32x8::splat(min[axis]);
+                let hi = F32x8::splat(max[axis]);
+                let o = self.o[axis];
+                let par = self.par[axis];
+                let inside = o.simd_ge(lo.sub(self.pad)).and(o.simd_le(hi.add(self.pad)));
+                hit = hit.and(inside.or(par.not()));
+            }
+        }
+        hit.bitmask()
     }
 }
 
@@ -801,6 +1141,66 @@ mod tests {
             .collect()
     }
 
+    /// Deterministic segments for packet tests: a mix of general-position,
+    /// axis-parallel (degenerate direction) and short segments.
+    fn packet_segments(seed: u64, k: usize) -> Vec<(Vec3, Vec3)> {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..k)
+            .map(|i| {
+                let from = Vec3::new(next() * 24.0 - 2.0, next() * 24.0 - 2.0, next() * 4.0);
+                let to = match i % 4 {
+                    // Axis-parallel in y and z: exercises the degenerate
+                    // containment fallback lanes.
+                    0 => Vec3::new(next() * 24.0 - 2.0, from.y, from.z),
+                    // Fully degenerate z.
+                    1 => Vec3::new(next() * 24.0 - 2.0, next() * 24.0 - 2.0, from.z),
+                    // Short segment.
+                    2 => from + Vec3::new(next() * 0.5, next() * 0.5, next() * 0.1),
+                    _ => Vec3::new(next() * 24.0 - 2.0, next() * 24.0 - 2.0, next() * 4.0),
+                };
+                (from, to)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packet_early_exit_retires_only_that_lane() {
+        let boxes = scene_boxes(11, 80);
+        let bvh = Bvh::build(&boxes);
+        let seg = (Vec3::new(-1.0, -1.0, 1.0), Vec3::new(21.0, 21.0, 2.0));
+        let packet = SegmentPacket::new(&[seg, seg, seg]);
+        let mut counts = [0usize; 3];
+        let done = bvh.packet_candidates_until(&packet, |lane, _, _| {
+            counts[lane] += 1;
+            lane == 1
+        });
+        assert_eq!(done, 0b010, "only lane 1 asked to retire");
+        assert_eq!(counts[1], 1, "retired lane sees no further candidates");
+        // The surviving identical lanes keep visiting the full stream.
+        assert!(counts[0] > 1);
+        assert_eq!(counts[0], counts[2]);
+    }
+
+    #[test]
+    fn packet_on_empty_tree_visits_nothing() {
+        let bvh = Bvh::build(&[]);
+        let packet = SegmentPacket::new(&[(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0))]);
+        let done = bvh.packet_candidates_until(&packet, |_, _, _| panic!("no candidates expected"));
+        assert_eq!(done, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet holds 1..=8 segments")]
+    fn packet_rejects_empty_batch() {
+        SegmentPacket::new(&[]);
+    }
+
     #[test]
     fn refit_with_unchanged_boxes_preserves_candidates() {
         let boxes = scene_boxes(7, 60);
@@ -909,6 +1309,53 @@ mod tests {
             // Both builders obey the same conservative contract.
             prop_assert!(assert_superset(&Bvh::build(&boxes), &boxes, from, to).is_ok());
             prop_assert!(assert_superset(&Bvh::build_median(&boxes), &boxes, from, to).is_ok());
+        }
+
+        #[test]
+        fn prop_packet_candidates_conservative(
+            seed in 0u64..100_000,
+            n in 1usize..150,
+            k in 1usize..=8,
+            degenerate in 0usize..2,
+        ) {
+            // Packet traversal must uphold the same conservative-superset
+            // contract per lane as the scalar walk, for every packet
+            // width (including <8 remainder packets) and for degenerate
+            // zero-extent / point boxes.
+            let boxes = if degenerate == 1 {
+                degenerate_boxes(seed, n)
+            } else {
+                scene_boxes(seed, n)
+            };
+            let segs = packet_segments(seed ^ 0xD1F7, k);
+            let packet = SegmentPacket::new(&segs);
+            prop_assert_eq!(packet.len(), k);
+            for bvh in [Bvh::build(&boxes), Bvh::build_median(&boxes)] {
+                // Indexing by lane also asserts no visit ever names an
+                // inactive lane (lane >= k would panic).
+                let mut per_lane: Vec<Vec<usize>> = vec![Vec::new(); k];
+                let mut slot_pairs: Vec<(usize, usize)> = Vec::new();
+                bvh.for_each_packet_candidate(&packet, |lane, slot, prim| {
+                    slot_pairs.push((slot, prim));
+                    per_lane[lane].push(prim);
+                });
+                for (slot, prim) in slot_pairs {
+                    prop_assert_eq!(bvh.order()[slot] as usize, prim, "slot/prim mismatch");
+                }
+                for (lane, &(from, to)) in segs.iter().enumerate() {
+                    for (i, b) in boxes.iter().enumerate() {
+                        if b.intersects_segment(from, to) {
+                            prop_assert!(
+                                per_lane[lane].contains(&i),
+                                "lane {} dropped true hit {}", lane, i
+                            );
+                        }
+                    }
+                    for &i in &per_lane[lane] {
+                        prop_assert!(i < boxes.len(), "fabricated candidate {}", i);
+                    }
+                }
+            }
         }
 
         #[test]

@@ -33,7 +33,7 @@ pub mod scenario;
 pub mod vec3;
 pub mod wall;
 
-pub use bvh::{Aabb, Bvh};
+pub use bvh::{Aabb, Bvh, SegmentPacket};
 pub use material::Material;
 pub use plan::{FloorPlan, Room, WallIndex};
 pub use pose::Pose;

@@ -28,6 +28,24 @@ pub enum Material {
 }
 
 impl Material {
+    /// Every variant, in discriminant order: `ALL[m.index()] == m`.
+    /// Band-sweep hot loops use this to tabulate per-band losses once per
+    /// probe instead of re-evaluating the match per crossed wall.
+    pub const ALL: [Material; 6] = [
+        Material::Drywall,
+        Material::Concrete,
+        Material::Glass,
+        Material::Metal,
+        Material::Wood,
+        Material::HumanBody,
+    ];
+
+    /// Dense index of this variant within [`Material::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// One-way penetration loss in dB (positive) for a ray crossing the
     /// material at the given band.
     ///

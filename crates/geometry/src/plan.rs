@@ -7,12 +7,13 @@
 //! - which walls does a segment cross (→ penetration loss), and
 //! - is there line of sight between two points.
 
-use crate::bvh::{Aabb, Bvh};
+use crate::bvh::{Aabb, Bvh, SegmentPacket};
 use crate::material::Material;
 use crate::vec3::Vec3;
 use crate::wall::Wall;
 use serde::{Deserialize, Serialize};
 use surfos_em::band::Band;
+use surfos_em::simd::F32x8;
 
 /// Conservative padding on wall bounding boxes: `intersect_segment` accepts
 /// crossings up to the 1 mm graze margin beyond a wall's footprint ends, so
@@ -31,6 +32,151 @@ const WALL_AABB_PAD: f64 = 2e-3;
 pub struct WallIndex {
     bvh: Bvh,
     u_margins: Vec<f64>,
+    /// Per-wall intersection operands in the tree's *slot* order, so the
+    /// packet-candidate loops read them sequentially within each leaf
+    /// instead of chasing the scattered `Wall` structs.
+    soa: Vec<WallSoa>,
+    /// Reflection-geometry operands in *wall* order for the vectorized
+    /// specular prefilter.
+    spec: SpecularBank,
+}
+
+/// Lane width the specular bank is padded to.
+const SPEC_LANES: usize = 8;
+
+/// Margin coefficient for the prefilter's interval arithmetic: ~160× the
+/// `f32` unit roundoff, so a handful of chained operations stay far inside
+/// the bound while the filter still rejects everything that isn't within
+/// ~1e-5 relative of a specular acceptance boundary.
+const SPEC_EPS: f32 = 1e-5;
+
+/// Per-wall specular-reflection operands in **wall order**, flattened to
+/// `f32` rows padded to a multiple of [`SPEC_LANES`] so
+/// [`WallIndex::specular_candidates`] streams them eight walls at a time.
+/// Padding rows are all-zero, which the filter conservatively keeps and the
+/// caller-side index bound discards.
+#[derive(Debug, Clone, Default)]
+struct SpecularBank {
+    /// Wall anchor `a` (plan view).
+    ax: Vec<f32>,
+    ay: Vec<f32>,
+    /// Wall direction `s = b − a`.
+    sx: Vec<f32>,
+    sy: Vec<f32>,
+    /// Unnormalized wall normal `ñ = (−s.y, s.x)`; sign convention is
+    /// irrelevant because every use is either sign-symmetric or squared.
+    nx: Vec<f32>,
+    ny: Vec<f32>,
+    /// `1 / |s|²`.
+    inv_l2: Vec<f32>,
+    height: Vec<f32>,
+    /// `|ñ.x| + |ñ.y|` — normal magnitude scale for error bounds.
+    nmag: Vec<f32>,
+    /// `|a.x| + |a.y|` — anchor magnitude scale for error bounds.
+    amag: Vec<f32>,
+}
+
+impl SpecularBank {
+    fn new(walls: &[Wall]) -> Self {
+        let mut b = SpecularBank::default();
+        for w in walls {
+            let sx = w.b.x - w.a.x;
+            let sy = w.b.y - w.a.y;
+            b.ax.push(w.a.x as f32);
+            b.ay.push(w.a.y as f32);
+            b.sx.push(sx as f32);
+            b.sy.push(sy as f32);
+            b.nx.push(-sy as f32);
+            b.ny.push(sx as f32);
+            b.inv_l2.push((1.0 / (sx * sx + sy * sy)) as f32);
+            b.height.push(w.height as f32);
+            b.nmag.push((sy.abs() + sx.abs()) as f32);
+            b.amag.push((w.a.x.abs() + w.a.y.abs()) as f32);
+        }
+        let pad = walls.len().next_multiple_of(SPEC_LANES);
+        for v in [
+            &mut b.ax,
+            &mut b.ay,
+            &mut b.sx,
+            &mut b.sy,
+            &mut b.nx,
+            &mut b.ny,
+            &mut b.inv_l2,
+            &mut b.height,
+            &mut b.nmag,
+            &mut b.amag,
+        ] {
+            v.resize(pad, 0.0);
+        }
+        b
+    }
+}
+
+/// The operands [`Wall::intersect_segment_with_margins`] reads, flattened
+/// to one cache-friendly row. `s = b − a` is precomputed at build time —
+/// the exact subtraction the wall test performs per call, so batched tests
+/// using these rows stay bit-identical to the struct-walking scalar path.
+#[derive(Debug, Clone, Copy)]
+struct WallSoa {
+    qx: f64,
+    qy: f64,
+    sx: f64,
+    sy: f64,
+    height: f64,
+    u_margin: f64,
+    material: Material,
+}
+
+impl WallSoa {
+    fn new(w: &Wall) -> Self {
+        WallSoa {
+            qx: w.a.x,
+            qy: w.a.y,
+            sx: w.b.x - w.a.x,
+            sy: w.b.y - w.a.y,
+            height: w.height,
+            u_margin: w.u_margin(),
+            material: w.material,
+        }
+    }
+
+    /// The crossing parameter `t` of segment `(p, p + r)` (plan view, with
+    /// `fz`/`dz` the 3-D z interpolation operands) through this wall, or
+    /// `None` — operation-for-operation the same arithmetic as
+    /// [`Wall::intersect_segment_with_margins`], so accepted `t` values
+    /// are bit-identical.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // flat scalars keep the per-lane call register-resident
+    fn crossing_t(
+        &self,
+        px: f64,
+        py: f64,
+        rx: f64,
+        ry: f64,
+        fz: f64,
+        dz: f64,
+        t_margin: f64,
+    ) -> Option<f64> {
+        let rxs = rx * self.sy - ry * self.sx;
+        if rxs.abs() < 1e-12 {
+            return None;
+        }
+        let qpx = self.qx - px;
+        let qpy = self.qy - py;
+        let t = (qpx * self.sy - qpy * self.sx) / rxs;
+        if t <= t_margin || t >= 1.0 - t_margin {
+            return None;
+        }
+        let u = (qpx * ry - qpy * rx) / rxs;
+        if !(u >= -self.u_margin && u <= 1.0 + self.u_margin) {
+            return None;
+        }
+        let z = fz + dz * t;
+        if z < 0.0 || z > self.height {
+            return None;
+        }
+        Some(t)
+    }
 }
 
 impl WallIndex {
@@ -43,6 +189,140 @@ impl WallIndex {
     /// higher-level scene indexes).
     pub fn bvh(&self) -> &Bvh {
         &self.bvh
+    }
+
+    /// Walls that *might* give a specular reflection between `source` and
+    /// `receiver`, in ascending wall order.
+    ///
+    /// This is a **conservative** vectorized prefilter over
+    /// [`crate::reflect::specular_reflection`]'s acceptance tests: it
+    /// re-derives the same-side, mirror-point footprint (`u ∈ [0, 1]`) and
+    /// height (`z ∈ [0, height]`) conditions in `f32` **interval
+    /// arithmetic** — every comparison carries an explicit error bound that
+    /// dominates both the `f64 → f32` input rounding and the chained-op
+    /// roundoff (coefficient `SPEC_EPS`, ~160× the `f32` unit roundoff),
+    /// and NaN comparisons fall on the *keep* side. A wall is dropped only
+    /// when the whole `f32` uncertainty interval lies outside the exact
+    /// test's acceptance window, so the returned set is a superset of the
+    /// walls the exact scan accepts (the property tests pin this). Callers
+    /// run the exact test on the survivors; iterating them in the returned
+    /// order reproduces the full-scan result exactly.
+    pub fn specular_candidates(&self, source: Vec3, receiver: Vec3) -> Vec<usize> {
+        let n = self.wall_count();
+        let b = &self.spec;
+        let mut out = Vec::new();
+        let eps = F32x8::splat(SPEC_EPS);
+        let zero = F32x8::splat(0.0);
+        let one = F32x8::splat(1.0);
+        let two = F32x8::splat(2.0);
+        let four = F32x8::splat(4.0);
+        let sxp = F32x8::splat(source.x as f32);
+        let syp = F32x8::splat(source.y as f32);
+        let rxp = F32x8::splat(receiver.x as f32);
+        let ryp = F32x8::splat(receiver.y as f32);
+        let szp = F32x8::splat(source.z as f32);
+        let zspan = F32x8::splat((receiver.z - source.z) as f32);
+        let zspan_a = zspan.abs();
+        // Endpoint magnitude scale: bounds the absolute rounding error of
+        // any planar endpoint coordinate after the f32 conversion.
+        let coordmag = F32x8::splat(
+            (source.x.abs() + source.y.abs() + receiver.x.abs() + receiver.y.abs()) as f32,
+        );
+        for c in (0..b.ax.len()).step_by(SPEC_LANES) {
+            let load = |v: &[f32]| F32x8::from_array(v[c..c + SPEC_LANES].try_into().unwrap());
+            let ax = load(&b.ax);
+            let ay = load(&b.ay);
+            let nx = load(&b.nx);
+            let ny = load(&b.ny);
+            let nmag = load(&b.nmag);
+            let amag = load(&b.amag);
+            // Signed side values of both endpoints against ñ.
+            let dsx = sxp.sub(ax);
+            let dsy = syp.sub(ay);
+            let drx = rxp.sub(ax);
+            let dry = ryp.sub(ay);
+            let p1 = dsx.mul(nx);
+            let p2 = dsy.mul(ny);
+            let p3 = drx.mul(nx);
+            let p4 = dry.mul(ny);
+            let ds = p1.add(p2);
+            let dr = p3.add(p4);
+            // Absolute error bound shared by ds and dr: term magnitudes
+            // cover cancellation in the dots, the (coordmag + amag)·nmag
+            // term covers input rounding of the endpoints and anchors.
+            let e = p1
+                .abs()
+                .add(p2.abs())
+                .add(p3.abs())
+                .add(p4.abs())
+                .add(coordmag.add(amag).mul(nmag))
+                .mul(eps);
+            let neg_e = zero.sub(e);
+            let ds_pos = e.simd_lt(ds);
+            let ds_neg = ds.simd_lt(neg_e);
+            let dr_pos = e.simd_lt(dr);
+            let dr_neg = dr.simd_lt(neg_e);
+            // Certainly-opposite sides → the exact test certainly rejects.
+            let opposite = ds_pos.and(dr_neg).or(ds_neg.and(dr_pos));
+            // Certainly-same side with margin: t = ds/(ds+dr) is then a
+            // well-conditioned value in (0, 1) and the u/z windows below
+            // are trustworthy. Ambiguous lanes are kept outright.
+            let same = ds_pos.and(dr_pos).or(ds_neg.and(dr_neg));
+            let den = ds.add(dr);
+            let t = ds.div(den);
+            let err_t = e.mul(four).div(den.abs());
+            // Mirror image of the source across the wall line, in the
+            // unnormalized form image = source − ñ·(2·ds/|s|²).
+            let inv_l2 = load(&b.inv_l2);
+            let g = two.mul(ds).mul(inv_l2);
+            let gx = nx.mul(g);
+            let gy = ny.mul(g);
+            let ix = sxp.sub(gx);
+            let iy = syp.sub(gy);
+            // Reflection point p = image + t·(receiver − image), taken
+            // relative to the wall anchor for the footprint test.
+            let dx = rxp.sub(ix);
+            let dy = ryp.sub(iy);
+            let px = ix.sub(ax).add(t.mul(dx));
+            let py = iy.sub(ay).add(t.mul(dy));
+            let sxw = load(&b.sx);
+            let syw = load(&b.sy);
+            let ux = px.mul(sxw);
+            let uy = py.mul(syw);
+            let u = ux.add(uy).mul(inv_l2);
+            // Error budget for u: e_img bounds the image coordinates'
+            // inherited error from E, cs·eps the raw coordinate roundoff,
+            // err_t·|d| the lerp's parameter uncertainty; the lumped sums
+            // over-count per-axis contributions, which only widens the
+            // kept interval.
+            let e_img = nmag.mul(two).mul(inv_l2).mul(e);
+            let cs = coordmag.add(amag).add(gx.abs()).add(gy.abs());
+            let e_c = e_img.add(cs.mul(eps));
+            let e_p = e_c.mul(four).add(err_t.mul(dx.abs().add(dy.abs())));
+            let e_ud = e_p
+                .mul(sxw.abs().add(syw.abs()))
+                .add(ux.abs().add(uy.abs()).mul(four).mul(eps));
+            let eu = e_ud.mul(inv_l2);
+            let u_rej = u.add(eu).simd_lt(zero).or(one.simd_lt(u.sub(eu)));
+            // Height window (the mirror does not move z).
+            let z = szp.add(zspan.mul(t));
+            let ez = zspan_a
+                .mul(err_t)
+                .add(szp.abs().add(zspan_a).mul(four).mul(eps));
+            let height = load(&b.height);
+            let z_rej = z.add(ez).simd_lt(zero).or(height.simd_lt(z.sub(ez)));
+            let reject = opposite.or(same.and(u_rej.or(z_rej)));
+            let mut keep = reject.not().bitmask();
+            while keep != 0 {
+                let lane = keep.trailing_zeros() as usize;
+                keep &= keep - 1;
+                let i = c + lane;
+                if i < n {
+                    out.push(i);
+                }
+            }
+        }
+        out
     }
 }
 
@@ -205,10 +485,7 @@ impl FloorPlan {
     /// edited; queries check only the wall *count*, so a stale index over
     /// mutated walls silently returns wrong answers.
     pub fn build_wall_index(&self) -> WallIndex {
-        WallIndex {
-            bvh: Bvh::build(&self.padded_wall_boxes()),
-            u_margins: self.walls.iter().map(Wall::u_margin).collect(),
-        }
+        self.index_from(Bvh::build(&self.padded_wall_boxes()))
     }
 
     /// A [`WallIndex`] whose hierarchy uses the reference median splitter
@@ -218,9 +495,22 @@ impl FloorPlan {
     /// cost differ. Kept as the comparison arm for equivalence proptests
     /// and the `plan/crossings_building` benchmarks.
     pub fn build_wall_index_median(&self) -> WallIndex {
+        self.index_from(Bvh::build_median(&self.padded_wall_boxes()))
+    }
+
+    /// Assembles a [`WallIndex`] around a built hierarchy: per-wall graze
+    /// margins in wall order, intersection rows in tree-slot order.
+    fn index_from(&self, bvh: Bvh) -> WallIndex {
+        let soa = bvh
+            .order()
+            .iter()
+            .map(|&i| WallSoa::new(&self.walls[i as usize]))
+            .collect();
         WallIndex {
-            bvh: Bvh::build_median(&self.padded_wall_boxes()),
+            bvh,
             u_margins: self.walls.iter().map(Wall::u_margin).collect(),
+            soa,
+            spec: SpecularBank::new(&self.walls),
         }
     }
 
@@ -293,6 +583,98 @@ impl FloorPlan {
                 .intersect_segment_with_margins(from, to, t_margin, index.u_margins[i])
                 .is_some()
         })
+    }
+
+    /// [`FloorPlan::crossings_with`] for a whole batch of segments: one
+    /// `Vec` of `(wall index, material)` crossings per input segment, in
+    /// the same order.
+    ///
+    /// Segments are traced in packets of up to [`SegmentPacket::LANES`]
+    /// through [`Bvh::packet_candidates_until`], so coherent batches (the
+    /// bounce-leg fans of a link trace) share most of their node visits.
+    /// Each candidate still runs the exact per-wall test and each lane's
+    /// hits are re-sorted by `(t, wall index)`, so every per-segment
+    /// result is **bit-identical** to [`FloorPlan::crossings_with`] — the
+    /// packet layer only changes which wall boxes get *ruled out* early.
+    pub fn crossings_batch(
+        &self,
+        index: &WallIndex,
+        segments: &[(Vec3, Vec3)],
+    ) -> Vec<Vec<(usize, Material)>> {
+        debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
+        let mut out = Vec::with_capacity(segments.len());
+        // Scratch hit buffers are reused across packets (drain keeps the
+        // allocation), so a long batch settles into zero per-chunk
+        // intermediate allocations.
+        let mut hits: [Vec<(f64, usize, Material)>; SegmentPacket::LANES] = Default::default();
+        let mut t_margins = [0.0f64; SegmentPacket::LANES];
+        // Per-lane segment operands, hoisted once per chunk in exactly the
+        // form the wall test consumes: `p = from.flat()`, `r = to.flat() -
+        // p`, plus the z-interpolation endpoints.
+        let mut ops = [[0.0f64; 6]; SegmentPacket::LANES];
+        for chunk in segments.chunks(SegmentPacket::LANES) {
+            let packet = SegmentPacket::new(chunk);
+            for (lane, &(from, to)) in chunk.iter().enumerate() {
+                t_margins[lane] = Wall::t_margin(from, to);
+                ops[lane] = [
+                    from.x,
+                    from.y,
+                    to.x - from.x,
+                    to.y - from.y,
+                    from.z,
+                    to.z - from.z,
+                ];
+            }
+            index
+                .bvh
+                .for_each_packet_candidate(&packet, |lane, slot, i| {
+                    let [px, py, rx, ry, fz, dz] = ops[lane];
+                    let w = &index.soa[slot];
+                    if let Some(t) = w.crossing_t(px, py, rx, ry, fz, dz, t_margins[lane]) {
+                        hits[lane].push((t, i, w.material));
+                    }
+                });
+            for lane_hits in hits.iter_mut().take(chunk.len()) {
+                lane_hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                out.push(lane_hits.drain(..).map(|(_, i, m)| (i, m)).collect());
+            }
+        }
+        out
+    }
+
+    /// [`FloorPlan::has_los_with`] for a whole batch of segments: one
+    /// bool per input segment, in the same order, bit-identical to the
+    /// per-segment query. Lanes retire from the shared packet traversal
+    /// as soon as an exact wall crossing confirms them blocked.
+    pub fn has_los_batch(&self, index: &WallIndex, segments: &[(Vec3, Vec3)]) -> Vec<bool> {
+        debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
+        let mut out = Vec::with_capacity(segments.len());
+        let mut t_margins = [0.0f64; SegmentPacket::LANES];
+        let mut ops = [[0.0f64; 6]; SegmentPacket::LANES];
+        for chunk in segments.chunks(SegmentPacket::LANES) {
+            let packet = SegmentPacket::new(chunk);
+            for (lane, &(from, to)) in chunk.iter().enumerate() {
+                t_margins[lane] = Wall::t_margin(from, to);
+                ops[lane] = [
+                    from.x,
+                    from.y,
+                    to.x - from.x,
+                    to.y - from.y,
+                    from.z,
+                    to.z - from.z,
+                ];
+            }
+            let blocked = index.bvh.packet_candidates_until(&packet, |lane, slot, _| {
+                let [px, py, rx, ry, fz, dz] = ops[lane];
+                index.soa[slot]
+                    .crossing_t(px, py, rx, ry, fz, dz, t_margins[lane])
+                    .is_some()
+            });
+            for lane in 0..chunk.len() {
+                out.push(blocked & (1 << lane) == 0);
+            }
+        }
+        out
     }
 }
 
@@ -457,6 +839,32 @@ mod tests {
     }
 
     #[test]
+    fn specular_prefilter_keeps_accepted_walls_on_two_rooms() {
+        let mut plan = two_rooms();
+        // A second partition so there is a wall with both endpoints on the
+        // same side (reflective) and one between them (rejected).
+        plan.add_wall(Wall::new(
+            Vec3::xy(0.0, 0.0),
+            Vec3::xy(8.0, 0.0),
+            3.0,
+            Material::Concrete,
+        ));
+        let index = plan.build_wall_index();
+        let src = Vec3::new(1.0, 2.0, 1.5);
+        let rcv = Vec3::new(3.0, 2.0, 1.5);
+        let kept = index.specular_candidates(src, rcv);
+        for (i, w) in plan.walls().iter().enumerate() {
+            if crate::reflect::specular_reflection(src, rcv, w).is_some() {
+                assert!(kept.contains(&i), "prefilter dropped accepted wall {i}");
+            }
+        }
+        // The long south wall bounces this same-room pair.
+        assert!(kept.contains(&1));
+        // Ascending order is part of the contract.
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
     fn indexed_crossings_match_brute_on_two_rooms() {
         let plan = two_rooms();
         let index = plan.build_wall_index();
@@ -513,6 +921,82 @@ mod tests {
                     plan.transmission_amplitude(from, to, &band).to_bits(),
                     plan.transmission_amplitude_with(&index, from, to, &band).to_bits()
                 );
+            }
+        }
+
+        #[test]
+        fn prop_specular_prefilter_is_conservative(
+            seed in 0u64..1_000_000,
+            n in 0usize..96,
+            x0 in -1.0..11.0f64, y0 in -1.0..11.0f64, z0 in 0.1..4.0f64,
+            x1 in -1.0..11.0f64, y1 in -1.0..11.0f64, z1 in 0.1..4.0f64,
+        ) {
+            // The f32 prefilter must never drop a wall the exact f64
+            // specular test accepts, and must report survivors in
+            // ascending wall order. (It may keep extra walls — that only
+            // costs an exact test, not correctness.)
+            let plan = cluttered(n, seed);
+            let index = plan.build_wall_index();
+            let src = Vec3::new(x0, y0, z0);
+            let rcv = Vec3::new(x1, y1, z1);
+            let kept = index.specular_candidates(src, rcv);
+            prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+            let kept: std::collections::HashSet<usize> = kept.into_iter().collect();
+            for (i, w) in plan.walls().iter().enumerate() {
+                if crate::reflect::specular_reflection(src, rcv, w).is_some() {
+                    prop_assert!(kept.contains(&i), "prefilter dropped accepted wall {}", i);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_batch_queries_bit_identical_to_scalar(
+            seed in 0u64..1_000_000,
+            n in 0usize..96,
+            k in 1usize..20,
+        ) {
+            // Packet-traced batches must reproduce the per-segment scalar
+            // queries bit for bit, for every batch length — including
+            // remainder packets narrower than the lane width and batches
+            // spanning several packets.
+            let plan = cluttered(n, seed);
+            let mut state = seed ^ 0xA5A5_5A5A;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64) / ((1u64 << 53) as f64)
+            };
+            let segments: Vec<(Vec3, Vec3)> = (0..k)
+                .map(|i| {
+                    let from = Vec3::new(next() * 12.0 - 1.0, next() * 12.0 - 1.0, 0.1 + next() * 3.9);
+                    let to = match i % 3 {
+                        // Axis-parallel lanes exercise the packet slab
+                        // test's degenerate containment fallback.
+                        0 => Vec3::new(next() * 12.0 - 1.0, from.y, from.z),
+                        _ => Vec3::new(next() * 12.0 - 1.0, next() * 12.0 - 1.0, 0.1 + next() * 3.9),
+                    };
+                    (from, to)
+                })
+                .collect();
+
+            for index in [plan.build_wall_index(), plan.build_wall_index_median()] {
+                let crossings = plan.crossings_batch(&index, &segments);
+                let los = plan.has_los_batch(&index, &segments);
+                prop_assert_eq!(crossings.len(), k);
+                prop_assert_eq!(los.len(), k);
+                for (i, &(from, to)) in segments.iter().enumerate() {
+                    prop_assert_eq!(
+                        &crossings[i],
+                        &plan.crossings_with(&index, from, to),
+                        "crossings diverged for segment {}", i
+                    );
+                    prop_assert_eq!(
+                        los[i],
+                        plan.has_los_with(&index, from, to),
+                        "has_los diverged for segment {}", i
+                    );
+                }
             }
         }
     }

@@ -18,8 +18,15 @@ fi
 
 cargo clippy -q --all-targets -- -D warnings
 
+# Portability gate: the whole workspace must build and pass tests with the
+# SIMD shim's portable scalar fallback (the non-x86 / miri configuration),
+# so a lane-semantics divergence between the SSE and fallback backends
+# cannot land silently.
+cargo clippy -q --all-targets --features surfos-em/scalar-fallback -- -D warnings
+cargo test -q --workspace --features surfos-em/scalar-fallback
+
 # Doc gate: broken intra-doc links and missing docs (where a crate opts in
 # via #![warn(missing_docs)]) fail the build, not just warn.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
-echo "lint: formatting, clippy and rustdoc clean"
+echo "lint: formatting, clippy (both simd backends), scalar-fallback tests and rustdoc clean"

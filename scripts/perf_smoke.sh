@@ -8,6 +8,11 @@
 # checked-in BENCH_baseline.json and the script exits non-zero when any
 # benchmark regressed by more than PERF_TOLERANCE (default 1.25 = 25 %).
 #
+# A baseline entry may carry an optional per-benchmark annotation
+# `"tolerance": <ratio>` (anywhere after its "median_ns" on the same
+# line) to override the global tolerance for that id alone — e.g. a noisy
+# microbenchmark gated at 2.0 while the rest stay at the default.
+#
 #   scripts/perf_smoke.sh                    # run benches, write BENCH_channel.json
 #   scripts/perf_smoke.sh --check            # run benches, then gate against baseline
 #   scripts/perf_smoke.sh --check-only       # gate an existing BENCH_channel.json
@@ -72,6 +77,15 @@ extract_medians() {
   sed -n 's/.*"id": "\([^"]*\)", "median_ns": \([0-9.][0-9.]*\).*/\1 \2/p' "$1"
 }
 
+# Extract "<id> <median_ns> <tolerance>" triples (tolerance column present
+# only for entries carrying the optional per-bench annotation).
+extract_medians_with_tolerance() {
+  sed -n '
+    s/.*"id": "\([^"]*\)", "median_ns": \([0-9.][0-9.]*\).*"tolerance": \([0-9.][0-9.]*\).*/\1 \2 \3/p; t
+    s/.*"id": "\([^"]*\)", "median_ns": \([0-9.][0-9.]*\).*/\1 \2/p
+  ' "$1"
+}
+
 check_regressions() {
   if [[ ! -f "$baseline_file" ]]; then
     echo "missing $baseline_file — run 'scripts/perf_smoke.sh && cp $fresh_file $baseline_file' to create it" >&2
@@ -84,19 +98,24 @@ check_regressions() {
   local base fresh
   base="$(mktemp)"; fresh="$(mktemp)"
   tmpfiles+=("$base" "$fresh")
-  extract_medians "$baseline_file" > "$base"
+  extract_medians_with_tolerance "$baseline_file" > "$base"
   extract_medians "$fresh_file" > "$fresh"
 
   awk -v tol="$tolerance" '
-    NR == FNR { baseline[$1] = $2; next }
+    NR == FNR {
+      baseline[$1] = $2
+      if (NF >= 3) bench_tol[$1] = $3
+      next
+    }
     ($1 in baseline) && baseline[$1] > 0 {
+      t = ($1 in bench_tol) ? bench_tol[$1] : tol
       ratio = $2 / baseline[$1]
       n++
-      if (ratio > tol) {
-        printf "REGRESSION  %-55s %12.1f -> %12.1f ns  (x%.2f > x%.2f)\n", $1, baseline[$1], $2, ratio, tol
+      if (ratio > t) {
+        printf "REGRESSION  %-55s %12.1f -> %12.1f ns  (x%.2f > x%.2f)\n", $1, baseline[$1], $2, ratio, t
         bad++
       } else {
-        printf "ok          %-55s %12.1f -> %12.1f ns  (x%.2f)\n", $1, baseline[$1], $2, ratio
+        printf "ok          %-55s %12.1f -> %12.1f ns  (x%.2f <= x%.2f)\n", $1, baseline[$1], $2, ratio, t
       }
     }
     END {
