@@ -1,0 +1,170 @@
+//! Campus-scale shard benchmarks: the near-linear scale-out story.
+//!
+//! `channel/campus_linearize` shows the problem — flat single-scene
+//! tracing cost grows roughly linearly with campus size even though the
+//! extra buildings are RF-dark to every link. `kernel/shard_scale` shows
+//! the fix — the same ≥ 16k-wall campus evaluated by a `ShardedKernel` at
+//! 1, 2 and 4 shards, with the worker pool pinned to one thread so the
+//! measured speedup is *algorithmic* (zone-local scenes mean ~4× fewer
+//! walls per trace, ~4× fewer retained paths and fewer blockers per
+//! refresh), not parallelism. The acceptance bar is ≥ 3× at 4 shards on
+//! both walk replay and batch linearization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::channel::dynamics::BlockerWalk;
+use surfos::channel::{ChannelSim, Endpoint, OperationMode, SurfaceInstance};
+use surfos::em::array::ArrayGeometry;
+use surfos::em::band::NamedBand;
+use surfos::geometry::{Pose, Vec3};
+use surfos::shard::{ShardedKernel, Zone};
+use surfos_bench::scenes::{campus_plan, CampusPlan};
+
+/// Buildings in the bench campus (2×2 grid).
+const BUILDINGS: usize = 4;
+/// Floor plates per building — (16, 42) is the 4064-wall building the
+/// building benches use; 4 of them + shells = 16 272 walls.
+const FLOORS: usize = 16;
+/// Rooms per corridor side per floor.
+const ROOMS: usize = 42;
+const SCENE_SEED: u64 = 11;
+
+/// Per-building endpoint/surface placement, relative to the building
+/// origin: AP in the floor-0 corridor, three clients spread across floor
+/// strips (f0 room s0, an f7 south room, the f15 corridor), a 16×16
+/// reflective surface on the corridor wall above the first client's
+/// doorway. Three links per building keeps the batch-amortization
+/// (shared scene snapshot) symmetric between the 1-shard and 4-shard
+/// arms, so the shard-scaling ratio measures scene size, not batch
+/// width.
+fn ap_offset() -> Vec3 {
+    Vec3::new(84.0, 6.0, 2.5)
+}
+fn client_offsets() -> [Vec3; 3] {
+    [
+        Vec3::new(2.0, 2.0, 1.2),
+        Vec3::new(84.0, 100.0, 1.2),
+        Vec3::new(160.0, 216.0, 1.5),
+    ]
+}
+fn surface_pose(origin: Vec3) -> Pose {
+    Pose::wall_mounted(origin + Vec3::new(2.0, 5.0, 1.8), Vec3::new(0.0, -1.0, 0.0))
+}
+
+/// A sharded campus kernel with one link, surface and corridor walker per
+/// building, plus one street walker, at an explicit zone table. The worker
+/// pool is pinned to one thread: shard-count speedups must come from the
+/// decomposition, not from cores.
+fn build_kernel(campus: &CampusPlan, zones: Vec<Zone>) -> ShardedKernel {
+    let band = NamedBand::MmWave28GHz.band();
+    let mut kernel = ShardedKernel::new(&campus.plan, band, zones);
+    kernel.set_worker_threads(Some(1));
+    let geom = ArrayGeometry::half_wavelength(16, 16, band.wavelength_m());
+    for (b, building) in campus.buildings.iter().enumerate() {
+        let origin = building.origin;
+        kernel.add_surface(SurfaceInstance::new(
+            format!("b{b}-wall"),
+            surface_pose(origin),
+            geom,
+            OperationMode::Reflective,
+        ));
+        for (i, client) in client_offsets().into_iter().enumerate() {
+            kernel
+                .add_link(
+                    Endpoint::client(format!("b{b}-ap"), origin + ap_offset()),
+                    Endpoint::client(format!("b{b}-rx{i}"), origin + client),
+                )
+                .expect("in-building link");
+        }
+        // One walker pacing the ground-floor corridor, repeatedly cutting
+        // the AP→client line so every tick refreshes real path state.
+        kernel.attach_walk(BlockerWalk::new(
+            vec![origin + Vec3::xy(2.0, 6.0), origin + Vec3::xy(166.0, 6.0)],
+            1.4,
+        ));
+    }
+    // A fast courier in the south street: crosses the column boundary
+    // during the bench window, so cross-shard handoff cost is in the
+    // measurement, not assumed away.
+    kernel.attach_walk(BlockerWalk::new(
+        vec![Vec3::xy(84.0, -3.6), Vec3::xy(260.0, -3.6)],
+        20.0,
+    ));
+    kernel
+}
+
+/// The zone table for a given shard count over the 2×2 campus: 4 = one
+/// zone per building, 2 = one per grid column, 1 = the whole plane (the
+/// flat kernel, the baseline every speedup is against).
+fn zones_for(campus: &CampusPlan, shards: usize) -> Vec<Zone> {
+    match shards {
+        1 => vec![Zone::all()],
+        2 => {
+            let xb = campus.buildings[1].zone.x0;
+            vec![
+                Zone::new(f64::NEG_INFINITY, f64::NEG_INFINITY, xb, f64::INFINITY),
+                Zone::new(xb, f64::NEG_INFINITY, f64::INFINITY, f64::INFINITY),
+            ]
+        }
+        4 => campus.zones(),
+        _ => unreachable!("bench covers 1/2/4 shards"),
+    }
+}
+
+fn bench_campus_linearize(c: &mut Criterion) {
+    // Flat single-scene cost vs campus size: one in-building link, traced
+    // against 1-, 2- and 4-building scenes. The link's numbers are
+    // identical in all three (the other buildings are RF-dark) — only the
+    // cost grows.
+    let band = NamedBand::MmWave28GHz.band();
+    let mut group = c.benchmark_group("channel/campus_linearize");
+    group.sample_size(10);
+    for buildings in [1usize, 2, 4] {
+        let campus = campus_plan(buildings, FLOORS, ROOMS, SCENE_SEED);
+        let mut sim = ChannelSim::new(campus.plan.clone(), band);
+        sim.add_surface(SurfaceInstance::new(
+            "b0-wall",
+            surface_pose(campus.buildings[0].origin),
+            ArrayGeometry::half_wavelength(16, 16, band.wavelength_m()),
+            OperationMode::Reflective,
+        ));
+        let ap = Endpoint::client("ap", campus.buildings[0].origin + ap_offset());
+        let rx = Endpoint::client("rx", campus.buildings[0].origin + client_offsets()[0]);
+        group.bench_function(format!("flat_{buildings}bldg"), |b| {
+            b.iter(|| black_box(sim.linearize_batch(&[(&ap, &rx)]).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shard_scale(c: &mut Criterion) {
+    let campus = campus_plan(BUILDINGS, FLOORS, ROOMS, SCENE_SEED);
+    assert!(campus.plan.walls().len() >= 16_000);
+    let mut group = c.benchmark_group("kernel/shard_scale");
+    group.sample_size(10);
+
+    for shards in [1usize, 2, 4] {
+        // Walk replay: 10 campus heartbeats of moving blockers, every link
+        // re-asked through the per-shard linearization caches.
+        let mut kernel = build_kernel(&campus, zones_for(&campus, shards));
+        kernel.replay_tick(100); // warm the caches once
+        group.bench_function(format!("walk_replay_10ticks/{shards}shards"), |b| {
+            b.iter(|| {
+                for _ in 0..10 {
+                    kernel.replay_tick(100);
+                }
+                black_box(kernel.linearizations().len())
+            })
+        });
+
+        // Batch linearization: every link freshly traced (no cache).
+        let mut kernel = build_kernel(&campus, zones_for(&campus, shards));
+        group.bench_function(format!("linearize_batch/{shards}shards"), |b| {
+            b.iter(|| black_box(kernel.linearize_links().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campus_linearize, bench_shard_scale);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //!   deployment regime).
 
 use surfos::geometry::{FloorPlan, Material, Room, Vec3, Wall};
+use surfos::shard::Zone;
 
 /// `n_walls` short walls with mixed materials over a 20×20 m area.
 /// Deterministic in `seed`.
@@ -216,6 +217,144 @@ pub fn probe_segments_in(n: usize, seed: u64, x: f64, y: f64) -> Vec<(Vec3, Vec3
         .collect()
 }
 
+/// Street width between adjacent building shells in metres.
+pub const STREET_WIDTH: f64 = 6.0;
+/// Clearance between a building's outermost wall and its metal shell.
+const SHELL_MARGIN: f64 = 0.6;
+/// Shell height: one metre above the storey so no bounce clears it.
+const SHELL_HEIGHT: f64 = STOREY_HEIGHT + 1.0;
+
+/// One building of a [`campus_plan`], with its zone cell.
+#[derive(Debug, Clone)]
+pub struct CampusBuilding {
+    /// Building name, also the prefix of its room names (`b{i}`).
+    pub name: String,
+    /// Translation applied to the building's walls and rooms.
+    pub origin: Vec3,
+    /// The half-open zone cell owning this building (street midlines;
+    /// outermost cells extend to ±∞, so the cells tile the plane).
+    pub zone: Zone,
+}
+
+/// A campus scene: the flat floor plan plus its building/zone table.
+#[derive(Debug, Clone)]
+pub struct CampusPlan {
+    /// All buildings' walls and rooms in one flat plan (walls contiguous
+    /// per building — shard partitioning preserves global order).
+    pub plan: FloorPlan,
+    /// Per-building metadata in build order.
+    pub buildings: Vec<CampusBuilding>,
+}
+
+impl CampusPlan {
+    /// The zone table in building order — the argument
+    /// `surfos::shard::ShardedKernel::new` expects.
+    pub fn zones(&self) -> Vec<Zone> {
+        self.buildings.iter().map(|b| b.zone).collect()
+    }
+}
+
+/// A campus of `buildings` copies of [`building_plan`] on a near-square
+/// grid, each wrapped in a 4-wall **metal isolation shell** and separated
+/// by [`STREET_WIDTH`] m streets. Deterministic in `seed` (building `b`
+/// uses stream `seed + b`). Room names gain a `b{b}.` prefix
+/// (`b3.f0s1`, …).
+///
+/// Wall count is exactly `buildings · (floors · (6 · rooms_per_side + 2) + 4)`;
+/// `campus_plan(4, 16, 42, s)` lands on 16 272 walls, the ≥ 16k-wall
+/// scene the shard-scaling benches use.
+///
+/// The metal shells are what make the campus *shardable*: any path that
+/// leaves one shell and enters another picks up ≥ 180 dB of penetration
+/// loss, which the channel layer's transmission floor rounds to exactly
+/// zero — so per-building kernels are bit-identical to the flat
+/// whole-campus evaluation, not an approximation. [`CampusBuilding::zone`]
+/// cells are cut along street midlines (clear of every wall) and tile the
+/// plane.
+pub fn campus_plan(
+    buildings: usize,
+    floors: usize,
+    rooms_per_side: usize,
+    seed: u64,
+) -> CampusPlan {
+    assert!(buildings > 0, "campus must have at least one building");
+    let cols = (buildings as f64).sqrt().ceil() as usize;
+    let rows = buildings.div_ceil(cols);
+    let (ext_x, ext_y) = building_extent(floors, rooms_per_side);
+    let pitch_x = ext_x + 2.0 * SHELL_MARGIN + STREET_WIDTH;
+    let pitch_y = ext_y + 2.0 * SHELL_MARGIN + STREET_WIDTH;
+
+    let mut plan = FloorPlan::new();
+    let mut meta = Vec::with_capacity(buildings);
+    for b in 0..buildings {
+        let (i, j) = (b % cols, b / cols);
+        let origin = Vec3::xy(i as f64 * pitch_x, j as f64 * pitch_y);
+
+        // Shell first, then the building's own walls: each building's
+        // block stays contiguous in global wall order, which is what lets
+        // the sharded evaluation accumulate terms in the same relative
+        // order as the flat one.
+        let (sx0, sy0) = (origin.x - SHELL_MARGIN, origin.y - SHELL_MARGIN);
+        let (sx1, sy1) = (
+            origin.x + ext_x + SHELL_MARGIN,
+            origin.y + ext_y + SHELL_MARGIN,
+        );
+        for (a, bb) in [
+            (Vec3::xy(sx0, sy0), Vec3::xy(sx1, sy0)),
+            (Vec3::xy(sx1, sy0), Vec3::xy(sx1, sy1)),
+            (Vec3::xy(sx1, sy1), Vec3::xy(sx0, sy1)),
+            (Vec3::xy(sx0, sy1), Vec3::xy(sx0, sy0)),
+        ] {
+            plan.add_wall(Wall::new(a, bb, SHELL_HEIGHT, Material::Metal));
+        }
+        let inner = building_plan(floors, rooms_per_side, seed + b as u64);
+        for w in inner.walls() {
+            plan.add_wall(Wall::new(w.a + origin, w.b + origin, w.height, w.material));
+        }
+        for room in inner.rooms() {
+            plan.add_room(Room::new(
+                format!("b{b}.{}", room.name),
+                room.min + origin,
+                room.max + origin,
+            ));
+        }
+
+        // Zone cell: street midlines; the outermost cell in each
+        // direction (including the rightmost building of a partial last
+        // row) opens to ±∞ so the cells tile the plane.
+        let x0 = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            i as f64 * pitch_x - SHELL_MARGIN - STREET_WIDTH / 2.0
+        };
+        let x1 = if i + 1 == cols || b + 1 == buildings {
+            f64::INFINITY
+        } else {
+            (i + 1) as f64 * pitch_x - SHELL_MARGIN - STREET_WIDTH / 2.0
+        };
+        let y0 = if j == 0 {
+            f64::NEG_INFINITY
+        } else {
+            j as f64 * pitch_y - SHELL_MARGIN - STREET_WIDTH / 2.0
+        };
+        let y1 = if j + 1 == rows {
+            f64::INFINITY
+        } else {
+            (j + 1) as f64 * pitch_y - SHELL_MARGIN - STREET_WIDTH / 2.0
+        };
+        meta.push(CampusBuilding {
+            name: format!("b{b}"),
+            origin,
+            zone: Zone::new(x0, y0, x1, y1),
+        });
+    }
+
+    CampusPlan {
+        plan,
+        buildings: meta,
+    }
+}
+
 /// A splittable LCG stream in `[0, 1)`.
 fn lcg(seed: u64) -> impl FnMut() -> f64 {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -296,6 +435,82 @@ mod tests {
             }
         }
         assert!(found, "no doorway aperture found in corridor wall");
+    }
+
+    #[test]
+    fn campus_plan_wall_count_is_parametric() {
+        // buildings · (floors · (6R + 2) + 4).
+        assert_eq!(campus_plan(4, 2, 3, 5).plan.walls().len(), 4 * (2 * 20 + 4));
+        assert_eq!(campus_plan(1, 1, 1, 5).plan.walls().len(), 12);
+        // The shard-scaling bench scene: ≥ 16k walls.
+        assert_eq!(campus_plan(4, 16, 42, 5).plan.walls().len(), 16_272);
+    }
+
+    #[test]
+    fn campus_plan_is_deterministic_with_prefixed_rooms() {
+        let a = campus_plan(3, 1, 2, 9);
+        let b = campus_plan(3, 1, 2, 9);
+        for (wa, wb) in a.plan.walls().iter().zip(b.plan.walls()) {
+            assert_eq!(wa.a, wb.a);
+            assert_eq!(wa.b, wb.b);
+        }
+        assert!(a.plan.room("b0.f0s0").is_some());
+        assert!(a.plan.room("b2.f0corridor").is_some());
+        assert_eq!(a.buildings.len(), 3);
+        assert_eq!(a.buildings[1].name, "b1");
+    }
+
+    #[test]
+    fn campus_zones_tile_and_contain_their_walls() {
+        // 5 buildings on a 3-wide grid exercises the partial last row.
+        let campus = campus_plan(5, 1, 2, 3);
+        let zones = campus.zones();
+        // Every wall endpoint routes to its own building's zone.
+        let mut w = 0;
+        let per_building = campus.plan.walls().len() / 5;
+        for (b, building) in campus.buildings.iter().enumerate() {
+            for _ in 0..per_building {
+                let wall = &campus.plan.walls()[w];
+                for p in [wall.a, wall.b] {
+                    assert!(
+                        building.zone.contains(p),
+                        "building {b} wall at {p:?} outside its zone"
+                    );
+                }
+                w += 1;
+            }
+        }
+        // The cells tile the plane: every probe point has exactly one owner.
+        for &(x, y) in &[
+            (-50.0, -50.0),
+            (0.0, 0.0),
+            (14.0, 3.0),
+            (14.0, 25.0),
+            (300.0, -10.0),
+            (7.05, 19.1),
+        ] {
+            let owners = zones.iter().filter(|z| z.contains(Vec3::xy(x, y))).count();
+            assert_eq!(owners, 1, "point ({x}, {y}) owned by {owners} zones");
+        }
+    }
+
+    #[test]
+    fn campus_buildings_are_rf_isolated() {
+        // A link between two buildings crosses both metal shells: the
+        // channel must be indistinguishable from zero at mmWave — this is
+        // the physical fact the sharded kernel's bit-equivalence rests on.
+        use surfos::channel::{ChannelSim, Endpoint};
+        use surfos::em::band::NamedBand;
+        let campus = campus_plan(2, 1, 1, 7);
+        let sim = ChannelSim::new(campus.plan.clone(), NamedBand::MmWave28GHz.band());
+        let a = Endpoint::client("a", campus.buildings[0].origin + Vec3::new(2.0, 2.0, 1.2));
+        let b = Endpoint::client("b", campus.buildings[1].origin + Vec3::new(2.0, 2.0, 1.2));
+        let gain = sim.gain(&a, &b);
+        assert!(
+            gain.abs() < 1e-9,
+            "cross-building channel should be RF-dark, got |h| = {}",
+            gain.abs()
+        );
     }
 
     #[test]

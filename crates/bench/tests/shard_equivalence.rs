@@ -1,0 +1,213 @@
+//! Property test: a campus evaluated by the sharded kernel is
+//! **bit-identical** to the same campus evaluated as one flat scene —
+//! at any shard count, any worker-thread count, and across walker
+//! handoff ticks.
+//!
+//! This is the sharded kernel's whole contract: the zone decomposition is
+//! not an approximation. Metal shells put every cross-building path below
+//! the channel layer's transmission floor, where it is gated to exactly
+//! zero in the flat evaluation too, so removing the other buildings'
+//! walls from a shard's scene changes no bits. Blockers owned by another
+//! zone stay ≥ 2.75 m clear of any path a link can retain, so per-zone
+//! crowds are equally lossless.
+
+use proptest::prelude::*;
+use surfos::channel::dynamics::BlockerWalk;
+use surfos::channel::{ChannelSim, Endpoint, Linearization, OperationMode, SurfaceInstance};
+use surfos::em::array::ArrayGeometry;
+use surfos::em::band::NamedBand;
+use surfos::geometry::{Pose, Vec3};
+use surfos::shard::{ShardedKernel, Zone};
+use surfos_bench::scenes::{campus_plan, CampusPlan};
+
+const BUILDINGS: usize = 2;
+const FLOORS: usize = 1;
+
+/// Per-building deployment, shared by both arms: an 8×8 reflective
+/// surface on the corridor wall, an AP in the corridor, a client in room
+/// `f0s0`.
+struct Deployment {
+    surfaces: Vec<SurfaceInstance>,
+    links: Vec<(Endpoint, Endpoint)>,
+}
+
+fn deployment(campus: &CampusPlan, rooms: usize) -> Deployment {
+    let band = NamedBand::MmWave28GHz.band();
+    let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+    let ext_x = rooms as f64 * 4.0;
+    let mut surfaces = Vec::new();
+    let mut links = Vec::new();
+    for (b, building) in campus.buildings.iter().enumerate() {
+        let origin = building.origin;
+        surfaces.push(SurfaceInstance::new(
+            format!("b{b}-wall"),
+            Pose::wall_mounted(origin + Vec3::new(1.5, 5.0, 1.5), Vec3::new(0.0, -1.0, 0.0)),
+            geom,
+            OperationMode::Reflective,
+        ));
+        links.push((
+            Endpoint::client(
+                format!("b{b}-ap"),
+                origin + Vec3::new(ext_x / 2.0, 6.0, 2.5),
+            ),
+            Endpoint::client(format!("b{b}-rx"), origin + Vec3::new(1.5, 1.5, 1.2)),
+        ));
+    }
+    Deployment { surfaces, links }
+}
+
+fn assert_bits_eq(a: &Linearization, b: &Linearization, tick: usize, link: usize) {
+    let ctx = format!("tick {tick}, link {link}");
+    assert_eq!(
+        a.constant.re.to_bits(),
+        b.constant.re.to_bits(),
+        "{ctx}: constant.re"
+    );
+    assert_eq!(
+        a.constant.im.to_bits(),
+        b.constant.im.to_bits(),
+        "{ctx}: constant.im"
+    );
+    assert_eq!(a.linear.len(), b.linear.len(), "{ctx}: linear term count");
+    for (ta, tb) in a.linear.iter().zip(&b.linear) {
+        assert_eq!(ta.surface, tb.surface, "{ctx}: surface index");
+        assert_eq!(ta.coeffs.len(), tb.coeffs.len(), "{ctx}: coeff count");
+        for (ca, cb) in ta.coeffs.iter().zip(&tb.coeffs) {
+            assert_eq!(ca.re.to_bits(), cb.re.to_bits(), "{ctx}: coeff.re");
+            assert_eq!(ca.im.to_bits(), cb.im.to_bits(), "{ctx}: coeff.im");
+        }
+    }
+    assert_eq!(a.bilinear.len(), b.bilinear.len(), "{ctx}: bilinear count");
+    for (ta, tb) in a.bilinear.iter().zip(&b.bilinear) {
+        assert_eq!(
+            (ta.first, ta.second),
+            (tb.first, tb.second),
+            "{ctx}: cascade pair"
+        );
+        for (ca, cb) in ta
+            .alpha
+            .iter()
+            .zip(&tb.alpha)
+            .chain(ta.beta.iter().zip(&tb.beta))
+        {
+            assert_eq!(ca.re.to_bits(), cb.re.to_bits(), "{ctx}: cascade coeff.re");
+            assert_eq!(ca.im.to_bits(), cb.im.to_bits(), "{ctx}: cascade coeff.im");
+        }
+    }
+}
+
+/// Runs both arms over the same walk script and compares every tick.
+#[allow(clippy::too_many_arguments)]
+fn check_equivalence(
+    rooms: usize,
+    seed: u64,
+    two_zones: bool,
+    threads: usize,
+    ticks: usize,
+    dt_ms: u64,
+    walks: &[BlockerWalk],
+) {
+    let band = NamedBand::MmWave28GHz.band();
+    let campus = campus_plan(BUILDINGS, FLOORS, rooms, seed);
+    let deploy = deployment(&campus, rooms);
+
+    // Sharded arm.
+    let zones = if two_zones {
+        campus.zones()
+    } else {
+        vec![Zone::all()]
+    };
+    let mut sharded = ShardedKernel::new(&campus.plan, band, zones);
+    sharded.set_worker_threads(Some(threads));
+    for s in &deploy.surfaces {
+        sharded.add_surface(s.clone());
+    }
+    for (ap, rx) in &deploy.links {
+        sharded
+            .add_link(ap.clone(), rx.clone())
+            .expect("in-building link");
+    }
+    for walk in walks {
+        sharded.attach_walk(walk.clone());
+    }
+
+    // Flat arm: one ChannelSim over the whole campus plan, every walker in
+    // the one crowd (id order = attach order, the order shards preserve).
+    let mut flat = ChannelSim::new(campus.plan.clone(), band);
+    for s in &deploy.surfaces {
+        flat.add_surface(s.clone());
+    }
+
+    let mut now_ms = 0u64;
+    for tick in 0..ticks {
+        sharded.replay_tick(dt_ms);
+        now_ms += dt_ms;
+        let t_s = now_ms as f64 / 1000.0; // same expression as the shards
+        flat.set_blockers(walks.iter().map(|w| w.blocker_at(t_s)).collect());
+        let sharded_lins = sharded.linearizations();
+        assert_eq!(sharded_lins.len(), deploy.links.len());
+        for (link, (ap, rx)) in deploy.links.iter().enumerate() {
+            let flat_lin = flat.cached_linearization(ap, rx);
+            // The comparison must be about real signal, not two empty
+            // linearizations agreeing vacuously.
+            assert!(
+                flat_lin.constant.abs() > 0.0,
+                "tick {tick}, link {link}: flat channel is dark"
+            );
+            assert_bits_eq(&sharded_lins[link], &flat_lin, tick, link);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_campus_is_bit_identical_to_flat(
+        rooms in 1usize..=2,
+        seed in 0u64..10_000,
+        two_zones in prop::bool::ANY,
+        threads in 1usize..=4,
+        ticks in 3usize..=8,
+        dt_ms in 80u64..=400,
+        walkers in prop::collection::vec(
+            (prop::collection::vec((-8.0f64..32.0, -8.0f64..20.0), 2..4), 0.8f64..3.0),
+            1..4,
+        ),
+    ) {
+        let walks: Vec<BlockerWalk> = walkers
+            .into_iter()
+            .map(|(pts, speed)| {
+                BlockerWalk::new(
+                    pts.into_iter().map(|(x, y)| Vec3::xy(x, y)).collect(),
+                    speed,
+                )
+            })
+            .collect();
+        check_equivalence(rooms, seed, two_zones, threads, ticks, dt_ms, &walks);
+    }
+}
+
+/// Deterministic companion: a fast walker scripted straight down the
+/// street guarantees the compared window contains ownership handoffs, not
+/// just in-zone motion.
+#[test]
+fn equivalence_holds_across_forced_handoffs() {
+    // pitch_x for (1 floor, 2 rooms) buildings: 8 + 1.2 + 6 = 15.2 m; the
+    // zone boundary sits at 15.2 − 3.6 = 11.6 m. A 4 m/s walker from
+    // x = 2 to x = 28 crosses it inside 8 ticks of 1 s.
+    let street = BlockerWalk::new(vec![Vec3::xy(2.0, -3.0), Vec3::xy(28.0, -3.0)], 4.0);
+    let indoor = BlockerWalk::new(vec![Vec3::xy(1.0, 1.0), Vec3::xy(7.0, 4.0)], 1.0);
+    check_equivalence(2, 99, true, 2, 8, 1000, &[street.clone(), indoor]);
+
+    // And the walker really does change owner in the sharded arm.
+    let campus = campus_plan(BUILDINGS, FLOORS, 2, 99);
+    let mut kernel =
+        ShardedKernel::new(&campus.plan, NamedBand::MmWave28GHz.band(), campus.zones());
+    kernel.attach_walk(street);
+    for _ in 0..8 {
+        kernel.replay_tick(1000);
+    }
+    assert!(
+        kernel.handoffs() > 0,
+        "street walker never crossed the boundary"
+    );
+}

@@ -38,7 +38,10 @@ impl IntentContext {
 }
 
 /// Something that turns an utterance into service calls.
-pub trait IntentTranslator {
+///
+/// `Send` is a supertrait so a boxed translator — and therefore the kernel
+/// that owns it — can move onto the sharded kernel's worker threads.
+pub trait IntentTranslator: Send {
     /// Translates `utterance` into service requests under `context`.
     /// An empty vector means the intent was not understood.
     fn translate(&self, utterance: &str, context: &IntentContext) -> Vec<ServiceRequest>;

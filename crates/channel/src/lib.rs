@@ -56,5 +56,5 @@ pub use endpoint::{Endpoint, EndpointKind};
 pub use heatmap::Heatmap;
 pub use index::{SceneIndex, SceneStructure};
 pub use linear::Linearization;
-pub use sim::{ChannelSim, IndexStats, LinkBudget};
+pub use sim::{CacheStats, ChannelSim, IndexStats, LinkBudget};
 pub use surface::{OperationMode, SurfaceInstance};

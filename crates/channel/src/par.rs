@@ -10,25 +10,53 @@
 //!
 //! Thread count comes from `std::thread::available_parallelism`, overridable
 //! with the `SURFOS_THREADS` environment variable (`SURFOS_THREADS=1` forces
-//! serial execution). Small inputs short-circuit to the serial path: for a
+//! serial execution; values are clamped to [`MAX_THREADS`], and unparsable
+//! or zero values fall back to the hardware count). The shard-scaling
+//! benches and the CI single-shard-equivalence arm pin `SURFOS_THREADS=1`
+//! so worker counts — and therefore spawn overheads — are deterministic
+//! across machines. Small inputs short-circuit to the serial path: for a
 //! handful of items the spawn cost exceeds the work.
 
 /// Minimum items per worker before fan-out is worth the spawn cost.
 const MIN_ITEMS_PER_THREAD: usize = 4;
 
-/// The worker count for `work` items: `SURFOS_THREADS` if set, otherwise
-/// the machine's available parallelism, never more than the work supports.
+/// Upper clamp on `SURFOS_THREADS`: a stray huge override (or a unit typo
+/// like `1000000`) must not translate into an unbounded spawn storm.
+pub const MAX_THREADS: usize = 256;
+
+/// The worker count for `work` items: `SURFOS_THREADS` if set (clamped to
+/// `1..=`[`MAX_THREADS`]), otherwise the machine's available parallelism,
+/// never more than the work supports.
 pub fn thread_count(work: usize) -> usize {
     let hw = std::env::var("SURFOS_THREADS")
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|&n| n > 0)
+        .map(|n| n.min(MAX_THREADS))
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
     hw.min(work.div_ceil(MIN_ITEMS_PER_THREAD).max(1))
+}
+
+/// The configured worker count for *coarse-grained* fan-out (one shard,
+/// not one grid point, per item): `SURFOS_THREADS` if set (clamped to
+/// `1..=`[`MAX_THREADS`]), otherwise the machine's available parallelism.
+/// Unlike [`thread_count`] there is no per-item work floor — a handful of
+/// kernel shards each worth milliseconds should still fan out.
+pub fn configured_threads() -> usize {
+    std::env::var("SURFOS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(MAX_THREADS))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// Parallel map with output in input order (bit-identical to serial).

@@ -83,8 +83,12 @@ impl PhasorBank {
     }
 }
 
+/// Amplitude floor below which a path's accumulated transmission product
+/// is treated as exactly zero (shared with the reference implementation
+/// in `paths`). This uniform gate is what makes metal-shelled zones
+/// *bit-exactly* independent — the contract the sharded kernel builds on.
+pub const TRANSMISSION_FLOOR: f64 = 1e-9;
 /// Thresholds shared with the reference implementation in `paths`.
-pub(crate) const TRANSMISSION_FLOOR: f64 = 1e-9;
 pub(crate) const RESONANCE_FLOOR: f64 = 1e-6;
 pub(crate) const COEFF_FLOOR: f64 = 1e-15;
 
@@ -222,11 +226,21 @@ pub struct BounceTrace {
 }
 
 impl BounceTrace {
-    /// Complex gain at `band`.
+    /// Complex gain at `band`, or exactly [`Complex::ZERO`] when the legs'
+    /// combined obstruction puts the bounce below [`TRANSMISSION_FLOOR`] —
+    /// the same sub-noise floor that already gates surface and cascade
+    /// terms. Applying it uniformly across all path families makes heavily
+    /// shielded regions (e.g. a metal-shelled building) *exactly* RF-dark
+    /// to each other: a scene partitioned along such shells evaluates
+    /// bit-identically to the flat whole, which is what the sharded
+    /// kernel's zone decomposition relies on.
     pub fn gain_at(&self, band: &Band) -> Complex {
+        let trans = self.seg_in.transmission(band) * self.seg_out.transmission(band);
+        if trans < TRANSMISSION_FLOOR {
+            return Complex::ZERO;
+        }
         let g = friis_amplitude(self.total_length, band.wavelength_m());
         let rho = self.material.reflection_amplitude(band);
-        let trans = self.seg_in.transmission(band) * self.seg_out.transmission(band);
         g * (rho * self.pat * self.pol * trans)
     }
 }
@@ -578,8 +592,15 @@ impl ChannelTrace {
                         rho[m.index()] = m.reflection_amplitude(band);
                     }
                     for (w, b) in bounce_w.iter_mut().zip(bs) {
-                        let mag = lambda / (four_pi * b.total_length);
                         let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                        // Sub-noise bounces weight to 0 (mirrors the
+                        // `gain_at` floor; a 0-weighted phasor adds an
+                        // exact ±0, leaving the sum bit-unchanged).
+                        if trans < TRANSMISSION_FLOOR {
+                            *w = 0.0;
+                            continue;
+                        }
+                        let mag = lambda / (four_pi * b.total_length);
                         *w = mag * rho[b.material.index()] * b.pat * b.pol * trans;
                     }
                     h += bounce_bank.weighted_sum_and_advance(&bounce_w);
@@ -773,10 +794,15 @@ impl ChannelTrace {
                 if let Some(bounces) = bounces.as_mut() {
                     let mut total = Complex::ZERO;
                     for (b, rot) in bounces.iter_mut() {
+                        // Phasors advance every step, gated or not.
+                        let v = rot.take();
+                        let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                        if trans < TRANSMISSION_FLOOR {
+                            continue;
+                        }
                         let mag = lambda / (four_pi * b.total_length);
                         let rho = b.material.reflection_amplitude(band);
-                        let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
-                        total += rot.take() * (mag * rho * b.pat * b.pol * trans);
+                        total += v * (mag * rho * b.pat * b.pol * trans);
                     }
                     h += total;
                 }

@@ -58,10 +58,12 @@
 
 pub mod autodeploy;
 pub mod kernel;
+pub mod shard;
 pub mod shell;
 pub mod telemetry;
 
 pub use kernel::SurfOS;
+pub use shard::{ShardedKernel, Zone};
 pub use telemetry::Telemetry;
 
 // Re-export the layer crates under one roof so applications can depend on

@@ -473,6 +473,52 @@ impl Shell {
                 let os = self.os_mut()?;
                 Ok(os.telemetry().to_string())
             }
+            "campus" => {
+                // Campus-scale sharded kernel demo: one zone per building,
+                // per-building coverage services, a street walker crossing
+                // zone boundaries. Aggregates land under `kernel.shard.*`
+                // when metrics are on (see `surfosd --metrics-json`).
+                let buildings: usize = args
+                    .first()
+                    .map(|s| s.parse().map_err(|_| self.err("bad building count")))
+                    .transpose()?
+                    .unwrap_or(2);
+                let steps: usize = args
+                    .get(1)
+                    .map(|s| s.parse().map_err(|_| self.err("bad step count")))
+                    .transpose()?
+                    .unwrap_or(2);
+                if buildings == 0 || buildings > 16 {
+                    return Err(self.err("campus <buildings 1..=16> [steps]"));
+                }
+                let demo = crate::shard::demo_campus(buildings);
+                let mut kernel = demo.kernel;
+                let (mut granted, mut rejected) = (0, 0);
+                for _ in 0..steps {
+                    let r = kernel.step(100);
+                    granted += r.granted.len();
+                    rejected += r.rejected.len();
+                }
+                // A replay window long enough for the street walker to
+                // cross at least one zone boundary.
+                for _ in 0..60 {
+                    kernel.replay_tick(500);
+                }
+                let cs = kernel.cache_stats();
+                Ok(format!(
+                    "campus: {buildings} buildings / {} shards, {} walls\n\
+                     services: {granted} granted, {rejected} rejected; {} walker handoffs\n\
+                     lincache: {} hits, {} misses, {} refreshes\n\
+                     {}",
+                    kernel.shard_count(),
+                    demo.walls,
+                    kernel.handoffs(),
+                    cs.hits,
+                    cs.misses,
+                    cs.refreshes,
+                    kernel.telemetry()
+                ))
+            }
             "metrics" => match args.first().copied() {
                 // Observability control + inspection: spans/counters are
                 // only collected between `metrics on` and `metrics off`.
@@ -506,7 +552,7 @@ impl Shell {
             "help" => Ok(
                 "commands: scenario band designs anchors deploy ap client tag say \
                           request step measure budget diagnose heatmap crossband autodeploy \
-                          telemetry metrics tasks help"
+                          campus telemetry metrics tasks help"
                     .into(),
             ),
             other => Err(self.err(format!("unknown command {other:?} (try `help`)"))),
@@ -578,6 +624,18 @@ telemetry
         assert!(d.contains("surface:wall0"), "{d}");
         let h = shell.execute("heatmap bedroom").unwrap();
         assert!(h.contains("median SNR"), "{h}");
+    }
+
+    #[test]
+    fn campus_reports_shards_grants_and_handoffs() {
+        let mut shell = Shell::new();
+        let out = shell.execute("campus 2 1").unwrap();
+        assert!(out.contains("2 buildings / 2 shards"), "{out}");
+        assert!(out.contains("2 granted, 0 rejected"), "{out}");
+        assert!(out.contains("walker handoffs"), "{out}");
+        assert!(out.contains("lincache:"), "{out}");
+        assert!(shell.execute("campus 0").is_err());
+        assert!(shell.execute("campus nope").is_err());
     }
 
     #[test]

@@ -59,6 +59,13 @@ macro_rules! telemetry_counters {
                         .unwrap_or(0), )+
                 }
             }
+
+            /// Field-wise saturating sum — how the sharded kernel folds
+            /// per-shard counters into one campus view. Generated from the
+            /// same field list, so a new counter can't be missed here.
+            pub fn merge(&mut self, other: &Self) {
+                $( self.$field = self.$field.saturating_add(other.$field); )+
+            }
         }
     };
 }

@@ -25,8 +25,13 @@ cargo clippy -q --all-targets -- -D warnings
 cargo clippy -q --all-targets --features surfos-em/scalar-fallback -- -D warnings
 cargo test -q --workspace --features surfos-em/scalar-fallback
 
+# Shard-equivalence gate: the sharded kernel must stay bit-identical to a
+# flat single-scene evaluation even with the worker pool forced serial, so
+# a result that silently depends on thread count cannot land.
+SURFOS_THREADS=1 cargo test -q -p surfos-bench --test shard_equivalence
+
 # Doc gate: broken intra-doc links and missing docs (where a crate opts in
 # via #![warn(missing_docs)]) fail the build, not just warn.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
-echo "lint: formatting, clippy (both simd backends), scalar-fallback tests and rustdoc clean"
+echo "lint: formatting, clippy (both simd backends), scalar-fallback tests, shard equivalence (serial) and rustdoc clean"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf smoke + regression gate.
 #
-# Runs the channel, dynamics, spatial, building and optimizer criterion
-# benches and collects
+# Runs the channel, dynamics, spatial, building, optimizer and campus
+# criterion benches and collects
 # the per-benchmark medians into a machine-readable BENCH_channel.json at
 # the repo root. With --check, fresh medians are then compared against the
 # checked-in BENCH_baseline.json and the script exits non-zero when any
@@ -16,8 +16,13 @@
 #   scripts/perf_smoke.sh                    # run benches, write BENCH_channel.json
 #   scripts/perf_smoke.sh --check            # run benches, then gate against baseline
 #   scripts/perf_smoke.sh --check-only       # gate an existing BENCH_channel.json
+#   scripts/perf_smoke.sh --group campus     # run only bench targets matching "campus"
 #   SURFOS_THREADS=1 scripts/perf_smoke.sh   # serial baseline
 #   PERF_TOLERANCE=1.5 scripts/perf_smoke.sh --check   # looser gate
+#
+# --group limits the run to bench targets whose name contains the given
+# substring (and skips the obs_smoke attachment). Combine with --check to
+# gate just those ids against the baseline.
 #
 # To refresh the baseline after an intentional perf change:
 #   scripts/perf_smoke.sh && cp BENCH_channel.json BENCH_baseline.json
@@ -26,12 +31,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=run
-case "${1:-}" in
-  "") ;;
-  --check) mode=check ;;
-  --check-only) mode=check_only ;;
-  *) echo "usage: $0 [--check|--check-only]" >&2; exit 2 ;;
-esac
+group=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check) mode=check ;;
+    --check-only) mode=check_only ;;
+    --group)
+      group="${2:-}"
+      [[ -n "$group" ]] || { echo "--group needs a bench-target substring" >&2; exit 2; }
+      shift
+      ;;
+    *) echo "usage: $0 [--check|--check-only] [--group <name>]" >&2; exit 2 ;;
+  esac
+  shift
+done
 
 tolerance="${PERF_TOLERANCE:-1.25}"
 baseline_file="BENCH_baseline.json"
@@ -47,17 +60,28 @@ run_benches() {
   obs_jsonl="$(mktemp)"
   tmpfiles+=("$jsonl" "$obs_jsonl")
 
-  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench channel_sim
-  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench dynamics
-  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench spatial
-  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench building
-  CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench optimizer
+  local targets=(channel_sim dynamics spatial building optimizer campus)
+  if [[ -n "$group" ]]; then
+    local filtered=() t
+    for t in "${targets[@]}"; do
+      [[ "$t" == *"$group"* ]] && filtered+=("$t")
+    done
+    ((${#filtered[@]})) || { echo "no bench target matches --group '$group'" >&2; exit 2; }
+    targets=("${filtered[@]}")
+  fi
+  local t
+  for t in "${targets[@]}"; do
+    CRITERION_JSONL="$jsonl" cargo bench -p surfos-bench --bench "$t"
+  done
 
   # Observability attachment: derived cache/culling metrics and span
   # medians from an instrumented kernel run. These lines use
   # "span"/"p50_ns" and "metric"/"value" keys, so extract_medians (which
-  # matches "id"/"median_ns") never gates on them.
-  cargo run -q --release -p surfos-bench --bin obs_smoke > "$obs_jsonl"
+  # matches "id"/"median_ns") never gates on them. Skipped for filtered
+  # runs — it belongs to the full sweep.
+  if [[ -z "$group" ]]; then
+    cargo run -q --release -p surfos-bench --bin obs_smoke > "$obs_jsonl"
+  fi
 
   # Wrap the JSON lines into one JSON document with run metadata.
   local threads="${SURFOS_THREADS:-auto}"
