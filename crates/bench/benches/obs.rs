@@ -31,6 +31,15 @@ fn bench_disabled(c: &mut Criterion) {
         // The format args must not even be evaluated when off.
         b.iter(|| obs::event!("bench", "value={}", black_box(7)))
     });
+    group.bench_function("timer_observe_ns", |b| {
+        b.iter(|| obs::observe_ns(black_box("bench.timer_ns"), black_box(1250)))
+    });
+    group.bench_function("labeled_scope", |b| {
+        // The label must not be formatted or interned when off.
+        b.iter(|| {
+            let _g = obs::scoped(&[("shard", black_box(3u32))]);
+        })
+    });
     group.finish();
 }
 
@@ -47,6 +56,14 @@ fn bench_enabled(c: &mut Criterion) {
     group.bench_function("span_enter_drop", |b| {
         b.iter(|| {
             let _g = obs::span!("bench.span");
+        })
+    });
+    group.bench_function("timer_observe_ns", |b| {
+        b.iter(|| obs::observe_ns(black_box("bench.timer_ns"), black_box(1250)))
+    });
+    group.bench_function("labeled_scope", |b| {
+        b.iter(|| {
+            let _g = obs::scoped(&[("shard", black_box(3u32))]);
         })
     });
     group.finish();

@@ -99,9 +99,31 @@ fn main() {
     );
 
     for (path, span) in &snap.spans {
+        // Labeled breakdowns (`...{shard=0}`) fold into the flat path and
+        // vary with thread scheduling; attach only the flat totals.
+        if path.contains('{') {
+            continue;
+        }
+        // Self time: this span's total minus its *direct* children's
+        // totals — where the phase itself spent time, not its callees.
+        let child_total: u64 = snap
+            .spans
+            .iter()
+            .filter(|(q, _)| {
+                q.len() > path.len() + 1
+                    && q.starts_with(path.as_str())
+                    && q.as_bytes()[path.len()] == b'/'
+                    && !q[path.len() + 1..].contains('/')
+            })
+            .map(|(_, s)| s.total_ns)
+            .sum();
         println!(
-            "{{\"span\": \"{path}\", \"count\": {}, \"p50_ns\": {}}}",
-            span.count, span.p50_ns
+            "{{\"span\": \"{path}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"self_total_ns\": {}}}",
+            span.count,
+            span.p50_ns,
+            span.p99_ns,
+            span.total_ns.saturating_sub(child_total)
         );
     }
 }

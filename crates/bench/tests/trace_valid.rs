@@ -1,0 +1,285 @@
+//! Chrome Trace Event Format validation for the flight recorder.
+//!
+//! The exporter promises a well-formed timeline: every `E` closes a
+//! matching `B` on the same track, timestamps never run backwards within a
+//! track, and every track is named by a `thread_name` metadata event.
+//! These tests check the promise two ways:
+//!
+//! - in-process: trace a sharded campus run and validate the export,
+//!   including one named track per shard worker;
+//! - on a file: when `SURFOS_TRACE_CHECK` points at a trace JSON (written
+//!   by `surfosd --trace`, wired up in `scripts/lint.sh`), validate that.
+//!
+//! The parser below is deliberately minimal — it reads the exporter's own
+//! output shape (flat event objects inside `"traceEvents":[...]`), it is
+//! not a general JSON parser.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use surfos::channel::{Endpoint, OperationMode, SurfaceInstance};
+use surfos::em::array::ArrayGeometry;
+use surfos::em::band::NamedBand;
+use surfos::geometry::{Pose, Vec3};
+use surfos::obs;
+use surfos::shard::ShardedKernel;
+use surfos_bench::scenes::campus_plan;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// One parsed trace event: `ph`, `tid`, `ts` (absent on metadata), and the
+/// raw `args` object text for metadata events.
+#[derive(Debug)]
+struct TraceEv {
+    ph: String,
+    tid: u64,
+    ts: Option<f64>,
+    name: String,
+    args: Option<String>,
+}
+
+/// Splits the `traceEvents` array into per-event object strings, tracking
+/// brace depth and string state (names may contain escaped quotes).
+fn split_events(json: &str) -> Result<Vec<String>, String> {
+    let start = json
+        .find("\"traceEvents\":[")
+        .ok_or("no traceEvents array")?
+        + "\"traceEvents\":[".len();
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    for c in json[start..].chars() {
+        if in_str {
+            current.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                current.push(c);
+            }
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(c);
+                if depth == 0 {
+                    events.push(std::mem::take(&mut current));
+                }
+            }
+            ']' if depth == 0 => return Ok(events),
+            _ => {
+                if depth > 0 {
+                    current.push(c);
+                }
+            }
+        }
+    }
+    Err("unterminated traceEvents array".into())
+}
+
+/// Extracts one field's raw value text from a flat event object.
+fn field<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = &obj[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // String value: scan to the closing unescaped quote.
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(&stripped[..i]);
+            }
+        }
+        None
+    } else if rest.starts_with('{') {
+        // Object value (args): balance braces.
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&rest[..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    } else {
+        // Number: up to the next delimiter.
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn parse_events(json: &str) -> Result<Vec<TraceEv>, String> {
+    split_events(json)?
+        .iter()
+        .map(|obj| {
+            Ok(TraceEv {
+                ph: field(obj, "ph")
+                    .ok_or(format!("event without ph: {obj}"))?
+                    .into(),
+                tid: field(obj, "tid")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(format!("event without tid: {obj}"))?,
+                ts: field(obj, "ts").and_then(|v| v.parse().ok()),
+                name: field(obj, "name").unwrap_or_default().into(),
+                args: field(obj, "args").map(String::from),
+            })
+        })
+        .collect()
+}
+
+/// Validates a Chrome Trace Event document: balanced B/E per track,
+/// non-decreasing timestamps per track, every event track named. Returns
+/// the track-name map (tid -> thread_name).
+fn validate_chrome_trace(json: &str) -> Result<HashMap<u64, String>, String> {
+    let events = parse_events(json)?;
+    if events.is_empty() {
+        return Err("empty trace".into());
+    }
+    let mut names: HashMap<u64, String> = HashMap::new();
+    let mut depth: HashMap<u64, i64> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for ev in &events {
+        match ev.ph.as_str() {
+            "M" => {
+                if ev.name == "thread_name" {
+                    let label = ev
+                        .args
+                        .as_deref()
+                        .and_then(|a| field(a, "name"))
+                        .ok_or("thread_name metadata without args.name")?;
+                    names.insert(ev.tid, label.to_string());
+                }
+                continue; // metadata carries no timestamp
+            }
+            "B" => *depth.entry(ev.tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(ev.tid).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("track {}: E without matching B", ev.tid));
+                }
+            }
+            "i" => {}
+            other => return Err(format!("unexpected phase {other:?}")),
+        }
+        let ts = ev.ts.ok_or_else(|| format!("{} event without ts", ev.ph))?;
+        let prev = last_ts.entry(ev.tid).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "track {}: timestamp ran backwards ({ts} after {prev})",
+                ev.tid
+            ));
+        }
+        *prev = ts;
+        if !names.contains_key(&ev.tid) {
+            return Err(format!("track {} has events but no thread_name", ev.tid));
+        }
+    }
+    for (tid, d) in depth {
+        if d != 0 {
+            return Err(format!("track {tid}: {d} span(s) left open"));
+        }
+    }
+    Ok(names)
+}
+
+#[test]
+fn campus_trace_is_balanced_with_one_track_per_shard() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::set_enabled(true);
+    obs::trace::set_enabled(true);
+    obs::reset();
+
+    let band = NamedBand::MmWave28GHz.band();
+    let campus = campus_plan(3, 1, 2, 7);
+    let geom = ArrayGeometry::half_wavelength(8, 8, band.wavelength_m());
+    let mut kernel = ShardedKernel::new(&campus.plan, band, campus.zones());
+    kernel.set_worker_threads(Some(3));
+    for (b, building) in campus.buildings.iter().enumerate() {
+        let origin = building.origin;
+        kernel.add_surface(SurfaceInstance::new(
+            format!("b{b}-wall"),
+            Pose::wall_mounted(origin + Vec3::new(1.5, 5.0, 1.5), Vec3::new(0.0, -1.0, 0.0)),
+            geom,
+            OperationMode::Reflective,
+        ));
+        kernel
+            .add_link(
+                Endpoint::client(format!("b{b}-ap"), origin + Vec3::new(4.0, 6.0, 2.5)),
+                Endpoint::client(format!("b{b}-rx"), origin + Vec3::new(1.5, 1.5, 1.2)),
+            )
+            .expect("in-building link");
+    }
+    for _ in 0..4 {
+        kernel.replay_tick(250);
+    }
+    let shards = kernel.shard_count();
+    drop(kernel);
+
+    let json = obs::trace::export_chrome_json();
+    obs::trace::set_enabled(false);
+    obs::set_enabled(false);
+
+    let names = validate_chrome_trace(&json).expect("campus trace must validate");
+    for s in 0..shards {
+        let want = format!("shard={s}");
+        assert!(
+            names.values().any(|n| *n == want),
+            "no track named {want}; tracks: {:?}",
+            names.values().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    // Unbalanced: a B with no E.
+    let bad = r#"{"traceEvents":[{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"t"}},{"ph":"B","name":"x","pid":1,"tid":1,"ts":1.0}]}"#;
+    assert!(validate_chrome_trace(bad).unwrap_err().contains("open"));
+    // Backwards time on one track.
+    let bad = r#"{"traceEvents":[{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"t"}},{"ph":"i","name":"a","pid":1,"tid":1,"ts":5.0,"s":"t"},{"ph":"i","name":"b","pid":1,"tid":1,"ts":2.0,"s":"t"}]}"#;
+    assert!(validate_chrome_trace(bad)
+        .unwrap_err()
+        .contains("backwards"));
+    // E with no B.
+    let bad = r#"{"traceEvents":[{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"t"}},{"ph":"E","name":"x","pid":1,"tid":1,"ts":1.0}]}"#;
+    assert!(validate_chrome_trace(bad)
+        .unwrap_err()
+        .contains("without matching B"));
+}
+
+/// File-validation arm for `scripts/lint.sh`: when `SURFOS_TRACE_CHECK`
+/// names a trace written by `surfosd --trace`, validate it; otherwise this
+/// test is a no-op (so plain `cargo test` stays hermetic).
+#[test]
+fn trace_file_from_env_validates() {
+    let Ok(path) = std::env::var("SURFOS_TRACE_CHECK") else {
+        return;
+    };
+    let json =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("SURFOS_TRACE_CHECK={path}: {e}"));
+    let names = validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("{path}: invalid Chrome trace: {e}"));
+    assert!(!names.is_empty(), "{path}: no named tracks");
+}

@@ -188,6 +188,14 @@ impl ServiceMonitor {
             to: next,
         };
         self.health = next;
+        {
+            // Per-service transition counter: the label scope keys it as
+            // broker.monitor.transitions{service=<label>} alongside the
+            // flat total (bounded by the monitor count, which the label
+            // interner caps anyway).
+            let _svc = surfos_obs::scoped(&[("service", &self.label)]);
+            surfos_obs::add("broker.monitor.transitions", 1);
+        }
         surfos_obs::event!(
             "broker.monitor",
             "{}: {:?} -> {:?} (metric {:.2}, target {:.2})",

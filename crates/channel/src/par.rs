@@ -106,13 +106,29 @@ where
     std::thread::scope(|scope| {
         let workers: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| {
+            .enumerate()
+            .map(|(w, chunk)| {
                 scope.spawn(move || {
+                    let t0 = surfos_obs::enabled().then(std::time::Instant::now);
                     let mut state = init();
-                    chunk
+                    let results = chunk
                         .iter()
                         .map(|item| f(&mut state, item))
-                        .collect::<Vec<U>>()
+                        .collect::<Vec<U>>();
+                    if let Some(t0) = t0 {
+                        // Per-worker attribution: chunk index is the label,
+                        // so a straggling worker shows up as a fat
+                        // channel.par.chunk_ns{worker=K} tail. The scope is
+                        // opened *after* the work so items recorded inside
+                        // `f` keep their own labels (e.g. shard ids).
+                        let _w = surfos_obs::scoped(&[("worker", w)]);
+                        surfos_obs::observe("channel.par.chunk_items", chunk.len() as u64);
+                        surfos_obs::observe_ns(
+                            "channel.par.chunk_ns",
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
+                    results
                 })
             })
             .collect();

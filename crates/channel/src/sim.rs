@@ -592,6 +592,19 @@ impl ChannelSim {
     /// when no crossing changed the very same `Arc` is returned so
     /// unaffected links stay warm across walk ticks.
     pub fn cached_linearization(&self, tx: &Endpoint, rx: &Endpoint) -> Arc<Linearization> {
+        // Lookup latency (hits, refreshes and misses alike) feeds the HDR
+        // timer so cache pathologies show up as a fat p99, not just a
+        // shifted hit rate.
+        let lookup_t0 = surfos_obs::enabled().then(std::time::Instant::now);
+        let timed = |lin: Arc<Linearization>| {
+            if let Some(t0) = lookup_t0 {
+                surfos_obs::observe_ns(
+                    "channel.lincache.lookup_ns",
+                    t0.elapsed().as_nanos() as u64,
+                );
+            }
+            lin
+        };
         let stamp = self.stamp();
         let bepoch = self.blocker_epoch;
         let key = (endpoint_fingerprint(tx), endpoint_fingerprint(rx));
@@ -613,7 +626,7 @@ impl ChannelSim {
                         let lin = Arc::clone(&entry.lin);
                         drop(cache);
                         surfos_obs::add("channel.lincache.hits", 1);
-                        return lin;
+                        return timed(lin);
                     }
                     Some(_) => {
                         // Blocker-only step: refresh the stored link state
@@ -639,7 +652,7 @@ impl ChannelSim {
                         surfos_obs::add("channel.lincache.refreshes", 1);
                         surfos_obs::add("channel.paths_patched", outcome.patched);
                         surfos_obs::add("channel.paths_retraced", outcome.retraced);
-                        return lin;
+                        return timed(lin);
                     }
                 }
             }
@@ -681,7 +694,7 @@ impl ChannelSim {
                 },
             );
         }
-        lin
+        timed(lin)
     }
 
     /// Lifetime hit/miss/refresh/eviction statistics of the linearization

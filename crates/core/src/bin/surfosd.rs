@@ -11,47 +11,81 @@
 //! Observability flags (before the script path):
 //!
 //! - `--metrics-json PATH` — enable metrics collection and, on exit, write
-//!   the full observability snapshot (counters, gauges, histograms, span
-//!   timings, event journal) as JSON to `PATH` (`-` for stdout).
+//!   the full observability snapshot (counters, gauges, histograms, timer
+//!   percentiles, span timings, event journal) as JSON to `PATH` (`-` for
+//!   stdout, handy for piping into `jq`).
 //! - `--deterministic-metrics` — write the run-invariant projection
 //!   instead: wall-clock series (`*_ns`) are dropped, so two identical
 //!   runs produce byte-identical files (used by `run_experiments.sh` to
 //!   snapshot scenario metrics into `results/`).
+//! - `--trace PATH` — flight-recorder timeline: record timestamped span
+//!   and journal events and, on exit, write a Chrome Trace Event Format
+//!   JSON file to `PATH` (`-` for stdout). Load it in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing`; shard workers
+//!   appear as named tracks (`shard=0`, `shard=1`, ...). Implies metrics
+//!   collection.
 
 use std::io::{BufRead, Write};
 use surfos::shell::Shell;
 
-fn main() {
-    let mut shell = Shell::new();
-    let mut metrics_json: Option<String> = None;
-    let mut deterministic = false;
-    let mut script_path: Option<String> = None;
+/// Parsed command line. Kept separate from `main` so the flag grammar is
+/// unit-testable without spawning a process.
+#[derive(Debug, Default, PartialEq)]
+struct Args {
+    metrics_json: Option<String>,
+    deterministic: bool,
+    trace: Option<String>,
+    script_path: Option<String>,
+}
 
-    let mut args = std::env::args().skip(1);
+/// Parses surfosd's argument list (without the program name). Returns the
+/// usage error message on bad input; the caller prints it and exits 2.
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-json" => match args.next() {
-                Some(path) => metrics_json = Some(path),
+                Some(path) => out.metrics_json = Some(path),
                 None => {
-                    eprintln!("surfosd: --metrics-json needs a path (or `-` for stdout)");
-                    std::process::exit(2);
+                    return Err("--metrics-json needs a path (or `-` for stdout)".into());
                 }
             },
-            "--deterministic-metrics" => deterministic = true,
+            "--deterministic-metrics" => out.deterministic = true,
+            "--trace" => match args.next() {
+                Some(path) => out.trace = Some(path),
+                None => {
+                    return Err("--trace needs a path (or `-` for stdout)".into());
+                }
+            },
             other if other.starts_with("--") => {
-                eprintln!("surfosd: unknown flag {other}");
-                std::process::exit(2);
+                return Err(format!("unknown flag {other}"));
             }
-            other => script_path = Some(other.to_string()),
+            other => out.script_path = Some(other.to_string()),
         }
     }
+    Ok(out)
+}
 
-    if metrics_json.is_some() {
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("surfosd: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.metrics_json.is_some() || args.trace.is_some() {
         surfos::obs::set_enabled(true);
     }
+    if args.trace.is_some() {
+        surfos::obs::trace::set_enabled(true);
+    }
 
-    if let Some(path) = script_path {
-        let script = match std::fs::read_to_string(&path) {
+    let mut shell = Shell::new();
+    if let Some(path) = &args.script_path {
+        let script = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("surfosd: cannot read {path}: {e}");
@@ -65,7 +99,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        write_metrics(metrics_json.as_deref(), deterministic);
+        write_outputs(&args);
         return;
     }
 
@@ -87,22 +121,92 @@ fn main() {
         print!("surfosd> ");
         let _ = stdout.flush();
     }
-    write_metrics(metrics_json.as_deref(), deterministic);
+    write_outputs(&args);
 }
 
-/// Dumps the observability snapshot if `--metrics-json` was given.
-fn write_metrics(path: Option<&str>, deterministic: bool) {
-    let Some(path) = path else { return };
-    let snap = surfos::obs::snapshot();
-    let json = if deterministic {
-        snap.deterministic_json()
-    } else {
-        snap.to_json()
-    };
+/// Dumps the metrics snapshot and/or trace timeline, as requested.
+fn write_outputs(args: &Args) {
+    if let Some(path) = args.metrics_json.as_deref() {
+        let snap = surfos::obs::snapshot();
+        let json = if args.deterministic {
+            snap.deterministic_json()
+        } else {
+            snap.to_json()
+        };
+        write_output("metrics", path, &json);
+    }
+    if let Some(path) = args.trace.as_deref() {
+        let json = surfos::obs::trace::export_chrome_json();
+        write_output("trace", path, &json);
+    }
+}
+
+fn write_output(what: &str, path: &str, json: &str) {
     if path == "-" {
         println!("{json}");
-    } else if let Err(e) = std::fs::write(path, json + "\n") {
-        eprintln!("surfosd: cannot write metrics to {path}: {e}");
+    } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+        eprintln!("surfosd: cannot write {what} to {path}: {e}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bare_script_path() {
+        let a = parse(&["demo.surfos"]).unwrap();
+        assert_eq!(a.script_path.as_deref(), Some("demo.surfos"));
+        assert_eq!(a.metrics_json, None);
+        assert_eq!(a.trace, None);
+        assert!(!a.deterministic);
+    }
+
+    #[test]
+    fn stdout_sentinel_is_a_path_not_a_flag() {
+        let a = parse(&["--metrics-json", "-", "demo.surfos"]).unwrap();
+        assert_eq!(a.metrics_json.as_deref(), Some("-"));
+        assert_eq!(a.script_path.as_deref(), Some("demo.surfos"));
+        let a = parse(&["--trace", "-"]).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("-"));
+    }
+
+    #[test]
+    fn flags_compose_in_any_order() {
+        let a = parse(&[
+            "--deterministic-metrics",
+            "--trace",
+            "t.json",
+            "--metrics-json",
+            "m.json",
+            "demo.surfos",
+        ])
+        .unwrap();
+        assert!(a.deterministic);
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+        assert_eq!(a.script_path.as_deref(), Some("demo.surfos"));
+    }
+
+    #[test]
+    fn missing_path_operands_error() {
+        assert!(parse(&["--metrics-json"]).unwrap_err().contains("path"));
+        assert!(parse(&["--trace"]).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn unknown_flags_error() {
+        let err = parse(&["--metrics-yaml", "x"]).unwrap_err();
+        assert!(err.contains("--metrics-yaml"), "{err}");
+    }
+
+    #[test]
+    fn no_args_is_interactive() {
+        assert_eq!(parse(&[]).unwrap(), Args::default());
     }
 }

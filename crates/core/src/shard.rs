@@ -626,8 +626,16 @@ impl ShardedKernel {
         self.now_ms += dt_ms;
         let t_s = self.now_ms as f64 / 1000.0;
         let threads = self.worker_count();
-        par_shards(&mut self.shards, threads, |s| s.route_walkers(t_s));
+        par_shards(&mut self.shards, threads, |s| {
+            let _obs = surfos_obs::scoped(&[("shard", s.index)]);
+            let _span = surfos_obs::span!("kernel.shard.route");
+            s.route_walkers(t_s)
+        });
         let per_shard = par_shards(&mut self.shards, threads, |s| {
+            // Per-shard label scope: every counter/span the kernel records
+            // in this phase also lands under `{shard=N}`, and the worker's
+            // flight-recorder track is named after the shard.
+            let _obs = surfos_obs::scoped(&[("shard", s.index)]);
             s.absorb();
             s.control();
             s.set_blockers_at(t_s);
@@ -652,8 +660,14 @@ impl ShardedKernel {
         self.now_ms += dt_ms;
         let t_s = self.now_ms as f64 / 1000.0;
         let threads = self.worker_count();
-        par_shards(&mut self.shards, threads, |s| s.route_walkers(t_s));
         par_shards(&mut self.shards, threads, |s| {
+            let _obs = surfos_obs::scoped(&[("shard", s.index)]);
+            let _span = surfos_obs::span!("kernel.shard.route");
+            s.route_walkers(t_s)
+        });
+        par_shards(&mut self.shards, threads, |s| {
+            let _obs = surfos_obs::scoped(&[("shard", s.index)]);
+            let _span = surfos_obs::span!("kernel.shard.eval");
             s.absorb();
             s.set_blockers_at(t_s);
             s.eval_links();
@@ -744,7 +758,11 @@ impl ShardedKernel {
     /// campus-global surface indices.
     pub fn linearize_links(&mut self) -> Vec<Linearization> {
         let threads = self.worker_count();
-        let per_shard = par_shards(&mut self.shards, threads, |s| s.linearize_links());
+        let per_shard = par_shards(&mut self.shards, threads, |s| {
+            let _obs = surfos_obs::scoped(&[("shard", s.index)]);
+            let _span = surfos_obs::span!("kernel.shard.linearize");
+            s.linearize_links()
+        });
         self.links
             .iter()
             .map(|&(shard, local)| remap(&per_shard[shard][local], &self.surface_globals[shard]))

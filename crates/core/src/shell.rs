@@ -53,6 +53,9 @@ pub struct Shell {
     band: Band,
     os: Option<SurfOS>,
     line: usize,
+    /// Baseline for the `top` command: the previous snapshot and when it
+    /// was taken. `top` renders counter *rates* between two calls.
+    top_baseline: Option<(std::time::Instant, surfos_obs::Snapshot)>,
 }
 
 impl Default for Shell {
@@ -69,6 +72,7 @@ impl Shell {
             band: NamedBand::MmWave28GHz.band(),
             os: None,
             line: 0,
+            top_baseline: None,
         }
     }
 
@@ -534,6 +538,19 @@ impl Shell {
                 None => Ok(surfos_obs::snapshot().render()),
                 Some(other) => Err(self.err(format!("metrics [on|off|json], not {other:?}"))),
             },
+            "top" => {
+                if !surfos_obs::enabled() {
+                    return Err(self.err("metrics are off (use `metrics on` first)"));
+                }
+                let now = std::time::Instant::now();
+                let snap = surfos_obs::snapshot();
+                let out = match self.top_baseline.take() {
+                    None => "top: baseline captured; run `top` again for rates".into(),
+                    Some((t0, prev)) => render_top(&prev, &snap, now - t0),
+                };
+                self.top_baseline = Some((now, snap));
+                Ok(out)
+            }
             "tasks" => {
                 let os = self.os_mut()?;
                 let lines: Vec<String> = os
@@ -552,7 +569,7 @@ impl Shell {
             "help" => Ok(
                 "commands: scenario band designs anchors deploy ap client tag say \
                           request step measure budget diagnose heatmap crossband autodeploy \
-                          campus telemetry metrics tasks help"
+                          campus telemetry metrics top tasks help"
                     .into(),
             ),
             other => Err(self.err(format!("unknown command {other:?} (try `help`)"))),
@@ -570,6 +587,54 @@ impl Shell {
         }
         Ok(out.join("\n"))
     }
+}
+
+/// Renders the `top` table: counter and span-count deltas between two
+/// snapshots, as rates over the elapsed window. Labeled series
+/// (`kernel.steps{shard=2}`) sort directly under their flat total, so the
+/// per-shard breakdown reads as an indented group.
+fn render_top(
+    prev: &surfos_obs::Snapshot,
+    cur: &surfos_obs::Snapshot,
+    window: std::time::Duration,
+) -> String {
+    let secs = window.as_secs_f64().max(1e-9);
+    let mut rows: Vec<(&str, u64)> = Vec::new();
+    for (key, &now) in &cur.counters {
+        let before = prev.counters.get(key).copied().unwrap_or(0);
+        let delta = now.saturating_sub(before);
+        if delta > 0 {
+            rows.push((key, delta));
+        }
+    }
+    for (key, span) in &cur.spans {
+        let before = prev.spans.get(key).map(|s| s.count).unwrap_or(0);
+        let delta = span.count.saturating_sub(before);
+        if delta > 0 {
+            rows.push((key, delta));
+        }
+    }
+    if rows.is_empty() {
+        return format!("top: no activity in the last {secs:.2}s window");
+    }
+    rows.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = format!(
+        "top: {secs:.2}s window\n{:<44} {:>10} {:>12}",
+        "key", "delta", "rate"
+    );
+    for (key, delta) in rows {
+        // Indent labeled breakdowns under their flat total.
+        let display = if surfos_obs::label_body(key).is_some() {
+            format!("  {key}")
+        } else {
+            key.to_string()
+        };
+        out.push_str(&format!(
+            "\n{display:<44} {delta:>10} {:>10.1}/s",
+            delta as f64 / secs
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -745,6 +810,34 @@ client laptop 3.0 3.0 1.2",
         let json = shell.execute("metrics json").unwrap();
         assert!(json.starts_with('{'), "{json}");
         assert!(shell.execute("metrics bogus").is_err());
+    }
+
+    #[test]
+    fn top_renders_labeled_rate_deltas() {
+        let mut prev = surfos_obs::Snapshot::default();
+        prev.counters.insert("kernel.steps".into(), 10);
+        let mut cur = surfos_obs::Snapshot::default();
+        cur.counters.insert("kernel.steps".into(), 30);
+        cur.counters.insert("kernel.steps{shard=1}".into(), 20);
+        let out = render_top(&prev, &cur, std::time::Duration::from_secs(2));
+        assert!(out.contains("kernel.steps"), "{out}");
+        // Labeled breakdown indents under the flat total.
+        assert!(out.contains("  kernel.steps{shard=1}"), "{out}");
+        assert!(out.contains("10.0/s"), "{out}");
+        // Identical snapshots: nothing moved.
+        let idle = render_top(&cur, &cur, std::time::Duration::from_secs(1));
+        assert!(idle.contains("no activity"), "{idle}");
+    }
+
+    #[test]
+    fn top_captures_baseline_then_reports() {
+        let mut shell = Shell::new();
+        shell.execute("metrics on").unwrap();
+        let first = shell.execute("top").unwrap();
+        assert!(first.contains("baseline"), "{first}");
+        surfos_obs::add("shell.top.probe", 5);
+        let second = shell.execute("top").unwrap();
+        assert!(second.contains("shell.top.probe"), "{second}");
     }
 
     #[test]

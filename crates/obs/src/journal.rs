@@ -2,15 +2,32 @@
 //!
 //! Events carry a monotone sequence number, a static category and a
 //! preformatted message. When full, the oldest event is overwritten; the
-//! sequence numbers make the loss visible (a snapshot whose first event has
-//! `seq > 0` dropped exactly `seq` older events).
+//! overwrite is *counted* ([`Journal::dropped`], surfaced as the
+//! `obs.journal.dropped` counter in every snapshot) and remains visible in
+//! the sequence numbers too (a snapshot whose first event has `seq > 0`
+//! dropped exactly `seq` older events).
+//!
+//! Capacity defaults to [`DEFAULT_CAPACITY`] and can be overridden with the
+//! `SURFOS_JOURNAL_CAP` environment variable (clamped to
+//! 16..=1_048_576; read once when the registry initializes).
 
 use std::collections::VecDeque;
 
-/// Ring capacity. Big enough to hold the interesting tail of a run (health
-/// transitions, scheduler decisions), small enough that an enabled journal
-/// is a bounded cost.
-pub(crate) const CAPACITY: usize = 1024;
+/// Default ring capacity. Big enough to hold the interesting tail of a run
+/// (health transitions, scheduler decisions), small enough that an enabled
+/// journal is a bounded cost.
+pub(crate) const DEFAULT_CAPACITY: usize = 1024;
+
+/// Capacity from `SURFOS_JOURNAL_CAP`, or the default when unset/invalid.
+pub(crate) fn configured_capacity() -> usize {
+    capacity_from(std::env::var("SURFOS_JOURNAL_CAP").ok().as_deref())
+}
+
+fn capacity_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|v| v.clamp(16, 1 << 20))
+        .unwrap_or(DEFAULT_CAPACITY)
+}
 
 pub(crate) struct Event {
     pub seq: u64,
@@ -19,21 +36,30 @@ pub(crate) struct Event {
 }
 
 pub(crate) struct Journal {
+    capacity: usize,
+    dropped: u64,
     next_seq: u64,
     events: VecDeque<Event>,
 }
 
 impl Journal {
     pub fn new() -> Self {
+        Self::with_capacity(configured_capacity())
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
         Journal {
+            capacity,
+            dropped: 0,
             next_seq: 0,
             events: VecDeque::new(),
         }
     }
 
     pub fn push(&mut self, category: &'static str, message: String) {
-        if self.events.len() == CAPACITY {
+        if self.events.len() == self.capacity {
             self.events.pop_front();
+            self.dropped += 1;
         }
         self.events.push_back(Event {
             seq: self.next_seq,
@@ -43,12 +69,46 @@ impl Journal {
         self.next_seq += 1;
     }
 
+    /// How many events have been overwritten since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     pub fn clear(&mut self) {
         self.events.clear();
         self.next_seq = 0;
+        self.dropped = 0;
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_counts_overwrites() {
+        let mut j = Journal::with_capacity(16);
+        for i in 0..20 {
+            j.push("t", format!("e{i}"));
+        }
+        assert_eq!(j.dropped(), 4);
+        assert_eq!(j.iter().count(), 16);
+        assert_eq!(j.iter().next().unwrap().seq, 4);
+        j.clear();
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_env_parsing_clamps_and_defaults() {
+        assert_eq!(capacity_from(None), DEFAULT_CAPACITY);
+        assert_eq!(capacity_from(Some("2048")), 2048);
+        assert_eq!(capacity_from(Some(" 64 ")), 64);
+        assert_eq!(capacity_from(Some("1")), 16);
+        assert_eq!(capacity_from(Some("99999999999")), 1 << 20);
+        assert_eq!(capacity_from(Some("nope")), DEFAULT_CAPACITY);
     }
 }

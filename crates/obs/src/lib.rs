@@ -1,16 +1,32 @@
 //! Observability substrate for SurfOS.
 //!
-//! One global, process-wide registry collects four kinds of signal:
+//! One global, process-wide registry collects five kinds of signal:
 //!
 //! - **counters** — monotone `u64` sums (`obs::add("channel.lincache.hits", 1)`),
 //! - **gauges** — last-write-wins `f64` values (`obs::gauge("orchestrator.loss", l)`),
 //! - **histograms** — log2-bucketed `u64` distributions (`obs::observe("channel.batch.width", n)`),
+//! - **timers** — log-linear HDR duration histograms with exact-bound
+//!   `p50/p90/p99/p999` (`obs::observe_ns("channel.lincache.lookup_ns", ns)`,
+//!   see the `hdr` module's accuracy contract),
 //! - **spans** — RAII wall-clock timers that nest into a hierarchical timing
 //!   tree (`let _s = obs::span!("kernel.step");`), keyed by the `/`-joined
-//!   path of active span names on the current thread,
+//!   path of active span names on the current thread, with the same HDR
+//!   percentiles per path,
 //!
 //! plus a fixed-capacity ring-buffer **event journal**
-//! (`obs::event!("broker.monitor", "task {} degraded", id)`).
+//! (`obs::event!("broker.monitor", "task {} degraded", id)`) and a
+//! flight-recorder **trace timeline** ([`trace`]): per-thread timestamped
+//! span/instant events exported as Chrome Trace Event JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! # Labels
+//!
+//! [`scoped`] pushes a label scope (`obs::scoped(&[("shard", id)])`): while
+//! its guard lives, everything recorded on the thread is *also* keyed as
+//! `name{shard=3}`. Suffixes are interned once per scope entry (bounded
+//! cardinality; overflow counts into `obs.labels.dropped`), so the hot
+//! recording path never formats strings. Labeled series always fold into
+//! their flat base key, so pre-label consumers see unchanged totals.
 //!
 //! # Zero overhead when off
 //!
@@ -22,11 +38,11 @@
 //!
 //! # Sharding
 //!
-//! Counter, histogram and span storage is sharded: each thread is assigned
-//! one of `registry::NUM_SHARDS` shards on first use (round-robin), so the
-//! `channel::par` fan-out threads never contend on one lock. [`snapshot`]
-//! merges the shards; merged totals are deterministic regardless of thread
-//! count because addition commutes.
+//! Counter, histogram, timer and span storage is sharded: each thread is
+//! assigned one of `registry::NUM_SHARDS` shards on first use (round-robin),
+//! so the `channel::par` fan-out threads never contend on one lock.
+//! [`snapshot`] merges the shards; merged totals are deterministic
+//! regardless of thread count because addition commutes.
 //!
 //! # Determinism
 //!
@@ -34,19 +50,25 @@
 //! functions of the work performed, not of the clock, so two identical runs
 //! produce identical values. Wall-clock fields are the exception; by
 //! convention every duration-valued name ends in `_ns`, and
-//! [`Snapshot::deterministic_json`] excludes both those and all span
-//! durations so run outputs can be diffed.
+//! [`Snapshot::deterministic_json`] excludes those (label suffixes aside),
+//! all timer durations and all span durations so run outputs can be diffed.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+mod hdr;
 mod journal;
 mod json;
+mod labels;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
 
 pub use json::{to_json, JsonValue, JsonWriter};
-pub use snapshot::{EventSnapshot, HistSnapshot, Snapshot, SpanSnapshot};
+pub use labels::LabelGuard;
+pub use snapshot::{
+    base_name, label_body, EventSnapshot, HdrSnapshot, HistSnapshot, Snapshot, SpanSnapshot,
+};
 pub use span::SpanGuard;
 
 /// The global enable flag. Off by default; when off the recording paths are
@@ -65,9 +87,9 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Clears every counter, gauge, histogram, span stat and journal event.
-/// Does not change the enable flag. Intended for tests and for starting a
-/// fresh measurement window.
+/// Clears every counter, gauge, histogram, timer, span stat, label
+/// interning, trace buffer and journal event. Does not change the enable
+/// flags. Intended for tests and for starting a fresh measurement window.
 pub fn reset() {
     registry::reset();
 }
@@ -95,6 +117,36 @@ pub fn observe(name: &'static str, value: u64) {
     if enabled() {
         registry::record_hist(name, value);
     }
+}
+
+/// Records a duration (nanoseconds) into the log-linear HDR timer `name`;
+/// snapshots expose exact-bound `p50/p90/p99/p999` per timer. By the
+/// determinism convention the name must end in `_ns`. No-op while disabled.
+#[inline]
+pub fn observe_ns(name: &'static str, ns: u64) {
+    if enabled() {
+        registry::record_timer(name, ns);
+    }
+}
+
+/// Pushes a label scope: while the returned guard lives, samples recorded
+/// on this thread are also attributed to `name{key=value,...}` keys (and a
+/// tracing thread's track is renamed to the label set). Scopes nest by
+/// appending. Inert while disabled or past the label-cardinality cap
+/// (counted in `obs.labels.dropped`).
+///
+/// ```
+/// surfos_obs::set_enabled(true);
+/// {
+///     let _scope = surfos_obs::scoped(&[("shard", 3)]);
+///     surfos_obs::add("kernel.steps", 1); // also counted as kernel.steps{shard=3}
+/// }
+/// # surfos_obs::set_enabled(false);
+/// # surfos_obs::reset();
+/// ```
+#[inline]
+pub fn scoped<V: std::fmt::Display>(labels: &[(&str, V)]) -> LabelGuard {
+    labels::scoped(labels)
 }
 
 /// Starts a span named `name` on the current thread; the returned guard
@@ -163,13 +215,17 @@ mod tests {
         add("t.counter", 3);
         gauge("t.gauge", 1.5);
         observe("t.hist", 7);
+        observe_ns("t.timer_ns", 9);
         event!("t", "msg {}", 1);
+        let _scope = scoped(&[("shard", 1)]);
         let _s = span!("t.span");
         drop(_s);
+        drop(_scope);
         let snap = snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.timers.is_empty());
         assert!(snap.spans.is_empty());
         assert!(snap.events.is_empty());
     }
@@ -199,6 +255,72 @@ mod tests {
     }
 
     #[test]
+    fn timers_report_exact_bound_percentiles() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        for ns in 1..=1000u64 {
+            observe_ns("t.lat_ns", ns);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let t = &snap.timers["t.lat_ns"];
+        assert_eq!(t.count, 1000);
+        assert_eq!(t.min, 1);
+        assert_eq!(t.max, 1000);
+        for (got, exact) in [(t.p50, 500u64), (t.p90, 900), (t.p99, 990), (t.p999, 999)] {
+            assert!(got >= exact && (got - exact) as f64 <= exact as f64 / 128.0);
+        }
+    }
+
+    #[test]
+    fn labeled_scopes_fold_into_flat_totals() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        for shard in 0..3u64 {
+            let _scope = scoped(&[("shard", shard)]);
+            add("t.work", shard + 1);
+            observe("t.width", 4);
+            observe_ns("t.lat_ns", 100 * (shard + 1));
+            let _s = span!("t.phase");
+        }
+        add("t.work", 10); // unlabeled sample folds into the flat total too
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["t.work{shard=0}"], 1);
+        assert_eq!(snap.counters["t.work{shard=1}"], 2);
+        assert_eq!(snap.counters["t.work{shard=2}"], 3);
+        assert_eq!(snap.counters["t.work"], 16);
+        assert_eq!(snap.histograms["t.width"].count, 3);
+        assert_eq!(snap.histograms["t.width{shard=1}"].count, 1);
+        assert_eq!(snap.timers["t.lat_ns"].count, 3);
+        assert_eq!(snap.timers["t.lat_ns{shard=2}"].max, 300);
+        assert_eq!(snap.spans["t.phase"].count, 3);
+        assert_eq!(snap.spans["t.phase{shard=0}"].count, 1);
+        assert_eq!(base_name("t.work{shard=0}"), "t.work");
+        assert_eq!(label_body("t.work{shard=0}"), Some("shard=0"));
+        assert_eq!(label_body("t.work"), None);
+    }
+
+    #[test]
+    fn nested_scopes_concatenate_labels() {
+        let _x = exclusive();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = scoped(&[("worker", 1)]);
+            let _inner = scoped(&[("shard", 2)]);
+            add("t.nested", 1);
+        }
+        add("t.nested", 1);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["t.nested{worker=1,shard=2}"], 1);
+        assert_eq!(snap.counters["t.nested"], 2);
+    }
+
+    #[test]
     fn spans_nest_into_paths() {
         let _x = exclusive();
         set_enabled(true);
@@ -217,19 +339,21 @@ mod tests {
         assert_eq!(snap.spans["outer"].count, 1);
         assert_eq!(snap.spans["outer/inner"].count, 2);
         assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
+        assert!(snap.spans["outer"].p99_ns >= snap.spans["outer"].p50_ns);
     }
 
     #[test]
-    fn journal_keeps_newest_events() {
+    fn journal_keeps_newest_events_and_counts_drops() {
         let _x = exclusive();
         set_enabled(true);
         reset();
-        for i in 0..(journal::CAPACITY + 10) {
+        let cap = 1024; // default capacity (no SURFOS_JOURNAL_CAP in tests)
+        for i in 0..(cap + 10) {
             event!("t", "event {i}");
         }
         let snap = snapshot();
         set_enabled(false);
-        assert_eq!(snap.events.len(), journal::CAPACITY);
+        assert_eq!(snap.events.len(), cap);
         assert_eq!(
             snap.events.first().unwrap().message,
             format!("event {}", 10)
@@ -237,8 +361,9 @@ mod tests {
         assert_eq!(snap.events.first().unwrap().seq, 10);
         assert_eq!(
             snap.events.last().unwrap().message,
-            format!("event {}", journal::CAPACITY + 9)
+            format!("event {}", cap + 9)
         );
+        assert_eq!(snap.counters["obs.journal.dropped"], 10);
     }
 
     #[test]
@@ -271,6 +396,7 @@ mod tests {
         add("t.rt.counter", 41);
         gauge("t.rt.gauge", -2.25);
         observe("t.rt.hist", 9);
+        observe_ns("t.rt.timer_ns", 640);
         event!("t.rt", "hello \"quoted\" \\ world");
         {
             let _s = span!("t.rt.span");
@@ -291,6 +417,12 @@ mod tests {
                 .and_then(JsonValue::as_f64),
             Some(-2.25)
         );
+        let timer = v
+            .get("timers")
+            .and_then(|t| t.get("t.rt.timer_ns"))
+            .unwrap();
+        assert_eq!(timer.get("count").and_then(JsonValue::as_f64), Some(1.0));
+        assert!(timer.get("p999").and_then(JsonValue::as_f64).unwrap() >= 640.0);
         let events = v.get("events").and_then(JsonValue::as_array).unwrap();
         assert_eq!(
             events[0].get("message").and_then(JsonValue::as_str),
@@ -301,5 +433,57 @@ mod tests {
         let det = JsonValue::parse(&snap.deterministic_json()).expect("valid JSON");
         let span = det.get("spans").and_then(|s| s.get("t.rt.span")).unwrap();
         assert_eq!(span.as_f64(), Some(1.0)); // count only, no ns
+        assert!(det
+            .get("timers")
+            .and_then(|t| t.get("t.rt.timer_ns"))
+            .is_none());
+    }
+
+    #[test]
+    fn trace_timeline_exports_balanced_chrome_events() {
+        let _x = exclusive();
+        set_enabled(true);
+        trace::set_enabled(true);
+        reset();
+        {
+            let _scope = scoped(&[("shard", 0)]);
+            let _outer = span!("t.tr.step");
+            let _inner = span!("t.tr.phase");
+            trace::instant("t.tr.tick");
+        }
+        let json = trace::export_chrome_json();
+        trace::set_enabled(false);
+        set_enabled(false);
+        let v = JsonValue::parse(&json).expect("valid trace JSON");
+        let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        // One named track carrying the shard label, balanced B/E pairs.
+        assert!(events.iter().any(|e| {
+            e.get("name").and_then(JsonValue::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(JsonValue::as_str)
+                    == Some("shard=0")
+        }));
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("E"))
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(begins, ends);
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i")));
+        // A second export after draining is empty of span events.
+        let again = trace::export_chrome_json();
+        let v2 = JsonValue::parse(&again).unwrap();
+        let evs2 = v2.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        assert!(evs2
+            .iter()
+            .all(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M")));
+        reset();
     }
 }

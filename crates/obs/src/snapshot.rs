@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use serde::ser::{Serialize, SerializeStruct, Serializer};
 
+use crate::hdr::HdrHist;
 use crate::registry::{bucket_lo, NUM_BUCKETS};
 
 /// A merged histogram: total count, saturating sum, and the non-empty log2
@@ -52,12 +53,62 @@ impl HistSnapshot {
     }
 }
 
-/// One path in the span tree: how many times it ran and for how long.
+/// A merged log-linear (HDR) timer: exact-bound tail percentiles for a
+/// duration series recorded with `obs::observe_ns`. Percentile fields obey
+/// the `hdr` module's accuracy contract — within `2⁻⁷` (< 1 %, i.e. two
+/// significant digits) *above* the true sample quantile, never below.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HdrSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+impl HdrSnapshot {
+    pub(crate) fn from_hist(h: &HdrHist) -> Self {
+        HdrSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min(),
+            max: h.max,
+            p50: h.value_at_quantile(0.50),
+            p90: h.value_at_quantile(0.90),
+            p99: h.value_at_quantile(0.99),
+            p999: h.value_at_quantile(0.999),
+        }
+    }
+}
+
+/// One path in the span tree: how many times it ran and for how long, with
+/// HDR tail percentiles (same accuracy contract as [`HdrSnapshot`]).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SpanSnapshot {
     pub count: u64,
     pub total_ns: u64,
     pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    pub(crate) fn from_hist(h: &HdrHist) -> Self {
+        SpanSnapshot {
+            count: h.count,
+            total_ns: h.sum,
+            p50_ns: h.value_at_quantile(0.50),
+            p90_ns: h.value_at_quantile(0.90),
+            p99_ns: h.value_at_quantile(0.99),
+            p999_ns: h.value_at_quantile(0.999),
+            max_ns: h.max,
+        }
+    }
 }
 
 /// One journal event.
@@ -69,16 +120,34 @@ pub struct EventSnapshot {
 }
 
 /// Everything the registry knows, merged across shards and sorted by name.
-/// Counters, gauges, histogram buckets and events are deterministic across
-/// identical runs; `total_ns`/`p50_ns` and any `*_ns`-named series are
-/// wall-clock and are excluded by [`Snapshot::deterministic_json`].
+///
+/// Keys may carry a label suffix (`kernel.steps{shard=3}`, see
+/// [`crate::scoped`]); every labeled series is also folded into its
+/// unlabeled base key, so flat totals are sums over labels. Counters,
+/// gauge values, histogram bucket counts and journal events are
+/// deterministic across identical runs; `total_ns`/`p*_ns`, timers and any
+/// `*_ns`-named series are wall-clock and are excluded by
+/// [`Snapshot::deterministic_json`].
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
     pub histograms: BTreeMap<String, HistSnapshot>,
+    /// HDR duration histograms recorded via `obs::observe_ns`.
+    pub timers: BTreeMap<String, HdrSnapshot>,
     pub spans: BTreeMap<String, SpanSnapshot>,
     pub events: Vec<EventSnapshot>,
+}
+
+/// The metric name without any `{label=value}` suffix.
+pub fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// The `dim=value,...` label body of a snapshot key, if it has one.
+pub fn label_body(key: &str) -> Option<&str> {
+    let start = key.find('{')?;
+    key[start + 1..].strip_suffix('}')
 }
 
 impl Serialize for HistSnapshot {
@@ -91,12 +160,31 @@ impl Serialize for HistSnapshot {
     }
 }
 
+impl Serialize for HdrSnapshot {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("HdrSnapshot", 8)?;
+        st.serialize_field("count", &self.count)?;
+        st.serialize_field("sum", &self.sum)?;
+        st.serialize_field("min", &self.min)?;
+        st.serialize_field("max", &self.max)?;
+        st.serialize_field("p50", &self.p50)?;
+        st.serialize_field("p90", &self.p90)?;
+        st.serialize_field("p99", &self.p99)?;
+        st.serialize_field("p999", &self.p999)?;
+        st.end()
+    }
+}
+
 impl Serialize for SpanSnapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("SpanSnapshot", 3)?;
+        let mut st = serializer.serialize_struct("SpanSnapshot", 7)?;
         st.serialize_field("count", &self.count)?;
         st.serialize_field("total_ns", &self.total_ns)?;
         st.serialize_field("p50_ns", &self.p50_ns)?;
+        st.serialize_field("p90_ns", &self.p90_ns)?;
+        st.serialize_field("p99_ns", &self.p99_ns)?;
+        st.serialize_field("p999_ns", &self.p999_ns)?;
+        st.serialize_field("max_ns", &self.max_ns)?;
         st.end()
     }
 }
@@ -113,10 +201,11 @@ impl Serialize for EventSnapshot {
 
 impl Serialize for Snapshot {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut st = serializer.serialize_struct("Snapshot", 5)?;
+        let mut st = serializer.serialize_struct("Snapshot", 6)?;
         st.serialize_field("counters", &self.counters)?;
         st.serialize_field("gauges", &self.gauges)?;
         st.serialize_field("histograms", &self.histograms)?;
+        st.serialize_field("timers", &self.timers)?;
         st.serialize_field("spans", &self.spans)?;
         st.serialize_field("events", &self.events)?;
         st.end()
@@ -124,16 +213,19 @@ impl Serialize for Snapshot {
 }
 
 /// The run-to-run-stable projection of a snapshot: spans reduced to their
-/// counts, `*_ns` series dropped entirely. See module docs on determinism.
+/// counts, timers reduced to their counts, `*_ns` series dropped entirely
+/// (label suffixes are ignored when testing the `_ns` convention). See
+/// module docs on determinism.
 struct Deterministic<'a>(&'a Snapshot);
 
 impl Serialize for Deterministic<'_> {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         fn stable<V>(map: &BTreeMap<String, V>) -> impl Iterator<Item = (&String, &V)> {
-            map.iter().filter(|(name, _)| !name.ends_with("_ns"))
+            map.iter()
+                .filter(|(name, _)| !base_name(name).ends_with("_ns"))
         }
         let snap = self.0;
-        let mut st = serializer.serialize_struct("Snapshot", 5)?;
+        let mut st = serializer.serialize_struct("Snapshot", 6)?;
 
         let counters: BTreeMap<&str, u64> = stable(&snap.counters)
             .map(|(k, v)| (k.as_str(), *v))
@@ -149,6 +241,11 @@ impl Serialize for Deterministic<'_> {
             .map(|(k, v)| (k.as_str(), v))
             .collect();
         st.serialize_field("histograms", &histograms)?;
+
+        let timers: BTreeMap<&str, u64> = stable(&snap.timers)
+            .map(|(k, v)| (k.as_str(), v.count))
+            .collect();
+        st.serialize_field("timers", &timers)?;
 
         let spans: BTreeMap<&str, u64> = snap
             .spans
@@ -169,14 +266,15 @@ impl Snapshot {
     }
 
     /// The deterministic projection as JSON: identical runs produce
-    /// byte-identical output. Span durations and `*_ns` series are dropped;
-    /// span and bucket *counts* are kept.
+    /// byte-identical output. Span and timer durations and `*_ns` series
+    /// are dropped; span, timer and bucket *counts* are kept.
     pub fn deterministic_json(&self) -> String {
         crate::json::to_json(&Deterministic(self))
     }
 
     /// Human-readable report: the span tree (indented by nesting depth),
-    /// counters, gauges, the busiest histograms, and the journal tail.
+    /// counters, gauges, timers with tail percentiles, the busiest
+    /// histograms, and the journal tail.
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -190,12 +288,13 @@ impl Snapshot {
             let name = path.rsplit('/').next().unwrap_or(path);
             let _ = writeln!(
                 out,
-                "  {:indent$}{:<w$} count {:>8}  total {:>10}  p50 {:>10}",
+                "  {:indent$}{:<w$} count {:>8}  total {:>10}  p50 {:>10}  p99 {:>10}",
                 "",
                 name,
                 s.count,
                 fmt_ns(s.total_ns),
                 fmt_ns(s.p50_ns),
+                fmt_ns(s.p99_ns),
                 indent = depth * 2,
                 w = 36usize.saturating_sub(depth * 2),
             );
@@ -208,6 +307,22 @@ impl Snapshot {
         out.push_str("gauges\n");
         for (name, v) in &self.gauges {
             let _ = writeln!(out, "  {name:<38} {v}");
+        }
+
+        if !self.timers.is_empty() {
+            out.push_str("timers\n");
+            for (name, t) in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "  {:<38} count {:>8}  p50 {:>9}  p99 {:>9}  p999 {:>9}  max {:>9}",
+                    name,
+                    t.count,
+                    fmt_ns(t.p50),
+                    fmt_ns(t.p99),
+                    fmt_ns(t.p999),
+                    fmt_ns(t.max),
+                );
+            }
         }
 
         out.push_str("histograms (busiest first)\n");

@@ -37,6 +37,10 @@ thread_local! {
 pub struct SpanGuard {
     start: Option<Instant>,
     prev_len: usize,
+    /// Set when a trace `Begin` event was accepted into the flight-recorder
+    /// ring; the matching `End` is emitted on drop (and skipped when the
+    /// begin was dropped, keeping B/E pairs balanced under ring pressure).
+    traced: Option<&'static str>,
 }
 
 pub(crate) fn enter(name: &'static str) -> SpanGuard {
@@ -44,6 +48,7 @@ pub(crate) fn enter(name: &'static str) -> SpanGuard {
         return SpanGuard {
             start: None,
             prev_len: 0,
+            traced: None,
         };
     }
     let prev_len = SPAN_PATH.with(|p| {
@@ -55,9 +60,11 @@ pub(crate) fn enter(name: &'static str) -> SpanGuard {
         p.push_str(name);
         prev
     });
+    let traced = (crate::trace::enabled() && crate::trace::span_begin(name)).then_some(name);
     SpanGuard {
         start: Some(Instant::now()),
         prev_len,
+        traced,
     }
 }
 
@@ -65,6 +72,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let ns = start.elapsed().as_nanos() as u64;
+        if let Some(name) = self.traced {
+            crate::trace::span_end(name);
+        }
         SPAN_PATH.with(|p| {
             let mut p = p.borrow_mut();
             registry::record_span(&p, ns);

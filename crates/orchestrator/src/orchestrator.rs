@@ -378,6 +378,7 @@ impl Orchestrator {
     /// achieved loss, or `None` when the slot is empty.
     pub fn optimize_slot(&mut self, slot: usize) -> Option<f64> {
         let _span = surfos_obs::span!("orchestrator.optimize_slot");
+        let latency_t0 = surfos_obs::enabled().then(std::time::Instant::now);
         let mut task_ids: Vec<TaskId> = self
             .slices
             .iter()
@@ -411,6 +412,24 @@ impl Orchestrator {
             self.sim.set_surface_phases(s, phases);
         }
         surfos_obs::gauge("orchestrator.slot.loss", result.loss);
+        if let Some(t0) = latency_t0 {
+            // Per-service-class latency: label by the slot's service kind
+            // (or "mixed" for shared slots) so the HDR timer exposes e.g.
+            // orchestrator.optimize.latency_ns{service=Coverage} p99.
+            let mut kinds: Vec<&'static str> = task_ids
+                .iter()
+                .filter_map(|id| self.tasks.get(*id))
+                .map(|t| kind_name(t.request.kind))
+                .collect();
+            kinds.sort_unstable();
+            kinds.dedup();
+            let label = if kinds.len() == 1 { kinds[0] } else { "mixed" };
+            let _svc = surfos_obs::scoped(&[("service", label)]);
+            surfos_obs::observe_ns(
+                "orchestrator.optimize.latency_ns",
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         Some(result.loss)
     }
 
@@ -474,6 +493,18 @@ impl Orchestrator {
         };
         self.tasks.get_mut(task)?.last_metric = Some(metric);
         Some(metric)
+    }
+}
+
+/// Static label value for a service kind — bounded, never formatted on the
+/// hot path (see `surfos_obs::scoped`).
+fn kind_name(kind: ServiceKind) -> &'static str {
+    match kind {
+        ServiceKind::Connectivity => "Connectivity",
+        ServiceKind::Coverage => "Coverage",
+        ServiceKind::Sensing => "Sensing",
+        ServiceKind::Powering => "Powering",
+        ServiceKind::Security => "Security",
     }
 }
 

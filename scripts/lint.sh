@@ -30,8 +30,18 @@ cargo test -q --workspace --features surfos-em/scalar-fallback
 # a result that silently depends on thread count cannot land.
 SURFOS_THREADS=1 cargo test -q -p surfos-bench --test shard_equivalence
 
+# Flight-recorder gate: a real `surfosd --trace` run over the demo script
+# must produce a valid Chrome Trace Event document — balanced B/E pairs
+# and monotonic timestamps on every track. The checker lives in
+# crates/bench/tests/trace_valid.rs and reads the file via env var.
+trace_tmp="$(mktemp)"
+trap 'rm -f "$trace_tmp"' EXIT
+cargo run -q --release -p surfos --bin surfosd -- --trace "$trace_tmp" examples/demo.surfos > /dev/null
+SURFOS_TRACE_CHECK="$trace_tmp" \
+  cargo test -q --release -p surfos-bench --test trace_valid trace_file_from_env
+
 # Doc gate: broken intra-doc links and missing docs (where a crate opts in
 # via #![warn(missing_docs)]) fail the build, not just warn.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
-echo "lint: formatting, clippy (both simd backends), scalar-fallback tests, shard equivalence (serial) and rustdoc clean"
+echo "lint: formatting, clippy (both simd backends), scalar-fallback tests, shard equivalence (serial), trace export and rustdoc clean"

@@ -60,7 +60,7 @@ run_benches() {
   obs_jsonl="$(mktemp)"
   tmpfiles+=("$jsonl" "$obs_jsonl")
 
-  local targets=(channel_sim dynamics spatial building optimizer campus)
+  local targets=(channel_sim dynamics spatial building optimizer campus obs)
   if [[ -n "$group" ]]; then
     local filtered=() t
     for t in "${targets[@]}"; do
