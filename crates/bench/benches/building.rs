@@ -135,10 +135,127 @@ fn bench_frequency_response_building(c: &mut Criterion) {
     group.finish();
 }
 
+/// The SIMD kernel arms this host can run, labelled for bench ids.
+fn runnable_backends() -> Vec<(surfos::em::simd::Backend, &'static str)> {
+    use surfos::em::simd::Backend;
+    let mut v = vec![(Backend::Scalar, "scalar"), (Backend::Sse2, "sse2")];
+    if surfos::em::simd::avx2_available() {
+        v.push((Backend::Avx2, "avx2"));
+    }
+    v
+}
+
+/// Per-backend arms of the batched wall-crossing query on the 4064-wall
+/// building: the four-lane f64 `crossing_t` solve (sse2 = `F64x2` pairs,
+/// avx2 = native `F64x4`) against the scalar per-segment reference. All
+/// arms return bit-identical crossings — the proptests pin that — so the
+/// deltas here are pure kernel cost.
+fn bench_crossing_t_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel/crossing_t_f64x4");
+    let (floors, rooms) = BUILDINGS[1];
+    let plan = building_plan(floors, rooms, SCENE_SEED);
+    let n = plan.walls().len();
+    let sah = plan.build_wall_index();
+    let (ext_x, ext_y) = building_extent(floors, rooms);
+    let probes = probe_segments_in(16, SCENE_SEED ^ 0xBEEF, ext_x, ext_y);
+    for (backend, name) in runnable_backends() {
+        group.bench_function(format!("{name}_{n}w"), |b| {
+            b.iter(|| black_box(plan.crossings_batch_with(&sah, backend, &probes)))
+        });
+    }
+    group.finish();
+}
+
+/// Per-backend arms of the phasor rotate-and-accumulate kernel on a
+/// sweep-sized bank (4096 phasors × 64 steps): the portable reassociated
+/// loop (scalar/sse2 share it) against the fused AVX2 `F64x4` kernel.
+fn bench_sweep_mul_add(c: &mut Criterion) {
+    use surfos::em::simd::phasor;
+    let mut group = c.benchmark_group("channel/sweep_mul_add");
+    const N: usize = 4096;
+    const STEPS: usize = 64;
+    let seed = |i: usize, k: u64| {
+        let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k;
+        x ^= x >> 29;
+        (x % 2000) as f64 / 1000.0 - 1.0
+    };
+    let re0: Vec<f64> = (0..N).map(|i| seed(i, 1)).collect();
+    let im0: Vec<f64> = (0..N).map(|i| seed(i, 2)).collect();
+    let (dre, dim): (Vec<f64>, Vec<f64>) = (0..N)
+        .map(|i| {
+            let a = seed(i, 3) * std::f64::consts::PI;
+            (a.cos(), a.sin())
+        })
+        .unzip();
+    for (backend, name) in runnable_backends() {
+        group.bench_function(format!("{name}_{N}x{STEPS}"), |b| {
+            b.iter(|| {
+                let mut re = re0.clone();
+                let mut im = im0.clone();
+                let mut acc = (0.0, 0.0);
+                for _ in 0..STEPS {
+                    let (r, i) =
+                        phasor::sum_and_advance_with(backend, &mut re, &mut im, &dre, &dim);
+                    acc.0 += r;
+                    acc.1 += i;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Per-backend arms of the eight-lane interval-bank sweep over a crowd of
+/// blocker-sized boxes (256 boxes × 16 probe segments), against the brute
+/// per-box exact test the scalar arm degenerates to. The bank only
+/// *narrows* — candidates re-run the exact test — so arms differ in cost,
+/// never in survivors.
+fn bench_aperture_bank(c: &mut Criterion) {
+    use surfos::geometry::bvh::{Aabb, AabbBank};
+    let mut group = c.benchmark_group("channel/aperture_bank");
+    const BOXES: usize = 256;
+    let (floors, rooms) = BUILDINGS[0];
+    let (ext_x, ext_y) = building_extent(floors, rooms);
+    let hash = |i: usize, k: u64| {
+        let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k;
+        x ^= x >> 29;
+        (x % 10_000) as f64 / 10_000.0
+    };
+    let boxes: Vec<Aabb> = (0..BOXES)
+        .map(|i| {
+            let c = Vec3::new(hash(i, 1) * ext_x, hash(i, 2) * ext_y, hash(i, 3) * 3.0);
+            let half = Vec3::new(0.3, 0.3, 0.9);
+            Aabb::new(c - half, c + half)
+        })
+        .collect();
+    let bank = AabbBank::new(&boxes);
+    let probes = probe_segments_in(16, SCENE_SEED ^ 0xD00A, ext_x, ext_y);
+    for (backend, name) in runnable_backends() {
+        group.bench_function(format!("{name}_{BOXES}b"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &(from, to) in &probes {
+                    bank.for_each_candidate_with(backend, from, to, |i| {
+                        if boxes[i].intersects_segment(from, to) {
+                            hits += 1;
+                        }
+                    });
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crossings_building,
     bench_linearize_building,
-    bench_frequency_response_building
+    bench_frequency_response_building,
+    bench_crossing_t_backends,
+    bench_sweep_mul_add,
+    bench_aperture_bank
 );
 criterion_main!(benches);

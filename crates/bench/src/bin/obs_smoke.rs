@@ -57,6 +57,14 @@ fn main() {
     let snap = obs::snapshot();
     let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
 
+    // Which SIMD kernel arm this run dispatched to (1 = scalar reference,
+    // 2 = sse2 pairs, 3 = native avx2) — attached so every perf number in
+    // BENCH_channel.json is attributable to a backend.
+    println!(
+        "{{\"metric\": \"em.simd.backend\", \"value\": {}}}",
+        surfos::em::simd::backend() as u8
+    );
+
     // Refreshes are warm accesses too: the entry survived a blocker step
     // and was patched in place instead of re-traced.
     let hits = (get("channel.lincache.hits") + get("channel.lincache.refreshes")) as f64;

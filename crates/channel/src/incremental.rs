@@ -20,11 +20,11 @@
 //! `tests/incremental_dynamics.rs` hold this across random walks.
 
 use crate::dynamics::Blocker;
+use crate::index::SceneIndex;
 use crate::linear::{BilinearTerm, LinearTerm, Linearization};
 use crate::trace::ChannelTrace;
 use surfos_em::band::Band;
 use surfos_em::complex::Complex;
-use surfos_geometry::bvh::Aabb;
 
 /// What one [`LinkState::refresh`] did: per-path patch/retrace counts and
 /// whether anything changed (if not, the previously assembled
@@ -113,11 +113,19 @@ impl LinkState {
     }
 
     /// Diffs every path's blocker-crossing set against `blockers` (with
-    /// `boxes` the matching padded boxes from the refitted scene index)
-    /// and re-evaluates only the paths whose crossings changed. Cost is
-    /// `O(paths · blockers)` segment tests plus re-evaluation of the
-    /// (typically few) affected paths.
-    pub fn refresh(&mut self, blockers: &[Blocker], boxes: &[Aabb], band: &Band) -> RefreshOutcome {
+    /// `index` the refitted scene index carrying the matching padded boxes
+    /// and their interval bank) and re-evaluates only the paths whose
+    /// crossings changed. Cost is `O(paths · blockers / 8)` bank sweeps
+    /// plus exact tests on survivors plus re-evaluation of the (typically
+    /// few) affected paths.
+    pub fn refresh(
+        &mut self,
+        blockers: &[Blocker],
+        index: &SceneIndex,
+        band: &Band,
+    ) -> RefreshOutcome {
+        let boxes = index.blocker_boxes();
+        let bank = index.blocker_bank();
         let mut out = RefreshOutcome::default();
         let mut tally = |changed: bool| {
             if changed {
@@ -129,7 +137,7 @@ impl LinkState {
             changed
         };
         if let Some(d) = self.trace.direct.as_mut() {
-            if tally(d.segment.refresh_blockers(blockers, boxes)) {
+            if tally(d.segment.refresh_blockers(blockers, boxes, bank)) {
                 self.direct_gain = d.gain_at(band);
             }
         }
@@ -137,8 +145,8 @@ impl LinkState {
             for (b, g) in bs.iter_mut().zip(self.bounce_gains.iter_mut()) {
                 // Both legs must refresh even when the first already
                 // changed, so no `||` short-circuit.
-                let c_in = b.seg_in.refresh_blockers(blockers, boxes);
-                let c_out = b.seg_out.refresh_blockers(blockers, boxes);
+                let c_in = b.seg_in.refresh_blockers(blockers, boxes, bank);
+                let c_out = b.seg_out.refresh_blockers(blockers, boxes, bank);
                 if tally(c_in | c_out) {
                     *g = b.gain_at(band);
                 }
@@ -150,17 +158,17 @@ impl LinkState {
             .iter_mut()
             .zip(self.linear_terms.iter_mut())
         {
-            let c_in = s.seg_in.refresh_blockers(blockers, boxes);
-            let c_out = s.seg_out.refresh_blockers(blockers, boxes);
+            let c_in = s.seg_in.refresh_blockers(blockers, boxes, bank);
+            let c_out = s.seg_out.refresh_blockers(blockers, boxes, bank);
             if tally(c_in | c_out) {
                 *t = s.linear_term_at(band);
             }
         }
         if let Some(cs) = self.trace.cascades.as_mut() {
             for (c, t) in cs.iter_mut().zip(self.bilinear_terms.iter_mut()) {
-                let c_in = c.seg_in.refresh_blockers(blockers, boxes);
-                let c_hop = c.seg_hop.refresh_blockers(blockers, boxes);
-                let c_out = c.seg_out.refresh_blockers(blockers, boxes);
+                let c_in = c.seg_in.refresh_blockers(blockers, boxes, bank);
+                let c_hop = c.seg_hop.refresh_blockers(blockers, boxes, bank);
+                let c_out = c.seg_out.refresh_blockers(blockers, boxes, bank);
                 if tally(c_in | c_hop | c_out) {
                     *t = c.term_at(band);
                 }

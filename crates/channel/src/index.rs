@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use surfos_geometry::bvh::Aabb;
+use surfos_geometry::bvh::{Aabb, AabbBank};
 use surfos_geometry::plan::WallIndex;
 use surfos_geometry::{FloorPlan, Pose, Vec3};
 
@@ -56,6 +56,11 @@ struct CachedElements {
 pub struct SceneStructure {
     walls: WallIndex,
     obstructing: Vec<(usize, Aabb)>,
+    /// Eight-lane interval bank over the aperture boxes in `obstructing`
+    /// (bank index `i` ↔ `obstructing[i]`), so per-segment aperture scans
+    /// test eight boxes per vector step. Conservative: survivors re-run
+    /// the exact box + aperture tests.
+    aperture_bank: AabbBank,
     elements: Vec<CachedElements>,
 }
 
@@ -66,6 +71,9 @@ pub struct SceneStructure {
 pub struct SceneIndex {
     structure: Arc<SceneStructure>,
     blocker_boxes: Vec<Aabb>,
+    /// Interval bank over `blocker_boxes` (same order); rebuilt with them
+    /// on every [`SceneIndex::refit_blockers`].
+    blocker_bank: AabbBank,
 }
 
 fn blocker_boxes(blockers: &[Blocker]) -> Vec<Aabb> {
@@ -96,15 +104,20 @@ impl SceneIndex {
         // Size of the packed tree this index will traverse — building-scale
         // plans make this worth watching next to `nodes_visited`.
         surfos_obs::gauge("channel.index.bvh_nodes", walls.bvh().node_count() as f64);
+        let obstructing: Vec<(usize, Aabb)> = surfaces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.obstruction_amplitude < 1.0)
+            .map(|(i, s)| (i, s.aperture_aabb().grown(PRIM_AABB_PAD)))
+            .collect();
+        let aperture_bank = AabbBank::new(&obstructing.iter().map(|&(_, b)| b).collect::<Vec<_>>());
+        let boxes = blocker_boxes(blockers);
+        let blocker_bank = AabbBank::new(&boxes);
         SceneIndex {
             structure: Arc::new(SceneStructure {
                 walls,
-                obstructing: surfaces
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.obstruction_amplitude < 1.0)
-                    .map(|(i, s)| (i, s.aperture_aabb().grown(PRIM_AABB_PAD)))
-                    .collect(),
+                obstructing,
+                aperture_bank,
                 elements: surfaces
                     .iter()
                     .map(|s| CachedElements {
@@ -113,7 +126,8 @@ impl SceneIndex {
                     })
                     .collect(),
             }),
-            blocker_boxes: blocker_boxes(blockers),
+            blocker_boxes: boxes,
+            blocker_bank,
         }
     }
 
@@ -123,9 +137,12 @@ impl SceneIndex {
     /// [`SceneIndex::build`] for the same scene — the boxes come from the
     /// same expression — at a fraction of the cost.
     pub fn refit_blockers(&self, blockers: &[Blocker]) -> SceneIndex {
+        let boxes = blocker_boxes(blockers);
+        let blocker_bank = AabbBank::new(&boxes);
         SceneIndex {
             structure: Arc::clone(&self.structure),
-            blocker_boxes: blocker_boxes(blockers),
+            blocker_boxes: boxes,
+            blocker_bank,
         }
     }
 
@@ -146,10 +163,24 @@ impl SceneIndex {
         &self.blocker_boxes
     }
 
+    /// The 8-lane interval bank over [`Self::blocker_boxes`] (same order).
+    /// Candidates are a conservative superset of the boxes the exact
+    /// segment test accepts; callers re-run the exact test per survivor.
+    pub(crate) fn blocker_bank(&self) -> &AabbBank {
+        &self.blocker_bank
+    }
+
     /// `(surface index, padded aperture box)` for each obstructing surface,
     /// in deployment order.
     pub(crate) fn obstructing(&self) -> &[(usize, Aabb)] {
         &self.structure.obstructing
+    }
+
+    /// The 8-lane interval bank over [`Self::obstructing`]'s aperture
+    /// boxes (bank index `i` ↔ `obstructing()[i]`). Conservative, like
+    /// [`Self::blocker_bank`].
+    pub(crate) fn aperture_bank(&self) -> &AabbBank {
+        &self.structure.aperture_bank
     }
 
     /// The cached element world positions of surface `index`, or `None` if

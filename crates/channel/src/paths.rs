@@ -113,29 +113,82 @@ impl<'a> Medium<'a> {
                 .transmission_amplitude_with(ix.walls(), from, to, &self.band),
             None => self.plan.transmission_amplitude(from, to, &self.band),
         };
-        // Skipping an AABB-missed blocker drops an exact ×1.0 factor, so
-        // the product is unchanged bit for bit.
+        // The interval bank narrows the scan to a conservative candidate
+        // superset; each survivor re-runs the exact box test, and skipping
+        // an AABB-missed blocker drops an exact ×1.0 factor — so the
+        // product is unchanged bit for bit (candidates arrive in blocker
+        // order, preserving multiplication order too).
         let blockers: f64 = match self.index {
-            Some(ix) => self
-                .blockers
-                .iter()
-                .zip(ix.blocker_boxes())
-                .filter(|(_, bb)| bb.intersects_segment(from, to))
-                .map(|(b, _)| b.transmission_amplitude(from, to, &self.band))
-                .product(),
+            Some(ix) => {
+                let mut product = 1.0;
+                ix.blocker_bank().for_each_candidate(from, to, |i| {
+                    if ix.blocker_boxes()[i].intersects_segment(from, to) {
+                        product *= self.blockers[i].transmission_amplitude(from, to, &self.band);
+                    }
+                });
+                product
+            }
             None => self
                 .blockers
                 .iter()
                 .map(|b| b.transmission_amplitude(from, to, &self.band))
                 .product(),
         };
-        let surfaces: f64 = self
-            .obstructing
-            .iter()
-            .filter(|(s, aabb)| aabb.intersects_segment(from, to) && s.intersects_segment(from, to))
-            .map(|(s, _)| s.obstruction_amplitude)
-            .product();
+        let surfaces = self.surface_obstruction(from, to);
         walls * blockers * surfaces
+    }
+
+    /// Amplitude factor of the obstructing apertures crossing the segment.
+    /// With an index, the scan runs through the aperture interval bank
+    /// (conservative candidates, exact survivor tests, deployment order) —
+    /// bit-identical to the brute filter.
+    fn surface_obstruction(&self, from: Vec3, to: Vec3) -> f64 {
+        match self.index {
+            Some(ix) => {
+                let mut product = 1.0;
+                ix.aperture_bank().for_each_candidate(from, to, |i| {
+                    let (s, aabb) = &self.obstructing[i];
+                    if aabb.intersects_segment(from, to) && s.intersects_segment(from, to) {
+                        product *= s.obstruction_amplitude;
+                    }
+                });
+                product
+            }
+            None => self
+                .obstructing
+                .iter()
+                .filter(|(s, aabb)| {
+                    aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
+                })
+                .map(|(s, _)| s.obstruction_amplitude)
+                .product(),
+        }
+    }
+
+    /// The blocker materials crossing the segment, in blocker order. With
+    /// an index, candidates come from the blocker interval bank; exact box
+    /// and cylinder tests gate each survivor, so the collected list is
+    /// bit-identical to the brute filter.
+    fn blocker_crossings(&self, from: Vec3, to: Vec3) -> Vec<surfos_geometry::Material> {
+        match self.index {
+            Some(ix) => {
+                let mut out = Vec::new();
+                ix.blocker_bank().for_each_candidate(from, to, |i| {
+                    let b = &self.blockers[i];
+                    if ix.blocker_boxes()[i].intersects_segment(from, to) && b.intersects(from, to)
+                    {
+                        out.push(b.material);
+                    }
+                });
+                out
+            }
+            None => self
+                .blockers
+                .iter()
+                .filter(|b| b.intersects(from, to))
+                .map(|b| b.material)
+                .collect(),
+        }
     }
 
     /// Enumerates a segment's obstructions into a band-independent record;
@@ -149,27 +202,8 @@ impl<'a> Medium<'a> {
         .into_iter()
         .map(|(_, m)| m)
         .collect();
-        let blocker_materials = match self.index {
-            Some(ix) => self
-                .blockers
-                .iter()
-                .zip(ix.blocker_boxes())
-                .filter(|(b, bb)| bb.intersects_segment(from, to) && b.intersects(from, to))
-                .map(|(b, _)| b.material)
-                .collect(),
-            None => self
-                .blockers
-                .iter()
-                .filter(|b| b.intersects(from, to))
-                .map(|b| b.material)
-                .collect(),
-        };
-        let surface_obstruction = self
-            .obstructing
-            .iter()
-            .filter(|(s, aabb)| aabb.intersects_segment(from, to) && s.intersects_segment(from, to))
-            .map(|(s, _)| s.obstruction_amplitude)
-            .product();
+        let blocker_materials = self.blocker_crossings(from, to);
+        let surface_obstruction = self.surface_obstruction(from, to);
         SegmentTrace::new(
             from,
             to,
@@ -202,21 +236,8 @@ impl<'a> Medium<'a> {
             .zip(wall_crossings)
             .map(|(&(from, to), crossings)| {
                 let wall_materials = crossings.into_iter().map(|(_, m)| m).collect();
-                let blocker_materials = self
-                    .blockers
-                    .iter()
-                    .zip(ix.blocker_boxes())
-                    .filter(|(b, bb)| bb.intersects_segment(from, to) && b.intersects(from, to))
-                    .map(|(b, _)| b.material)
-                    .collect();
-                let surface_obstruction = self
-                    .obstructing
-                    .iter()
-                    .filter(|(s, aabb)| {
-                        aabb.intersects_segment(from, to) && s.intersects_segment(from, to)
-                    })
-                    .map(|(s, _)| s.obstruction_amplitude)
-                    .product();
+                let blocker_materials = self.blocker_crossings(from, to);
+                let surface_obstruction = self.surface_obstruction(from, to);
                 SegmentTrace::new(
                     from,
                     to,

@@ -639,10 +639,7 @@ impl ChannelSim {
                         let index = self.scene_index();
                         let entry = cache.map.get_mut(&key).unwrap();
                         entry.used = tick;
-                        let outcome =
-                            entry
-                                .state
-                                .refresh(&self.blockers, index.blocker_boxes(), &self.band);
+                        let outcome = entry.state.refresh(&self.blockers, &index, &self.band);
                         if outcome.changed {
                             entry.lin = Arc::new(entry.state.assemble());
                         }

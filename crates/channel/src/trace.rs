@@ -27,7 +27,7 @@ use surfos_em::complex::Complex;
 use surfos_em::propagation::{element_scatter_amplitude, friis_amplitude};
 use surfos_em::simd::phasor;
 use surfos_em::units::db_to_amplitude;
-use surfos_geometry::bvh::Aabb;
+use surfos_geometry::bvh::{Aabb, AabbBank};
 use surfos_geometry::{Material, Vec3};
 
 /// Structure-of-arrays bank of rotating phasors: per element, a current
@@ -137,17 +137,21 @@ impl SegmentTrace {
     /// [`SegmentTrace::transmission`] bit-identical at every band.
     ///
     /// The crossing test and collection order reproduce the indexed
-    /// `Medium::trace_segment` exactly: conservative box cull, exact
-    /// cylinder test, blocker-list order.
-    pub(crate) fn refresh_blockers(&mut self, blockers: &[Blocker], boxes: &[Aabb]) -> bool {
-        let crossed: Vec<Material> = blockers
-            .iter()
-            .zip(boxes)
-            .filter(|(b, bb)| {
-                bb.intersects_segment(self.from, self.to) && b.intersects(self.from, self.to)
-            })
-            .map(|(b, _)| b.material)
-            .collect();
+    /// `Medium::trace_segment` exactly: interval-bank prefilter, exact
+    /// conservative box cull, exact cylinder test, blocker-list order.
+    pub(crate) fn refresh_blockers(
+        &mut self,
+        blockers: &[Blocker],
+        boxes: &[Aabb],
+        bank: &AabbBank,
+    ) -> bool {
+        let mut crossed: Vec<Material> = Vec::new();
+        bank.for_each_candidate(self.from, self.to, |i| {
+            let b = &blockers[i];
+            if boxes[i].intersects_segment(self.from, self.to) && b.intersects(self.from, self.to) {
+                crossed.push(b.material);
+            }
+        });
         if crossed == self.blocker_materials {
             false
         } else {
@@ -175,7 +179,48 @@ impl SegmentTrace {
             .product();
         walls * blockers * self.surface_obstruction
     }
+
+    /// [`Self::transmission`] driven by per-probe material tables and a
+    /// per-segment `db_to_amplitude` memo — the sweep hot path's variant.
+    ///
+    /// `pen_db[m.index()]` / `blocker_amp[m.index()]` must hold exactly
+    /// `m.penetration_loss_db(band)` / `m.transmission_amplitude(band)`
+    /// for the probe being evaluated (pure memoization, like the sweep's
+    /// per-probe reflection table). The dB sum and blocker product run in
+    /// the same order over the same values as [`Self::transmission`], and
+    /// the `10^(-db/20)` is recomputed only when the summed dB differs
+    /// from `memo.0` (same input bits → same output bits), so the result
+    /// is **bit-identical** to `transmission(band)` at every probe. Seed
+    /// `memo` with `(f64::NAN, 0.0)` (NaN compares unequal to everything,
+    /// forcing the first computation). The material loss tables are step
+    /// functions of frequency, so across a subcarrier sweep the memo
+    /// turns one powf per probe into one powf per band-class.
+    pub(crate) fn transmission_memo(
+        &self,
+        pen_db: &[f64; Material::ALL.len()],
+        blocker_amp: &[f64; Material::ALL.len()],
+        memo: &mut (f64, f64),
+    ) -> f64 {
+        let db: f64 = self.wall_materials.iter().map(|m| pen_db[m.index()]).sum();
+        if db != memo.0 {
+            *memo = (db, db_to_amplitude(-db));
+        }
+        let blockers: f64 = self
+            .blocker_materials
+            .iter()
+            .map(|m| blocker_amp[m.index()])
+            .product();
+        memo.1 * blockers * self.surface_obstruction
+    }
 }
+
+/// Seed value for [`SegmentTrace::transmission_memo`] memos: `NaN`
+/// compares unequal to every dB sum, so the first probe always computes.
+const FRESH_MEMO: (f64, f64) = (f64::NAN, 0.0);
+
+/// Sweep-local surface state: the trace, its element phasor bank, and the
+/// `[seg_in, seg_out]` transmission memos.
+type SurfaceSweep<'a> = (&'a SurfaceTrace, PhasorBank, [(f64, f64); 2]);
 
 /// Lorentzian resonance efficiency, mirroring
 /// `SurfaceInstance::resonance_factor`.
@@ -423,14 +468,44 @@ impl ChannelTrace {
     /// `O(total elements)`, no environment access.
     pub fn linearize_at(&self, band: &Band) -> Linearization {
         surfos_obs::add("channel.rephasings", 1);
+        // Same per-band material tables as `sweep_evaluate`: pure
+        // memoization of the `Material` loss models, so the direct and
+        // bounce terms below stay bit-identical to `gain_at` while paying
+        // one `powf` per distinct loss value instead of one per path.
+        let mut pen_db = [0.0f64; Material::ALL.len()];
+        let mut blocker_amp = [0.0f64; Material::ALL.len()];
+        let mut rho = [0.0f64; Material::ALL.len()];
+        for m in Material::ALL {
+            pen_db[m.index()] = m.penetration_loss_db(band);
+            blocker_amp[m.index()] = m.transmission_amplitude(band);
+            rho[m.index()] = m.reflection_amplitude(band);
+        }
+        let lambda = band.wavelength_m();
+        let mut memo = [FRESH_MEMO; 2];
         let mut constant = match &self.direct {
-            Some(d) => d.gain_at(band),
+            Some(d) => {
+                let g = friis_amplitude(d.d, lambda);
+                g * (d.pat_pol
+                    * d.segment
+                        .transmission_memo(&pen_db, &blocker_amp, &mut memo[0]))
+            }
             None => Complex::ZERO,
         };
         if let Some(bounces) = &self.bounces {
             let mut total = Complex::ZERO;
             for b in bounces {
-                total += b.gain_at(band);
+                // Table-driven `BounceTrace::gain_at`, operation for
+                // operation.
+                let trans = b
+                    .seg_in
+                    .transmission_memo(&pen_db, &blocker_amp, &mut memo[0])
+                    * b.seg_out
+                        .transmission_memo(&pen_db, &blocker_amp, &mut memo[1]);
+                if trans < TRANSMISSION_FLOOR {
+                    continue;
+                }
+                let g = friis_amplitude(b.total_length, lambda);
+                total += g * (rho[b.material.index()] * b.pat * b.pol * trans);
             }
             constant += total;
         }
@@ -497,6 +572,7 @@ impl ChannelTrace {
                 Complex::from_polar(1.0, -dk * d.d),
             )
         });
+        let mut direct_memo = FRESH_MEMO;
         let bounce_list: Option<&[BounceTrace]> = self.bounces.as_deref();
         let mut bounce_bank = PhasorBank::with_capacity(bounce_list.map_or(0, <[_]>::len));
         if let Some(bs) = bounce_list {
@@ -508,7 +584,9 @@ impl ChannelTrace {
             }
         }
         let mut bounce_w = vec![0.0f64; bounce_bank.len()];
-        let mut surfaces: Vec<(&SurfaceTrace, PhasorBank)> = self
+        // Per-segment powf memos, [seg_in, seg_out] per bounce.
+        let mut bounce_memo = vec![[FRESH_MEMO; 2]; bounce_bank.len()];
+        let mut surfaces: Vec<SurfaceSweep> = self
             .surfaces
             .iter()
             .map(|s| {
@@ -522,7 +600,7 @@ impl ChannelTrace {
                         -dk * (leg.d1 + leg.d2),
                     );
                 }
-                (s, bank)
+                (s, bank, [FRESH_MEMO; 2])
             })
             .collect();
         // Cascade α/β magnitudes are gated against `COEFF_FLOOR` without
@@ -534,6 +612,7 @@ impl ChannelTrace {
             alpha_max_mag: f64,
             beta: PhasorBank,
             beta_max_mag: f64,
+            memo: [(f64, f64); 3],
         }
         let mut cascades: Vec<CascadeSoa<'_>> = self
             .cascades
@@ -570,6 +649,7 @@ impl ChannelTrace {
                     alpha_max_mag,
                     beta,
                     beta_max_mag,
+                    memo: [FRESH_MEMO; 3],
                 }
             })
             .collect();
@@ -578,10 +658,24 @@ impl ChannelTrace {
             .iter()
             .map(|band| {
                 let lambda = band.wavelength_m();
+                // Per-probe material tables: penetration loss in dB and
+                // blocker transmission amplitude, tabulated once instead
+                // of one `match` per crossed wall per segment — pure
+                // memoization feeding `transmission_memo`, which stays
+                // bit-identical to `transmission`.
+                let mut pen_db = [0.0f64; Material::ALL.len()];
+                let mut blocker_amp = [0.0f64; Material::ALL.len()];
+                for m in Material::ALL {
+                    pen_db[m.index()] = m.penetration_loss_db(band);
+                    blocker_amp[m.index()] = m.transmission_amplitude(band);
+                }
                 let mut h = Complex::ZERO;
                 if let Some((d, val, delta)) = direct.as_mut() {
                     let mag = lambda / (four_pi * d.d);
-                    h += *val * (mag * d.pat_pol * d.segment.transmission(band));
+                    let trans =
+                        d.segment
+                            .transmission_memo(&pen_db, &blocker_amp, &mut direct_memo);
+                    h += *val * (mag * d.pat_pol * trans);
                     *val *= *delta;
                 }
                 if let Some(bs) = bounce_list {
@@ -591,8 +685,12 @@ impl ChannelTrace {
                     for m in Material::ALL {
                         rho[m.index()] = m.reflection_amplitude(band);
                     }
-                    for (w, b) in bounce_w.iter_mut().zip(bs) {
-                        let trans = b.seg_in.transmission(band) * b.seg_out.transmission(band);
+                    for ((w, b), memo) in bounce_w.iter_mut().zip(bs).zip(bounce_memo.iter_mut()) {
+                        let trans = b
+                            .seg_in
+                            .transmission_memo(&pen_db, &blocker_amp, &mut memo[0])
+                            * b.seg_out
+                                .transmission_memo(&pen_db, &blocker_amp, &mut memo[1]);
                         // Sub-noise bounces weight to 0 (mirrors the
                         // `gain_at` floor; a 0-weighted phasor adds an
                         // exact ±0, leaving the sum bit-unchanged).
@@ -605,11 +703,15 @@ impl ChannelTrace {
                     }
                     h += bounce_bank.weighted_sum_and_advance(&bounce_w);
                 }
-                for (s, bank) in surfaces.iter_mut() {
+                for (s, bank, memo) in surfaces.iter_mut() {
                     // Phasors must advance every step, gated or not, so
                     // accumulate unconditionally and gate the scale.
                     let acc = bank.sum_and_advance();
-                    let trans = s.seg_in.transmission(band) * s.seg_out.transmission(band);
+                    let trans = s
+                        .seg_in
+                        .transmission_memo(&pen_db, &blocker_amp, &mut memo[0])
+                        * s.seg_out
+                            .transmission_memo(&pen_db, &blocker_amp, &mut memo[1]);
                     if trans < TRANSMISSION_FLOOR {
                         continue;
                     }
@@ -623,9 +725,14 @@ impl ChannelTrace {
                     let acc_a = cs.alpha.sum_and_advance();
                     let acc_b = cs.beta.sum_and_advance();
                     let c = cs.c;
-                    let trans = c.seg_in.transmission(band)
-                        * c.seg_hop.transmission(band)
-                        * c.seg_out.transmission(band);
+                    let memo = &mut cs.memo;
+                    let trans = c
+                        .seg_in
+                        .transmission_memo(&pen_db, &blocker_amp, &mut memo[0])
+                        * c.seg_hop
+                            .transmission_memo(&pen_db, &blocker_amp, &mut memo[1])
+                        * c.seg_out
+                            .transmission_memo(&pen_db, &blocker_amp, &mut memo[2]);
                     if trans < TRANSMISSION_FLOOR {
                         continue;
                     }

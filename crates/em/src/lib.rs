@@ -13,9 +13,11 @@
 //! - [`propagation`]: free-space (Friis) propagation and scattering gains,
 //! - [`noise`]: thermal noise, SNR and Shannon capacity,
 //! - [`phase`]: phase wrapping and quantization,
-//! - [`simd`]: a portable 4/8-lane `f32` SIMD shim plus SoA phasor
-//!   kernels for the tracing/re-phasing hot paths (scalar fallback via
-//!   the `scalar-fallback` feature),
+//! - [`simd`]: a runtime-dispatched SIMD substrate for the tracing and
+//!   re-phasing hot paths — native AVX2, portable SSE2 and scalar
+//!   reference arms behind one `f32`/`f64` lane API (selected once via
+//!   CPU detection, overridable with `SURFOS_SIMD`), plus SoA phasor
+//!   kernels (plain-array build via the `scalar-fallback` feature),
 //! - [`ulp`]: ULP-distance helpers backing the SIMD↔scalar equivalence
 //!   tests.
 //!
@@ -40,6 +42,9 @@ pub use band::{Band, NamedBand};
 pub use complex::Complex;
 pub use noise::{noise_power_dbm, shannon_capacity_bps, snr_db};
 pub use phase::{quantize_phase, wrap_phase};
-pub use simd::{F32x4, F32x8, Mask4, Mask8};
+pub use simd::{
+    backend, Backend, F32x4, F32x8, F64x2, F64x4, Mask4, Mask8, MaskD2, MaskD4, SimdF32x8,
+    SimdF64x4, SimdMask8, SimdMaskD4,
+};
 pub use ulp::{approx_eq_ulps_f64, ulp_distance_f32, ulp_distance_f64};
 pub use units::{db_to_linear, dbm_to_watts, linear_to_db, watts_to_dbm, SPEED_OF_LIGHT};

@@ -37,7 +37,7 @@
 //! line.
 
 use crate::vec3::Vec3;
-use surfos_em::simd::{F32x8, Mask8};
+use surfos_em::simd::{Backend, F32x8, SimdF32x8, SimdMask8};
 
 /// An axis-aligned bounding box.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -692,9 +692,14 @@ impl Bvh {
     /// queries.
     ///
     /// Returns the bitmask of lanes whose `visit` returned `true`.
-    pub fn packet_candidates_until(
+    ///
+    /// `#[inline(always)]` is load-bearing: AVX2 instantiations must
+    /// inline into their caller's `#[target_feature(enable = "avx2")]`
+    /// frame so the lane intrinsics compile to bare instructions.
+    #[inline(always)]
+    pub fn packet_candidates_until<V: SimdF32x8>(
         &self,
-        packet: &SegmentPacket,
+        packet: &SegmentPacket<V>,
         mut visit: impl FnMut(usize, usize, usize) -> bool,
     ) -> u8 {
         if self.nodes.is_empty() {
@@ -780,10 +785,12 @@ impl Bvh {
 
     /// Calls `visit(lane, slot, prim)` for every packet candidate (no
     /// early exit); packet analogue of
-    /// [`Self::for_each_segment_candidate`].
-    pub fn for_each_packet_candidate(
+    /// [`Self::for_each_segment_candidate`]. Inlines always, for the
+    /// same reason as [`Self::packet_candidates_until`].
+    #[inline(always)]
+    pub fn for_each_packet_candidate<V: SimdF32x8>(
         &self,
-        packet: &SegmentPacket,
+        packet: &SegmentPacket<V>,
         mut visit: impl FnMut(usize, usize, usize),
     ) {
         self.packet_candidates_until(packet, |lane, slot, prim| {
@@ -823,30 +830,36 @@ const PACKET_D_EPS: f32 = 1e-3;
 /// by the caller's per-candidate test. Node boxes are assumed
 /// non-inverted, which holds for every node of a built tree (built and
 /// refitted boxes are unions of primitive boxes).
+///
+/// Generic over the 8-lane vector type `V` so the same traversal math
+/// runs on the portable pair registers ([`F32x8`]) and the native AVX2
+/// registers (`surfos_em::simd::avx2::F32x8A`); every [`SimdF32x8`]
+/// implementor has bit-identical lane semantics, so the candidate sets
+/// are identical whichever instantiation runs.
 #[derive(Debug, Clone)]
-pub struct SegmentPacket {
+pub struct SegmentPacket<V: SimdF32x8 = F32x8> {
     /// Per-axis lane origins.
-    o: [F32x8; 3],
+    o: [V; 3],
     /// Per-axis lane reciprocal directions (`0.0` on degenerate lanes).
-    inv: [F32x8; 3],
+    inv: [V; 3],
     /// Per-axis conservative widening of the slab interval, in `t` units;
     /// `+∞` on parallel lanes, so their slab interval is `(-∞, +∞)` and
     /// never constrains `t` — no per-axis select needed.
-    slack: [F32x8; 3],
+    slack: [V; 3],
     /// Per-axis mask of lanes that are parallel to the axis.
-    par: [Mask8; 3],
+    par: [V::Mask; 3],
     /// Whether any lane is parallel to any axis; when `false` the
     /// containment sweep in [`Self::test_box`] is skipped wholesale.
     has_par: bool,
     /// Containment pad for parallel-axis checks, in metres.
-    pad: F32x8,
+    pad: V,
     /// Mask of lanes holding real segments.
-    active: Mask8,
+    active: V::Mask,
     /// Number of real segments (`1..=LANES`).
     len: usize,
 }
 
-impl SegmentPacket {
+impl<V: SimdF32x8> SegmentPacket<V> {
     /// Packet width.
     pub const LANES: usize = 8;
 
@@ -856,6 +869,7 @@ impl SegmentPacket {
     ///
     /// # Panics
     /// Panics if `segments` is empty or holds more than [`Self::LANES`].
+    #[inline(always)]
     pub fn new(segments: &[(Vec3, Vec3)]) -> Self {
         let len = segments.len();
         assert!(
@@ -907,16 +921,16 @@ impl SegmentPacket {
                 }
             }
         }
-        let d_eps = F32x8::splat(PACKET_D_EPS);
-        let par = par_abs_d.map(|d| F32x8::from_array(d).simd_lt(d_eps));
+        let d_eps = V::splat(PACKET_D_EPS);
+        let par = par_abs_d.map(|d| V::from_array(d).simd_lt(d_eps));
         SegmentPacket {
-            o: o.map(F32x8::from_array),
-            inv: inv.map(F32x8::from_array),
-            slack: slack.map(F32x8::from_array),
+            o: o.map(V::from_array),
+            inv: inv.map(V::from_array),
+            slack: slack.map(V::from_array),
             has_par: par.iter().any(|m| m.any()),
             par,
-            pad: F32x8::splat(pad_scalar),
-            active: Mask8::first_n(len),
+            pad: V::splat(pad_scalar),
+            active: V::mask_first_n(len),
             len,
         }
     }
@@ -938,13 +952,13 @@ impl SegmentPacket {
 
     /// The vectorized conservative slab test: one bit per lane whose
     /// segment may touch the box `[min, max]`.
-    #[inline]
+    #[inline(always)]
     fn test_box(&self, min: &[f32; 3], max: &[f32; 3]) -> u8 {
-        let mut t0 = F32x8::splat(0.0);
-        let mut t1 = F32x8::splat(1.0);
+        let mut t0 = V::splat(0.0);
+        let mut t1 = V::splat(1.0);
         for axis in 0..3 {
-            let lo = F32x8::splat(min[axis]);
-            let hi = F32x8::splat(max[axis]);
+            let lo = V::splat(min[axis]);
+            let hi = V::splat(max[axis]);
             let o = self.o[axis];
             let inv = self.inv[axis];
             let a = lo.sub(o).mul(inv);
@@ -961,8 +975,8 @@ impl SegmentPacket {
         // fans) skip the sweep entirely.
         if self.has_par {
             for axis in 0..3 {
-                let lo = F32x8::splat(min[axis]);
-                let hi = F32x8::splat(max[axis]);
+                let lo = V::splat(min[axis]);
+                let hi = V::splat(max[axis]);
                 let o = self.o[axis];
                 let par = self.par[axis];
                 let inside = o.simd_ge(lo.sub(self.pad)).and(o.simd_le(hi.add(self.pad)));
@@ -970,6 +984,201 @@ impl SegmentPacket {
             }
         }
         hit.bitmask()
+    }
+}
+
+/// An 8-lane conservative interval bank over a *fixed set of boxes*:
+/// the transpose of [`SegmentPacket`] — one segment tested against
+/// eight boxes per step instead of eight segments against one box.
+///
+/// `surfos-channel` keeps one bank per blocker list and one per
+/// doorway-aperture list, replacing the per-box scalar
+/// [`Aabb::intersects_segment`] scan in the trace/transmission loops
+/// with a vector sweep. The bank is **conservative by construction**
+/// (mirroring the `SpecularBank` design): box bounds are rounded
+/// outward to `f32`, and the per-segment slab parameters carry the
+/// same error budget as [`SegmentPacket::new`], so no box the exact
+/// `f64` test accepts is ever prefiltered out. Survivors are visited
+/// in ascending index order and re-tested exactly by the caller, so
+/// downstream results are bit-identical to the unfiltered scan.
+///
+/// Queries dispatch on [`surfos_em::simd::backend()`]: the AVX2 arm
+/// sweeps native 256-bit lanes, the SSE2 arm the portable pair type,
+/// and the scalar reference arm visits every index (the unfiltered
+/// pre-bank behaviour).
+#[derive(Debug, Clone, Default)]
+pub struct AabbBank {
+    /// Per-axis minima, rounded down to `f32`, padded to a multiple of
+    /// 8 with never-visited rows.
+    min: [Vec<f32>; 3],
+    /// Per-axis maxima, rounded up to `f32`.
+    max: [Vec<f32>; 3],
+    /// Number of real boxes (the padding rows are dropped by the index
+    /// bound check while visiting).
+    len: usize,
+}
+
+impl AabbBank {
+    /// Number of box lanes swept per step.
+    pub const LANES: usize = 8;
+
+    /// Builds a bank over `boxes` (index `i` in the bank is `boxes[i]`).
+    pub fn new(boxes: &[Aabb]) -> Self {
+        let padded = boxes.len().next_multiple_of(Self::LANES).max(Self::LANES);
+        let mut min: [Vec<f32>; 3] = core::array::from_fn(|_| vec![0.0; padded]);
+        let mut max: [Vec<f32>; 3] = core::array::from_fn(|_| vec![0.0; padded]);
+        for (i, b) in boxes.iter().enumerate() {
+            for axis in 0..3 {
+                min[axis][i] = round_down(Aabb::axis(b.min, axis));
+                max[axis][i] = round_up(Aabb::axis(b.max, axis));
+            }
+        }
+        AabbBank {
+            min,
+            max,
+            len: boxes.len(),
+        }
+    }
+
+    /// Number of real boxes in the bank.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bank holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `visit(i)`, in ascending index order, for every box the
+    /// segment `from → to` *may* touch — a conservative superset of the
+    /// boxes [`Aabb::intersects_segment`] accepts. Dispatches on the
+    /// process-wide SIMD backend.
+    #[inline]
+    pub fn for_each_candidate(&self, from: Vec3, to: Vec3, visit: impl FnMut(usize)) {
+        self.for_each_candidate_with(surfos_em::simd::backend(), from, to, visit);
+    }
+
+    /// [`Self::for_each_candidate`] with an explicit kernel arm, for
+    /// benches and cross-backend equivalence tests.
+    ///
+    /// # Panics
+    /// Panics if `Backend::Avx2` is forced on a host without AVX2+FMA.
+    #[doc(hidden)]
+    pub fn for_each_candidate_with(
+        &self,
+        backend: Backend,
+        from: Vec3,
+        to: Vec3,
+        mut visit: impl FnMut(usize),
+    ) {
+        // Below one lane group the vector setup (segment splat + interval
+        // reps) costs more than just exact-testing every box — and a
+        // visit-all pass is trivially conservative. Keeps per-shard
+        // blocker banks (a walker or two each) off the sweep entirely.
+        if self.len <= Self::LANES {
+            for i in 0..self.len {
+                visit(i);
+            }
+            return;
+        }
+        match backend {
+            // The scalar reference arm: no prefilter, every box goes to
+            // the caller's exact test (the pre-bank behaviour).
+            Backend::Scalar => {
+                for i in 0..self.len {
+                    visit(i);
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                assert!(
+                    surfos_em::simd::avx2_available(),
+                    "Backend::Avx2 forced without AVX2+FMA support"
+                );
+                // SAFETY: avx2 presence asserted just above.
+                unsafe { self.sweep_avx2(from, to, &mut visit) }
+            }
+            _ => self.sweep::<F32x8>(from, to, &mut visit),
+        }
+    }
+
+    /// AVX2 entry point: compiles [`Self::sweep`] with 256-bit lanes.
+    ///
+    /// # Safety
+    /// Requires the `avx2` CPU feature (the dispatch arm checks).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sweep_avx2(&self, from: Vec3, to: Vec3, visit: &mut impl FnMut(usize)) {
+        self.sweep::<surfos_em::simd::avx2::F32x8A>(from, to, visit);
+    }
+
+    /// The vector sweep: the [`SegmentPacket`] slab math transposed
+    /// (segment parameters splat, box bounds loaded per lane), with the
+    /// identical error budget, so the conservativeness argument carries
+    /// over unchanged.
+    #[inline(always)]
+    fn sweep<V: SimdF32x8>(&self, from: Vec3, to: Vec3, visit: &mut impl FnMut(usize)) {
+        // Per-segment scalar precompute, mirroring SegmentPacket::new.
+        let mut mag = 1.0f64;
+        for v in [from, to] {
+            mag = mag.max(v.x.abs()).max(v.y.abs()).max(v.z.abs());
+        }
+        let eps_pos = mag * 2.4e-7;
+        let pad = ((PACKET_D_EPS as f64 + eps_pos) * 1.01) as f32;
+        let mut o = [0.0f32; 3];
+        let mut inv = [0.0f32; 3];
+        let mut slack = [0.0f32; 3];
+        let mut par = [false; 3];
+        for (axis, (f, t)) in [(from.x, to.x), (from.y, to.y), (from.z, to.z)]
+            .into_iter()
+            .enumerate()
+        {
+            o[axis] = f as f32;
+            let df = (t - f) as f32;
+            if df.abs() >= PACKET_D_EPS {
+                let inv_f = 1.0 / df;
+                inv[axis] = inv_f;
+                slack[axis] = ((eps_pos * (inv_f as f64).abs() + 1e-6) * 1.01) as f32;
+            } else {
+                par[axis] = true;
+            }
+        }
+        let mut base = 0;
+        while base < self.min[0].len() {
+            let mut t0 = V::splat(0.0);
+            let mut t1 = V::splat(1.0);
+            let mut ok = V::Mask::splat(true);
+            for axis in 0..3 {
+                let lo = V::from_array(self.min[axis][base..base + 8].try_into().unwrap());
+                let hi = V::from_array(self.max[axis][base..base + 8].try_into().unwrap());
+                let ov = V::splat(o[axis]);
+                if par[axis] {
+                    // Degenerate axis: padded containment, exactly as
+                    // the packet layer handles parallel lanes.
+                    let pv = V::splat(pad);
+                    let inside = ov.simd_ge(lo.sub(pv)).and(ov.simd_le(hi.add(pv)));
+                    ok = ok.and(inside);
+                } else {
+                    let iv = V::splat(inv[axis]);
+                    let sv = V::splat(slack[axis]);
+                    let a = lo.sub(ov).mul(iv);
+                    let b = hi.sub(ov).mul(iv);
+                    t0 = t0.max(a.min(b).sub(sv));
+                    t1 = t1.min(a.max(b).add(sv));
+                }
+            }
+            let mut bits = ok.and(t0.simd_le(t1)).bitmask();
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let i = base + lane;
+                if i < self.len {
+                    visit(i);
+                }
+            }
+            base += 8;
+        }
     }
 }
 
@@ -1174,7 +1383,7 @@ mod tests {
         let boxes = scene_boxes(11, 80);
         let bvh = Bvh::build(&boxes);
         let seg = (Vec3::new(-1.0, -1.0, 1.0), Vec3::new(21.0, 21.0, 2.0));
-        let packet = SegmentPacket::new(&[seg, seg, seg]);
+        let packet = SegmentPacket::<F32x8>::new(&[seg, seg, seg]);
         let mut counts = [0usize; 3];
         let done = bvh.packet_candidates_until(&packet, |lane, _, _| {
             counts[lane] += 1;
@@ -1190,7 +1399,7 @@ mod tests {
     #[test]
     fn packet_on_empty_tree_visits_nothing() {
         let bvh = Bvh::build(&[]);
-        let packet = SegmentPacket::new(&[(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0))]);
+        let packet = SegmentPacket::<F32x8>::new(&[(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0))]);
         let done = bvh.packet_candidates_until(&packet, |_, _, _| panic!("no candidates expected"));
         assert_eq!(done, 0);
     }
@@ -1198,7 +1407,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "packet holds 1..=8 segments")]
     fn packet_rejects_empty_batch() {
-        SegmentPacket::new(&[]);
+        SegmentPacket::<F32x8>::new(&[]);
     }
 
     #[test]
@@ -1328,7 +1537,7 @@ mod tests {
                 scene_boxes(seed, n)
             };
             let segs = packet_segments(seed ^ 0xD1F7, k);
-            let packet = SegmentPacket::new(&segs);
+            let packet = SegmentPacket::<F32x8>::new(&segs);
             prop_assert_eq!(packet.len(), k);
             for bvh in [Bvh::build(&boxes), Bvh::build_median(&boxes)] {
                 // Indexing by lane also asserts no visit ever names an
@@ -1373,6 +1582,82 @@ mod tests {
                 // Leaves partition the primitive set: every primitive is in
                 // exactly one leaf, so a full-cover query finds all of them.
                 prop_assert!(bvh.len() == n);
+            }
+        }
+    }
+
+    // ── AabbBank ───────────────────────────────────────────────────────
+
+    /// The backends the host can actually run, scalar reference first.
+    fn runnable_backends() -> Vec<surfos_em::simd::Backend> {
+        use surfos_em::simd::Backend;
+        let mut backends = vec![Backend::Scalar, Backend::Sse2];
+        if surfos_em::simd::avx2_available() {
+            backends.push(Backend::Avx2);
+        }
+        backends
+    }
+
+    #[test]
+    fn aabb_bank_empty_visits_nothing() {
+        let bank = AabbBank::new(&[]);
+        assert!(bank.is_empty());
+        assert_eq!(bank.len(), 0);
+        for backend in runnable_backends() {
+            bank.for_each_candidate_with(backend, Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0), |_| {
+                panic!("empty bank produced a candidate")
+            });
+        }
+    }
+
+    #[test]
+    fn aabb_bank_visits_hit_boxes_in_order() {
+        let boxes = scene_boxes(3, 40);
+        let bank = AabbBank::new(&boxes);
+        assert_eq!(bank.len(), 40);
+        let from = Vec3::new(-1.0, -1.0, 1.0);
+        let to = Vec3::new(21.0, 21.0, 2.0);
+        for backend in runnable_backends() {
+            let mut got = Vec::new();
+            bank.for_each_candidate_with(backend, from, to, |i| got.push(i));
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "{backend:?} unordered");
+            for (i, b) in boxes.iter().enumerate() {
+                if b.intersects_segment(from, to) {
+                    assert!(got.contains(&i), "{backend:?} dropped hit box {i}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_aabb_bank_is_conservative_on_every_backend(
+            seed in 0u64..100_000,
+            n in 0usize..60,
+            k in 1usize..8,
+        ) {
+            // The bank must never drop a box the exact f64 segment test
+            // accepts — on any backend, including axis-parallel segments
+            // (the padded-containment path) and degenerate boxes.
+            let boxes = if seed % 2 == 0 {
+                degenerate_boxes(seed, n)
+            } else {
+                scene_boxes(seed, n)
+            };
+            let bank = AabbBank::new(&boxes);
+            for (from, to) in packet_segments(seed ^ 0x0BB5, k) {
+                for backend in runnable_backends() {
+                    let mut got = vec![false; n];
+                    bank.for_each_candidate_with(backend, from, to, |i| got[i] = true);
+                    for (i, b) in boxes.iter().enumerate() {
+                        if b.intersects_segment(from, to) {
+                            prop_assert!(
+                                got[i],
+                                "{:?} dropped intersected box {}", backend, i
+                            );
+                        }
+                    }
+                }
             }
         }
     }

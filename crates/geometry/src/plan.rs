@@ -13,7 +13,7 @@ use crate::vec3::Vec3;
 use crate::wall::Wall;
 use serde::{Deserialize, Serialize};
 use surfos_em::band::Band;
-use surfos_em::simd::F32x8;
+use surfos_em::simd::{Backend, F32x8, F64x4, SimdF32x8, SimdF64x4, SimdMask8, SimdMaskD4};
 
 /// Conservative padding on wall bounding boxes: `intersect_segment` accepts
 /// crossings up to the 1 mm graze margin beyond a wall's footprint ends, so
@@ -36,6 +36,9 @@ pub struct WallIndex {
     /// packet-candidate loops read them sequentially within each leaf
     /// instead of chasing the scattered `Wall` structs.
     soa: Vec<WallSoa>,
+    /// The same operands as `soa`, columnar (still slot order), for the
+    /// four-lane `f64` crossing solve in the batch queries.
+    bank: WallBank,
     /// Reflection-geometry operands in *wall* order for the vectorized
     /// specular prefilter.
     spec: SpecularBank,
@@ -179,6 +182,99 @@ impl WallSoa {
     }
 }
 
+/// The [`WallSoa`] operands as `f64` columns (still tree-slot order), so
+/// [`crossing_t_x4`] gathers four candidate walls into one vector register
+/// per operand. The margin columns are pre-applied forms of the scalar
+/// test's runtime expressions — `-u_margin` (exact negation) and
+/// `1.0 + u_margin` (same addition, same rounding) — so the vector
+/// comparisons see bit-identical thresholds.
+#[derive(Debug, Clone, Default)]
+struct WallBank {
+    qx: Vec<f64>,
+    qy: Vec<f64>,
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    height: Vec<f64>,
+    neg_u_margin: Vec<f64>,
+    one_plus_u_margin: Vec<f64>,
+    /// Low 64 bits of the batch sort key, precomputed per tree slot:
+    /// `[wall index : 48][material index : 8]` shifted into place (see
+    /// `crossings_batch_impl`). One sequential load per accepted hit
+    /// replaces two scattered `order()`/`soa` reads in the hot callback.
+    key_lo: Vec<u64>,
+}
+
+impl WallBank {
+    fn new(soa: &[WallSoa], order: &[u32]) -> Self {
+        let mut b = WallBank::default();
+        for (w, &wall) in soa.iter().zip(order) {
+            b.qx.push(w.qx);
+            b.qy.push(w.qy);
+            b.sx.push(w.sx);
+            b.sy.push(w.sy);
+            b.height.push(w.height);
+            b.neg_u_margin.push(-w.u_margin);
+            b.one_plus_u_margin.push(1.0 + w.u_margin);
+            debug_assert!((wall as u64) < (1 << 48));
+            b.key_lo
+                .push(((wall as u64) << 16) | w.material.index() as u64);
+        }
+        b
+    }
+}
+
+/// Four [`WallSoa::crossing_t`] solves at once: the crossing parameters of
+/// one segment against the four walls at `slots`, as `(t lanes, accept
+/// bitmask)`.
+///
+/// Every lane runs **operation-for-operation the same arithmetic** as the
+/// scalar solve — each vector op is one correctly-rounded IEEE operation
+/// per lane, and every [`SimdF64x4`] backend has bit-identical lane
+/// semantics — so an accepted lane's `t` is bit-identical to the scalar
+/// `Some(t)` and the accept decision matches the scalar one for all
+/// finite inputs (NaN lanes, which finite walls never produce, fall on
+/// the reject side of the `false`-on-NaN comparisons).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat scalars keep the call register-resident
+fn crossing_t_x4<W: SimdF64x4>(
+    bank: &WallBank,
+    slots: [usize; 4],
+    px: f64,
+    py: f64,
+    rx: f64,
+    ry: f64,
+    fz: f64,
+    dz: f64,
+    t_margin: f64,
+) -> (W, u8) {
+    let gather = |col: &[f64]| W::from_array(slots.map(|s| col[s]));
+    let sx = gather(&bank.sx);
+    let sy = gather(&bank.sy);
+    let rxv = W::splat(rx);
+    let ryv = W::splat(ry);
+    // rxs = rx·sy − ry·sx; |rxs| < 1e-12 ⇒ (near-)parallel, reject.
+    let rxs = rxv.mul(sy).sub(ryv.mul(sx));
+    let keep = rxs.abs().simd_ge(W::splat(1e-12));
+    let qpx = gather(&bank.qx).sub(W::splat(px));
+    let qpy = gather(&bank.qy).sub(W::splat(py));
+    // t along the segment, accepted strictly inside the graze margins.
+    let t = qpx.mul(sy).sub(qpy.mul(sx)).div(rxs);
+    let keep = keep
+        .and(W::splat(t_margin).simd_lt(t))
+        .and(t.simd_lt(W::splat(1.0 - t_margin)));
+    // u along the wall footprint, within the per-wall graze margins.
+    let u = qpx.mul(ryv).sub(qpy.mul(rxv)).div(rxs);
+    let keep = keep
+        .and(u.simd_ge(gather(&bank.neg_u_margin)))
+        .and(u.simd_le(gather(&bank.one_plus_u_margin)));
+    // Crossing height within the wall's vertical extent.
+    let z = W::splat(fz).add(W::splat(dz).mul(t));
+    let keep = keep
+        .and(z.simd_ge(W::splat(0.0)))
+        .and(z.simd_le(gather(&bank.height)));
+    (t, keep.bitmask())
+}
+
 impl WallIndex {
     /// Number of indexed walls (must match the queried plan's).
     pub fn wall_count(&self) -> usize {
@@ -207,29 +303,76 @@ impl WallIndex {
     /// walls the exact scan accepts (the property tests pin this). Callers
     /// run the exact test on the survivors; iterating them in the returned
     /// order reproduces the full-scan result exactly.
+    ///
+    /// Dispatches on [`surfos_em::simd::backend()`]: AVX2 native lanes,
+    /// the portable pair type, or — on the scalar reference arm — no
+    /// prefilter at all (every wall is returned, the trivially
+    /// conservative superset).
     pub fn specular_candidates(&self, source: Vec3, receiver: Vec3) -> Vec<usize> {
+        self.specular_candidates_with(surfos_em::simd::backend(), source, receiver)
+    }
+
+    /// [`Self::specular_candidates`] with an explicit kernel arm, for
+    /// benches and cross-backend equivalence tests.
+    ///
+    /// # Panics
+    /// Panics if `Backend::Avx2` is forced on a host without AVX2+FMA.
+    #[doc(hidden)]
+    pub fn specular_candidates_with(
+        &self,
+        backend: Backend,
+        source: Vec3,
+        receiver: Vec3,
+    ) -> Vec<usize> {
+        match backend {
+            Backend::Scalar => (0..self.wall_count()).collect(),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                assert!(
+                    surfos_em::simd::avx2_available(),
+                    "Backend::Avx2 forced without AVX2+FMA support"
+                );
+                // SAFETY: avx2 presence asserted just above.
+                unsafe { self.specular_candidates_avx2(source, receiver) }
+            }
+            _ => self.specular_candidates_impl::<F32x8>(source, receiver),
+        }
+    }
+
+    /// AVX2 entry point: compiles the prefilter with 256-bit lanes.
+    ///
+    /// # Safety
+    /// Requires the `avx2` CPU feature (the dispatch arm checks).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn specular_candidates_avx2(&self, source: Vec3, receiver: Vec3) -> Vec<usize> {
+        self.specular_candidates_impl::<surfos_em::simd::avx2::F32x8A>(source, receiver)
+    }
+
+    #[inline(always)]
+    fn specular_candidates_impl<V: SimdF32x8>(&self, source: Vec3, receiver: Vec3) -> Vec<usize> {
         let n = self.wall_count();
         let b = &self.spec;
         let mut out = Vec::new();
-        let eps = F32x8::splat(SPEC_EPS);
-        let zero = F32x8::splat(0.0);
-        let one = F32x8::splat(1.0);
-        let two = F32x8::splat(2.0);
-        let four = F32x8::splat(4.0);
-        let sxp = F32x8::splat(source.x as f32);
-        let syp = F32x8::splat(source.y as f32);
-        let rxp = F32x8::splat(receiver.x as f32);
-        let ryp = F32x8::splat(receiver.y as f32);
-        let szp = F32x8::splat(source.z as f32);
-        let zspan = F32x8::splat((receiver.z - source.z) as f32);
+        let eps = V::splat(SPEC_EPS);
+        let zero = V::splat(0.0);
+        let one = V::splat(1.0);
+        let two = V::splat(2.0);
+        let four = V::splat(4.0);
+        let sxp = V::splat(source.x as f32);
+        let syp = V::splat(source.y as f32);
+        let rxp = V::splat(receiver.x as f32);
+        let ryp = V::splat(receiver.y as f32);
+        let szp = V::splat(source.z as f32);
+        let zspan = V::splat((receiver.z - source.z) as f32);
         let zspan_a = zspan.abs();
         // Endpoint magnitude scale: bounds the absolute rounding error of
         // any planar endpoint coordinate after the f32 conversion.
-        let coordmag = F32x8::splat(
+        let coordmag = V::splat(
             (source.x.abs() + source.y.abs() + receiver.x.abs() + receiver.y.abs()) as f32,
         );
         for c in (0..b.ax.len()).step_by(SPEC_LANES) {
-            let load = |v: &[f32]| F32x8::from_array(v[c..c + SPEC_LANES].try_into().unwrap());
+            let load = |v: &[f32]| V::from_array(v[c..c + SPEC_LANES].try_into().unwrap());
             let ax = load(&b.ax);
             let ay = load(&b.ay);
             let nx = load(&b.nx);
@@ -501,15 +644,17 @@ impl FloorPlan {
     /// Assembles a [`WallIndex`] around a built hierarchy: per-wall graze
     /// margins in wall order, intersection rows in tree-slot order.
     fn index_from(&self, bvh: Bvh) -> WallIndex {
-        let soa = bvh
+        let soa: Vec<WallSoa> = bvh
             .order()
             .iter()
             .map(|&i| WallSoa::new(&self.walls[i as usize]))
             .collect();
+        let bank = WallBank::new(&soa, bvh.order());
         WallIndex {
             bvh,
             u_margins: self.walls.iter().map(Wall::u_margin).collect(),
             soa,
+            bank,
             spec: SpecularBank::new(&self.walls),
         }
     }
@@ -591,29 +736,113 @@ impl FloorPlan {
     ///
     /// Segments are traced in packets of up to [`SegmentPacket::LANES`]
     /// through [`Bvh::packet_candidates_until`], so coherent batches (the
-    /// bounce-leg fans of a link trace) share most of their node visits.
-    /// Each candidate still runs the exact per-wall test and each lane's
-    /// hits are re-sorted by `(t, wall index)`, so every per-segment
-    /// result is **bit-identical** to [`FloorPlan::crossings_with`] — the
-    /// packet layer only changes which wall boxes get *ruled out* early.
+    /// bounce-leg fans of a link trace) share most of their node visits,
+    /// and each lane's surviving candidates run the exact `f64` crossing
+    /// solve four walls at a time (`crossing_t_x4`). Every accepted `t`
+    /// is bit-identical to the scalar solve and each lane's hits are
+    /// re-sorted by `(t, wall index)`, so every per-segment result is
+    /// **bit-identical** to [`FloorPlan::crossings_with`] on every SIMD
+    /// backend — the wide layers only change which walls get *ruled out*
+    /// early.
     pub fn crossings_batch(
         &self,
         index: &WallIndex,
         segments: &[(Vec3, Vec3)],
     ) -> Vec<Vec<(usize, Material)>> {
+        self.crossings_batch_with(index, surfos_em::simd::backend(), segments)
+    }
+
+    /// [`Self::crossings_batch`] with an explicit kernel arm, for benches
+    /// and cross-backend equivalence tests. The scalar reference arm runs
+    /// the per-segment scalar query in a loop.
+    ///
+    /// # Panics
+    /// Panics if `Backend::Avx2` is forced on a host without AVX2+FMA.
+    #[doc(hidden)]
+    pub fn crossings_batch_with(
+        &self,
+        index: &WallIndex,
+        backend: Backend,
+        segments: &[(Vec3, Vec3)],
+    ) -> Vec<Vec<(usize, Material)>> {
         debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
         let mut out = Vec::with_capacity(segments.len());
-        // Scratch hit buffers are reused across packets (drain keeps the
-        // allocation), so a long batch settles into zero per-chunk
+        match backend {
+            Backend::Scalar => {
+                for &(from, to) in segments {
+                    out.push(self.crossings_with(index, from, to));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                assert!(
+                    surfos_em::simd::avx2_available(),
+                    "Backend::Avx2 forced without AVX2+FMA support"
+                );
+                // SAFETY: avx2 presence asserted just above.
+                unsafe { self.crossings_batch_avx2(index, segments, &mut out) }
+            }
+            _ => self.crossings_batch_impl::<F32x8, F64x4>(index, segments, &mut out),
+        }
+        out
+    }
+
+    /// AVX2 entry point for the batch crossing solve.
+    ///
+    /// # Safety
+    /// Requires the `avx2` CPU feature (the dispatch arm checks).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn crossings_batch_avx2(
+        &self,
+        index: &WallIndex,
+        segments: &[(Vec3, Vec3)],
+        out: &mut Vec<Vec<(usize, Material)>>,
+    ) {
+        use surfos_em::simd::avx2::{F32x8A, F64x4A};
+        self.crossings_batch_impl::<F32x8A, F64x4A>(index, segments, out);
+    }
+
+    /// The wide batch body, generic over the `f32` packet lanes (`V`, the
+    /// BVH traversal) and the `f64` solve lanes (`W`, the crossing test).
+    #[inline(always)]
+    fn crossings_batch_impl<V: SimdF32x8, W: SimdF64x4>(
+        &self,
+        index: &WallIndex,
+        segments: &[(Vec3, Vec3)],
+        out: &mut Vec<Vec<(usize, Material)>>,
+    ) {
+        // A hit is packed into one sortable u128 key:
+        // `[t bits : 64][wall index : 48][material index : 8]` (top 8 bits
+        // unused). Accepted `t` values are strictly positive finite
+        // doubles, whose IEEE bit patterns order exactly like the values —
+        // so an unsigned sort of the keys reproduces the scalar path's
+        // `(t, wall_index)` lexicographic order (wall indices are unique
+        // per segment, so the material byte never decides). 16-byte POD
+        // keys with a branchless integer compare sort measurably faster
+        // than 24-byte tuples under `f64::total_cmp`. The low half is
+        // precomputed per tree slot in [`WallBank::key_lo`], so packing a
+        // hit is one shift-or against one sequential load.
+        let pack = |t: f64, slot: usize| -> u128 {
+            debug_assert!(t > 0.0);
+            ((t.to_bits() as u128) << 64) | index.bank.key_lo[slot] as u128
+        };
+        // Scratch buffers are reused across packets (drain/clear keep the
+        // allocations), so a long batch settles into zero per-chunk
         // intermediate allocations.
-        let mut hits: [Vec<(f64, usize, Material)>; SegmentPacket::LANES] = Default::default();
-        let mut t_margins = [0.0f64; SegmentPacket::LANES];
+        let mut hits: [Vec<u128>; SegmentPacket::<F32x8>::LANES] = Default::default();
+        // Per-lane pending candidate slots: the f64 solve runs four-wide
+        // as soon as a lane has a full group, right inside the traversal
+        // callback, so candidate slots are never re-buffered.
+        let mut pend = [[0usize; 4]; SegmentPacket::<F32x8>::LANES];
+        let mut npend = [0usize; SegmentPacket::<F32x8>::LANES];
+        let mut t_margins = [0.0f64; SegmentPacket::<F32x8>::LANES];
         // Per-lane segment operands, hoisted once per chunk in exactly the
         // form the wall test consumes: `p = from.flat()`, `r = to.flat() -
         // p`, plus the z-interpolation endpoints.
-        let mut ops = [[0.0f64; 6]; SegmentPacket::LANES];
-        for chunk in segments.chunks(SegmentPacket::LANES) {
-            let packet = SegmentPacket::new(chunk);
+        let mut ops = [[0.0f64; 6]; SegmentPacket::<F32x8>::LANES];
+        for chunk in segments.chunks(SegmentPacket::<F32x8>::LANES) {
+            let packet = SegmentPacket::<V>::new(chunk);
             for (lane, &(from, to)) in chunk.iter().enumerate() {
                 t_margins[lane] = Wall::t_margin(from, to);
                 ops[lane] = [
@@ -627,19 +856,59 @@ impl FloorPlan {
             }
             index
                 .bvh
-                .for_each_packet_candidate(&packet, |lane, slot, i| {
-                    let [px, py, rx, ry, fz, dz] = ops[lane];
-                    let w = &index.soa[slot];
-                    if let Some(t) = w.crossing_t(px, py, rx, ry, fz, dz, t_margins[lane]) {
-                        hits[lane].push((t, i, w.material));
+                .for_each_packet_candidate(&packet, |lane, slot, _| {
+                    pend[lane][npend[lane]] = slot;
+                    npend[lane] += 1;
+                    if npend[lane] == 4 {
+                        npend[lane] = 0;
+                        let slots = pend[lane];
+                        let [px, py, rx, ry, fz, dz] = ops[lane];
+                        let (t, mut accept) = crossing_t_x4::<W>(
+                            &index.bank,
+                            slots,
+                            px,
+                            py,
+                            rx,
+                            ry,
+                            fz,
+                            dz,
+                            t_margins[lane],
+                        );
+                        if accept != 0 {
+                            let ts = t.to_array();
+                            while accept != 0 {
+                                let j = accept.trailing_zeros() as usize;
+                                accept &= accept - 1;
+                                hits[lane].push(pack(ts[j], slots[j]));
+                            }
+                        }
                     }
                 });
-            for lane_hits in hits.iter_mut().take(chunk.len()) {
-                lane_hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                out.push(lane_hits.drain(..).map(|(_, i, m)| (i, m)).collect());
+            for lane in 0..chunk.len() {
+                // Remainder candidates run the scalar solve — bit-identical
+                // to the vector lanes, so the mix is invisible downstream.
+                let [px, py, rx, ry, fz, dz] = ops[lane];
+                for &slot in &pend[lane][..npend[lane]] {
+                    let w = &index.soa[slot];
+                    if let Some(t) = w.crossing_t(px, py, rx, ry, fz, dz, t_margins[lane]) {
+                        hits[lane].push(pack(t, slot));
+                    }
+                }
+                npend[lane] = 0;
+                hits[lane].sort_unstable();
+                out.push(
+                    hits[lane]
+                        .drain(..)
+                        .map(|k| {
+                            (
+                                ((k >> 16) & 0xFFFF_FFFF_FFFF) as usize,
+                                Material::ALL[(k & 0xFF) as usize],
+                            )
+                        })
+                        .collect(),
+                );
             }
         }
-        out
     }
 
     /// [`FloorPlan::has_los_with`] for a whole batch of segments: one
@@ -647,12 +916,74 @@ impl FloorPlan {
     /// per-segment query. Lanes retire from the shared packet traversal
     /// as soon as an exact wall crossing confirms them blocked.
     pub fn has_los_batch(&self, index: &WallIndex, segments: &[(Vec3, Vec3)]) -> Vec<bool> {
+        self.has_los_batch_with(index, surfos_em::simd::backend(), segments)
+    }
+
+    /// [`Self::has_los_batch`] with an explicit kernel arm, for benches
+    /// and cross-backend equivalence tests. The scalar reference arm runs
+    /// the per-segment scalar query in a loop.
+    ///
+    /// # Panics
+    /// Panics if `Backend::Avx2` is forced on a host without AVX2+FMA.
+    #[doc(hidden)]
+    pub fn has_los_batch_with(
+        &self,
+        index: &WallIndex,
+        backend: Backend,
+        segments: &[(Vec3, Vec3)],
+    ) -> Vec<bool> {
         debug_assert_eq!(index.wall_count(), self.walls.len(), "stale wall index");
         let mut out = Vec::with_capacity(segments.len());
-        let mut t_margins = [0.0f64; SegmentPacket::LANES];
-        let mut ops = [[0.0f64; 6]; SegmentPacket::LANES];
-        for chunk in segments.chunks(SegmentPacket::LANES) {
-            let packet = SegmentPacket::new(chunk);
+        match backend {
+            Backend::Scalar => {
+                for &(from, to) in segments {
+                    out.push(self.has_los_with(index, from, to));
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => {
+                assert!(
+                    surfos_em::simd::avx2_available(),
+                    "Backend::Avx2 forced without AVX2+FMA support"
+                );
+                // SAFETY: avx2 presence asserted just above.
+                unsafe { self.has_los_batch_avx2(index, segments, &mut out) }
+            }
+            _ => self.has_los_batch_impl::<F32x8>(index, segments, &mut out),
+        }
+        out
+    }
+
+    /// AVX2 entry point for the batch LOS query.
+    ///
+    /// # Safety
+    /// Requires the `avx2` CPU feature (the dispatch arm checks).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn has_los_batch_avx2(
+        &self,
+        index: &WallIndex,
+        segments: &[(Vec3, Vec3)],
+        out: &mut Vec<bool>,
+    ) {
+        self.has_los_batch_impl::<surfos_em::simd::avx2::F32x8A>(index, segments, out);
+    }
+
+    /// The wide LOS body. The per-candidate crossing solve stays scalar
+    /// here: the any-hit early exit retires lanes after very few exact
+    /// tests, so there is rarely a fourth candidate to fill an `f64`
+    /// vector with.
+    #[inline(always)]
+    fn has_los_batch_impl<V: SimdF32x8>(
+        &self,
+        index: &WallIndex,
+        segments: &[(Vec3, Vec3)],
+        out: &mut Vec<bool>,
+    ) {
+        let mut t_margins = [0.0f64; SegmentPacket::<F32x8>::LANES];
+        let mut ops = [[0.0f64; 6]; SegmentPacket::<F32x8>::LANES];
+        for chunk in segments.chunks(SegmentPacket::<F32x8>::LANES) {
+            let packet = SegmentPacket::<V>::new(chunk);
             for (lane, &(from, to)) in chunk.iter().enumerate() {
                 t_margins[lane] = Wall::t_margin(from, to);
                 ops[lane] = [
@@ -674,7 +1005,6 @@ impl FloorPlan {
                 out.push(blocked & (1 << lane) == 0);
             }
         }
-        out
     }
 }
 
@@ -805,6 +1135,15 @@ mod tests {
     // ── Wall-index equivalence ─────────────────────────────────────────
 
     use proptest::prelude::*;
+
+    /// The backends the host can actually run, scalar reference first.
+    fn runnable_backends() -> Vec<Backend> {
+        let mut backends = vec![Backend::Scalar, Backend::Sse2];
+        if surfos_em::simd::avx2_available() {
+            backends.push(Backend::Avx2);
+        }
+        backends
+    }
 
     /// Deterministic pseudo-random clutter: `n` short walls scattered over
     /// a 10×10 m area with mixed materials.
@@ -939,12 +1278,17 @@ mod tests {
             let index = plan.build_wall_index();
             let src = Vec3::new(x0, y0, z0);
             let rcv = Vec3::new(x1, y1, z1);
-            let kept = index.specular_candidates(src, rcv);
-            prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
-            let kept: std::collections::HashSet<usize> = kept.into_iter().collect();
-            for (i, w) in plan.walls().iter().enumerate() {
-                if crate::reflect::specular_reflection(src, rcv, w).is_some() {
-                    prop_assert!(kept.contains(&i), "prefilter dropped accepted wall {}", i);
+            for backend in runnable_backends() {
+                let kept = index.specular_candidates_with(backend, src, rcv);
+                prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+                let kept: std::collections::HashSet<usize> = kept.into_iter().collect();
+                for (i, w) in plan.walls().iter().enumerate() {
+                    if crate::reflect::specular_reflection(src, rcv, w).is_some() {
+                        prop_assert!(
+                            kept.contains(&i),
+                            "{:?} prefilter dropped accepted wall {}", backend, i
+                        );
+                    }
                 }
             }
         }
@@ -981,21 +1325,26 @@ mod tests {
                 .collect();
 
             for index in [plan.build_wall_index(), plan.build_wall_index_median()] {
-                let crossings = plan.crossings_batch(&index, &segments);
-                let los = plan.has_los_batch(&index, &segments);
-                prop_assert_eq!(crossings.len(), k);
-                prop_assert_eq!(los.len(), k);
-                for (i, &(from, to)) in segments.iter().enumerate() {
-                    prop_assert_eq!(
-                        &crossings[i],
-                        &plan.crossings_with(&index, from, to),
-                        "crossings diverged for segment {}", i
-                    );
-                    prop_assert_eq!(
-                        los[i],
-                        plan.has_los_with(&index, from, to),
-                        "has_los diverged for segment {}", i
-                    );
+                // Every runnable kernel arm — scalar reference, portable
+                // pair lanes, native AVX2 — must agree bit for bit with
+                // the per-segment scalar queries.
+                for backend in runnable_backends() {
+                    let crossings = plan.crossings_batch_with(&index, backend, &segments);
+                    let los = plan.has_los_batch_with(&index, backend, &segments);
+                    prop_assert_eq!(crossings.len(), k);
+                    prop_assert_eq!(los.len(), k);
+                    for (i, &(from, to)) in segments.iter().enumerate() {
+                        prop_assert_eq!(
+                            &crossings[i],
+                            &plan.crossings_with(&index, from, to),
+                            "{:?} crossings diverged for segment {}", backend, i
+                        );
+                        prop_assert_eq!(
+                            los[i],
+                            plan.has_los_with(&index, from, to),
+                            "{:?} has_los diverged for segment {}", backend, i
+                        );
+                    }
                 }
             }
         }

@@ -25,6 +25,22 @@ cargo clippy -q --all-targets -- -D warnings
 cargo clippy -q --all-targets --features surfos-em/scalar-fallback -- -D warnings
 cargo test -q --workspace --features surfos-em/scalar-fallback
 
+# Backend-equivalence gate: the runtime-dispatched kernels (scalar
+# reference, sse2 pair-of-x4, native avx2 where the host has avx2+fma)
+# must all return bit-identical geometry and channel results. Each arm
+# forces one backend via SURFOS_SIMD and re-runs the em lane-semantics
+# suite plus the geometry/channel equivalence proptests under it. (The
+# avx2 arm is skipped, not failed, on hosts without it — SURFOS_SIMD=avx2
+# deliberately falls back when not runnable, which would silently retest
+# the detected backend.)
+simd_arms=(scalar sse2)
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null && grep -qw fma /proc/cpuinfo 2>/dev/null; then
+  simd_arms+=(avx2)
+fi
+for arm in "${simd_arms[@]}"; do
+  SURFOS_SIMD="$arm" cargo test -q -p surfos-em -p surfos-geometry -p surfos-channel
+done
+
 # Shard-equivalence gate: the sharded kernel must stay bit-identical to a
 # flat single-scene evaluation even with the worker pool forced serial, so
 # a result that silently depends on thread count cannot land.
@@ -44,4 +60,4 @@ SURFOS_TRACE_CHECK="$trace_tmp" \
 # via #![warn(missing_docs)]) fail the build, not just warn.
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --workspace
 
-echo "lint: formatting, clippy (both simd backends), scalar-fallback tests, shard equivalence (serial), trace export and rustdoc clean"
+echo "lint: formatting, clippy (both simd configs), scalar-fallback tests, backend equivalence (${simd_arms[*]}), shard equivalence (serial), trace export and rustdoc clean"

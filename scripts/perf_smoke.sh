@@ -83,10 +83,14 @@ run_benches() {
     cargo run -q --release -p surfos-bench --bin obs_smoke > "$obs_jsonl"
   fi
 
-  # Wrap the JSON lines into one JSON document with run metadata.
+  # Wrap the JSON lines into one JSON document with run metadata. The
+  # "simd" field is the requested dispatch override ("auto" = runtime
+  # detection); the realized backend is the em.simd.backend line in the
+  # observability attachment.
   local threads="${SURFOS_THREADS:-auto}"
+  local simd="${SURFOS_SIMD:-auto}"
   {
-    printf '{\n  "threads": "%s",\n  "benchmarks": [\n' "$threads"
+    printf '{\n  "threads": "%s",\n  "simd": "%s",\n  "benchmarks": [\n' "$threads" "$simd"
     sed 's/^/    /; $!s/$/,/' "$jsonl"
     printf '  ],\n  "observability": [\n'
     sed 's/^/    /; $!s/$/,/' "$obs_jsonl"
