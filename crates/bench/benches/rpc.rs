@@ -1,0 +1,79 @@
+//! Service-plane wire benchmarks: framing and protocol codec.
+//!
+//! These gate the per-request CPU cost of the `surfosd serve` hot path —
+//! everything a session worker does per frame besides the kernel dispatch
+//! itself: frame encode/decode through `FrameBuf`, request envelope
+//! decode, response encode. A regression here taxes every RPC on every
+//! connection, so the ids live in `BENCH_baseline.json` and are checked
+//! by `scripts/perf_smoke.sh --check` (group `rpc`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surfos::rpc::frame::{encode_frame, FrameBuf};
+use surfos::rpc::proto::{Request, RequestEnvelope, Response};
+
+fn representative_request() -> RequestEnvelope {
+    RequestEnvelope::with_tenant(
+        42,
+        "tenant-7",
+        Request::RegisterService {
+            kind: "coverage".into(),
+            subject: "bedroom".into(),
+            value: 25.0,
+        },
+    )
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc/frame");
+    let body = representative_request().encode();
+    group.bench_function("encode", |b| b.iter(|| encode_frame(black_box(&body))));
+    let wire = encode_frame(&body);
+    group.bench_function("decode_framebuf", |b| {
+        let mut buf = FrameBuf::new();
+        b.iter(|| {
+            buf.extend(black_box(&wire));
+            buf.next_frame().expect("well-formed").expect("complete")
+        })
+    });
+    // Worst-case honest input: the frame arrives in two chunks, so the
+    // decoder sees an incomplete header/body before completing.
+    group.bench_function("decode_split_delivery", |b| {
+        let mut buf = FrameBuf::new();
+        let mid = wire.len() / 2;
+        b.iter(|| {
+            buf.extend(black_box(&wire[..mid]));
+            let none = buf.next_frame().expect("incomplete is not an error");
+            assert!(none.is_none());
+            buf.extend(black_box(&wire[mid..]));
+            buf.next_frame().expect("well-formed").expect("complete")
+        })
+    });
+    group.finish();
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc/proto");
+    let env = representative_request();
+    group.bench_function("request_encode", |b| b.iter(|| black_box(&env).encode()));
+    let body = env.encode();
+    group.bench_function("request_decode", |b| {
+        b.iter(|| RequestEnvelope::decode(black_box(&body)).expect("round-trip"))
+    });
+    let response = Response::Channel {
+        rss_dbm: -51.25,
+        snr_db: 32.5,
+        capacity_bps: 4.5e9,
+    };
+    group.bench_function("response_encode", |b| {
+        b.iter(|| black_box(&response).encode(black_box(42)))
+    });
+    let resp_body = response.encode(42);
+    group.bench_function("response_decode", |b| {
+        b.iter(|| Response::decode(black_box(&resp_body)).expect("round-trip"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame, bench_proto);
+criterion_main!(benches);

@@ -1,0 +1,674 @@
+//! `surfos-loadgen` — iperf for the service plane.
+//!
+//! Opens N concurrent connections to a running `surfosd serve`, replays a
+//! configurable request mix (query / register / intent / ping) at a
+//! target rate or closed-loop, and reports throughput plus p50/p99/p999
+//! request latency sourced from the `surfos-obs` HDR timers
+//! (`rpc.request_ns{op=...}`, one labeled series per op).
+//!
+//! ```text
+//! surfos-loadgen --connect 127.0.0.1:7464 --conns 64 --requests 10000
+//! surfos-loadgen --unix /tmp/surfosd.sock --conns 8 --requests 800 \
+//!     --mix query:8,register:1,intent:1 --rate 500
+//! ```
+//!
+//! Flags:
+//!
+//! - `--connect ADDR` / `--unix PATH` — where the daemon listens (one
+//!   required; both allowed, connections split round-robin).
+//! - `--conns N` — concurrent connections (default 8).
+//! - `--requests N` — total requests across all connections (default 1000).
+//! - `--mix SPEC` — weighted op mix, e.g. `query:8,register:1,intent:1`
+//!   (ops: `ping`, `query`, `register`, `intent`; default `query:8,register:1`).
+//!   The schedule is a deterministic round-robin expansion of the weights,
+//!   so identical invocations replay identical request streams.
+//! - `--rate R` — target requests/second across all connections
+//!   (0 = closed loop, as fast as responses return; default 0).
+//! - `--workers N` — client worker threads (0 = auto).
+//! - `--tenant NAME` — claim one shared tenant on every connection
+//!   (default: each connection gets its own auto tenant).
+//! - `--tx ID` / `--rx ID` — endpoints for `query` ops (default `ap0` /
+//!   `laptop`, the demo scene).
+//! - `--subject ROOM` — subject for `register` ops (default `bedroom`).
+//! - `--timeout-ms N` — abort safety net (default 60000).
+//! - `--metrics-json PATH` / `--deterministic-metrics` — dump the client
+//!   side observability snapshot on exit (`-` for stdout).
+//!
+//! Registered leases are recycled: once a connection holds 4, the next
+//! `register` slot releases the oldest instead, so long runs exercise the
+//! full lease lifecycle instead of just saturating quotas. `Rejected`
+//! responses are counted separately — against a small `--capacity` they
+//! are the *expected* outcome and the daemon's admission works.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use surfos::obs;
+use surfos::rpc::frame::{write_frame, FrameBuf};
+use surfos::rpc::proto::{Request, RequestEnvelope, Response};
+
+#[derive(Debug, Clone)]
+struct Args {
+    connect: Option<String>,
+    unix: Option<String>,
+    conns: usize,
+    requests: u64,
+    mix: Vec<Op>,
+    rate: f64,
+    workers: usize,
+    tenant: Option<String>,
+    tx: String,
+    rx: String,
+    subject: String,
+    timeout_ms: u64,
+    metrics_json: Option<String>,
+    deterministic: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Ping,
+    Query,
+    Register,
+    Intent,
+}
+
+/// Expands `query:8,register:1` into a deterministic round-robin schedule
+/// (interleaved by weight, not 8-then-1, so short runs still mix).
+fn parse_mix(spec: &str) -> Result<Vec<Op>, String> {
+    let mut weighted = Vec::new();
+    for part in spec.split(',') {
+        let (name, weight) = match part.split_once(':') {
+            Some((n, w)) => (
+                n.trim(),
+                w.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad weight in {part:?}"))?,
+            ),
+            None => (part.trim(), 1),
+        };
+        let op = match name {
+            "ping" => Op::Ping,
+            "query" => Op::Query,
+            "register" => Op::Register,
+            "intent" => Op::Intent,
+            other => return Err(format!("unknown op {other:?} in mix")),
+        };
+        weighted.push((op, weight));
+    }
+    let total: usize = weighted.iter().map(|(_, w)| w).sum();
+    if total == 0 {
+        return Err("mix has zero total weight".into());
+    }
+    // Largest-remainder interleave: at position i, pick the op furthest
+    // behind its weight share (signed — an op ahead of its share has a
+    // negative deficit).
+    let mut emitted = vec![0i64; weighted.len()];
+    let mut schedule = Vec::with_capacity(total);
+    for i in 0..total as i64 {
+        let pick = (0..weighted.len())
+            .max_by_key(|&k| weighted[k].1 as i64 * (i + 1) - emitted[k] * total as i64)
+            .expect("non-empty mix");
+        emitted[pick] += 1;
+        schedule.push(weighted[pick].0);
+    }
+    Ok(schedule)
+}
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args {
+        connect: None,
+        unix: None,
+        conns: 8,
+        requests: 1000,
+        mix: parse_mix("query:8,register:1").expect("default mix"),
+        rate: 0.0,
+        workers: 0,
+        tenant: None,
+        tx: "ap0".into(),
+        rx: "laptop".into(),
+        subject: "bedroom".into(),
+        timeout_ms: 60_000,
+        metrics_json: None,
+        deterministic: false,
+    };
+    let mut args = argv.into_iter();
+    fn val(name: &str, v: Option<String>) -> Result<String, String> {
+        v.ok_or_else(|| format!("{name} needs a value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => out.connect = Some(val("--connect", args.next())?),
+            "--unix" => out.unix = Some(val("--unix", args.next())?),
+            "--conns" => {
+                out.conns = val("--conns", args.next())?
+                    .parse()
+                    .map_err(|_| "bad --conns")?
+            }
+            "--requests" => {
+                out.requests = val("--requests", args.next())?
+                    .parse()
+                    .map_err(|_| "bad --requests")?
+            }
+            "--mix" => out.mix = parse_mix(&val("--mix", args.next())?)?,
+            "--rate" => {
+                out.rate = val("--rate", args.next())?
+                    .parse()
+                    .map_err(|_| "bad --rate")?
+            }
+            "--workers" => {
+                out.workers = val("--workers", args.next())?
+                    .parse()
+                    .map_err(|_| "bad --workers")?
+            }
+            "--tenant" => out.tenant = Some(val("--tenant", args.next())?),
+            "--tx" => out.tx = val("--tx", args.next())?,
+            "--rx" => out.rx = val("--rx", args.next())?,
+            "--subject" => out.subject = val("--subject", args.next())?,
+            "--timeout-ms" => {
+                out.timeout_ms = val("--timeout-ms", args.next())?
+                    .parse()
+                    .map_err(|_| "bad --timeout-ms")?
+            }
+            "--metrics-json" => out.metrics_json = Some(val("--metrics-json", args.next())?),
+            "--deterministic-metrics" => out.deterministic = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.connect.is_none() && out.unix.is_none() {
+        return Err("need --connect ADDR and/or --unix PATH".into());
+    }
+    if out.conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+    Ok(out)
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            Conn::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One closed-loop client connection (at most one request in flight).
+struct Client {
+    conn: Conn,
+    inbuf: FrameBuf,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// (request id, op name, send time) of the in-flight request.
+    pending: Option<(u64, &'static str, Instant)>,
+    seq: u64,
+    mix_idx: usize,
+    leases: Vec<u64>,
+    quota: u64,
+    sent: u64,
+    done: u64,
+    dead: bool,
+    tenant_claim: Option<String>,
+}
+
+/// Leases held per connection before `register` slots turn into releases.
+const LEASE_RECYCLE: usize = 4;
+
+impl Client {
+    fn finished(&self) -> bool {
+        self.dead || (self.done >= self.quota && self.pending.is_none())
+    }
+
+    fn next_request(&mut self, args: &Args) -> (Request, &'static str) {
+        let op = args.mix[self.mix_idx % args.mix.len()];
+        self.mix_idx += 1;
+        match op {
+            Op::Ping => (Request::Ping, "ping"),
+            Op::Query => (
+                Request::QueryChannel {
+                    tx: args.tx.clone(),
+                    rx: args.rx.clone(),
+                },
+                "query",
+            ),
+            Op::Intent => (
+                Request::SubmitIntent {
+                    utterance: "I want to watch a movie on my laptop".into(),
+                },
+                "intent",
+            ),
+            Op::Register => {
+                if self.leases.len() >= LEASE_RECYCLE {
+                    (
+                        Request::ReleaseService {
+                            service: self.leases.remove(0),
+                        },
+                        "release",
+                    )
+                } else {
+                    (
+                        Request::RegisterService {
+                            kind: "coverage".into(),
+                            subject: args.subject.clone(),
+                            value: 25.0,
+                        },
+                        "register",
+                    )
+                }
+            }
+        }
+    }
+
+    /// Sends the next scheduled request, if any remain.
+    fn kick(&mut self, args: &Args) {
+        if self.dead || self.pending.is_some() || self.sent >= self.quota {
+            return;
+        }
+        let (request, op) = self.next_request(args);
+        self.seq += 1;
+        let env = match &self.tenant_claim {
+            Some(t) => RequestEnvelope::with_tenant(self.seq, t.clone(), request),
+            None => RequestEnvelope::new(self.seq, request),
+        };
+        let body = env.encode();
+        write_frame(&mut self.outbuf, &body).expect("Vec write is infallible");
+        self.pending = Some((self.seq, op, Instant::now()));
+        self.sent += 1;
+    }
+
+    /// Flushes queued bytes; marks the client dead on a broken pipe.
+    fn flush(&mut self) {
+        while self.out_pos < self.outbuf.len() {
+            match self.conn.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.outbuf.clear();
+        self.out_pos = 0;
+    }
+
+    /// Drains responses; records latency per op into the HDR timers.
+    fn drain(&mut self, scratch: &mut [u8]) {
+        loop {
+            match self.conn.read(scratch) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.inbuf.extend(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            match self.inbuf.next_frame() {
+                Ok(Some(body)) => self.on_response(&body),
+                Ok(None) => break,
+                Err(_) => {
+                    obs::add("loadgen.frame_errors", 1);
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_response(&mut self, body: &str) {
+        let Ok((id, response)) = Response::decode(body) else {
+            obs::add("loadgen.decode_errors", 1);
+            self.dead = true;
+            return;
+        };
+        let Some((want, op, t0)) = self.pending else {
+            obs::add("loadgen.unexpected_frames", 1);
+            return;
+        };
+        if id != want {
+            obs::add("loadgen.unexpected_frames", 1);
+            return;
+        }
+        let _op_label = obs::scoped(&[("op", op)]);
+        obs::observe_ns("rpc.request_ns", t0.elapsed().as_nanos() as u64);
+        obs::add("loadgen.responses", 1);
+        match response {
+            Response::Registered { service, .. } => {
+                self.leases.push(service);
+                obs::add("loadgen.ok", 1);
+            }
+            Response::Rejected { .. } => obs::add("loadgen.rejected", 1),
+            Response::Error { .. } => obs::add("loadgen.errors", 1),
+            _ => obs::add("loadgen.ok", 1),
+        }
+        self.pending = None;
+        self.done += 1;
+    }
+}
+
+fn connect(args: &Args, idx: usize) -> io::Result<Conn> {
+    // With both listeners given, connections alternate between them.
+    let use_unix = match (&args.connect, &args.unix) {
+        (Some(_), Some(_)) => idx % 2 == 1,
+        (None, Some(_)) => true,
+        _ => false,
+    };
+    let conn = if use_unix {
+        Conn::Unix(UnixStream::connect(args.unix.as_deref().expect("checked"))?)
+    } else {
+        Conn::Tcp(TcpStream::connect(
+            args.connect.as_deref().expect("checked"),
+        )?)
+    };
+    conn.set_nonblocking(true)?;
+    Ok(conn)
+}
+
+fn worker(
+    args: &Args,
+    mut clients: Vec<Client>,
+    sent_global: &AtomicU64,
+    start: Instant,
+    deadline: Instant,
+) -> (u64, u64, usize) {
+    let mut scratch = [0u8; 4096];
+    loop {
+        let mut moved = false;
+        let mut all_done = true;
+        for c in &mut clients {
+            if c.finished() {
+                continue;
+            }
+            all_done = false;
+            // Pacing: under --rate, a request slot must be earned by
+            // elapsed time before any client may send.
+            let may_send = if args.rate > 0.0 {
+                let allowed = (start.elapsed().as_secs_f64() * args.rate) as u64;
+                if sent_global.load(Ordering::Relaxed) < allowed {
+                    sent_global.fetch_add(1, Ordering::Relaxed) < allowed
+                } else {
+                    false
+                }
+            } else {
+                true
+            };
+            let before = c.pending.is_some();
+            if may_send {
+                c.kick(args);
+            }
+            c.flush();
+            c.drain(&mut scratch);
+            moved |= c.pending.is_none() || !before;
+        }
+        if all_done {
+            break;
+        }
+        if Instant::now() > deadline {
+            break;
+        }
+        if !moved {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    let sent: u64 = clients.iter().map(|c| c.sent).sum();
+    let done: u64 = clients.iter().map(|c| c.done).sum();
+    let dead = clients.iter().filter(|c| c.dead).count();
+    (sent, done, dead)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("loadgen: {msg}");
+            eprintln!(
+                "usage: surfos-loadgen --connect ADDR|--unix PATH [--conns N] [--requests N] \
+                 [--mix query:8,register:1] [--rate R] [--workers N] [--tenant NAME] \
+                 [--timeout-ms N] [--metrics-json PATH] [--deterministic-metrics]"
+            );
+            std::process::exit(2);
+        }
+    };
+    obs::set_enabled(true);
+
+    // Open every connection up front — concurrency means simultaneously
+    // open sockets, not a connection churn test.
+    let mut clients = Vec::with_capacity(args.conns);
+    for i in 0..args.conns {
+        let conn = match connect(&args, i) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("loadgen: connect {}/{}: {e}", i + 1, args.conns);
+                std::process::exit(1);
+            }
+        };
+        let quota = args.requests / args.conns as u64
+            + u64::from((i as u64) < args.requests % args.conns as u64);
+        clients.push(Client {
+            conn,
+            inbuf: FrameBuf::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            pending: None,
+            seq: 0,
+            mix_idx: i, // offset the schedule so conns don't sync-step
+            leases: Vec::new(),
+            quota,
+            sent: 0,
+            done: 0,
+            dead: false,
+            tenant_claim: args.tenant.clone(),
+        });
+    }
+
+    let workers = if args.workers > 0 {
+        args.workers
+    } else {
+        surfos::channel::par::configured_threads().min(8)
+    }
+    .min(args.conns);
+
+    // Deal clients round-robin across workers.
+    let mut shards: Vec<Vec<Client>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        shards[i % workers].push(c);
+    }
+
+    let sent_global = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(args.timeout_ms);
+    let results: Vec<(u64, u64, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let args = &args;
+                let sent_global = sent_global.clone();
+                scope.spawn(move || worker(args, shard, &sent_global, start, deadline))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let sent: u64 = results.iter().map(|r| r.0).sum();
+    let done: u64 = results.iter().map(|r| r.1).sum();
+    let dead: usize = results.iter().map(|r| r.2).sum();
+
+    let snap = obs::snapshot();
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "loadgen: {} conns, {done}/{sent} responses in {:.2}s  ({:.0} req/s)",
+        args.conns,
+        elapsed.as_secs_f64(),
+        done as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "loadgen: outcomes: ok={} rejected={} errors={} dead_conns={dead}",
+        count("loadgen.ok"),
+        count("loadgen.rejected"),
+        count("loadgen.errors"),
+    );
+    // The headline latency lines: the flat timer, then one per op label.
+    for (name, hdr) in &snap.timers {
+        if name.starts_with("rpc.request_ns") {
+            println!(
+                "loadgen: {name}  p50={} p99={} p999={} max={}  (n={})",
+                fmt_ns(hdr.p50),
+                fmt_ns(hdr.p99),
+                fmt_ns(hdr.p999),
+                fmt_ns(hdr.max),
+                hdr.count
+            );
+        }
+    }
+
+    if let Some(path) = args.metrics_json.as_deref() {
+        let json = if args.deterministic {
+            snap.deterministic_json()
+        } else {
+            snap.to_json()
+        };
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("loadgen: cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if done < sent || dead > 0 {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_expands_interleaved_and_deterministic() {
+        let mix = parse_mix("query:3,register:1").unwrap();
+        assert_eq!(mix.len(), 4);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Query).count(), 3);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Register).count(), 1);
+        assert_eq!(mix, parse_mix("query:3,register:1").unwrap());
+        // Weighted ops interleave instead of clumping, and every weight
+        // is honoured exactly over one period.
+        let mix = parse_mix("query:6,register:2,intent:1,ping:1").unwrap();
+        assert_eq!(mix.len(), 10);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Query).count(), 6);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Register).count(), 2);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Intent).count(), 1);
+        assert_eq!(mix.iter().filter(|o| **o == Op::Ping).count(), 1);
+        assert_ne!(mix[0], mix[5], "six queries must not open back-to-back");
+        // Bare names default to weight 1.
+        assert_eq!(parse_mix("ping").unwrap(), vec![Op::Ping]);
+        assert!(parse_mix("warp:1").is_err());
+        assert!(parse_mix("query:0").is_err());
+    }
+
+    #[test]
+    fn args_require_an_address() {
+        let err = parse_args(["--conns".into(), "4".into()]).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+    }
+
+    #[test]
+    fn register_slots_recycle_leases() {
+        // A client that already holds LEASE_RECYCLE leases turns its next
+        // register slot into a release of the oldest.
+        let args = parse_args([
+            "--connect".into(),
+            "x".into(),
+            "--mix".into(),
+            "register:1".into(),
+        ])
+        .unwrap();
+        let mut c = Client {
+            conn: Conn::Tcp(loopback_stream()),
+            inbuf: FrameBuf::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            pending: None,
+            seq: 0,
+            mix_idx: 0,
+            leases: (1..=LEASE_RECYCLE as u64).collect(),
+            quota: 10,
+            sent: 0,
+            done: 0,
+            dead: false,
+            tenant_claim: None,
+        };
+        let (req, op) = c.next_request(&args);
+        assert_eq!(op, "release");
+        assert_eq!(req, Request::ReleaseService { service: 1 });
+        assert_eq!(c.leases.len(), LEASE_RECYCLE - 1);
+        let (_, op) = c.next_request(&args);
+        assert_eq!(op, "register");
+    }
+
+    /// A connected-but-unused TCP stream for constructing Clients.
+    fn loopback_stream() -> TcpStream {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        TcpStream::connect(l.local_addr().unwrap()).unwrap()
+    }
+}

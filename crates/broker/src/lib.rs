@@ -23,16 +23,20 @@
 //!   synthesize driver code", reproduced as a deterministic parser +
 //!   driver factory.
 //! - [`monitor`]: inferring application demands from observed traffic.
+//! - [`registry`]: per-tenant service leases and quota admission for the
+//!   networked service plane (`surfosd serve`).
 
 pub mod demand;
 pub mod designgen;
 pub mod drivergen;
 pub mod intent;
 pub mod monitor;
+pub mod registry;
 pub mod translate;
 
 pub use demand::{AppClass, AppDemand};
 pub use designgen::{select_design, write_datasheet, DesignRequirements};
 pub use drivergen::generate_driver;
 pub use intent::{IntentContext, IntentTranslator, RuleBasedTranslator};
+pub use registry::{Lease, RegistryError, TenantRegistry};
 pub use translate::translate_demand;

@@ -1,0 +1,267 @@
+//! Per-tenant service registration and quota accounting.
+//!
+//! The service plane multiplexes many clients over one kernel, so the
+//! broker needs a ledger of *who owns what*: every admitted service is a
+//! [`Lease`] held by a named tenant, and admission enforces both a
+//! per-tenant cap and a global capacity before the kernel ever sees the
+//! request. Over-demand therefore fails fast with a structured
+//! [`RegistryError`] — the daemon turns it into a `Rejected{reason}`
+//! response — instead of queueing work the resource grid can never run.
+//!
+//! The registry is deliberately kernel-agnostic: it stores opaque `u64`
+//! task handles and leaves scheduling to the orchestrator. It is also
+//! single-threaded by design — the daemon serializes kernel access, and
+//! the ledger lives with the kernel.
+
+use std::collections::BTreeMap;
+
+/// One admitted service held by a tenant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Registry-assigned lease id (what clients release by).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Kernel task backing the lease.
+    pub task: u64,
+    /// Service class label (e.g. `"coverage"`), for metrics and `top`.
+    pub kind: String,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The tenant already holds its maximum number of live leases.
+    TenantQuota {
+        /// The tenant that hit its cap.
+        tenant: String,
+        /// Live leases the tenant holds.
+        live: usize,
+        /// The per-tenant cap.
+        cap: usize,
+    },
+    /// The registry as a whole is at capacity.
+    Capacity {
+        /// Live leases across all tenants.
+        live: usize,
+        /// The global cap.
+        cap: usize,
+    },
+    /// A release named a lease that does not exist or belongs to another
+    /// tenant (releases are owner-only; a tenant cannot drop a peer's
+    /// service).
+    NotOwner {
+        /// The lease id named in the release.
+        lease: u64,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::TenantQuota { tenant, live, cap } => write!(
+                f,
+                "tenant {tenant:?} quota exhausted: {live} live services (cap {cap})"
+            ),
+            RegistryError::Capacity { live, cap } => {
+                write!(f, "registry at capacity: {live} live services (cap {cap})")
+            }
+            RegistryError::NotOwner { lease } => {
+                write!(f, "no such lease {lease} owned by this tenant")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The tenant ledger: lease bookkeeping + quota admission.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    leases: BTreeMap<u64, Lease>,
+    next_lease: u64,
+    per_tenant_cap: usize,
+    capacity: usize,
+}
+
+impl TenantRegistry {
+    /// A registry admitting at most `capacity` live leases overall and
+    /// `per_tenant_cap` per tenant. Zero caps are honoured (everything
+    /// rejects) — useful for drain mode.
+    pub fn new(capacity: usize, per_tenant_cap: usize) -> Self {
+        TenantRegistry {
+            leases: BTreeMap::new(),
+            next_lease: 1,
+            per_tenant_cap,
+            capacity,
+        }
+    }
+
+    /// Live leases across all tenants.
+    pub fn live(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Live leases held by one tenant.
+    pub fn live_of(&self, tenant: &str) -> usize {
+        self.leases.values().filter(|l| l.tenant == tenant).count()
+    }
+
+    /// Checks quotas without admitting. `Ok` means a subsequent
+    /// [`register`](Self::register) for the same tenant would currently
+    /// succeed.
+    pub fn admit(&self, tenant: &str) -> Result<(), RegistryError> {
+        if self.leases.len() >= self.capacity {
+            return Err(RegistryError::Capacity {
+                live: self.leases.len(),
+                cap: self.capacity,
+            });
+        }
+        let live = self.live_of(tenant);
+        if live >= self.per_tenant_cap {
+            return Err(RegistryError::TenantQuota {
+                tenant: tenant.to_owned(),
+                live,
+                cap: self.per_tenant_cap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Admits a service for `tenant`, recording the kernel `task` behind
+    /// it. Returns the new lease id.
+    pub fn register(&mut self, tenant: &str, kind: &str, task: u64) -> Result<u64, RegistryError> {
+        self.admit(tenant)?;
+        let id = self.next_lease;
+        self.next_lease += 1;
+        self.leases.insert(
+            id,
+            Lease {
+                id,
+                tenant: tenant.to_owned(),
+                task,
+                kind: kind.to_owned(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Releases a lease, owner-checked. Returns the lease so the caller
+    /// can retire its kernel task.
+    pub fn release(&mut self, tenant: &str, lease: u64) -> Result<Lease, RegistryError> {
+        match self.leases.get(&lease) {
+            Some(l) if l.tenant == tenant => Ok(self.leases.remove(&lease).expect("just found")),
+            _ => Err(RegistryError::NotOwner { lease }),
+        }
+    }
+
+    /// Drops every lease a tenant holds (connection teardown), returning
+    /// them for task retirement.
+    pub fn release_tenant(&mut self, tenant: &str) -> Vec<Lease> {
+        let ids: Vec<u64> = self
+            .leases
+            .values()
+            .filter(|l| l.tenant == tenant)
+            .map(|l| l.id)
+            .collect();
+        ids.iter()
+            .map(|id| self.leases.remove(id).expect("just listed"))
+            .collect()
+    }
+
+    /// All live leases, in lease-id order.
+    pub fn leases(&self) -> impl Iterator<Item = &Lease> {
+        self.leases.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_release_round_trip() {
+        let mut reg = TenantRegistry::new(8, 4);
+        let a = reg.register("alice", "coverage", 10).unwrap();
+        let b = reg.register("alice", "link", 11).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.live(), 2);
+        assert_eq!(reg.live_of("alice"), 2);
+        let lease = reg.release("alice", a).unwrap();
+        assert_eq!(lease.task, 10);
+        assert_eq!(lease.kind, "coverage");
+        assert_eq!(reg.live(), 1);
+    }
+
+    #[test]
+    fn per_tenant_quota_enforced() {
+        let mut reg = TenantRegistry::new(100, 2);
+        reg.register("t", "coverage", 1).unwrap();
+        reg.register("t", "coverage", 2).unwrap();
+        let err = reg.register("t", "coverage", 3).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::TenantQuota {
+                tenant: "t".into(),
+                live: 2,
+                cap: 2
+            }
+        );
+        // Another tenant is unaffected.
+        reg.register("u", "coverage", 4).unwrap();
+        // Releasing frees quota.
+        let lease = reg.leases().next().unwrap().id;
+        reg.release("t", lease).unwrap();
+        reg.register("t", "coverage", 5).unwrap();
+    }
+
+    #[test]
+    fn global_capacity_enforced() {
+        let mut reg = TenantRegistry::new(2, 10);
+        reg.register("a", "x", 1).unwrap();
+        reg.register("b", "x", 2).unwrap();
+        let err = reg.register("c", "x", 3).unwrap_err();
+        assert_eq!(err, RegistryError::Capacity { live: 2, cap: 2 });
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn releases_are_owner_only() {
+        let mut reg = TenantRegistry::new(8, 4);
+        let lease = reg.register("alice", "coverage", 10).unwrap();
+        assert_eq!(
+            reg.release("mallory", lease),
+            Err(RegistryError::NotOwner { lease })
+        );
+        assert_eq!(
+            reg.release("alice", lease + 99),
+            Err(RegistryError::NotOwner { lease: lease + 99 })
+        );
+        assert_eq!(reg.live(), 1);
+        reg.release("alice", lease).unwrap();
+    }
+
+    #[test]
+    fn tenant_teardown_drops_only_its_leases() {
+        let mut reg = TenantRegistry::new(8, 4);
+        reg.register("a", "coverage", 1).unwrap();
+        reg.register("a", "sensing", 2).unwrap();
+        reg.register("b", "coverage", 3).unwrap();
+        let dropped = reg.release_tenant("a");
+        let mut tasks: Vec<u64> = dropped.iter().map(|l| l.task).collect();
+        tasks.sort_unstable();
+        assert_eq!(tasks, vec![1, 2]);
+        assert_eq!(reg.live(), 1);
+        assert_eq!(reg.live_of("b"), 1);
+        assert!(reg.release_tenant("a").is_empty());
+    }
+
+    #[test]
+    fn zero_caps_reject_everything() {
+        let mut reg = TenantRegistry::new(0, 4);
+        assert!(matches!(
+            reg.register("t", "x", 1),
+            Err(RegistryError::Capacity { .. })
+        ));
+    }
+}

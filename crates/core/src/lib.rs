@@ -57,7 +57,9 @@
 //! ```
 
 pub mod autodeploy;
+pub mod daemon;
 pub mod kernel;
+pub mod rpc;
 pub mod shard;
 pub mod shell;
 pub mod telemetry;

@@ -76,6 +76,13 @@ impl Shell {
         }
     }
 
+    /// Consumes the shell, yielding the kernel it built (if any command
+    /// booted one). `surfosd serve` runs its `--setup` script through a
+    /// shell, then lifts the kernel out to serve it over the wire.
+    pub fn into_kernel(self) -> Option<SurfOS> {
+        self.os
+    }
+
     fn err(&self, what: impl Into<String>) -> ShellError {
         ShellError {
             line: self.line,

@@ -17,4 +17,32 @@ cargo run --release -p surfos --bin surfosd -- \
     --metrics-json results/metrics_apartment.json --deterministic-metrics \
     examples/demo.surfos > results/demo_apartment.txt
 
+# Service-plane snapshot: a real `surfosd serve` daemon on an ephemeral
+# loopback port driven by a closed-loop single-connection surfos-loadgen
+# run (fixed request count and op mix, one worker), so the deterministic
+# metrics projection is byte-identical across runs and diffs cleanly.
+echo "== metrics (service plane) =="
+cargo build -q --release -p surfos -p surfos-bench --bin surfosd --bin surfos-loadgen
+serve_ctl="$(mktemp -d)"
+serve_log="$(mktemp)"
+trap 'rm -rf "$serve_ctl"; rm -f "$serve_log"' EXIT
+mkfifo "$serve_ctl/ctl"
+target/release/surfosd serve --listen 127.0.0.1:0 --workers 1 \
+    --metrics-json results/metrics_service.json --deterministic-metrics \
+    < "$serve_ctl/ctl" > "$serve_log" &
+serve_pid=$!
+exec 9> "$serve_ctl/ctl"
+port=""
+for _ in $(seq 100); do
+    port="$(sed -n 's/^surfosd: listening on 127.0.0.1:\([0-9][0-9]*\)$/\1/p' "$serve_log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+[[ -n "$port" ]] || { echo "surfosd serve never reported its port" >&2; kill "$serve_pid"; exit 1; }
+target/release/surfos-loadgen --connect "127.0.0.1:$port" \
+    --conns 1 --requests 200 --mix query:8,register:1 > /dev/null
+echo quit >&9
+exec 9>&-
+wait "$serve_pid"
+
 echo "results/ written"

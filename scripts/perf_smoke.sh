@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Perf smoke + regression gate.
 #
-# Runs the channel, dynamics, spatial, building, optimizer and campus
-# criterion benches and collects
+# Runs the channel, dynamics, spatial, building, optimizer, campus, obs
+# and rpc criterion benches and collects
 # the per-benchmark medians into a machine-readable BENCH_channel.json at
 # the repo root. With --check, fresh medians are then compared against the
 # checked-in BENCH_baseline.json and the script exits non-zero when any
@@ -60,7 +60,7 @@ run_benches() {
   obs_jsonl="$(mktemp)"
   tmpfiles+=("$jsonl" "$obs_jsonl")
 
-  local targets=(channel_sim dynamics spatial building optimizer campus obs)
+  local targets=(channel_sim dynamics spatial building optimizer campus obs rpc)
   if [[ -n "$group" ]]; then
     local filtered=() t
     for t in "${targets[@]}"; do

@@ -1,0 +1,420 @@
+//! Service-plane integration tests: a real `surfosd` daemon served over
+//! loopback TCP and a unix socket, driven by real framed-protocol
+//! clients.
+//!
+//! Covers the wire contract end to end — registration, release, intent,
+//! channel query, metrics, version negotiation — plus the hostile-input
+//! guarantees: truncated frames, oversized length prefixes (rejected
+//! before allocation), unknown ops, and mid-frame disconnects must never
+//! panic the daemon or wedge other sessions.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use surfos::daemon::{demo_kernel, ServeOptions, Server};
+use surfos::rpc::frame::{read_frame, write_frame, MAX_FRAME_LEN};
+use surfos::rpc::proto::{Request, RequestEnvelope, Response, PROTOCOL_VERSION};
+
+/// Boots a daemon on an ephemeral TCP port (no unix socket, no ticker).
+fn serve(opts: ServeOptions) -> Server {
+    Server::start(demo_kernel(), opts).expect("bind loopback")
+}
+
+fn tcp_opts() -> ServeOptions {
+    ServeOptions {
+        tcp: Some("127.0.0.1:0".into()),
+        ..ServeOptions::default()
+    }
+}
+
+/// One blocking request/response round-trip on an established stream.
+fn call(stream: &mut TcpStream, env: &RequestEnvelope) -> Response {
+    write_frame(stream, &env.encode()).expect("write frame");
+    let body = read_frame(stream)
+        .expect("read frame")
+        .expect("server must answer, not close");
+    let (id, response) = Response::decode(&body).expect("valid response");
+    assert_eq!(id, env.id, "correlation id must echo");
+    response
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let addr = server.tcp_addr().expect("tcp listener");
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+#[test]
+fn register_query_release_over_tcp() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+
+    // Ping: version + auto tenant.
+    let Response::Pong { version, tenant } = call(&mut c, &RequestEnvelope::new(1, Request::Ping))
+    else {
+        panic!("expected Pong");
+    };
+    assert_eq!(version, PROTOCOL_VERSION);
+    assert!(tenant.starts_with("conn-"), "{tenant}");
+
+    // Register a coverage service.
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(
+            2,
+            Request::RegisterService {
+                kind: "coverage".into(),
+                subject: "bedroom".into(),
+                value: 25.0,
+            },
+        ),
+    );
+    let Response::Registered { service, .. } = resp else {
+        panic!("expected Registered, got {resp:?}");
+    };
+
+    // Query the demo link.
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(
+            3,
+            Request::QueryChannel {
+                tx: "ap0".into(),
+                rx: "laptop".into(),
+            },
+        ),
+    );
+    let Response::Channel { rss_dbm, .. } = resp else {
+        panic!("expected Channel, got {resp:?}");
+    };
+    assert!(rss_dbm.is_finite() && rss_dbm < 0.0);
+
+    // Release the lease.
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(4, Request::ReleaseService { service }),
+    );
+    assert_eq!(resp, Response::Released { service });
+
+    // Releasing it again is an owner error, not a hang or a panic.
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(5, Request::ReleaseService { service }),
+    );
+    assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+
+    server.stop();
+}
+
+#[test]
+fn unix_socket_speaks_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("surfosd-test-{}.sock", std::process::id()));
+    let server = serve(ServeOptions {
+        tcp: None,
+        unix: Some(path.clone()),
+        ..ServeOptions::default()
+    });
+    let mut c = std::os::unix::net::UnixStream::connect(&path).expect("connect unix");
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let env = RequestEnvelope::new(7, Request::Ping);
+    write_frame(&mut c, &env.encode()).unwrap();
+    let body = read_frame(&mut c).unwrap().expect("answer");
+    let (id, resp) = Response::decode(&body).unwrap();
+    assert_eq!(id, 7);
+    assert!(matches!(resp, Response::Pong { .. }));
+    server.stop();
+    assert!(!path.exists(), "socket file must be removed on stop");
+}
+
+#[test]
+fn tenant_claim_binds_and_quota_rejects_structured() {
+    let server = serve(ServeOptions {
+        per_tenant: 2,
+        ..tcp_opts()
+    });
+    let mut c = connect(&server);
+    let register = |id| {
+        RequestEnvelope::with_tenant(
+            id,
+            "alice",
+            Request::RegisterService {
+                kind: "coverage".into(),
+                subject: "bedroom".into(),
+                value: 25.0,
+            },
+        )
+    };
+    assert!(matches!(
+        call(&mut c, &register(1)),
+        Response::Registered { .. }
+    ));
+    assert!(matches!(
+        call(&mut c, &register(2)),
+        Response::Registered { .. }
+    ));
+    let Response::Rejected { reason } = call(&mut c, &register(3)) else {
+        panic!("third register must exceed alice's quota");
+    };
+    assert!(reason.contains("alice"), "{reason}");
+
+    // A second connection claiming the same tenant shares the quota…
+    let mut c2 = connect(&server);
+    assert!(matches!(
+        call(&mut c2, &register(1)),
+        Response::Rejected { .. }
+    ));
+    // …while a third connection under its own auto tenant is unaffected
+    // (the claim binds per-session, and c2 is already alice).
+    let mut c3 = connect(&server);
+    let auto = RequestEnvelope::new(
+        1,
+        Request::RegisterService {
+            kind: "coverage".into(),
+            subject: "bedroom".into(),
+            value: 25.0,
+        },
+    );
+    assert!(matches!(call(&mut c3, &auto), Response::Registered { .. }));
+    server.stop();
+}
+
+#[test]
+fn intent_grounds_to_tasks_over_the_wire() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(
+            1,
+            Request::SubmitIntent {
+                utterance: "I want to watch a movie on my laptop".into(),
+            },
+        ),
+    );
+    let Response::IntentTasks { tasks } = resp else {
+        panic!("expected IntentTasks, got {resp:?}");
+    };
+    assert!(!tasks.is_empty(), "the demo utterance grounds to tasks");
+    server.stop();
+}
+
+#[test]
+fn metrics_response_nests_a_parseable_snapshot() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    let resp = call(
+        &mut c,
+        &RequestEnvelope::new(
+            1,
+            Request::Metrics {
+                deterministic: true,
+            },
+        ),
+    );
+    let Response::Metrics { json } = resp else {
+        panic!("expected Metrics, got {resp:?}");
+    };
+    surfos::obs::JsonValue::parse(&json).expect("snapshot must parse");
+    server.stop();
+}
+
+#[test]
+fn wrong_version_is_refused_but_ping_still_answers() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    // A v99 ping answers (version discovery)…
+    let mut ping = RequestEnvelope::new(1, Request::Ping);
+    ping.v = 99;
+    write_frame(&mut c, &ping.encode()).unwrap();
+    let (_, resp) = Response::decode(&read_frame(&mut c).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Pong { version, .. } if version == PROTOCOL_VERSION));
+    // …a v99 query is an error naming the server's version.
+    let mut query = RequestEnvelope::new(
+        2,
+        Request::QueryChannel {
+            tx: "ap0".into(),
+            rx: "laptop".into(),
+        },
+    );
+    query.v = 99;
+    write_frame(&mut c, &query.encode()).unwrap();
+    let (_, resp) = Response::decode(&read_frame(&mut c).unwrap().unwrap()).unwrap();
+    let Response::Error { message } = resp else {
+        panic!("wrong version must error, got {resp:?}");
+    };
+    assert!(message.contains("version"), "{message}");
+    server.stop();
+}
+
+#[test]
+fn unknown_op_answers_an_error_and_keeps_the_session() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    write_frame(&mut c, r#"{"v":1,"id":9,"op":"frobnicate"}"#).unwrap();
+    let (_, resp) = Response::decode(&read_frame(&mut c).unwrap().unwrap()).unwrap();
+    assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+    // The connection survives a body-level error.
+    assert!(matches!(
+        call(&mut c, &RequestEnvelope::new(10, Request::Ping)),
+        Response::Pong { .. }
+    ));
+    server.stop();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocation() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    // A hostile header claiming u32::MAX bytes. If the daemon tried to
+    // allocate it, a 4 GiB buffer would blow the test runner; instead it
+    // must answer one framing error and close.
+    c.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    c.write_all(b"junk that never amounts to a frame").unwrap();
+    let body = read_frame(&mut c).unwrap().expect("framing error answer");
+    let (_, resp) = Response::decode(&body).unwrap();
+    let Response::Error { message } = resp else {
+        panic!("expected framing error, got {resp:?}");
+    };
+    assert!(message.contains("exceeds"), "{message}");
+    assert!(message.contains(&MAX_FRAME_LEN.to_string()), "{message}");
+    // The daemon hangs up after an unrecoverable framing error.
+    assert_eq!(read_frame(&mut c).unwrap(), None, "connection must close");
+    // And it still serves new clients.
+    let mut c2 = connect(&server);
+    assert!(matches!(
+        call(&mut c2, &RequestEnvelope::new(1, Request::Ping)),
+        Response::Pong { .. }
+    ));
+    server.stop();
+}
+
+#[test]
+fn mid_frame_disconnect_does_not_wedge_the_daemon() {
+    let server = serve(tcp_opts());
+    for _ in 0..4 {
+        let mut c = connect(&server);
+        // Send a valid header and half the promised body, then vanish.
+        let body = RequestEnvelope::new(1, Request::Ping).encode();
+        c.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        c.write_all(&body.as_bytes()[..body.len() / 2]).unwrap();
+        drop(c);
+    }
+    // Truncated garbage, not even a full header.
+    let mut c = connect(&server);
+    c.write_all(&[0x03, 0x00]).unwrap();
+    drop(c);
+
+    // The daemon keeps serving and eventually reaps the dead sessions.
+    let mut alive = connect(&server);
+    assert!(matches!(
+        call(&mut alive, &RequestEnvelope::new(2, Request::Ping)),
+        Response::Pong { .. }
+    ));
+    drop(alive);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.live_conns() > 0 {
+        assert!(Instant::now() < deadline, "dead sessions never reaped");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.stop();
+}
+
+#[test]
+fn connection_cap_answers_a_rejection_not_a_hang() {
+    let server = serve(ServeOptions {
+        max_conns: 2,
+        ..tcp_opts()
+    });
+    let mut keep: Vec<TcpStream> = (0..2).map(|_| connect(&server)).collect();
+    // Make sure both are adopted before the third arrives.
+    for (i, c) in keep.iter_mut().enumerate() {
+        assert!(matches!(
+            call(c, &RequestEnvelope::new(i as u64 + 1, Request::Ping)),
+            Response::Pong { .. }
+        ));
+    }
+    let mut over = connect(&server);
+    let body = read_frame(&mut over).unwrap().expect("over-cap answer");
+    let (_, resp) = Response::decode(&body).unwrap();
+    let Response::Rejected { reason } = resp else {
+        panic!("expected Rejected, got {resp:?}");
+    };
+    assert!(reason.contains("connection limit"), "{reason}");
+    assert_eq!(read_frame(&mut over).unwrap(), None, "then it closes");
+    server.stop();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    // Write a burst of frames before reading anything.
+    for id in 1..=20u64 {
+        write_frame(&mut c, &RequestEnvelope::new(id, Request::Ping).encode()).unwrap();
+    }
+    for id in 1..=20u64 {
+        let (got, resp) = Response::decode(&read_frame(&mut c).unwrap().unwrap()).unwrap();
+        assert_eq!(got, id);
+        assert!(matches!(resp, Response::Pong { .. }));
+    }
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients_all_get_served() {
+    let server = serve(tcp_opts());
+    let addr = server.tcp_addr().unwrap();
+    let handles: Vec<_> = (0..16)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = TcpStream::connect(addr).expect("connect");
+                c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                for id in 1..=25u64 {
+                    let resp = {
+                        let env = RequestEnvelope::new(id, Request::Ping);
+                        write_frame(&mut c, &env.encode()).unwrap();
+                        let body = read_frame(&mut c).unwrap().expect("answer");
+                        Response::decode(&body).unwrap().1
+                    };
+                    assert!(matches!(resp, Response::Pong { .. }), "thread {t} id {id}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.stop();
+}
+
+#[test]
+fn auto_tenant_leases_die_with_the_connection() {
+    let server = serve(tcp_opts());
+    let mut c = connect(&server);
+    let Response::Registered { .. } = call(
+        &mut c,
+        &RequestEnvelope::new(
+            1,
+            Request::RegisterService {
+                kind: "coverage".into(),
+                subject: "bedroom".into(),
+                value: 25.0,
+            },
+        ),
+    ) else {
+        panic!("register failed");
+    };
+    drop(c);
+    // After the disconnect is reaped, a fresh metrics query shows no
+    // live leases: rpc.conns.live returns to the new connection only.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(Instant::now() < deadline, "teardown never happened");
+        std::thread::sleep(Duration::from_millis(10));
+        if server.live_conns() == 0 {
+            break;
+        }
+    }
+    server.stop();
+}
